@@ -1,0 +1,76 @@
+// Extension bench (paper future work, Section VII): grid-based kNN vs a
+// brute-force kNN scan — candidates examined per query and wall-clock
+// across dimensions and k.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/datagen.hpp"
+#include "common/distance.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/knn.hpp"
+#include "harness/bench_common.hpp"
+
+namespace {
+
+double brute_knn_seconds(const sj::Dataset& d, int k) {
+  sj::Timer t;
+  std::vector<double> d2(d.size());
+  double checksum = 0.0;
+  // Scan a subsample of queries and extrapolate — the full quadratic scan
+  // would dominate the whole bench suite.
+  const std::size_t step = std::max<std::size_t>(d.size() / 200, 1);
+  std::size_t queries = 0;
+  for (std::size_t q = 0; q < d.size(); q += step, ++queries) {
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      d2[i] = sj::sq_dist(d.pt(q), d.pt(i), d.dim());
+    }
+    std::nth_element(d2.begin(), d2.begin() + k, d2.end());
+    checksum += d2[static_cast<std::size_t>(k)];
+  }
+  const double sampled = t.seconds();
+  if (checksum < 0) std::cout << "";  // keep the work observable
+  return sampled * static_cast<double>(d.size()) /
+         static_cast<double>(std::max<std::size_t>(queries, 1));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sj;
+  using namespace sj::bench;
+  return bench_main(argc, argv, [] {
+    TextTable t({"dim", "k", "grid kNN (s)", "brute est. (s)",
+                 "candidates/query", "rings/query"});
+    csv::Table out({"dim", "k", "grid_seconds", "brute_seconds",
+                    "candidates_per_query", "rings_per_query"});
+    const auto scale = env_scale();
+    const auto n = static_cast<std::size_t>(20000 * scale);
+    for (int dim : {2, 3, 4, 6}) {
+      const auto d = datagen::uniform(n, dim, 0.0, 100.0, 800 + dim);
+      for (int k : {4, 16}) {
+        KnnOptions opt;
+        opt.k = k;
+        const auto r = gpu_knn(d, opt);
+        const double brute = brute_knn_seconds(d, k);
+        const double cand =
+            static_cast<double>(r.stats.metrics.distance_calcs) /
+            static_cast<double>(d.size());
+        const double rings =
+            static_cast<double>(r.stats.rings_expanded) /
+            static_cast<double>(d.size());
+        t.add_row({std::to_string(dim), std::to_string(k),
+                   csv::fmt(r.stats.total_seconds), csv::fmt(brute),
+                   csv::fmt(cand), csv::fmt(rings)});
+        out.add_row({std::to_string(dim), std::to_string(k),
+                     csv::fmt(r.stats.total_seconds), csv::fmt(brute),
+                     csv::fmt(cand), csv::fmt(rings)});
+      }
+    }
+    std::cout << "\n== extension: grid kNN vs brute-force kNN ==\n";
+    t.print(std::cout);
+    out.write(Collector::results_dir() + "/ext_knn.csv");
+  });
+}

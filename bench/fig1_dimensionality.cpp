@@ -1,0 +1,56 @@
+// Figure 1: the motivation experiment.
+//  (a) R-tree self-join response time and average neighbours vs dimension
+//      (2-6) on uniform 2M-class data at the eps=1 equivalent.
+//  (b) Response time and average neighbours vs eps on the 6-D dataset
+//      (paper sweep: eps = 4..12).
+// eps values are rescaled per dimension to preserve the paper's
+// average-neighbour regime at the scaled-down sizes (DESIGN.md §5).
+#include <cmath>
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "common/datasets.hpp"
+#include "common/table.hpp"
+#include "harness/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sj;
+  using namespace sj::bench;
+  return bench_main(argc, argv, [] {
+    Collector col("fig1");
+    const double scale = env_scale();
+
+    // (a) dimension sweep at the paper's eps = 1 on 2M uniform points.
+    for (int dim = 2; dim <= 6; ++dim) {
+      const std::string name = "Syn" + std::to_string(dim) + "D2M";
+      const auto& info = datasets::info(name);
+      const Dataset d = datasets::make(name, scale);
+      // eps = 1 rescaled: (N_paper / N_ours)^(1/dim).
+      const double eps =
+          std::pow(static_cast<double>(info.paper_n) /
+                       static_cast<double>(d.size()),
+                   1.0 / dim);
+      auto m = run_algo("rtree", d, eps);
+      m.panel = "fig1a_dim_sweep";
+      col.add(std::move(m));
+    }
+
+    // (b) eps sweep on the 6-D dataset (paper: eps = 4, 6, 8, 10, 12).
+    {
+      const std::string name = "Syn6D2M";
+      const auto& info = datasets::info(name);
+      const Dataset d = datasets::make(name, scale);
+      const double f = std::pow(static_cast<double>(info.paper_n) /
+                                    static_cast<double>(d.size()),
+                                1.0 / 6.0);
+      for (double paper_eps : {4.0, 6.0, 8.0, 10.0, 12.0}) {
+        auto m = run_algo("rtree", d, paper_eps * f);
+        m.panel = "fig1b_eps_sweep_6d";
+        col.add(std::move(m));
+      }
+    }
+
+    col.print_series(std::cout);
+    col.write_csv("fig1.csv");
+  });
+}

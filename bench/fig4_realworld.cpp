@@ -1,0 +1,11 @@
+// Figure 4: response time vs eps on the real-world datasets — SW2DA,
+// SW2DB, SDSS2DA, SDSS2DB, SW3DA, SW3DB (panels a-f) — for GPU brute
+// force, CPU-RTREE, SUPEREGO, GPU-SJ and GPU-SJ+UNICOMP.
+#include "harness/figure_sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sj::bench;
+  return bench_main(argc, argv, [] {
+    run_figure_sweep("fig4", fig4_datasets(), "fig4.csv");
+  });
+}

@@ -1,0 +1,10 @@
+// Figure 5: response time vs eps on the 2-6-dimensional uniform
+// synthetic datasets of the "2M" class (panels a-e).
+#include "harness/figure_sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sj::bench;
+  return bench_main(argc, argv, [] {
+    run_figure_sweep("fig5", fig5_datasets(), "fig5.csv");
+  });
+}

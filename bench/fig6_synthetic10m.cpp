@@ -1,0 +1,10 @@
+// Figure 6: response time vs eps on the 2-6-dimensional uniform
+// synthetic datasets of the "10M" class (panels a-e).
+#include "harness/figure_sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sj::bench;
+  return bench_main(argc, argv, [] {
+    run_figure_sweep("fig6", fig6_datasets(), "fig6.csv");
+  });
+}

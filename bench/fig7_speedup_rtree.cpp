@@ -1,0 +1,59 @@
+// Figure 7: speedup of GPU-SJ with UNICOMP over CPU-RTREE across every
+// dataset and eps of Figures 4-6, plus the overall average (the paper
+// reports an average of 26.9x). Reuses the cached CSVs when present.
+#include <iostream>
+#include <map>
+
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "harness/figure_sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sj;
+  using namespace sj::bench;
+  return bench_main(argc, argv, [] {
+    std::vector<Measurement> rows;
+    for (auto& m :
+         load_or_run_sweep("fig4", fig4_datasets(), "fig4.csv")) {
+      rows.push_back(m);
+    }
+    for (auto& m :
+         load_or_run_sweep("fig5", fig5_datasets(), "fig5.csv")) {
+      rows.push_back(m);
+    }
+    for (auto& m :
+         load_or_run_sweep("fig6", fig6_datasets(), "fig6.csv")) {
+      rows.push_back(m);
+    }
+
+    // Pair rtree and gpu_unicomp rows by (dataset, eps).
+    std::map<std::pair<std::string, double>, double> rtree_s, gpu_s;
+    for (const auto& m : rows) {
+      if (m.algo == "rtree") rtree_s[{m.dataset, m.eps}] = m.seconds;
+      if (m.algo == "gpu_unicomp") gpu_s[{m.dataset, m.eps}] = m.seconds;
+    }
+
+    TextTable t({"dataset", "eps", "rtree (s)", "gpu+unicomp (s)",
+                 "speedup"});
+    csv::Table out({"dataset", "eps", "rtree_seconds", "gpu_seconds",
+                    "speedup"});
+    std::vector<double> speedups;
+    for (const auto& [key, rs] : rtree_s) {
+      const auto it = gpu_s.find(key);
+      if (it == gpu_s.end() || it->second <= 0.0) continue;
+      const double sp = rs / it->second;
+      speedups.push_back(sp);
+      t.add_row({key.first, csv::fmt(key.second), csv::fmt(rs),
+                 csv::fmt(it->second), csv::fmt(sp)});
+      out.add_row({key.first, csv::fmt(key.second), csv::fmt(rs),
+                   csv::fmt(it->second), csv::fmt(sp)});
+    }
+    std::cout << "\n== fig7: speedup of GPU-SJ (UNICOMP) over CPU-RTREE ==\n";
+    t.print(std::cout);
+    std::cout << "Average speedup over all datasets: "
+              << csv::fmt(stats::mean(speedups))
+              << "x   (paper, full scale: 26.9x)\n";
+    out.write(Collector::results_dir() + "/fig7.csv");
+  });
+}

@@ -1,0 +1,80 @@
+// Figure 8: speedup of GPU-SJ with UNICOMP over SUPEREGO across every
+// dataset and eps of Figures 4-6, with the all-dataset and real-world
+// averages (paper: 2.38x overall, ~2x on real-world data).
+#include <iostream>
+#include <map>
+
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "harness/figure_sweep.hpp"
+
+namespace {
+
+bool is_real_world(const std::string& dataset) {
+  return dataset.rfind("SW", 0) == 0 || dataset.rfind("SDSS", 0) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sj;
+  using namespace sj::bench;
+  return bench_main(argc, argv, [] {
+    std::vector<Measurement> rows;
+    for (auto& m : load_or_run_sweep("fig4", fig4_datasets(), "fig4.csv")) {
+      rows.push_back(m);
+    }
+    for (auto& m : load_or_run_sweep("fig5", fig5_datasets(), "fig5.csv")) {
+      rows.push_back(m);
+    }
+    for (auto& m : load_or_run_sweep("fig6", fig6_datasets(), "fig6.csv")) {
+      rows.push_back(m);
+    }
+
+    std::map<std::pair<std::string, double>, const Measurement*> ego_m, gpu_m;
+    for (const auto& m : rows) {
+      if (m.algo == "superego") ego_m[{m.dataset, m.eps}] = &m;
+      if (m.algo == "gpu_unicomp") gpu_m[{m.dataset, m.eps}] = &m;
+    }
+
+    TextTable t({"dataset", "eps", "superego (s)", "gpu+unicomp (s)",
+                 "speedup", "work ratio (dist calcs)"});
+    csv::Table out({"dataset", "eps", "superego_seconds", "gpu_seconds",
+                    "speedup", "work_ratio"});
+    std::vector<double> all, real, work;
+    std::size_t slower = 0;
+    for (const auto& [key, eg] : ego_m) {
+      const auto it = gpu_m.find(key);
+      if (it == gpu_m.end() || it->second->seconds <= 0.0) continue;
+      const double sp = eg->seconds / it->second->seconds;
+      const double wr = it->second->distance_calcs > 0
+                            ? static_cast<double>(eg->distance_calcs) /
+                                  static_cast<double>(
+                                      it->second->distance_calcs)
+                            : 0.0;
+      all.push_back(sp);
+      if (wr > 0.0) work.push_back(wr);
+      if (is_real_world(key.first)) real.push_back(sp);
+      if (sp < 1.0) ++slower;
+      t.add_row({key.first, csv::fmt(key.second), csv::fmt(eg->seconds),
+                 csv::fmt(it->second->seconds), csv::fmt(sp), csv::fmt(wr)});
+      out.add_row({key.first, csv::fmt(key.second), csv::fmt(eg->seconds),
+                   csv::fmt(it->second->seconds), csv::fmt(sp),
+                   csv::fmt(wr)});
+    }
+    std::cout << "\n== fig8: speedup of GPU-SJ (UNICOMP) over SUPEREGO ==\n";
+    t.print(std::cout);
+    std::cout << "Average speedup (all datasets):   " << csv::fmt(stats::mean(all))
+              << "x   (paper, 3584-core GPU vs 32-core host: 2.38x)\n";
+    std::cout << "Average speedup (real-world):     "
+              << csv::fmt(stats::mean(real)) << "x   (paper: ~2x)\n";
+    std::cout << "Average work ratio (EGO/GPU dist calcs): "
+              << csv::fmt(stats::geomean(work)) << "x\n";
+    std::cout << "Scenarios where SUPEREGO wins on time: " << slower << " of "
+              << all.size()
+              << "  (this host serialises the GPU's parallel work onto one\n"
+                 "   core — see EXPERIMENTS.md for the work-count analysis)\n";
+    out.write(Collector::results_dir() + "/fig8.csv");
+  });
+}

@@ -1,0 +1,58 @@
+// Figure 9: impact of UNICOMP — the ratio of GPU-SJ response times
+// without / with the optimisation, split into the paper's three panels:
+// (a) real-world, (b) synthetic 2M-class, (c) synthetic 10M-class.
+// Ratios above 1 mean UNICOMP wins; the paper sees <= 1.5x on real data
+// and >= 2x on higher-dimensional synthetic data.
+#include <iostream>
+#include <map>
+
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "harness/figure_sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sj;
+  using namespace sj::bench;
+  return bench_main(argc, argv, [] {
+    struct Panel {
+      const char* title;
+      std::vector<std::string> datasets;
+      const char* csv;
+    };
+    const std::vector<Panel> panels{
+        {"fig9a_real_world", fig4_datasets(), "fig4.csv"},
+        {"fig9b_synthetic_2M", fig5_datasets(), "fig5.csv"},
+        {"fig9c_synthetic_10M", fig6_datasets(), "fig6.csv"},
+    };
+
+    csv::Table out({"panel", "dataset", "eps", "without_s", "with_s",
+                    "ratio"});
+    for (const auto& panel : panels) {
+      const auto rows = load_or_run_sweep(
+          std::string(panel.csv).substr(0, 4), panel.datasets, panel.csv);
+      std::map<std::pair<std::string, double>, double> base_s, uni_s;
+      for (const auto& m : rows) {
+        if (m.algo == "gpu") base_s[{m.dataset, m.eps}] = m.seconds;
+        if (m.algo == "gpu_unicomp") uni_s[{m.dataset, m.eps}] = m.seconds;
+      }
+      TextTable t({"dataset", "eps", "without (s)", "with (s)", "ratio"});
+      std::vector<double> ratios;
+      for (const auto& [key, bs] : base_s) {
+        const auto it = uni_s.find(key);
+        if (it == uni_s.end() || it->second <= 0.0) continue;
+        const double ratio = bs / it->second;
+        ratios.push_back(ratio);
+        t.add_row({key.first, csv::fmt(key.second), csv::fmt(bs),
+                   csv::fmt(it->second), csv::fmt(ratio)});
+        out.add_row({panel.title, key.first, csv::fmt(key.second),
+                     csv::fmt(bs), csv::fmt(it->second), csv::fmt(ratio)});
+      }
+      std::cout << "\n== " << panel.title
+                << " : response-time ratio without/with UNICOMP ==\n";
+      t.print(std::cout);
+      std::cout << "Mean ratio: " << csv::fmt(stats::mean(ratios)) << "\n";
+    }
+    out.write(Collector::results_dir() + "/fig9.csv");
+  });
+}

@@ -1,0 +1,162 @@
+#include "harness/bench_common.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <stdexcept>
+
+#include "bruteforce/brute_force.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "core/brute_force_gpu.hpp"
+#include "core/self_join.hpp"
+#include "ego/ego.hpp"
+#include "rtree/rtree_self_join.hpp"
+
+namespace sj::bench {
+
+double env_scale() {
+  const char* s = std::getenv("SJ_SCALE");
+  if (s == nullptr) return 1.0;
+  const double v = std::atof(s);
+  return v > 0.0 ? v : 1.0;
+}
+
+Measurement run_algo(const std::string& algo, const Dataset& d, double eps) {
+  Measurement m;
+  m.dataset = d.name();
+  m.algo = algo;
+  m.n = d.size();
+  m.dim = d.dim();
+  m.eps = eps;
+
+  if (algo == "gpu" || algo == "gpu_unicomp") {
+    GpuSelfJoinOptions opt;
+    opt.unicomp = (algo == "gpu_unicomp");
+    const auto r = GpuSelfJoin(opt).run(d, eps);
+    m.seconds = r.stats.total_seconds;
+    m.pairs = r.pairs.size();
+    m.distance_calcs = r.stats.metrics.distance_calcs;
+  } else if (algo == "rtree") {
+    const auto r = rtree::self_join(d, eps);
+    m.seconds = r.stats.query_seconds;
+    m.pairs = r.pairs.size();
+    m.distance_calcs = r.stats.distance_calcs;
+  } else if (algo == "superego") {
+    ego::Options opt;
+    opt.use_float = true;  // the paper's Super-EGO runs used 32-bit floats
+    const auto r = ego::self_join(d, eps, opt);
+    m.seconds = r.stats.total_seconds();
+    m.pairs = r.pairs.size();
+    m.distance_calcs = r.stats.distance_calcs;
+  } else if (algo == "gpu_bf") {
+    const auto r = gpu_brute_force(d, eps);
+    m.seconds = r.kernel_seconds;
+    m.pairs = r.num_pairs;
+    m.distance_calcs = r.distance_calcs;
+  } else {
+    throw std::invalid_argument("run_algo: unknown algorithm " + algo);
+  }
+  m.avg_neighbors = m.n == 0 ? 0.0
+                             : static_cast<double>(m.pairs) /
+                                   static_cast<double>(m.n);
+  return m;
+}
+
+void Collector::add(Measurement m) {
+  m.figure = figure_;
+  const std::string name = figure_ + "/" + m.panel + "/" + m.algo +
+                           "/eps=" + csv::fmt(m.eps);
+  const double seconds = m.seconds;
+  const double pairs = static_cast<double>(m.pairs);
+  benchmark::RegisterBenchmark(name.c_str(),
+                               [seconds, pairs](benchmark::State& st) {
+                                 for (auto _ : st) {
+                                 }
+                                 st.SetIterationTime(seconds);
+                                 st.counters["pairs"] = pairs;
+                               })
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  rows_.push_back(std::move(m));
+}
+
+void Collector::print_series(std::ostream& os) const {
+  // Group rows by panel, preserving first-seen order.
+  std::vector<std::string> panels;
+  for (const auto& m : rows_) {
+    bool known = false;
+    for (const auto& p : panels) known = known || p == m.panel;
+    if (!known) panels.push_back(m.panel);
+  }
+  for (const auto& panel : panels) {
+    os << "\n== " << figure_ << " : " << panel << " ==\n";
+    TextTable t({"dataset", "algo", "eps", "time (s)", "pairs",
+                 "avg. neighbors"});
+    for (const auto& m : rows_) {
+      if (m.panel != panel) continue;
+      t.add_row({m.dataset, m.algo, csv::fmt(m.eps), csv::fmt(m.seconds),
+                 std::to_string(m.pairs), csv::fmt(m.avg_neighbors)});
+    }
+    t.print(os);
+  }
+}
+
+std::string Collector::results_dir() {
+  const char* dir = std::getenv("SJ_RESULTS_DIR");
+  return dir != nullptr ? dir : "bench_results";
+}
+
+void Collector::write_csv(const std::string& filename) const {
+  csv::Table t({"figure", "panel", "dataset", "algo", "n", "dim", "eps",
+                "seconds", "pairs", "avg_neighbors", "distance_calcs"});
+  for (const auto& m : rows_) {
+    t.add_row({m.figure, m.panel, m.dataset, m.algo, std::to_string(m.n),
+               std::to_string(m.dim), csv::fmt(m.eps), csv::fmt(m.seconds),
+               std::to_string(m.pairs), csv::fmt(m.avg_neighbors),
+               std::to_string(m.distance_calcs)});
+  }
+  t.write(results_dir() + "/" + filename);
+}
+
+bool Collector::load_csv(const std::string& filename,
+                         std::vector<Measurement>& out) {
+  csv::Table t;
+  if (!csv::Table::read(results_dir() + "/" + filename, t)) return false;
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    Measurement m;
+    m.figure = t.cell(r, "figure");
+    m.panel = t.cell(r, "panel");
+    m.dataset = t.cell(r, "dataset");
+    m.algo = t.cell(r, "algo");
+    m.n = static_cast<std::size_t>(t.num(r, "n"));
+    m.dim = static_cast<int>(t.num(r, "dim"));
+    m.eps = t.num(r, "eps");
+    m.seconds = t.num(r, "seconds");
+    m.pairs = static_cast<std::uint64_t>(t.num(r, "pairs"));
+    m.avg_neighbors = t.num(r, "avg_neighbors");
+    m.distance_calcs = static_cast<std::uint64_t>(t.num(r, "distance_calcs"));
+    out.push_back(std::move(m));
+  }
+  return true;
+}
+
+int bench_main(int argc, char** argv, const std::function<void()>& body) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  body();  // takes the measurements and registers replay benchmarks
+  // Guarantee at least one registered benchmark so table-style benches
+  // (which print directly) don't trip the empty-filter warning.
+  benchmark::RegisterBenchmark("harness/run", [](benchmark::State& st) {
+    for (auto _ : st) {
+    }
+  })->Iterations(1);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace sj::bench

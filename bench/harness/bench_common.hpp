@@ -1,0 +1,82 @@
+// Shared bench harness: runs the five join implementations with the
+// paper's measurement conventions, collects figure series, prints the
+// paper-style tables and persists CSVs so the derived figures (7-9) can
+// be regenerated without re-running the sweeps.
+//
+// Environment:
+//   SJ_SCALE        multiply every dataset size (default 1.0). eps values
+//                   are rescaled automatically to stay in the paper's
+//                   average-neighbour regime.
+//   SJ_RESULTS_DIR  where CSVs go (default ./bench_results).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/dataset.hpp"
+
+namespace sj::bench {
+
+/// Dataset-size multiplier from SJ_SCALE.
+double env_scale();
+
+/// Measurement conventions per algorithm (matching Section VI-B):
+///   gpu, gpu_unicomp — total GPU-SJ response time (index build, upload,
+///                      estimate, batched kernels, sorts, transfers)
+///   rtree            — query phase only (the paper omits construction)
+///   superego         — ego-sort + join (32-bit floats, as the paper ran)
+///   gpu_bf           — brute-force kernel only (no result transfer)
+struct Measurement {
+  std::string figure;
+  std::string panel;
+  std::string dataset;
+  std::string algo;
+  std::size_t n = 0;
+  int dim = 0;
+  double eps = 0.0;
+  double seconds = 0.0;
+  std::uint64_t pairs = 0;
+  double avg_neighbors = 0.0;
+  /// Algorithmic work: candidate distance evaluations. On a single-core
+  /// host the wall-clock serialises the GPU's parallel work, so the work
+  /// count is the hardware-independent comparison (EXPERIMENTS.md).
+  std::uint64_t distance_calcs = 0;
+};
+
+Measurement run_algo(const std::string& algo, const Dataset& d, double eps);
+
+class Collector {
+ public:
+  explicit Collector(std::string figure) : figure_(std::move(figure)) {}
+
+  /// Record a measurement and register it with google-benchmark (as a
+  /// single manual-time iteration, so the standard benchmark report shows
+  /// the same numbers the table prints).
+  void add(Measurement m);
+
+  const std::vector<Measurement>& rows() const { return rows_; }
+
+  /// Paper-style fixed-width tables, one per panel.
+  void print_series(std::ostream& os) const;
+
+  /// CSV under results_dir(); used by the derived figure benches.
+  void write_csv(const std::string& filename) const;
+
+  static std::string results_dir();
+  static bool load_csv(const std::string& filename,
+                       std::vector<Measurement>& out);
+
+ private:
+  std::string figure_;
+  std::vector<Measurement> rows_;
+};
+
+/// Standard bench main: initialise google-benchmark, run `body` (which
+/// takes measurements and fills collectors), then replay registered
+/// benchmarks and return.
+int bench_main(int argc, char** argv, const std::function<void()>& body);
+
+}  // namespace sj::bench

@@ -1,0 +1,78 @@
+// The standard response-time-vs-eps sweep shared by Figures 4, 5 and 6:
+// for each named dataset, all five implementations over the dataset's
+// five-point eps sweep (brute force once — its cost is eps-independent).
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/datasets.hpp"
+#include "harness/bench_common.hpp"
+
+namespace sj::bench {
+
+inline void run_figure_sweep(const std::string& figure,
+                             const std::vector<std::string>& dataset_names,
+                             const std::string& csv_name) {
+  Collector col(figure);
+  const double scale = env_scale();
+  for (const auto& name : dataset_names) {
+    const auto& info = datasets::info(name);
+    const Dataset d = datasets::make(name, scale);
+    const auto eps_sweep = datasets::scaled_eps(info, d.size());
+
+    // Brute force: one run, independent of eps (plotted flat in the
+    // paper's panels).
+    {
+      auto m = run_algo("gpu_bf", d, eps_sweep.front());
+      m.panel = name;
+      col.add(std::move(m));
+    }
+    for (double eps : eps_sweep) {
+      for (const char* algo : {"rtree", "superego", "gpu", "gpu_unicomp"}) {
+        auto m = run_algo(algo, d, eps);
+        m.panel = name;
+        col.add(std::move(m));
+      }
+    }
+  }
+  col.print_series(std::cout);
+  col.write_csv(csv_name);
+  std::cout << "\nCSV written to " << Collector::results_dir() << "/"
+            << csv_name << "\n";
+}
+
+/// Load a prior sweep's CSV, or regenerate it when missing so the
+/// derived figures work standalone.
+inline std::vector<Measurement> load_or_run_sweep(
+    const std::string& figure, const std::vector<std::string>& dataset_names,
+    const std::string& csv_name) {
+  std::vector<Measurement> rows;
+  if (Collector::load_csv(csv_name, rows)) return rows;
+  std::cout << "(no cached " << csv_name << " — running the sweep)\n";
+  run_figure_sweep(figure, dataset_names, csv_name);
+  rows.clear();
+  Collector::load_csv(csv_name, rows);
+  return rows;
+}
+
+inline const std::vector<std::string>& fig4_datasets() {
+  static const std::vector<std::string> kNames{"SW2DA", "SW2DB", "SDSS2DA",
+                                               "SDSS2DB", "SW3DA", "SW3DB"};
+  return kNames;
+}
+
+inline const std::vector<std::string>& fig5_datasets() {
+  static const std::vector<std::string> kNames{
+      "Syn2D2M", "Syn3D2M", "Syn4D2M", "Syn5D2M", "Syn6D2M"};
+  return kNames;
+}
+
+inline const std::vector<std::string>& fig6_datasets() {
+  static const std::vector<std::string> kNames{
+      "Syn2D10M", "Syn3D10M", "Syn4D10M", "Syn5D10M", "Syn6D10M"};
+  return kNames;
+}
+
+}  // namespace sj::bench

@@ -1,0 +1,40 @@
+// Table I: the dataset inventory — paper sizes and dimensions alongside
+// the locally generated scaled sizes, grid statistics at the mid-sweep
+// eps, and the eps sweeps used by the figure benches.
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "common/datasets.hpp"
+#include "common/table.hpp"
+#include "core/grid_index.hpp"
+#include "harness/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sj;
+  using namespace sj::bench;
+  return bench_main(argc, argv, [] {
+    TextTable t({"dataset", "|D| (paper)", "n", "|D| (bench)",
+                 "nonempty cells @eps_mid", "bench eps sweep"});
+    csv::Table out({"dataset", "paper_n", "dim", "bench_n",
+                    "nonempty_cells", "eps_sweep"});
+    const double scale = env_scale();
+    for (const auto& info : datasets::all()) {
+      const Dataset d = datasets::make(info.name, scale);
+      const auto sweep = datasets::scaled_eps(info, d.size());
+      const GridIndex grid(d, sweep[sweep.size() / 2]);
+      std::string eps_list;
+      for (std::size_t i = 0; i < sweep.size(); ++i) {
+        eps_list += (i > 0 ? " " : "") + csv::fmt(sweep[i]);
+      }
+      t.add_row({info.name, std::to_string(info.paper_n),
+                 std::to_string(info.dim), std::to_string(d.size()),
+                 std::to_string(grid.num_nonempty_cells()), eps_list});
+      out.add_row({info.name, std::to_string(info.paper_n),
+                   std::to_string(info.dim), std::to_string(d.size()),
+                   std::to_string(grid.num_nonempty_cells()), eps_list});
+    }
+    std::cout << "\n== Table I: datasets ==\n";
+    t.print(std::cout);
+    out.write(Collector::results_dir() + "/table1.csv");
+  });
+}

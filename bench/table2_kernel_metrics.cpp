@@ -1,0 +1,79 @@
+// Table II: kernel metrics of GPU-SJ without and with UNICOMP on SW2DA,
+// SDSS2DA (response-time ratio < 2 in the paper) and Syn5D2M, Syn6D2M
+// (ratio > 2): theoretical occupancy (register model) and modelled
+// unified-cache bandwidth utilisation (L1 cache simulator), with the
+// with/without ratios the paper uses to explain UNICOMP's behaviour.
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "common/datasets.hpp"
+#include "common/table.hpp"
+#include "core/self_join.hpp"
+#include "harness/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sj;
+  using namespace sj::bench;
+  return bench_main(argc, argv, [] {
+    struct Row {
+      const char* dataset;
+      std::size_t eps_index;  // into the bench sweep (paper: 0.3 / 0.3 / 8 / 8)
+    };
+    // Paper Table II uses eps 0.3, 0.3, 8, 8 — the first sweep point for
+    // the real-world pairs and the fourth for the synthetic ones.
+    const std::vector<Row> rows{{"SW2DA", 0}, {"SDSS2DA", 0},
+                                {"Syn5D2M", 3}, {"Syn6D2M", 3}};
+
+    TextTable t({"dataset", "eps", "ratio resp. time", "occupancy",
+                 "cache BW (GB/s)", "occupancy (unicomp)",
+                 "cache BW (unicomp)", "ratio occ.", "ratio cache"});
+    csv::Table out({"dataset", "eps", "resp_ratio", "occ_base", "cache_base",
+                    "occ_uni", "cache_uni", "occ_ratio", "cache_ratio"});
+
+    const double scale = env_scale();
+    for (const auto& row : rows) {
+      const auto& info = datasets::info(row.dataset);
+      const Dataset d = datasets::make(row.dataset, scale);
+      const double eps =
+          datasets::scaled_eps(info, d.size())[row.eps_index];
+
+      GpuSelfJoinOptions base_opt;
+      base_opt.unicomp = false;
+      base_opt.collect_metrics = true;
+      GpuSelfJoinOptions uni_opt;
+      uni_opt.unicomp = true;
+      uni_opt.collect_metrics = true;
+
+      const auto base = GpuSelfJoin(base_opt).run(d, eps);
+      const auto uni = GpuSelfJoin(uni_opt).run(d, eps);
+
+      const double resp_ratio =
+          base.stats.total_seconds / uni.stats.total_seconds;
+      const double occ_ratio = uni.stats.occupancy / base.stats.occupancy;
+      const double cache_ratio =
+          base.stats.metrics.cache_bw_gbs > 0.0
+              ? uni.stats.metrics.cache_bw_gbs /
+                    base.stats.metrics.cache_bw_gbs
+              : 0.0;
+
+      t.add_row({row.dataset, csv::fmt(eps), csv::fmt(resp_ratio),
+                 csv::fmt(base.stats.occupancy * 100) + "%",
+                 csv::fmt(base.stats.metrics.cache_bw_gbs),
+                 csv::fmt(uni.stats.occupancy * 100) + "%",
+                 csv::fmt(uni.stats.metrics.cache_bw_gbs),
+                 csv::fmt(occ_ratio), csv::fmt(cache_ratio)});
+      out.add_row({row.dataset, csv::fmt(eps), csv::fmt(resp_ratio),
+                   csv::fmt(base.stats.occupancy),
+                   csv::fmt(base.stats.metrics.cache_bw_gbs),
+                   csv::fmt(uni.stats.occupancy),
+                   csv::fmt(uni.stats.metrics.cache_bw_gbs),
+                   csv::fmt(occ_ratio), csv::fmt(cache_ratio)});
+    }
+    std::cout << "\n== Table II: kernel metrics without/with UNICOMP ==\n";
+    t.print(std::cout);
+    std::cout << "(paper occupancies: 100%/75% at 2-D, 62.5%/50% at 5-6-D;\n"
+                 " paper cache ratios: ~0.75 on 2-D real data, 1.6-1.9 on\n"
+                 " 5-6-D synthetic data)\n";
+    out.write(Collector::results_dir() + "/table2.csv");
+  });
+}

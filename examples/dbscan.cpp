@@ -1,0 +1,57 @@
+// DBSCAN clustering on top of the GPU self-join — the paper's motivating
+// application ("the DBSCAN clustering algorithm requires range queries
+// that search the neighborhood of all data points", Section I; the
+// batching scheme itself originates from GPU-accelerated DBSCAN [29]).
+//
+// Uses the library's sj::apps::dbscan, which computes every point's
+// eps-neighbourhood with one batched GPU self-join and clusters on the
+// host.
+//
+//   ./dbscan [n] [eps] [minPts]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "apps/dbscan.hpp"
+#include "common/datagen.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 30000;
+  const double eps = argc > 2 ? std::atof(argv[2]) : 1.2;
+  const std::size_t min_pts = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 8;
+
+  // A mixture of dense blobs over a sparse uniform background: the
+  // classic DBSCAN setting.
+  std::cout << "Generating " << n << " points (12 Gaussian blobs + noise)\n";
+  sj::Dataset data = sj::datagen::gaussian_mixture(
+      static_cast<std::size_t>(n * 0.85), 2, 12, 1.2, 0.0, 100.0, 7);
+  const sj::Dataset background =
+      sj::datagen::uniform(n - data.size(), 2, 0.0, 100.0, 8);
+  for (std::size_t i = 0; i < background.size(); ++i) {
+    data.push_back(background.pt(i));
+  }
+
+  sj::apps::DbscanOptions opt;
+  opt.eps = eps;
+  opt.min_pts = min_pts;
+  const auto r = sj::apps::dbscan(data, opt);
+
+  std::cout << "\nDBSCAN(eps=" << eps << ", minPts=" << min_pts << "):\n"
+            << "  clusters:    " << r.num_clusters << "\n"
+            << "  core points: " << r.num_core << "\n"
+            << "  noise:       " << r.num_noise << " points\n";
+
+  auto sizes = r.cluster_sizes();
+  std::sort(sizes.rbegin(), sizes.rend());
+  std::cout << "  largest clusters:";
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, sizes.size()); ++i) {
+    std::cout << " " << sizes[i];
+  }
+  std::cout << "\n\nTiming: self-join " << r.join_seconds
+            << " s, cluster traversal " << r.traversal_seconds << " s\n"
+            << "The neighbourhood computation dominates — exactly why the\n"
+               "paper accelerates the self-join rather than the traversal.\n";
+  return 0;
+}

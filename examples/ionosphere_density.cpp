@@ -1,0 +1,73 @@
+// Ionosphere observation density — the workload behind the paper's SW-
+// datasets (latitude / longitude / total electron content of ionosphere
+// monitoring data). The eps-neighbourhood count of each observation is a
+// kernel-density estimate used to find anomalously dense monitoring
+// regions; in 3-D the TEC value participates in the distance, so dense
+// regions are coherent in space AND electron content.
+//
+//   ./ionosphere_density [n] [eps2d] [eps3d]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common/datagen.hpp"
+#include "core/self_join.hpp"
+
+namespace {
+
+void density_report(const sj::Dataset& d, double eps, int print_dim) {
+  sj::GpuSelfJoin join;
+  const auto result = join.run(d, eps);
+  const auto counts = result.pairs.counts_per_key(d.size());
+
+  std::vector<std::uint32_t> sorted(counts.begin(), counts.end());
+  std::sort(sorted.begin(), sorted.end());
+  auto pct = [&](double p) {
+    return sorted[static_cast<std::size_t>(p * (sorted.size() - 1))];
+  };
+  std::cout << "  neighbours/point: median " << pct(0.5) << ", p90 "
+            << pct(0.9) << ", p99 " << pct(0.99) << ", max "
+            << sorted.back() << "\n";
+
+  // The densest observation site.
+  const auto it = std::max_element(counts.begin(), counts.end());
+  const std::size_t densest =
+      static_cast<std::size_t>(it - counts.begin());
+  std::cout << "  densest site at (";
+  for (int j = 0; j < print_dim; ++j) {
+    std::cout << (j > 0 ? ", " : "") << d.coord(densest, j);
+  }
+  std::cout << ") with " << *it << " neighbours\n";
+  std::cout << "  self-join: " << result.stats.total_seconds << " s, "
+            << result.stats.batch.batches_run << " batches, "
+            << result.stats.grid_nonempty_cells << " non-empty cells\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 40000;
+  const double eps2 = argc > 2 ? std::atof(argv[2]) : 0.5;
+  const double eps3 = argc > 3 ? std::atof(argv[3]) : 1.0;
+
+  std::cout << "Generating " << n << " SW-like ionosphere observations\n";
+
+  // 2-D: position only (the paper's SW2D* configuration).
+  const sj::Dataset d2 = sj::datagen::sw_like(n, 2, 99);
+  std::cout << "\n2-D (lon/lat), eps = " << eps2 << ":\n";
+  density_report(d2, eps2, 2);
+
+  // 3-D: position + TEC (the paper's SW3D* configuration). The same
+  // spatial eps finds fewer neighbours because the third dimension also
+  // constrains the match — the paper's Figure 4 (e, f) uses larger eps
+  // in 3-D for exactly this reason.
+  const sj::Dataset d3 = sj::datagen::sw_like(n, 3, 99);
+  std::cout << "\n3-D (lon/lat/TEC), eps = " << eps3 << ":\n";
+  density_report(d3, eps3, 3);
+
+  std::cout << "\nSkew note: station-structured data occupies far fewer\n"
+               "grid cells than uniform data of the same size — the case\n"
+               "the paper argues favours the grid index (Section VI-C).\n";
+  return 0;
+}

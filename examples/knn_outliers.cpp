@@ -1,0 +1,67 @@
+// kNN-distance outlier detection using the grid-based kNN extension
+// (the paper's future-work direction). A point's distance to its k-th
+// nearest neighbour is the classic kNN outlier score (Ramaswamy et al.):
+// isolated points score high, points inside dense structure score low.
+//
+//   ./knn_outliers [n] [k] [contamination]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <numeric>
+#include <vector>
+
+#include "common/datagen.hpp"
+#include "core/knn.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 30000;
+  const int k = argc > 2 ? std::atoi(argv[2]) : 10;
+  const double contamination = argc > 3 ? std::atof(argv[3]) : 0.01;
+
+  // Dense clusters plus a sprinkling of uniform outliers.
+  const auto outlier_count = static_cast<std::size_t>(n * contamination);
+  std::cout << "Generating " << n - outlier_count
+            << " clustered inliers + " << outlier_count
+            << " uniform outliers\n";
+  sj::Dataset data = sj::datagen::gaussian_mixture(
+      n - outlier_count, 2, 15, 0.8, 0.0, 100.0, 31);
+  const std::size_t inliers = data.size();
+  const auto noise = sj::datagen::uniform(outlier_count, 2, 0.0, 100.0, 32);
+  for (std::size_t i = 0; i < noise.size(); ++i) data.push_back(noise.pt(i));
+
+  sj::KnnOptions opt;
+  opt.k = k;
+  const auto r = sj::gpu_knn(data, opt);
+  std::cout << "kNN done in " << r.stats.total_seconds << " s (cell width "
+            << r.stats.chosen_cell_width << ", "
+            << static_cast<double>(r.stats.rings_expanded) /
+                   static_cast<double>(data.size())
+            << " rings/query, "
+            << static_cast<double>(r.stats.metrics.distance_calcs) /
+                   static_cast<double>(data.size())
+            << " candidates/query)\n";
+
+  // Score = distance to the k-th neighbour.
+  std::vector<double> score(data.size(), 0.0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (r.count(i) > 0) score[i] = r.distance(i, r.count(i) - 1);
+  }
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return score[a] > score[b]; });
+
+  // How many of the top-scored points are actual injected outliers?
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < outlier_count; ++i) {
+    if (order[i] >= inliers) ++hits;
+  }
+  std::cout << "\nTop-" << outlier_count << " kNN-distance scores: " << hits
+            << " / " << outlier_count << " injected outliers recovered ("
+            << 100.0 * static_cast<double>(hits) /
+                   static_cast<double>(std::max<std::size_t>(outlier_count, 1))
+            << "% precision)\n";
+  std::cout << "Highest score: " << score[order[0]]
+            << "   median score: " << score[order[data.size() / 2]] << "\n";
+  return 0;
+}

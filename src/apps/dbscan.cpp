@@ -1,0 +1,71 @@
+#include "apps/dbscan.hpp"
+
+#include <algorithm>
+
+#include "common/timer.hpp"
+
+namespace sj::apps {
+
+std::vector<std::size_t> DbscanResult::cluster_sizes() const {
+  std::vector<std::size_t> sizes(static_cast<std::size_t>(num_clusters), 0);
+  for (int l : labels) {
+    if (l >= 0) ++sizes[static_cast<std::size_t>(l)];
+  }
+  return sizes;
+}
+
+DbscanResult dbscan(const Dataset& d, const DbscanOptions& opt) {
+  DbscanResult result;
+  result.labels.assign(d.size(), DbscanResult::kNoise);
+  if (d.empty()) return result;
+
+  Timer join_timer;
+  GpuSelfJoin join(opt.join);
+  auto sj_result = join.run(d, opt.eps);
+  const NeighborTable nt(std::move(sj_result.pairs), d.size());
+  result.join_seconds = join_timer.seconds();
+
+  Timer traversal;
+  constexpr int kUnvisited = -2;
+  std::vector<int>& label = result.labels;
+  std::fill(label.begin(), label.end(), kUnvisited);
+
+  auto is_core = [&](std::size_t i) { return nt.degree(i) >= opt.min_pts; };
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (is_core(i)) ++result.num_core;
+  }
+
+  int cluster = 0;
+  std::vector<std::uint32_t> frontier;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (label[i] != kUnvisited) continue;
+    if (!is_core(i)) {
+      label[i] = DbscanResult::kNoise;  // may later become a border point
+      continue;
+    }
+    label[i] = cluster;
+    frontier.assign(nt.begin(i), nt.end(i));
+    while (!frontier.empty()) {
+      const std::uint32_t q = frontier.back();
+      frontier.pop_back();
+      if (label[q] == DbscanResult::kNoise) {
+        label[q] = cluster;  // border point adopted by this cluster
+        continue;
+      }
+      if (label[q] != kUnvisited) continue;
+      label[q] = cluster;
+      if (is_core(q)) {
+        frontier.insert(frontier.end(), nt.begin(q), nt.end(q));
+      }
+    }
+    ++cluster;
+  }
+  result.num_clusters = cluster;
+  for (int l : label) {
+    if (l == DbscanResult::kNoise) ++result.num_noise;
+  }
+  result.traversal_seconds = traversal.seconds();
+  return result;
+}
+
+}  // namespace sj::apps

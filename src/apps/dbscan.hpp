@@ -1,0 +1,47 @@
+// DBSCAN built on the GPU self-join — the paper's motivating application
+// (Section I cites DBSCAN's range queries as the canonical self-join
+// consumer, and the batching scheme originates from GPU-accelerated
+// DBSCAN [29]; [6] shows clustering on a precomputed self-join beats
+// iterative range queries).
+//
+// The eps-neighbourhood of every point comes from one batched GPU
+// self-join; the clustering itself is a host-side traversal of the
+// resulting neighbour table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.hpp"
+#include "core/self_join.hpp"
+
+namespace sj::apps {
+
+struct DbscanOptions {
+  double eps = 1.0;
+  std::size_t min_pts = 4;  // core-point threshold, self included
+  GpuSelfJoinOptions join;  // forwarded to the self-join
+};
+
+struct DbscanResult {
+  /// Cluster id per point; kNoise (-1) marks noise.
+  std::vector<int> labels;
+  int num_clusters = 0;
+  std::size_t num_noise = 0;
+  std::size_t num_core = 0;
+
+  double join_seconds = 0.0;      // neighbourhood computation (GPU-SJ)
+  double traversal_seconds = 0.0; // host-side expansion
+
+  static constexpr int kNoise = -1;
+
+  /// Cluster sizes indexed by cluster id.
+  std::vector<std::size_t> cluster_sizes() const;
+};
+
+/// Run DBSCAN over `d`. Labels follow the standard semantics: core points
+/// (|N_eps| >= min_pts, self included) expand clusters, border points
+/// adopt the first cluster that reaches them, everything else is noise.
+DbscanResult dbscan(const Dataset& d, const DbscanOptions& opt);
+
+}  // namespace sj::apps

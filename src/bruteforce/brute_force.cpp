@@ -1,0 +1,55 @@
+#include "bruteforce/brute_force.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "common/distance.hpp"
+#include "common/timer.hpp"
+
+namespace sj::brute {
+
+BruteResult self_join(const Dataset& d, double eps, int threads) {
+  if (eps < 0.0) throw std::invalid_argument("brute::self_join: eps >= 0");
+  BruteResult result;
+  Timer t;
+  const std::size_t n = d.size();
+  const int dim = d.dim();
+  const double eps2 = eps * eps;
+  const int nt = threads > 0 ? threads : std::max(1, omp_get_max_threads());
+
+  // Upper-triangle sweep; both ordered pairs are emitted per find so the
+  // output convention matches the other algorithms.
+  std::vector<std::vector<Pair>> locals(static_cast<std::size_t>(nt));
+  std::vector<std::uint64_t> calcs(static_cast<std::size_t>(nt), 0);
+#pragma omp parallel for schedule(dynamic, 64) num_threads(nt)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    auto& out = locals[static_cast<std::size_t>(omp_get_thread_num())];
+    auto& cc = calcs[static_cast<std::size_t>(omp_get_thread_num())];
+    const auto ui = static_cast<std::uint32_t>(i);
+    out.push_back({ui, ui});  // self pair
+    for (std::size_t k = static_cast<std::size_t>(i) + 1; k < n; ++k) {
+      ++cc;
+      if (sq_dist_early_exit(d.pt(static_cast<std::size_t>(i)), d.pt(k), dim,
+                             eps2) <= eps2) {
+        const auto uk = static_cast<std::uint32_t>(k);
+        out.push_back({ui, uk});
+        out.push_back({uk, ui});
+      }
+    }
+  }
+  std::size_t total = 0;
+  for (const auto& l : locals) total += l.size();
+  result.pairs.pairs().reserve(total);
+  for (auto& l : locals) {
+    auto& out = result.pairs.pairs();
+    out.insert(out.end(), l.begin(), l.end());
+  }
+  for (std::uint64_t c : calcs) result.stats.distance_calcs += c;
+  result.stats.seconds = t.seconds();
+  return result;
+}
+
+}  // namespace sj::brute

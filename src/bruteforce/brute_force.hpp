@@ -1,0 +1,27 @@
+// CPU brute-force nested-loop self-join: the O(|D|^2) reference that
+// every other implementation is validated against, and the "index-free"
+// baseline of the evaluation (its cost is independent of eps).
+#pragma once
+
+#include <cstdint>
+
+#include "common/dataset.hpp"
+#include "common/result.hpp"
+
+namespace sj::brute {
+
+struct BruteStats {
+  double seconds = 0.0;
+  std::uint64_t distance_calcs = 0;
+};
+
+struct BruteResult {
+  ResultSet pairs;
+  BruteStats stats;
+};
+
+/// Exact self-join by exhaustive comparison. `threads` = 0 uses all
+/// hardware threads; 1 gives the serial reference.
+BruteResult self_join(const Dataset& d, double eps, int threads = 1);
+
+}  // namespace sj::brute

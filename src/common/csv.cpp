@@ -1,0 +1,76 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sj::csv {
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("csv::Table::add_row: wrong column count");
+  }
+  cells_.push_back(std::move(row));
+}
+
+std::size_t Table::col_index(const std::string& col) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == col) return i;
+  }
+  throw std::out_of_range("csv::Table: no column " + col);
+}
+
+const std::string& Table::cell(std::size_t row, const std::string& col) const {
+  return cells_.at(row)[col_index(col)];
+}
+
+double Table::num(std::size_t row, const std::string& col) const {
+  return std::stod(cell(row, col));
+}
+
+void Table::write(const std::string& path) const {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("csv::Table::write: cannot open " + path);
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    out << header_[i] << (i + 1 < header_.size() ? "," : "\n");
+  }
+  for (const auto& row : cells_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << row[i] << (i + 1 < row.size() ? "," : "\n");
+    }
+  }
+}
+
+bool Table::read(const std::string& path, Table& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  auto split = [](const std::string& s) {
+    std::vector<std::string> cols;
+    std::stringstream ss(s);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) cols.push_back(cell);
+    return cols;
+  };
+  if (!std::getline(in, line)) return false;
+  out = Table(split(line));
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    out.add_row(split(line));
+  }
+  return true;
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace sj::csv

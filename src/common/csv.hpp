@@ -1,0 +1,42 @@
+// Minimal CSV reading/writing. The figure benches write their measured
+// series to bench_results/*.csv; the derived figures (7-9) re-read those
+// files instead of re-running the sweeps.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sj::csv {
+
+/// A parsed CSV table with a header row. Cells are kept as strings;
+/// numeric access converts on demand.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  const std::vector<std::string>& header() const { return header_; }
+  std::size_t rows() const { return cells_.size(); }
+
+  void add_row(std::vector<std::string> row);
+  const std::string& cell(std::size_t row, const std::string& col) const;
+  double num(std::size_t row, const std::string& col) const;
+
+  /// Serialise to a file; creates parent directories if needed.
+  void write(const std::string& path) const;
+
+  /// Parse a file written by write(). Returns false on missing file.
+  static bool read(const std::string& path, Table& out);
+
+ private:
+  std::size_t col_index(const std::string& col) const;
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Format a double compactly ("0.3", "12.5", "1.2e-05").
+std::string fmt(double v);
+
+}  // namespace sj::csv

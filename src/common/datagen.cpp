@@ -1,0 +1,155 @@
+#include "common/datagen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace sj::datagen {
+
+namespace {
+
+double clamp(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+}  // namespace
+
+Dataset uniform(std::size_t n, int dim, double lo, double hi,
+                std::uint64_t seed) {
+  Dataset d(dim);
+  d.reserve(n);
+  Xoshiro256 rng(seed);
+  double row[kMaxDims];
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int j = 0; j < dim; ++j) row[j] = rng.uniform(lo, hi);
+    d.push_back(row);
+  }
+  return d;
+}
+
+Dataset gaussian_mixture(std::size_t n, int dim, int k, double stddev,
+                         double lo, double hi, std::uint64_t seed) {
+  if (k < 1) throw std::invalid_argument("gaussian_mixture: k must be >= 1");
+  Dataset d(dim);
+  d.reserve(n);
+  Xoshiro256 rng(seed);
+  std::vector<double> means(static_cast<std::size_t>(k) * dim);
+  for (double& m : means) m = rng.uniform(lo, hi);
+  double row[kMaxDims];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = rng.below(k);
+    for (int j = 0; j < dim; ++j) {
+      row[j] = clamp(means[c * dim + j] + rng.normal(0.0, stddev), lo, hi);
+    }
+    d.push_back(row);
+  }
+  return d;
+}
+
+Dataset sw_like(std::size_t n, int dim, std::uint64_t seed, int stations) {
+  if (dim != 2 && dim != 3) {
+    throw std::invalid_argument("sw_like: dim must be 2 or 3");
+  }
+  Dataset d(dim);
+  d.reserve(n);
+  Xoshiro256 rng(seed);
+
+  // Station sites: chains along a few latitude bands (receiver networks
+  // cluster geographically), with per-station weights so that a small
+  // number of stations contribute most observations — the property that
+  // makes the real SW data heavily skewed.
+  struct Station {
+    double x, y, w;
+  };
+  std::vector<Station> sites;
+  sites.reserve(stations);
+  const int chains = std::max(3, stations / 80);
+  double total_w = 0.0;
+  for (int s = 0; s < stations; ++s) {
+    const int chain = static_cast<int>(rng.below(chains));
+    const double band_y = 10.0 + 80.0 * chain / std::max(1, chains - 1);
+    Station st;
+    st.x = rng.uniform(0.0, 100.0);
+    st.y = clamp(band_y + rng.normal(0.0, 4.0), 0.0, 100.0);
+    st.w = rng.exponential(1.0);  // heavy-ish weight spread
+    total_w += st.w;
+    sites.push_back(st);
+  }
+  // Cumulative weights for sampling.
+  std::vector<double> cum(sites.size());
+  double acc = 0.0;
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    acc += sites[s].w / total_w;
+    cum[s] = acc;
+  }
+
+  double row[kMaxDims];
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cum.begin(), cum.end(), u);
+    const std::size_t s =
+        std::min(static_cast<std::size_t>(it - cum.begin()), sites.size() - 1);
+    // Observations jitter tightly around their station.
+    row[0] = clamp(sites[s].x + rng.normal(0.0, 0.15), 0.0, 100.0);
+    row[1] = clamp(sites[s].y + rng.normal(0.0, 0.15), 0.0, 100.0);
+    if (dim == 3) {
+      // TEC-like value: smooth large-scale field over (x, y) plus noise,
+      // rescaled to ~[0, 100].
+      const double field =
+          50.0 + 30.0 * std::sin(row[0] * 0.06) * std::cos(row[1] * 0.045);
+      row[2] = clamp(field + rng.normal(0.0, 6.0), 0.0, 100.0);
+    }
+    d.push_back(row);
+  }
+  return d;
+}
+
+Dataset sdss_like(std::size_t n, std::uint64_t seed, double field_frac) {
+  Dataset d(2);
+  d.reserve(n);
+  Xoshiro256 rng(seed);
+
+  const std::size_t n_field = static_cast<std::size_t>(n * field_frac);
+  double row[kMaxDims];
+  for (std::size_t i = 0; i < n_field; ++i) {
+    row[0] = rng.uniform(0.0, 100.0);
+    row[1] = rng.uniform(0.0, 100.0);
+    d.push_back(row);
+  }
+
+  // Clustered population: parents uniform, offspring Gaussian around the
+  // parent with cluster-specific radius; cluster sizes geometric.
+  while (d.size() < n) {
+    const double cx = rng.uniform(0.0, 100.0);
+    const double cy = rng.uniform(0.0, 100.0);
+    const double radius = 0.2 + rng.exponential(2.0);  // mostly compact
+    // Geometric cluster size with mean ~20.
+    std::size_t members = 1;
+    while (rng.uniform() > 0.05 && members < 200) ++members;
+    for (std::size_t m = 0; m < members && d.size() < n; ++m) {
+      row[0] = clamp(cx + rng.normal(0.0, radius), 0.0, 100.0);
+      row[1] = clamp(cy + rng.normal(0.0, radius), 0.0, 100.0);
+      d.push_back(row);
+    }
+  }
+  return d;
+}
+
+Dataset exponential_blob(std::size_t n, int dim, double lambda,
+                         std::uint64_t seed) {
+  Dataset d(dim);
+  d.reserve(n);
+  Xoshiro256 rng(seed);
+  double row[kMaxDims];
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      row[j] = clamp(rng.exponential(lambda), 0.0, 100.0);
+    }
+    d.push_back(row);
+  }
+  return d;
+}
+
+}  // namespace sj::datagen

@@ -1,0 +1,52 @@
+#include "common/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sj {
+
+Dataset::Dataset(int dim) : dim_(dim) {
+  if (dim < 1 || dim > kMaxDims) {
+    throw std::invalid_argument("Dataset: dim must be in [1, kMaxDims]");
+  }
+}
+
+Dataset::Dataset(int dim, std::vector<double> data, std::string name)
+    : dim_(dim), data_(std::move(data)), name_(std::move(name)) {
+  if (dim < 1 || dim > kMaxDims) {
+    throw std::invalid_argument("Dataset: dim must be in [1, kMaxDims]");
+  }
+  if (data_.size() % static_cast<std::size_t>(dim) != 0) {
+    throw std::invalid_argument("Dataset: data size not a multiple of dim");
+  }
+}
+
+void Dataset::push_back(const double* coords) {
+  data_.insert(data_.end(), coords, coords + dim_);
+}
+
+std::array<double, kMaxDims> Dataset::min_bound() const {
+  std::array<double, kMaxDims> b{};
+  if (empty()) return b;
+  for (int j = 0; j < dim_; ++j) b[j] = coord(0, j);
+  for (std::size_t i = 1; i < size(); ++i) {
+    for (int j = 0; j < dim_; ++j) b[j] = std::min(b[j], coord(i, j));
+  }
+  return b;
+}
+
+std::array<double, kMaxDims> Dataset::max_bound() const {
+  std::array<double, kMaxDims> b{};
+  if (empty()) return b;
+  for (int j = 0; j < dim_; ++j) b[j] = coord(0, j);
+  for (std::size_t i = 1; i < size(); ++i) {
+    for (int j = 0; j < dim_; ++j) b[j] = std::max(b[j], coord(i, j));
+  }
+  return b;
+}
+
+void Dataset::scale_all(double factor) {
+  for (double& v : data_) v *= factor;
+}
+
+}  // namespace sj

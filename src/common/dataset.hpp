@@ -1,0 +1,62 @@
+// In-memory point database D (paper Section III): |D| points in n
+// dimensions, stored row-major for cache-friendly per-point access.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/distance.hpp"
+
+namespace sj {
+
+/// A dataset of |D| points in `dim` dimensions (1 <= dim <= kMaxDims).
+/// Coordinates are 64-bit doubles, matching the paper's GPU configuration
+/// ("uses 64-bit double precision floats", Section VI-B).
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(int dim);
+
+  /// Construct from flat row-major coordinates; data.size() % dim == 0.
+  Dataset(int dim, std::vector<double> data, std::string name = {});
+
+  int dim() const { return dim_; }
+  std::size_t size() const { return dim_ == 0 ? 0 : data_.size() / dim_; }
+  bool empty() const { return data_.empty(); }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const double* pt(std::size_t i) const { return data_.data() + i * dim_; }
+  double* pt(std::size_t i) { return data_.data() + i * dim_; }
+  double coord(std::size_t i, int j) const { return data_[i * dim_ + j]; }
+
+  const std::vector<double>& raw() const { return data_; }
+  std::vector<double>& raw() { return data_; }
+
+  void reserve(std::size_t n) { data_.reserve(n * dim_); }
+
+  /// Append one point; `coords` must hold `dim()` values.
+  void push_back(const double* coords);
+
+  /// Per-dimension minimum/maximum over all points. Empty datasets return
+  /// zero-filled bounds.
+  std::array<double, kMaxDims> min_bound() const;
+  std::array<double, kMaxDims> max_bound() const;
+
+  /// Scale every coordinate by a single common factor (distance-preserving
+  /// up to that factor). Used for the Super-EGO normalisation contract.
+  void scale_all(double factor);
+
+  bool operator==(const Dataset& other) const {
+    return dim_ == other.dim_ && data_ == other.data_;
+  }
+
+ private:
+  int dim_ = 0;
+  std::vector<double> data_;
+  std::string name_;
+};
+
+}  // namespace sj

@@ -1,0 +1,138 @@
+#include "common/datasets.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/datagen.hpp"
+
+namespace sj::datasets {
+
+namespace {
+
+std::vector<double> rescaled(const std::vector<double>& paper_eps,
+                             std::size_t paper_n, std::size_t default_n,
+                             int dim) {
+  // eps * (N_paper / N_ours)^(1/dim) keeps N * V(eps) / domain constant.
+  const double f = std::pow(static_cast<double>(paper_n) /
+                                static_cast<double>(default_n),
+                            1.0 / dim);
+  std::vector<double> out;
+  out.reserve(paper_eps.size());
+  for (double e : paper_eps) out.push_back(e * f);
+  return out;
+}
+
+Info syn(const std::string& name, std::size_t paper_n, int dim,
+         std::size_t default_n, std::vector<double> paper_eps,
+         std::uint64_t seed) {
+  Info i;
+  i.name = name;
+  i.paper_n = paper_n;
+  i.dim = dim;
+  i.default_n = default_n;
+  i.kind = Kind::kUniform;
+  i.bench_eps = rescaled(paper_eps, paper_n, default_n, dim);
+  i.paper_eps = std::move(paper_eps);
+  i.seed = seed;
+  return i;
+}
+
+Info real(const std::string& name, std::size_t paper_n, int dim,
+          std::size_t default_n, Kind kind, std::vector<double> paper_eps,
+          std::vector<double> bench_eps, std::uint64_t seed) {
+  Info i;
+  i.name = name;
+  i.paper_n = paper_n;
+  i.dim = dim;
+  i.default_n = default_n;
+  i.kind = kind;
+  i.paper_eps = std::move(paper_eps);
+  i.bench_eps = std::move(bench_eps);
+  i.seed = seed;
+  return i;
+}
+
+std::vector<Info> build_all() {
+  std::vector<Info> v;
+  const std::size_t kTwoM = 2'000'000;
+  const std::size_t kTenM = 10'000'000;
+  // Scaled defaults: "2M"-class -> 20k, "10M"-class -> 50k (DESIGN.md §5).
+  v.push_back(syn("Syn2D2M", kTwoM, 2, 20'000, {0.2, 0.4, 0.6, 0.8, 1.0}, 101));
+  v.push_back(syn("Syn3D2M", kTwoM, 3, 20'000, {0.2, 0.4, 0.6, 0.8, 1.0}, 102));
+  v.push_back(syn("Syn4D2M", kTwoM, 4, 20'000, {2, 4, 6, 8, 10}, 103));
+  v.push_back(syn("Syn5D2M", kTwoM, 5, 20'000, {2, 4, 6, 8, 10}, 104));
+  v.push_back(syn("Syn6D2M", kTwoM, 6, 20'000, {2, 4, 6, 8, 10}, 105));
+  v.push_back(syn("Syn2D10M", kTenM, 2, 50'000, {0.1, 0.2, 0.3, 0.4, 0.5}, 111));
+  v.push_back(syn("Syn3D10M", kTenM, 3, 50'000, {0.1, 0.2, 0.3, 0.4, 0.5}, 112));
+  v.push_back(syn("Syn4D10M", kTenM, 4, 50'000, {1, 2, 3, 4, 5}, 113));
+  v.push_back(syn("Syn5D10M", kTenM, 5, 50'000, {1, 2, 3, 4, 5}, 114));
+  v.push_back(syn("Syn6D10M", kTenM, 6, 50'000, {1, 2, 3, 4, 5}, 115));
+  // Real-world stand-ins. bench_eps hand-calibrated for the generators'
+  // [0, 100]-scaled domains (see datagen.hpp); paper_eps kept for the
+  // EXPERIMENTS.md paper-vs-measured tables.
+  v.push_back(real("SW2DA", 1'864'620, 2, 20'000, Kind::kSW,
+                   {0.3, 0.6, 0.9, 1.2, 1.5}, {0.3, 0.6, 0.9, 1.2, 1.5}, 201));
+  v.push_back(real("SW2DB", 5'159'737, 2, 35'000, Kind::kSW,
+                   {0.1, 0.2, 0.3, 0.4, 0.5}, {0.1, 0.2, 0.3, 0.4, 0.5}, 202));
+  v.push_back(real("SW3DA", 1'864'620, 3, 20'000, Kind::kSW,
+                   {0.6, 1.2, 1.8, 2.4, 3.0}, {0.6, 1.2, 1.8, 2.4, 3.0}, 203));
+  v.push_back(real("SW3DB", 5'159'737, 3, 35'000, Kind::kSW,
+                   {0.2, 0.4, 0.6, 0.8, 1.0}, {0.2, 0.4, 0.6, 0.8, 1.0}, 204));
+  v.push_back(real("SDSS2DA", 2'000'000, 2, 20'000, Kind::kSDSS,
+                   {0.3, 0.6, 0.9, 1.2, 1.5}, {0.3, 0.6, 0.9, 1.2, 1.5}, 205));
+  v.push_back(real("SDSS2DB", 15'228'633, 2, 60'000, Kind::kSDSS,
+                   {0.02, 0.04, 0.06, 0.08, 0.10},
+                   {0.05, 0.10, 0.15, 0.20, 0.25}, 206));
+  return v;
+}
+
+}  // namespace
+
+const std::vector<Info>& all() {
+  static const std::vector<Info> kAll = build_all();
+  return kAll;
+}
+
+const Info& info(const std::string& name) {
+  for (const Info& i : all()) {
+    if (i.name == name) return i;
+  }
+  throw std::out_of_range("datasets::info: unknown dataset " + name);
+}
+
+Dataset make(const std::string& name, double scale) {
+  const Info& i = info(name);
+  const auto n = static_cast<std::size_t>(
+      std::llround(static_cast<double>(i.default_n) * scale));
+  Dataset d;
+  switch (i.kind) {
+    case Kind::kUniform:
+      d = datagen::uniform(n, i.dim, 0.0, 100.0, i.seed);
+      break;
+    case Kind::kSW:
+      d = datagen::sw_like(n, i.dim, i.seed);
+      break;
+    case Kind::kSDSS:
+      d = datagen::sdss_like(n, i.seed);
+      break;
+  }
+  d.set_name(i.name);
+  return d;
+}
+
+double scale_eps(const Info& info, std::size_t actual_n, double bench_eps) {
+  if (actual_n == 0 || actual_n == info.default_n) return bench_eps;
+  const double f = std::pow(static_cast<double>(info.default_n) /
+                                static_cast<double>(actual_n),
+                            1.0 / info.dim);
+  return bench_eps * f;
+}
+
+std::vector<double> scaled_eps(const Info& info, std::size_t actual_n) {
+  std::vector<double> out;
+  out.reserve(info.bench_eps.size());
+  for (double e : info.bench_eps) out.push_back(scale_eps(info, actual_n, e));
+  return out;
+}
+
+}  // namespace sj::datasets

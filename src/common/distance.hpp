@@ -1,0 +1,49 @@
+// Euclidean distance kernels shared by every join implementation.
+//
+// All algorithms in this repository compare *squared* distances against
+// eps^2 so that no square root is taken on the hot path; the public API
+// still speaks in terms of the plain Euclidean distance eps, matching the
+// paper's problem statement (Section III).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace sj {
+
+/// Maximum supported dimensionality. The paper evaluates 2-6 dimensions;
+/// we leave headroom for the "future work: higher dimensions" extension.
+inline constexpr int kMaxDims = 8;
+
+/// Squared Euclidean distance between two n-dimensional points stored as
+/// contiguous coordinate arrays.
+template <typename T>
+inline T sq_dist(const T* a, const T* b, int dim) {
+  T acc = T(0);
+  for (int j = 0; j < dim; ++j) {
+    const T d = a[j] - b[j];
+    acc += d * d;
+  }
+  return acc;
+}
+
+/// Squared Euclidean distance with early termination once the partial sum
+/// exceeds the threshold. Pays off when candidate sets are large relative
+/// to true neighbours (high dimensions, big eps).
+template <typename T>
+inline T sq_dist_early_exit(const T* a, const T* b, int dim, T threshold) {
+  T acc = T(0);
+  for (int j = 0; j < dim; ++j) {
+    const T d = a[j] - b[j];
+    acc += d * d;
+    if (acc > threshold) return acc;
+  }
+  return acc;
+}
+
+template <typename T>
+inline T euclidean_dist(const T* a, const T* b, int dim) {
+  return std::sqrt(sq_dist(a, b, dim));
+}
+
+}  // namespace sj

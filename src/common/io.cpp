@@ -1,0 +1,120 @@
+#include "common/io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sj::io {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'J', 'D', '1'};
+
+void ensure_parent(const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+}
+
+}  // namespace
+
+void save_binary(const Dataset& d, const std::string& path) {
+  ensure_parent(path);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("io::save_binary: cannot open " + path);
+  out.write(kMagic, 4);
+  const auto dim = static_cast<std::uint32_t>(d.dim());
+  const auto count = static_cast<std::uint64_t>(d.size());
+  out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(d.raw().data()),
+            static_cast<std::streamsize>(d.raw().size() * sizeof(double)));
+  if (!out) throw std::runtime_error("io::save_binary: write failed");
+}
+
+Dataset load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("io::load_binary: cannot open " + path);
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("io::load_binary: bad magic in " + path);
+  }
+  std::uint32_t dim = 0;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || dim == 0 || dim > static_cast<std::uint32_t>(kMaxDims)) {
+    throw std::runtime_error("io::load_binary: bad header in " + path);
+  }
+  std::vector<double> data(count * dim);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size() * sizeof(double)));
+  if (!in) throw std::runtime_error("io::load_binary: truncated " + path);
+  return Dataset(static_cast<int>(dim), std::move(data),
+                 std::filesystem::path(path).stem().string());
+}
+
+void save_csv(const Dataset& d, const std::string& path) {
+  ensure_parent(path);
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("io::save_csv: cannot open " + path);
+  out.precision(17);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    for (int j = 0; j < d.dim(); ++j) {
+      out << d.coord(i, j) << (j + 1 < d.dim() ? "," : "\n");
+    }
+  }
+}
+
+Dataset load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("io::load_csv: cannot open " + path);
+  std::vector<double> data;
+  int dim = 0;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::vector<double> row;
+    std::string cell;
+    bool numeric = true;
+    while (std::getline(ss, cell, ',')) {
+      try {
+        std::size_t used = 0;
+        row.push_back(std::stod(cell, &used));
+        if (used == 0) numeric = false;
+      } catch (const std::exception&) {
+        numeric = false;
+        break;
+      }
+    }
+    if (first && !numeric) {
+      first = false;  // header line — skip
+      continue;
+    }
+    first = false;
+    if (!numeric) {
+      throw std::runtime_error("io::load_csv: non-numeric row in " + path);
+    }
+    if (dim == 0) {
+      dim = static_cast<int>(row.size());
+      if (dim < 1 || dim > kMaxDims) {
+        throw std::runtime_error("io::load_csv: unsupported width");
+      }
+    } else if (static_cast<int>(row.size()) != dim) {
+      throw std::runtime_error("io::load_csv: ragged rows in " + path);
+    }
+    data.insert(data.end(), row.begin(), row.end());
+  }
+  if (dim == 0) throw std::runtime_error("io::load_csv: empty file " + path);
+  return Dataset(dim, std::move(data),
+                 std::filesystem::path(path).stem().string());
+}
+
+}  // namespace sj::io

@@ -1,0 +1,28 @@
+// Dataset persistence: a compact binary format (.sjd) for exact
+// round-trips and a plain CSV reader/writer for interchange with other
+// tools, so downstream users can run the joins on their own data.
+//
+// .sjd layout (little-endian): magic "SJD1" (4 bytes), uint32 dim,
+// uint64 count, then count*dim IEEE-754 doubles, row-major.
+#pragma once
+
+#include <string>
+
+#include "common/dataset.hpp"
+
+namespace sj::io {
+
+/// Write `d` in the binary .sjd format (creates parent directories).
+void save_binary(const Dataset& d, const std::string& path);
+
+/// Read an .sjd file; throws std::runtime_error on malformed input.
+Dataset load_binary(const std::string& path);
+
+/// Write one point per line, coordinates comma-separated, no header.
+void save_csv(const Dataset& d, const std::string& path);
+
+/// Read comma-separated points (one per line, optional header line is
+/// auto-detected and skipped); all rows must share the same width.
+Dataset load_csv(const std::string& path);
+
+}  // namespace sj::io

@@ -1,0 +1,43 @@
+#include "common/result.hpp"
+
+#include <algorithm>
+
+namespace sj {
+
+void ResultSet::normalize() {
+  std::sort(pairs_.begin(), pairs_.end());
+  pairs_.erase(std::unique(pairs_.begin(), pairs_.end()), pairs_.end());
+}
+
+bool ResultSet::equal_normalized(ResultSet a, ResultSet b) {
+  a.normalize();
+  b.normalize();
+  return a.pairs_ == b.pairs_;
+}
+
+bool ResultSet::is_symmetric() const {
+  for (const Pair& p : pairs_) {
+    if (!std::binary_search(pairs_.begin(), pairs_.end(),
+                            Pair{p.value, p.key})) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> ResultSet::counts_per_key(std::size_t n) const {
+  std::vector<std::uint32_t> counts(n, 0);
+  for (const Pair& p : pairs_) ++counts[p.key];
+  return counts;
+}
+
+NeighborTable::NeighborTable(ResultSet rs, std::size_t n) {
+  rs.normalize();
+  offsets_.assign(n + 1, 0);
+  for (const Pair& p : rs.pairs()) ++offsets_[p.key + 1];
+  for (std::size_t i = 0; i < n; ++i) offsets_[i + 1] += offsets_[i];
+  neighbors_.reserve(rs.size());
+  for (const Pair& p : rs.pairs()) neighbors_.push_back(p.value);
+}
+
+}  // namespace sj

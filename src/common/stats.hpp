@@ -1,0 +1,39 @@
+// Small statistics helpers for the bench harness and EXPERIMENTS tables.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace sj::stats {
+
+inline double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+inline double geomean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += std::log(x);
+  return std::exp(s / static_cast<double>(v.size()));
+}
+
+inline double min(const std::vector<double>& v) {
+  return v.empty() ? 0.0 : *std::min_element(v.begin(), v.end());
+}
+
+inline double max(const std::vector<double>& v) {
+  return v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
+}
+
+inline double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t m = v.size() / 2;
+  return v.size() % 2 == 1 ? v[m] : 0.5 * (v[m - 1] + v[m]);
+}
+
+}  // namespace sj::stats

@@ -1,0 +1,23 @@
+// Fixed-width console table printer used by the bench harness to emit
+// paper-style rows ("the same rows/series the paper reports").
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sj {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sj

@@ -1,0 +1,60 @@
+// The batching scheme (Section V-A).
+//
+// Low-dimensional self-joins produce result sets that can exceed the
+// GPU's global memory; the total result size is estimated up front, the
+// query points are split into >= 3 batches (the paper's minimum), and the
+// batches are pipelined over multiple streams so kernel execution overlaps
+// with bidirectional host-GPU transfers. A batch whose result overflows
+// its buffer (the estimate is only an estimate) is split in two and
+// retried — the scheme is exact, not best-effort.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/device_view.hpp"
+#include "core/work_counters.hpp"
+#include "gpusim/arena.hpp"
+#include "gpusim/device.hpp"
+
+namespace sj {
+
+struct BatchPlan {
+  std::size_t num_batches = 0;
+  std::uint64_t buffer_pairs = 0;  // per-stream result buffer capacity
+};
+
+/// Size the batches: num_batches = max(min_batches,
+/// ceil(estimated_total * safety / buffer_pairs)).
+BatchPlan plan_batches(std::uint64_t estimated_total, std::uint64_t n_queries,
+                       std::size_t min_batches, std::uint64_t buffer_pairs,
+                       double safety);
+
+struct BatchRunStats {
+  std::size_t batches_run = 0;       // including overflow retries
+  std::size_t overflow_retries = 0;  // batches that had to be split
+  double kernel_seconds = 0.0;       // summed kernel wall-clock
+  double sort_seconds = 0.0;         // per-batch key/value sorts
+  std::uint64_t bytes_to_host = 0;   // result transfer volume
+  double modeled_transfer_seconds = 0.0;  // bytes / PCIe bandwidth
+};
+
+class Batcher {
+ public:
+  Batcher(gpu::GlobalMemoryArena& arena, const gpu::DeviceSpec& spec,
+          int num_streams, int block_size);
+
+  /// Execute the full self-join over all of `grid`'s points according to
+  /// `plan`, returning the complete result set.
+  ResultSet run(const GridDeviceView& grid, bool unicomp,
+                const BatchPlan& plan, AtomicWork* work, BatchRunStats* stats);
+
+ private:
+  gpu::GlobalMemoryArena& arena_;
+  gpu::DeviceSpec spec_;
+  int num_streams_;
+  int block_size_;
+};
+
+}  // namespace sj

@@ -1,0 +1,76 @@
+#include "core/brute_force_gpu.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/timer.hpp"
+#include "core/kernels.hpp"
+#include "gpusim/arena.hpp"
+#include "gpusim/atomic.hpp"
+#include "gpusim/kernel.hpp"
+
+namespace sj {
+
+GpuBruteForceResult gpu_brute_force(const Dataset& d, double eps,
+                                    bool materialize, int block_size,
+                                    const gpu::DeviceSpec& spec) {
+  if (eps < 0.0) {
+    throw std::invalid_argument("gpu_brute_force: eps must be >= 0");
+  }
+  GpuBruteForceResult r;
+  if (d.empty()) return r;
+
+  gpu::GlobalMemoryArena arena(spec);
+  gpu::DeviceBuffer<double> points(arena, d.raw().size());
+  std::memcpy(points.data(), d.raw().data(), d.raw().size() * sizeof(double));
+
+  AtomicWork work;
+  BruteForceKernelParams p;
+  p.points = points.data();
+  p.n = d.size();
+  p.dim = d.dim();
+  p.eps = eps;
+  p.work = &work;
+
+  gpu::DeviceCounter cursor;
+  std::atomic<bool> overflow{false};
+  gpu::DeviceBuffer<Pair> out;
+  if (materialize) {
+    // Size conservatively: count first, then materialise exactly.
+    gpu::launch(gpu::LaunchConfig::cover(d.size(), block_size),
+                [&p](const gpu::ThreadCtx& ctx) {
+                  brute_force_thread(ctx, p);
+                });
+    gpu::KernelMetrics m;
+    work.add_to(m);
+    out = gpu::DeviceBuffer<Pair>(arena, m.results);
+    p.result.out = out.data();
+    p.result.capacity = m.results;
+    p.result.cursor = &cursor;
+    p.result.overflow = &overflow;
+  }
+
+  Timer t;
+  const gpu::KernelStats ks = gpu::launch(
+      gpu::LaunchConfig::cover(d.size(), block_size),
+      [&p](const gpu::ThreadCtx& ctx) { brute_force_thread(ctx, p); });
+  r.kernel_seconds = ks.seconds;
+  (void)t;
+
+  gpu::KernelMetrics m;
+  work.add_to(m);
+  if (materialize) {
+    // The counting pass doubled the work counters; report the single-pass
+    // numbers and collect the materialised pairs.
+    r.num_pairs = cursor.load();
+    r.distance_calcs = m.distance_calcs / 2;
+    r.pairs.pairs().assign(out.data(), out.data() + r.num_pairs);
+  } else {
+    r.num_pairs = m.results;
+    r.distance_calcs = m.distance_calcs;
+  }
+  return r;
+}
+
+}  // namespace sj

@@ -1,0 +1,30 @@
+// GPU brute-force nested-loop join (paper Section VI-B): |D| threads,
+// each comparing its point against every other point. Independent of eps
+// in cost; the paper runs a single kernel invocation and excludes the
+// result transfer, making it a lower bound for the brute-force approach.
+#pragma once
+
+#include <cstdint>
+
+#include "common/dataset.hpp"
+#include "common/result.hpp"
+#include "gpusim/device.hpp"
+
+namespace sj {
+
+struct GpuBruteForceResult {
+  std::uint64_t num_pairs = 0;   // pairs with dist <= eps (self included)
+  std::uint64_t distance_calcs = 0;
+  double kernel_seconds = 0.0;
+  ResultSet pairs;  // populated only when materialize == true
+};
+
+/// Count-only by default (mirrors the paper's lower-bound measurement);
+/// with materialize == true the pairs are stored and returned, which the
+/// tests use for cross-validation.
+GpuBruteForceResult gpu_brute_force(
+    const Dataset& d, double eps, bool materialize = false,
+    int block_size = 256,
+    const gpu::DeviceSpec& spec = gpu::DeviceSpec::titan_x_pascal());
+
+}  // namespace sj

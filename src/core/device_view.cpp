@@ -1,0 +1,43 @@
+#include "core/device_view.hpp"
+
+#include <cstring>
+
+namespace sj {
+
+DeviceGrid::DeviceGrid(gpu::GlobalMemoryArena& arena, const Dataset& d,
+                       const GridIndex& index)
+    : points_(arena, d.raw().size()),
+      b_(arena, index.B().size()),
+      g_(arena, index.G().size()),
+      a_(arena, index.A().size()) {
+  std::memcpy(points_.data(), d.raw().data(),
+              d.raw().size() * sizeof(double));
+  std::memcpy(b_.data(), index.B().data(),
+              index.B().size() * sizeof(std::uint64_t));
+  std::memcpy(g_.data(), index.G().data(),
+              index.G().size() * sizeof(GridIndex::CellRange));
+  std::memcpy(a_.data(), index.A().data(),
+              index.A().size() * sizeof(std::uint32_t));
+
+  view_.points = points_.data();
+  view_.n = d.size();
+  view_.dim = d.dim();
+  view_.B = b_.data();
+  view_.b_size = b_.size();
+  view_.G = g_.data();
+  view_.A = a_.data();
+  view_.width = index.cell_width();
+  view_.eps = index.eps();
+  for (int j = 0; j < d.dim(); ++j) {
+    m_[j] = gpu::DeviceBuffer<std::uint32_t>(arena, index.mask(j).size());
+    std::memcpy(m_[j].data(), index.mask(j).data(),
+                index.mask(j).size() * sizeof(std::uint32_t));
+    view_.M[j] = m_[j].data();
+    view_.m_size[j] = m_[j].size();
+    view_.gmin[j] = index.gmin(j);
+    view_.cells_per_dim[j] = index.cells_in_dim(j);
+    view_.stride[j] = index.stride(j);
+  }
+}
+
+}  // namespace sj

@@ -1,0 +1,72 @@
+// Device-resident copy of the dataset and grid index, plus the plain-
+// pointer view the kernels consume (the analogue of the D, A, G, B, M
+// kernel arguments of Algorithm 1).
+#pragma once
+
+#include <cstdint>
+
+#include "common/dataset.hpp"
+#include "core/grid_index.hpp"
+#include "gpusim/arena.hpp"
+
+namespace sj {
+
+/// Raw-pointer view passed to kernels.
+struct GridDeviceView {
+  const double* points = nullptr;  // row-major coordinates (indexed set)
+  std::uint64_t n = 0;
+  int dim = 0;
+
+  /// Query set for the general epsilon join. For the self-join this stays
+  /// null and queries read from `points`; for an A-join-B the grid indexes
+  /// B and `qpoints`/`qn` describe A.
+  const double* qpoints = nullptr;
+  std::uint64_t qn = 0;
+
+  const double* query_point(std::uint64_t pid) const {
+    const double* base = qpoints != nullptr ? qpoints : points;
+    return base + static_cast<std::size_t>(pid) * dim;
+  }
+  std::uint64_t num_queries() const { return qpoints != nullptr ? qn : n; }
+
+  const std::uint64_t* B = nullptr;
+  std::uint64_t b_size = 0;
+  const GridIndex::CellRange* G = nullptr;
+  const std::uint32_t* A = nullptr;
+  const std::uint32_t* M[kMaxDims] = {};
+  std::uint64_t m_size[kMaxDims] = {};
+
+  double gmin[kMaxDims] = {};
+  double width = 0.0;
+  double eps = 0.0;
+  std::uint32_t cells_per_dim[kMaxDims] = {};
+  std::uint64_t stride[kMaxDims] = {};
+
+  std::uint64_t linearize(const std::uint32_t* coords) const {
+    std::uint64_t id = 0;
+    for (int j = 0; j < dim; ++j) {
+      id += static_cast<std::uint64_t>(coords[j]) * stride[j];
+    }
+    return id;
+  }
+};
+
+/// Owns the device buffers (charged against the arena, like cudaMalloc +
+/// cudaMemcpy of the host-built index) and exposes the kernel view.
+class DeviceGrid {
+ public:
+  DeviceGrid(gpu::GlobalMemoryArena& arena, const Dataset& d,
+             const GridIndex& index);
+
+  const GridDeviceView& view() const { return view_; }
+
+ private:
+  gpu::DeviceBuffer<double> points_;
+  gpu::DeviceBuffer<std::uint64_t> b_;
+  gpu::DeviceBuffer<GridIndex::CellRange> g_;
+  gpu::DeviceBuffer<std::uint32_t> a_;
+  gpu::DeviceBuffer<std::uint32_t> m_[kMaxDims];
+  GridDeviceView view_;
+};
+
+}  // namespace sj

@@ -1,0 +1,60 @@
+#include "core/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/kernels.hpp"
+#include "core/work_counters.hpp"
+#include "gpusim/kernel.hpp"
+
+namespace sj {
+
+EstimateResult estimate_result_size(const GridDeviceView& grid, bool unicomp,
+                                    double sample_rate, int block_size,
+                                    std::uint64_t min_sample) {
+  Timer t;
+  EstimateResult r;
+  const std::uint64_t nq = grid.num_queries();
+  if (nq == 0 || grid.n == 0) return r;
+
+  std::uint64_t sample = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(nq) * sample_rate));
+  sample = std::clamp<std::uint64_t>(sample,
+                                     std::min<std::uint64_t>(min_sample, nq),
+                                     nq);
+
+  // Evenly strided sample so all density regimes are represented.
+  std::vector<std::uint32_t> ids(sample);
+  const double stride = static_cast<double>(nq) / static_cast<double>(sample);
+  for (std::uint64_t i = 0; i < sample; ++i) {
+    ids[i] = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(i * stride),
+                                nq - 1));
+  }
+
+  AtomicWork work;
+  SelfJoinKernelParams p;
+  p.grid = grid;
+  p.query_ids = ids.data();
+  p.num_queries = sample;
+  p.unicomp = unicomp;
+  p.work = &work;
+  // result.out stays null: count-only mode.
+
+  gpu::launch(gpu::LaunchConfig::cover(sample, block_size),
+              [&p](const gpu::ThreadCtx& ctx) { self_join_thread(ctx, p); });
+
+  gpu::KernelMetrics m;
+  work.add_to(m);
+  r.sample_size = sample;
+  r.sample_count = m.results;
+  r.estimated_total = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(m.results) *
+                (static_cast<double>(nq) / static_cast<double>(sample))));
+  r.seconds = t.seconds();
+  return r;
+}
+
+}  // namespace sj

@@ -1,0 +1,31 @@
+// Result-set size estimator for the batching scheme (Section V-A).
+//
+// Before any result buffer is sized, a count-only pass of the self-join
+// kernel runs over a sample of the points; the sampled neighbour count is
+// scaled to the full dataset. Following the approach of Gowanlock et al.
+// 2017 [29], which the paper leverages for its batching scheme.
+#pragma once
+
+#include <cstdint>
+
+#include "core/device_view.hpp"
+
+namespace sj {
+
+struct EstimateResult {
+  std::uint64_t estimated_total = 0;  // estimated pairs for the full join
+  std::uint64_t sample_size = 0;      // points actually sampled
+  std::uint64_t sample_count = 0;     // pairs counted over the sample
+  double seconds = 0.0;
+};
+
+/// Estimate the total number of result pairs the kernel would emit over
+/// all points (in the given unicomp mode — UNICOMP emits two pairs per
+/// neighbour-cell find, so its totals match its own output volume).
+/// `sample_rate` in (0, 1]; at least min_sample points (or all of them)
+/// are evaluated.
+EstimateResult estimate_result_size(const GridDeviceView& grid, bool unicomp,
+                                    double sample_rate, int block_size,
+                                    std::uint64_t min_sample = 1024);
+
+}  // namespace sj

@@ -1,0 +1,198 @@
+#include "core/grid_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sj {
+
+GridIndex::GridIndex(const Dataset& d, double eps) {
+  if (eps < 0.0) throw std::invalid_argument("GridIndex: eps must be >= 0");
+  if (d.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("GridIndex: dataset too large for 32-bit ids");
+  }
+  dim_ = d.dim();
+  eps_ = eps;
+  // Width is padded by a tiny relative margin so that two points exactly
+  // eps apart can never straddle more than one cell boundary after
+  // floating-point division — the bounded adjacent-cell search stays
+  // correct for any cell width >= eps.
+  width_ = eps > 0.0 ? eps * (1.0 + 1e-12) : 1.0;
+
+  const std::size_t n = d.size();
+  if (n == 0) {
+    // Degenerate but valid: no cells, queries find nothing.
+    for (int j = 0; j < dim_; ++j) {
+      cells_per_dim_[j] = 0;
+      stride_[j] = (j == 0) ? 1 : 0;
+    }
+    return;
+  }
+
+  // Index range [gmin_j, gmax_j] appended by eps on both sides to avoid
+  // boundary conditions in cell lookups (Section IV-B).
+  const auto lo = d.min_bound();
+  const auto hi = d.max_bound();
+  for (int j = 0; j < dim_; ++j) {
+    gmin_[j] = lo[j] - width_;
+    gmax_[j] = hi[j] + width_;
+  }
+
+  // |g_j| = (gmax_j - gmin_j) / eps, rounded up so the grid always covers
+  // the padded range (the paper assumes eps divides evenly; we do not).
+  unsigned __int128 total = 1;
+  for (int j = 0; j < dim_; ++j) {
+    const double span = gmax_[j] - gmin_[j];
+    const auto cells = static_cast<std::uint64_t>(std::ceil(span / width_));
+    const std::uint64_t c = std::max<std::uint64_t>(cells, 1);
+    if (c > std::numeric_limits<std::uint32_t>::max()) {
+      throw std::overflow_error("GridIndex: too many cells in one dimension");
+    }
+    cells_per_dim_[j] = static_cast<std::uint32_t>(c);
+    total *= c;
+  }
+  if (total > std::numeric_limits<std::uint64_t>::max()) {
+    throw std::overflow_error(
+        "GridIndex: linearised cell ids exceed 64 bits; increase eps");
+  }
+  stride_[0] = 1;
+  for (int j = 1; j < dim_; ++j) {
+    stride_[j] = stride_[j - 1] * cells_per_dim_[j - 1];
+  }
+
+  // Bin points: (linear cell id, point id), sorted by cell then id. The
+  // sort groups each cell's points contiguously, giving A directly and
+  // the unique cell ids giving B and G.
+  struct Entry {
+    std::uint64_t cell;
+    std::uint32_t pid;
+  };
+  std::vector<Entry> entries(n);
+  std::uint32_t coords[kMaxDims];
+  for (std::size_t i = 0; i < n; ++i) {
+    cell_coords(d.pt(i), coords);
+    entries[i].cell = linearize(coords);
+    entries[i].pid = static_cast<std::uint32_t>(i);
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.cell != b.cell ? a.cell < b.cell : a.pid < b.pid;
+  });
+
+  A_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    A_[i] = entries[i].pid;
+    if (i == 0 || entries[i].cell != entries[i - 1].cell) {
+      B_.push_back(entries[i].cell);
+      G_.push_back({static_cast<std::uint32_t>(i),
+                    static_cast<std::uint32_t>(i)});
+    } else {
+      G_.back().max = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  // Masking arrays: the non-empty coordinates per dimension.
+  for (int j = 0; j < dim_; ++j) {
+    std::vector<std::uint32_t>& m = M_[j];
+    m.reserve(B_.size());
+    for (std::uint64_t cell : B_) {
+      m.push_back(static_cast<std::uint32_t>((cell / stride_[j]) %
+                                             cells_per_dim_[j]));
+    }
+    std::sort(m.begin(), m.end());
+    m.erase(std::unique(m.begin(), m.end()), m.end());
+  }
+}
+
+std::uint64_t GridIndex::total_cells() const {
+  unsigned __int128 total = 1;
+  for (int j = 0; j < dim_; ++j) {
+    total *= cells_per_dim_[j];
+    if (total > std::numeric_limits<std::uint64_t>::max()) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+  }
+  return static_cast<std::uint64_t>(total);
+}
+
+void GridIndex::cell_coords(const double* pt, std::uint32_t* out) const {
+  for (int j = 0; j < dim_; ++j) {
+    const double rel = (pt[j] - gmin_[j]) / width_;
+    std::int64_t c = static_cast<std::int64_t>(std::floor(rel));
+    c = std::max<std::int64_t>(c, 0);
+    c = std::min<std::int64_t>(c, static_cast<std::int64_t>(cells_per_dim_[j]) - 1);
+    out[j] = static_cast<std::uint32_t>(c);
+  }
+}
+
+std::uint64_t GridIndex::linearize(const std::uint32_t* coords) const {
+  std::uint64_t id = 0;
+  for (int j = 0; j < dim_; ++j) {
+    id += static_cast<std::uint64_t>(coords[j]) * stride_[j];
+  }
+  return id;
+}
+
+std::int64_t GridIndex::find_cell(std::uint64_t linear_id) const {
+  const auto it = std::lower_bound(B_.begin(), B_.end(), linear_id);
+  if (it == B_.end() || *it != linear_id) return -1;
+  return it - B_.begin();
+}
+
+void GridIndex::range_query(const Dataset& d, const double* center,
+                            double eps,
+                            std::vector<std::uint32_t>& out) const {
+  if (eps > width_) {
+    throw std::invalid_argument(
+        "GridIndex::range_query: eps exceeds the cell width this index "
+        "was built for");
+  }
+  if (A_.empty()) return;
+  std::uint32_t c[kMaxDims];
+  cell_coords(center, c);
+  std::uint32_t adj[kMaxDims][3];
+  int adjn[kMaxDims];
+  for (int j = 0; j < dim_; ++j) {
+    adjn[j] = filtered_adjacent(j, c[j], adj[j]);
+    if (adjn[j] == 0) return;
+  }
+  const double eps2 = eps * eps;
+  int idx[kMaxDims] = {};
+  std::uint32_t cc[kMaxDims];
+  for (;;) {
+    for (int j = 0; j < dim_; ++j) cc[j] = adj[j][idx[j]];
+    const std::int64_t cell = find_cell(linearize(cc));
+    if (cell >= 0) {
+      const CellRange range = G_[static_cast<std::size_t>(cell)];
+      for (std::uint32_t k = range.min; k <= range.max; ++k) {
+        const std::uint32_t q = A_[k];
+        if (sq_dist(center, d.pt(q), dim_) <= eps2) out.push_back(q);
+      }
+    }
+    int j = 0;
+    while (j < dim_) {
+      if (++idx[j] < adjn[j]) break;
+      idx[j] = 0;
+      ++j;
+    }
+    if (j == dim_) break;
+  }
+}
+
+int GridIndex::filtered_adjacent(int j, std::uint32_t cj,
+                                 std::uint32_t out[3]) const {
+  const std::vector<std::uint32_t>& m = M_[j];
+  int count = 0;
+  const std::int64_t lo = static_cast<std::int64_t>(cj) - 1;
+  const std::int64_t hi = static_cast<std::int64_t>(cj) + 1;
+  // The candidates are at most {cj-1, cj, cj+1}; one lower_bound finds the
+  // first in range, then we scan forward (m is sorted and unique).
+  auto it = std::lower_bound(m.begin(), m.end(),
+                             static_cast<std::uint32_t>(std::max<std::int64_t>(lo, 0)));
+  for (; it != m.end() && static_cast<std::int64_t>(*it) <= hi; ++it) {
+    out[count++] = *it;
+  }
+  return count;
+}
+
+}  // namespace sj

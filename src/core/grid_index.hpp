@@ -1,0 +1,98 @@
+// The paper's GPU-efficient grid index (Section IV).
+//
+// The space is overlaid with an n-dimensional grid of cells of side eps
+// (the query distance), extended by eps on each side to avoid boundary
+// conditions. Only NON-EMPTY cells are stored (Section IV-B), making the
+// space complexity O(|D|) regardless of the hypervolume:
+//
+//   B — sorted array of the linearised ids of the non-empty cells; cell
+//       existence is decided by binary search (Section IV-D).
+//   G — for each non-empty cell C_h, the inclusive range
+//       [Amin_h, Amax_h] of its points inside A.
+//   A — lookup array mapping those ranges to point ids; |A| = |D|.
+//   M_j — per-dimension masking arrays holding the cell coordinates that
+//       are non-empty in dimension j, used to filter the adjacent-cell
+//       ranges O_j before any binary search of B.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.hpp"
+
+namespace sj {
+
+class GridIndex {
+ public:
+  /// Inclusive range [min, max] into A for one non-empty cell (the
+  /// paper's [Amin_h, Amax_h]).
+  struct CellRange {
+    std::uint32_t min;
+    std::uint32_t max;
+  };
+
+  GridIndex() = default;
+
+  /// Build the index over `d` with cell width eps. For eps == 0 (a legal
+  /// query asking for co-located points) a unit cell width is used — the
+  /// search is correct for any cell width >= eps.
+  GridIndex(const Dataset& d, double eps);
+
+  int dim() const { return dim_; }
+  double eps() const { return eps_; }
+  double cell_width() const { return width_; }
+  std::size_t num_points() const { return A_.size(); }
+  std::size_t num_nonempty_cells() const { return B_.size(); }
+
+  double gmin(int j) const { return gmin_[j]; }
+  double gmax(int j) const { return gmax_[j]; }
+  std::uint32_t cells_in_dim(int j) const { return cells_per_dim_[j]; }
+  std::uint64_t stride(int j) const { return stride_[j]; }
+
+  /// Total cells of the full (mostly empty) grid — the intractable count
+  /// the paper avoids storing. Saturates at UINT64_MAX.
+  std::uint64_t total_cells() const;
+
+  const std::vector<std::uint64_t>& B() const { return B_; }
+  const std::vector<CellRange>& G() const { return G_; }
+  const std::vector<std::uint32_t>& A() const { return A_; }
+  const std::vector<std::uint32_t>& mask(int j) const { return M_[j]; }
+
+  /// Grid coordinates of a point (clamped into the grid).
+  void cell_coords(const double* pt, std::uint32_t* out) const;
+
+  /// Row-major linearisation of n-dimensional cell coordinates.
+  std::uint64_t linearize(const std::uint32_t* coords) const;
+
+  /// Index into G()/B() of the cell with this linear id, or -1 when the
+  /// cell is empty (binary search of B, Section IV-D).
+  std::int64_t find_cell(std::uint64_t linear_id) const;
+
+  /// The filtered adjacent coordinates in dimension j of a cell at
+  /// coordinate cj: the elements of {cj-1, cj, cj+1} that are present in
+  /// the masking array M_j (the paper's O_j intersect M_j). Writes at most
+  /// 3 values to `out`; returns how many.
+  int filtered_adjacent(int j, std::uint32_t cj, std::uint32_t out[3]) const;
+
+  /// Host-side range query: ids of all points of `d` (the dataset this
+  /// index was built over) within `eps` of `center`. Requires
+  /// eps <= cell_width() — the adjacent-cell search bound. Appends to
+  /// `out`.
+  void range_query(const Dataset& d, const double* center, double eps,
+                   std::vector<std::uint32_t>& out) const;
+
+ private:
+  int dim_ = 0;
+  double eps_ = 0.0;
+  double width_ = 0.0;
+  double gmin_[kMaxDims] = {};
+  double gmax_[kMaxDims] = {};
+  std::uint32_t cells_per_dim_[kMaxDims] = {};
+  std::uint64_t stride_[kMaxDims] = {};
+  std::vector<std::uint64_t> B_;
+  std::vector<CellRange> G_;
+  std::vector<std::uint32_t> A_;
+  std::vector<std::uint32_t> M_[kMaxDims];
+};
+
+}  // namespace sj

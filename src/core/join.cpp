@@ -1,0 +1,80 @@
+#include "core/join.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/timer.hpp"
+#include "core/batcher.hpp"
+#include "core/device_view.hpp"
+#include "core/estimator.hpp"
+#include "core/grid_index.hpp"
+#include "gpusim/arena.hpp"
+
+namespace sj {
+
+GpuJoinResult gpu_join(const Dataset& queries, const Dataset& data,
+                       double eps, GpuJoinOptions opt) {
+  if (eps < 0.0) throw std::invalid_argument("gpu_join: eps must be >= 0");
+  if (queries.dim() != data.dim()) {
+    throw std::invalid_argument("gpu_join: dimensionality mismatch");
+  }
+  GpuJoinResult result;
+  GpuJoinStats& st = result.stats;
+  Timer total;
+
+  Timer phase;
+  GridIndex index(data, eps);
+  st.index_build_seconds = phase.seconds();
+  if (queries.empty() || data.empty()) {
+    st.total_seconds = total.seconds();
+    return result;
+  }
+
+  gpu::GlobalMemoryArena arena(opt.device);
+  DeviceGrid dev(arena, data, index);
+
+  // Ship the query set to the device alongside the indexed data.
+  gpu::DeviceBuffer<double> qbuf(arena, queries.raw().size());
+  std::memcpy(qbuf.data(), queries.raw().data(),
+              queries.raw().size() * sizeof(double));
+  GridDeviceView grid = dev.view();
+  grid.qpoints = qbuf.data();
+  grid.qn = queries.size();
+
+  const EstimateResult est = estimate_result_size(
+      grid, /*unicomp=*/false, opt.sample_rate, opt.block_size);
+  st.estimated_total = est.estimated_total;
+
+  const std::uint64_t reserve_bytes =
+      queries.size() * sizeof(std::uint32_t) + (16u << 10);
+  const std::uint64_t free_bytes =
+      arena.free_bytes() > reserve_bytes ? arena.free_bytes() - reserve_bytes
+                                         : 0;
+  std::uint64_t buffer_pairs =
+      free_bytes /
+      (sizeof(Pair) * static_cast<std::uint64_t>(std::max(1, opt.num_streams)));
+  buffer_pairs = std::min(buffer_pairs, opt.max_buffer_pairs);
+  const std::uint64_t desired = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(est.estimated_total) * opt.safety /
+                static_cast<double>(std::max<std::size_t>(opt.min_batches,
+                                                          1)))) +
+      1024;
+  buffer_pairs = std::max<std::uint64_t>(std::min(buffer_pairs, desired), 64);
+
+  const BatchPlan plan = plan_batches(est.estimated_total, queries.size(),
+                                      opt.min_batches, buffer_pairs,
+                                      opt.safety);
+
+  AtomicWork work;
+  Batcher batcher(arena, opt.device, opt.num_streams, opt.block_size);
+  result.pairs =
+      batcher.run(grid, /*unicomp=*/false, plan, &work, &st.batch);
+  work.add_to(st.metrics);
+  st.metrics.kernel_seconds = st.batch.kernel_seconds;
+  st.total_seconds = total.seconds();
+  return result;
+}
+
+}  // namespace sj

@@ -1,0 +1,47 @@
+// General epsilon join between two datasets — "the self-join problem is a
+// special case of a join operation on two different sets of data points"
+// (paper Section II). The inner set B is grid-indexed; each point of the
+// outer set A searches its adjacent cells; the result pairs are
+// (a_index, b_index) with dist(A[a], B[b]) <= eps.
+//
+// UNICOMP does not apply (its parity argument requires query and data
+// cells to be the same set); batching and result-size estimation work
+// exactly as in the self-join.
+#pragma once
+
+#include "common/dataset.hpp"
+#include "common/result.hpp"
+#include "core/self_join.hpp"
+
+namespace sj {
+
+struct GpuJoinOptions {
+  int block_size = 256;
+  std::size_t min_batches = 3;
+  int num_streams = 3;
+  double sample_rate = 0.01;
+  double safety = 1.25;
+  std::uint64_t max_buffer_pairs = 1ULL << 24;
+  gpu::DeviceSpec device = gpu::DeviceSpec::titan_x_pascal();
+};
+
+struct GpuJoinStats {
+  double total_seconds = 0.0;
+  double index_build_seconds = 0.0;
+  std::uint64_t estimated_total = 0;
+  BatchRunStats batch;
+  gpu::KernelMetrics metrics;
+};
+
+struct GpuJoinResult {
+  /// Pairs are (query index into A, data index into B).
+  ResultSet pairs;
+  GpuJoinStats stats;
+};
+
+/// Epsilon join: every (a, b) with a in A, b in B, dist(a, b) <= eps.
+/// Both datasets must share the same dimensionality.
+GpuJoinResult gpu_join(const Dataset& queries, const Dataset& data,
+                       double eps, GpuJoinOptions opt = {});
+
+}  // namespace sj

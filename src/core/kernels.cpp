@@ -1,0 +1,244 @@
+#include "core/kernels.hpp"
+
+#include <algorithm>
+
+#include "common/distance.hpp"
+
+namespace sj {
+
+namespace {
+
+/// Per-thread emission helper with local work accounting.
+struct Emitter {
+  const ResultBufferView& r;
+  LocalWork& w;
+
+  void emit(std::uint32_t key, std::uint32_t value) {
+    ++w.results;
+    if (r.out == nullptr) return;  // count-only mode
+    const std::uint64_t idx = r.cursor->fetch_add(1);
+    if (idx >= r.capacity) {
+      r.overflow->store(true, std::memory_order_relaxed);
+      return;
+    }
+    r.out[idx] = Pair{key, value};
+  }
+
+  /// UNICOMP emits both ordered pairs of a find with one atomic
+  /// reservation.
+  void emit_both(std::uint32_t a, std::uint32_t b) {
+    w.results += 2;
+    if (r.out == nullptr) return;
+    const std::uint64_t idx = r.cursor->fetch_add(2);
+    if (idx + 2 > r.capacity) {
+      r.overflow->store(true, std::memory_order_relaxed);
+      return;
+    }
+    r.out[idx] = Pair{a, b};
+    r.out[idx + 1] = Pair{b, a};
+  }
+};
+
+/// Evaluate one candidate cell: binary-search B for existence, then
+/// compute distances to every point it contains (Algorithm 1, lines
+/// 10-17). `both_orders` implements UNICOMP's "add both (p, q) and
+/// (q, p)" rule for neighbour cells.
+inline void eval_cell(const SelfJoinKernelParams& p, LocalWork& w,
+                      Emitter& em, std::uint32_t pid, const double* pt,
+                      const std::uint32_t* cc, bool both_orders) {
+  const GridDeviceView& g = p.grid;
+  const std::uint64_t lin = g.linearize(cc);
+  ++w.cells_examined;
+  const std::uint64_t* end = g.B + g.b_size;
+  const std::uint64_t* it = std::lower_bound(g.B, end, lin);
+  if (it == end || *it != lin) return;
+  ++w.cells_nonempty;
+
+  const GridIndex::CellRange range = g.G[it - g.B];
+  const double eps2 = g.eps * g.eps;
+  for (std::uint32_t k = range.min; k <= range.max; ++k) {
+    const std::uint32_t q = g.A[k];
+    const double* qt = g.points + static_cast<std::size_t>(q) * g.dim;
+    w.global_loads += static_cast<std::uint64_t>(g.dim);
+    w.global_load_bytes += static_cast<std::uint64_t>(g.dim) * sizeof(double);
+    if (p.cache != nullptr) {
+      p.cache->access(reinterpret_cast<std::uint64_t>(qt),
+                      static_cast<unsigned>(g.dim) * sizeof(double));
+    }
+    ++w.distance_calcs;
+    const double d2 = sq_dist_early_exit(pt, qt, g.dim, eps2);
+    if (d2 <= eps2) {
+      if (both_orders) {
+        em.emit_both(pid, q);
+      } else {
+        em.emit(pid, q);
+      }
+    }
+  }
+}
+
+/// Full-neighbourhood enumeration (Algorithm 1): the cartesian product of
+/// the mask-filtered adjacent coordinates in every dimension, own cell
+/// included.
+void enumerate_all(const SelfJoinKernelParams& p, LocalWork& w, Emitter& em,
+                   std::uint32_t pid, const double* pt,
+                   const std::uint32_t adj[][3], const int* adjn) {
+  const int dim = p.grid.dim;
+  for (int j = 0; j < dim; ++j) {
+    if (adjn[j] == 0) return;  // cannot happen for in-dataset queries
+  }
+  int idx[kMaxDims] = {};
+  std::uint32_t cc[kMaxDims];
+  for (;;) {
+    for (int j = 0; j < dim; ++j) cc[j] = adj[j][idx[j]];
+    eval_cell(p, w, em, pid, pt, cc, /*both_orders=*/false);
+    int j = 0;
+    while (j < dim) {
+      if (++idx[j] < adjn[j]) break;
+      idx[j] = 0;
+      ++j;
+    }
+    if (j == dim) break;
+  }
+}
+
+/// UNICOMP enumeration (Algorithm 2, generalised to n dimensions). For
+/// each dimension d with an odd home coordinate: dimensions < d range over
+/// all filtered adjacent coordinates, dimension d over the filtered
+/// coordinates that differ from home, dimensions > d stay pinned to home.
+void enumerate_unicomp(const SelfJoinKernelParams& p, LocalWork& w,
+                       Emitter& em, std::uint32_t pid, const double* pt,
+                       const std::uint32_t* c, const std::uint32_t adj[][3],
+                       const int* adjn) {
+  const int dim = p.grid.dim;
+  std::uint32_t cc[kMaxDims];
+
+  // Home cell, one direction only: over all points of the cell, every
+  // ordered pair (including the self pair) is emitted exactly once.
+  eval_cell(p, w, em, pid, pt, c, /*both_orders=*/false);
+
+  for (int d = 0; d < dim; ++d) {
+    if ((c[d] & 1u) == 0) continue;  // even coordinate: skip (Algorithm 2)
+
+    // First coordinate of dimension d that differs from home.
+    auto next_non_center = [&](int start) {
+      int k = start;
+      while (k < adjn[d] && adj[d][k] == c[d]) ++k;
+      return k;
+    };
+
+    int idx[kMaxDims] = {};
+    idx[d] = next_non_center(0);
+    if (idx[d] >= adjn[d]) continue;  // no non-empty differing neighbour
+    bool lower_dims_ok = true;
+    for (int j = 0; j < d; ++j) {
+      if (adjn[j] == 0) lower_dims_ok = false;
+    }
+    if (!lower_dims_ok) continue;
+
+    for (;;) {
+      for (int j = 0; j < d; ++j) cc[j] = adj[j][idx[j]];
+      cc[d] = adj[d][idx[d]];
+      for (int j = d + 1; j < dim; ++j) cc[j] = c[j];
+      eval_cell(p, w, em, pid, pt, cc, /*both_orders=*/true);
+
+      // Advance the odometer over positions 0..d (position d skips home).
+      int j = 0;
+      bool done = false;
+      for (;;) {
+        if (j < d) {
+          if (++idx[j] < adjn[j]) break;
+          idx[j] = 0;
+          ++j;
+        } else {  // j == d
+          idx[d] = next_non_center(idx[d] + 1);
+          if (idx[d] < adjn[d]) break;
+          done = true;
+          break;
+        }
+      }
+      if (done) break;
+    }
+  }
+}
+
+}  // namespace
+
+void self_join_thread(const gpu::ThreadCtx& ctx,
+                      const SelfJoinKernelParams& p) {
+  const std::uint64_t gid = ctx.global_id();
+  if (gid >= p.num_queries) return;  // Algorithm 1, line 3
+  const std::uint32_t pid =
+      p.query_ids != nullptr ? p.query_ids[gid]
+                             : static_cast<std::uint32_t>(gid);
+
+  const GridDeviceView& g = p.grid;
+  const double* pt = g.query_point(pid);
+
+  LocalWork w;
+  Emitter em{p.result, w};
+  w.global_loads += static_cast<std::uint64_t>(g.dim);
+  w.global_load_bytes += static_cast<std::uint64_t>(g.dim) * sizeof(double);
+  if (p.cache != nullptr) {
+    p.cache->access(reinterpret_cast<std::uint64_t>(pt),
+                    static_cast<unsigned>(g.dim) * sizeof(double));
+  }
+
+  // Home cell coordinates (register copy of the point, line 5, then
+  // adjacent ranges, line 6).
+  std::uint32_t c[kMaxDims];
+  for (int j = 0; j < g.dim; ++j) {
+    const double rel = (pt[j] - g.gmin[j]) / g.width;
+    std::int64_t cj = static_cast<std::int64_t>(rel);  // rel >= 0 by padding
+    cj = std::min<std::int64_t>(
+        std::max<std::int64_t>(cj, 0),
+        static_cast<std::int64_t>(g.cells_per_dim[j]) - 1);
+    c[j] = static_cast<std::uint32_t>(cj);
+  }
+
+  // Mask-filtered adjacent coordinates per dimension (line 7): the
+  // elements of {c_j - 1, c_j, c_j + 1} present in M_j.
+  std::uint32_t adj[kMaxDims][3];
+  int adjn[kMaxDims];
+  for (int j = 0; j < g.dim; ++j) {
+    const std::uint32_t* m = g.M[j];
+    const std::uint32_t* mend = m + g.m_size[j];
+    const std::uint32_t lo = c[j] == 0 ? 0 : c[j] - 1;
+    const std::int64_t hi = static_cast<std::int64_t>(c[j]) + 1;
+    int count = 0;
+    const std::uint32_t* it = std::lower_bound(m, mend, lo);
+    for (; it != mend && static_cast<std::int64_t>(*it) <= hi; ++it) {
+      adj[j][count++] = *it;
+    }
+    adjn[j] = count;
+  }
+
+  if (p.unicomp) {
+    enumerate_unicomp(p, w, em, pid, pt, c, adj, adjn);
+  } else {
+    enumerate_all(p, w, em, pid, pt, adj, adjn);
+  }
+
+  if (p.work != nullptr) p.work->flush(w);
+}
+
+void brute_force_thread(const gpu::ThreadCtx& ctx,
+                        const BruteForceKernelParams& p) {
+  const std::uint64_t gid = ctx.global_id();
+  if (gid >= p.n) return;
+  const std::uint32_t pid = static_cast<std::uint32_t>(gid);
+  const double* pt = p.points + static_cast<std::size_t>(pid) * p.dim;
+  const double eps2 = p.eps * p.eps;
+
+  LocalWork w;
+  Emitter em{p.result, w};
+  for (std::uint64_t q = 0; q < p.n; ++q) {
+    const double* qt = p.points + static_cast<std::size_t>(q) * p.dim;
+    ++w.distance_calcs;
+    const double d2 = sq_dist(pt, qt, p.dim);
+    if (d2 <= eps2) em.emit(pid, static_cast<std::uint32_t>(q));
+  }
+  if (p.work != nullptr) p.work->flush(w);
+}
+
+}  // namespace sj

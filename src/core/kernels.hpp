@@ -1,0 +1,66 @@
+// The self-join GPU kernels.
+//
+// self_join_thread() is the per-thread body of GPUSELFJOINGLOBAL
+// (Algorithm 1) generalised to n dimensions: the paper's nested loops over
+// filtered per-dimension ranges (lines 8-9) become an odometer over the
+// mask-filtered adjacent coordinates. With `unicomp` set it instead
+// follows the UNICOMP access pattern (Algorithm 2): the home cell is
+// evaluated in one direction, and for every dimension d whose cell
+// coordinate is odd, the neighbour cells that differ in d (free in
+// dimensions < d, pinned to the home coordinates in dimensions > d) are
+// evaluated emitting BOTH ordered pairs.
+//
+// brute_force_thread() is the GPU brute-force nested-loop kernel used as
+// the paper's index-free baseline (Section VI-B).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/result.hpp"
+#include "core/device_view.hpp"
+#include "core/work_counters.hpp"
+#include "gpusim/atomic.hpp"
+#include "gpusim/cachesim.hpp"
+#include "gpusim/kernel.hpp"
+
+namespace sj {
+
+/// Where result pairs go. With `out == nullptr` the kernel only counts
+/// (the estimator mode); otherwise pairs are appended through the atomic
+/// cursor and `overflow` is raised when the buffer capacity is exceeded.
+struct ResultBufferView {
+  Pair* out = nullptr;
+  std::uint64_t capacity = 0;
+  gpu::DeviceCounter* cursor = nullptr;
+  std::atomic<bool>* overflow = nullptr;
+};
+
+struct SelfJoinKernelParams {
+  GridDeviceView grid;
+  /// Point ids this launch processes (the batching scheme passes each
+  /// batch's ids); nullptr means the identity mapping over all points.
+  const std::uint32_t* query_ids = nullptr;
+  std::uint64_t num_queries = 0;
+  ResultBufferView result;
+  bool unicomp = false;
+  AtomicWork* work = nullptr;      // aggregated algorithmic work counters
+  gpu::CacheSim* cache = nullptr;  // L1 model; only valid with serial exec
+};
+
+void self_join_thread(const gpu::ThreadCtx& ctx,
+                      const SelfJoinKernelParams& p);
+
+struct BruteForceKernelParams {
+  const double* points = nullptr;
+  std::uint64_t n = 0;
+  int dim = 0;
+  double eps = 0.0;
+  ResultBufferView result;
+  AtomicWork* work = nullptr;
+};
+
+void brute_force_thread(const gpu::ThreadCtx& ctx,
+                        const BruteForceKernelParams& p);
+
+}  // namespace sj

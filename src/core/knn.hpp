@@ -1,0 +1,86 @@
+// Grid-based k-nearest-neighbour search on the GPU substrate — the
+// paper's stated future work ("applying this work to other spatial
+// searches, such as kNN", Section VII).
+//
+// Each query thread expands Chebyshev rings of grid cells around its home
+// cell, maintaining a bounded max-heap of the k best candidates. After
+// finishing ring L, every unvisited point lies at distance >= L * cell
+// width, so the search terminates as soon as the heap is full and its
+// worst distance is within that bound — the kNN analogue of the
+// self-join's bounded adjacent-cell search. Cells are still existence-
+// checked through B and filtered per dimension through the masks M_j.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/metrics.hpp"
+
+namespace sj {
+
+struct KnnOptions {
+  int k = 8;
+
+  /// Grid cell width; 0 picks a density-based width (expected k+1 points
+  /// per cell volume).
+  double cell_width = 0.0;
+
+  /// Include the query point itself (distance 0) in its own result. Off
+  /// by default — classification and outlier workloads want proper
+  /// neighbours.
+  bool include_self = false;
+
+  int block_size = 256;
+  gpu::DeviceSpec device = gpu::DeviceSpec::titan_x_pascal();
+};
+
+struct KnnStats {
+  double total_seconds = 0.0;
+  double index_build_seconds = 0.0;
+  double chosen_cell_width = 0.0;
+  std::uint64_t rings_expanded = 0;  // total rings over all queries
+  gpu::KernelMetrics metrics;
+};
+
+/// Fixed-k neighbour lists in query order; lists are sorted by ascending
+/// distance and may be shorter than k when the data set is smaller.
+class KnnResult {
+ public:
+  KnnResult() = default;
+  KnnResult(std::size_t nq, int k)
+      : nq_(nq), k_(k), ids_(nq * k), dists_(nq * k), counts_(nq, 0) {}
+
+  std::size_t num_queries() const { return nq_; }
+  int k() const { return k_; }
+  int count(std::size_t q) const { return counts_[q]; }
+  std::uint32_t neighbor(std::size_t q, int j) const {
+    return ids_[q * k_ + j];
+  }
+  double distance(std::size_t q, int j) const { return dists_[q * k_ + j]; }
+
+  std::uint32_t* ids_row(std::size_t q) { return ids_.data() + q * k_; }
+  double* dists_row(std::size_t q) { return dists_.data() + q * k_; }
+  void set_count(std::size_t q, int c) { counts_[q] = c; }
+
+  KnnStats stats;
+
+ private:
+  std::size_t nq_ = 0;
+  int k_ = 0;
+  std::vector<std::uint32_t> ids_;
+  std::vector<double> dists_;
+  std::vector<int> counts_;
+};
+
+/// Self-kNN: neighbours of every point of `d` within `d`.
+KnnResult gpu_knn(const Dataset& d, KnnOptions opt = {});
+
+/// General kNN: for every point of `queries`, its k nearest in `data`.
+/// include_self is ignored (a query is never excluded from a distinct
+/// data set; exact coordinate duplicates are legitimate neighbours).
+KnnResult gpu_knn(const Dataset& queries, const Dataset& data,
+                  KnnOptions opt = {});
+
+}  // namespace sj

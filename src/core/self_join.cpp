@@ -1,0 +1,143 @@
+#include "core/self_join.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/timer.hpp"
+#include "core/device_view.hpp"
+#include "core/estimator.hpp"
+#include "core/grid_index.hpp"
+#include "core/kernels.hpp"
+#include "gpusim/arena.hpp"
+#include "gpusim/cachesim.hpp"
+#include "gpusim/kernel.hpp"
+#include "gpusim/occupancy.hpp"
+
+namespace sj {
+
+GpuSelfJoin::GpuSelfJoin(GpuSelfJoinOptions opt) : opt_(opt) {
+  if (opt_.block_size <= 0) {
+    throw std::invalid_argument("GpuSelfJoin: block_size must be positive");
+  }
+  if (opt_.num_streams <= 0) {
+    throw std::invalid_argument("GpuSelfJoin: num_streams must be positive");
+  }
+  if (opt_.sample_rate <= 0.0 || opt_.sample_rate > 1.0) {
+    throw std::invalid_argument("GpuSelfJoin: sample_rate must be in (0, 1]");
+  }
+}
+
+SelfJoinResult GpuSelfJoin::run(const Dataset& d, double eps) const {
+  if (eps < 0.0) throw std::invalid_argument("GpuSelfJoin: eps must be >= 0");
+  SelfJoinResult result;
+  SelfJoinStats& st = result.stats;
+  Timer total;
+
+  // --- Host-side index construction (cheap relative to tree indexes).
+  Timer phase;
+  GridIndex index(d, eps);
+  st.index_build_seconds = phase.seconds();
+  st.grid_nonempty_cells = index.num_nonempty_cells();
+  st.grid_total_cells = index.total_cells();
+
+  if (d.empty()) {
+    st.total_seconds = total.seconds();
+    return result;
+  }
+
+  // --- Upload dataset + index to the (simulated) device.
+  gpu::GlobalMemoryArena arena(opt_.device);
+  phase.reset();
+  DeviceGrid dev(arena, d, index);
+  st.upload_seconds = phase.seconds();
+  const GridDeviceView& grid = dev.view();
+
+  // --- Estimate total result size from a sample (count-only kernel).
+  phase.reset();
+  const EstimateResult est = estimate_result_size(
+      grid, opt_.unicomp, opt_.sample_rate, opt_.block_size);
+  st.estimate_seconds = phase.seconds();
+  st.estimated_total = est.estimated_total;
+
+  // --- Size the per-stream buffers within the device's free memory,
+  // keeping room for the per-batch query-id uploads.
+  const std::uint64_t reserve_bytes =
+      d.size() * sizeof(std::uint32_t) + (16u << 10);
+  const std::uint64_t free_bytes =
+      arena.free_bytes() > reserve_bytes ? arena.free_bytes() - reserve_bytes
+                                         : 0;
+  std::uint64_t buffer_pairs =
+      free_bytes / (sizeof(Pair) * static_cast<std::uint64_t>(
+                                       std::max(1, opt_.num_streams)));
+  buffer_pairs = std::min(buffer_pairs, opt_.max_buffer_pairs);
+  // No point allocating beyond what one batch is expected to produce
+  // (padded by the safety factor and a floor); the overflow-split path
+  // recovers from any underestimate.
+  const std::uint64_t desired = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(est.estimated_total) * opt_.safety /
+                static_cast<double>(std::max<std::size_t>(opt_.min_batches,
+                                                          1)))) +
+      1024;
+  buffer_pairs = std::min(buffer_pairs, desired);
+  buffer_pairs = std::max<std::uint64_t>(buffer_pairs, 64);
+
+  const BatchPlan plan = plan_batches(est.estimated_total, d.size(),
+                                      opt_.min_batches, buffer_pairs,
+                                      opt_.safety);
+
+  // --- Batched, stream-pipelined join.
+  AtomicWork work;
+  phase.reset();
+  Batcher batcher(arena, opt_.device, opt_.num_streams, opt_.block_size);
+  result.pairs = batcher.run(grid, opt_.unicomp, plan, &work, &st.batch);
+  st.join_seconds = phase.seconds();
+
+  work.add_to(st.metrics);
+  st.metrics.kernel_seconds = st.batch.kernel_seconds;
+
+  // --- Occupancy model (Table II).
+  st.regs_per_thread = gpu::self_join_regs_per_thread(d.dim(), opt_.unicomp);
+  const gpu::OccupancyResult occ = gpu::theoretical_occupancy(
+      opt_.device, opt_.block_size, st.regs_per_thread);
+  st.occupancy = occ.occupancy;
+  st.metrics.occupancy = occ.occupancy;
+
+  // --- Optional metrics pass: serial execution with the L1 cache model
+  // (deterministic access order, as a profiler replay would see).
+  if (opt_.collect_metrics) {
+    gpu::CacheSim cache(opt_.device);
+    AtomicWork mwork;
+    SelfJoinKernelParams p;
+    p.grid = grid;
+    p.num_queries = grid.n;
+    p.unicomp = opt_.unicomp;
+    p.work = &mwork;
+    p.cache = &cache;
+    gpu::launch(gpu::LaunchConfig::cover(grid.n, opt_.block_size),
+                [&p](const gpu::ThreadCtx& ctx) { self_join_thread(ctx, p); },
+                gpu::ExecMode::kSerial);
+    st.metrics.cache_hits = cache.hits();
+    st.metrics.cache_misses = cache.misses();
+    // Modelled unified-cache bandwidth: bytes served over modelled time
+    // (hit/miss latencies at the device clock). The paper reports the
+    // profiler's utilisation in GB/s; the ratio between kernel variants is
+    // the quantity of interest (Table II).
+    const double cycles =
+        static_cast<double>(cache.hits()) *
+            opt_.device.l1_hit_latency_cycles +
+        static_cast<double>(cache.misses()) * opt_.device.mem_latency_cycles;
+    if (cycles > 0.0) {
+      gpu::KernelMetrics m;
+      mwork.add_to(m);
+      const double seconds = cycles / (opt_.device.core_clock_ghz * 1e9);
+      st.metrics.cache_bw_gbs =
+          static_cast<double>(m.global_load_bytes) / seconds / 1e9;
+    }
+  }
+
+  st.total_seconds = total.seconds();
+  return result;
+}
+
+}  // namespace sj

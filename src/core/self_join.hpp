@@ -1,0 +1,96 @@
+// GPU-SJ: the paper's GPU self-join algorithm — public API.
+//
+// Combines the grid index (Section IV), the GPUSELFJOINGLOBAL kernel
+// (Algorithm 1), the UNICOMP duplicate-search-removal optimisation
+// (Section V-B) and the result-set batching scheme (Section V-A).
+//
+//   sj::GpuSelfJoin join;                      // defaults: UNICOMP on,
+//   auto r = join.run(dataset, eps);           // 256-thread blocks, >= 3
+//   use(r.pairs); inspect(r.stats);            // batches over 3 streams
+#pragma once
+
+#include <cstdint>
+
+#include "common/dataset.hpp"
+#include "common/result.hpp"
+#include "core/batcher.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/metrics.hpp"
+
+namespace sj {
+
+struct GpuSelfJoinOptions {
+  /// Enable the UNICOMP uni-directional comparison pattern (Section V-B).
+  bool unicomp = true;
+
+  /// Threads per block ("configured to run with 256 threads per block",
+  /// Section VI-B).
+  int block_size = 256;
+
+  /// "In all experiments, the minimum number of batches is set to 3"
+  /// (Section V-A).
+  std::size_t min_batches = 3;
+
+  /// Streams pipelining kernel execution against host transfers.
+  int num_streams = 3;
+
+  /// Fraction of points sampled by the result-size estimator.
+  double sample_rate = 0.01;
+
+  /// Safety factor applied to the estimate when sizing batches.
+  double safety = 1.25;
+
+  /// Hard cap on the per-stream result buffer (pairs); the effective size
+  /// also respects the device's free global memory.
+  std::uint64_t max_buffer_pairs = 1ULL << 24;
+
+  /// Collect Table II-style metrics (occupancy, unified-cache model).
+  /// Runs one extra serial metrics pass — results are unaffected.
+  bool collect_metrics = false;
+
+  /// Device resource model (defaults to the paper's TITAN X Pascal).
+  gpu::DeviceSpec device = gpu::DeviceSpec::titan_x_pascal();
+};
+
+struct SelfJoinStats {
+  double total_seconds = 0.0;
+  double index_build_seconds = 0.0;
+  double upload_seconds = 0.0;
+  double estimate_seconds = 0.0;
+  double join_seconds = 0.0;  // batched kernel + sort + transfer phase
+
+  std::uint64_t estimated_total = 0;
+  BatchRunStats batch;
+
+  std::size_t grid_nonempty_cells = 0;
+  std::uint64_t grid_total_cells = 0;
+
+  /// Work counters aggregated over every batch kernel; in metrics mode
+  /// also the cache-model counters and modelled bandwidth.
+  gpu::KernelMetrics metrics;
+
+  /// Theoretical occupancy of the launched kernel (register model, see
+  /// gpusim/occupancy.hpp).
+  double occupancy = 0.0;
+  int regs_per_thread = 0;
+};
+
+struct SelfJoinResult {
+  ResultSet pairs;  // all ordered pairs, including self pairs
+  SelfJoinStats stats;
+};
+
+class GpuSelfJoin {
+ public:
+  explicit GpuSelfJoin(GpuSelfJoinOptions opt = {});
+
+  /// Compute the full self-join of `d` with distance threshold eps >= 0.
+  SelfJoinResult run(const Dataset& d, double eps) const;
+
+  const GpuSelfJoinOptions& options() const { return opt_; }
+
+ private:
+  GpuSelfJoinOptions opt_;
+};
+
+}  // namespace sj

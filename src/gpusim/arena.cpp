@@ -1,0 +1,21 @@
+#include "gpusim/arena.hpp"
+
+#include <algorithm>
+
+namespace sj::gpu {
+
+void GlobalMemoryArena::allocate(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bytes > capacity_ - used_) {
+    throw DeviceOutOfMemory(bytes, capacity_ - used_);
+  }
+  used_ += bytes;
+  peak_ = std::max(peak_, used_);
+}
+
+void GlobalMemoryArena::release(std::size_t bytes) noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  used_ -= std::min(bytes, used_);
+}
+
+}  // namespace sj::gpu

@@ -1,0 +1,126 @@
+// Global-memory arena: enforces the device's memory capacity.
+//
+// Device buffers live in host RAM (this is a simulation) but every
+// allocation is accounted against the modelled global-memory capacity;
+// exceeding it throws DeviceOutOfMemory, exactly the constraint that
+// forces the paper's batching scheme (Section V-A).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "gpusim/device.hpp"
+
+namespace sj::gpu {
+
+class DeviceOutOfMemory : public std::runtime_error {
+ public:
+  DeviceOutOfMemory(std::size_t requested, std::size_t free_bytes)
+      : std::runtime_error("device out of memory: requested " +
+                           std::to_string(requested) + " bytes, " +
+                           std::to_string(free_bytes) + " free"),
+        requested(requested),
+        free_bytes(free_bytes) {}
+
+  std::size_t requested;
+  std::size_t free_bytes;
+};
+
+class GlobalMemoryArena {
+ public:
+  explicit GlobalMemoryArena(const DeviceSpec& spec)
+      : capacity_(spec.global_mem_bytes) {}
+  explicit GlobalMemoryArena(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  GlobalMemoryArena(const GlobalMemoryArena&) = delete;
+  GlobalMemoryArena& operator=(const GlobalMemoryArena&) = delete;
+
+  /// Reserve `bytes`; throws DeviceOutOfMemory when it does not fit.
+  void allocate(std::size_t bytes);
+  /// Release `bytes` previously allocated.
+  void release(std::size_t bytes) noexcept;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+  std::size_t free_bytes() const { return capacity_ - used_; }
+  std::size_t peak_used() const { return peak_; }
+
+ private:
+  std::mutex mu_;
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t peak_ = 0;
+};
+
+/// Typed device allocation (the analogue of cudaMalloc'd memory). Storage
+/// is host RAM; capacity accounting goes through the arena. Movable,
+/// non-copyable (like a device pointer with unique ownership).
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  /// Storage is intentionally NOT value-initialised (cudaMalloc semantics:
+  /// device memory starts undefined) — large result buffers would
+  /// otherwise pay a full memset before every join.
+  DeviceBuffer(GlobalMemoryArena& arena, std::size_t count)
+      : arena_(&arena), bytes_(count * sizeof(T)) {
+    arena_->allocate(bytes_);
+    try {
+      storage_ = std::make_unique_for_overwrite<T[]>(count);
+      count_ = count;
+    } catch (...) {
+      arena_->release(bytes_);
+      throw;
+    }
+  }
+
+  DeviceBuffer(DeviceBuffer&& other) noexcept { swap(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      reset();
+      swap(other);
+    }
+    return *this;
+  }
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  ~DeviceBuffer() { reset(); }
+
+  void reset() {
+    if (arena_ != nullptr) {
+      arena_->release(bytes_);
+      arena_ = nullptr;
+    }
+    storage_.reset();
+    count_ = 0;
+    bytes_ = 0;
+  }
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  T* data() { return storage_.get(); }
+  const T* data() const { return storage_.get(); }
+  T& operator[](std::size_t i) { return storage_[i]; }
+  const T& operator[](std::size_t i) const { return storage_[i]; }
+
+ private:
+  void swap(DeviceBuffer& other) noexcept {
+    std::swap(arena_, other.arena_);
+    std::swap(bytes_, other.bytes_);
+    std::swap(count_, other.count_);
+    storage_.swap(other.storage_);
+  }
+
+  GlobalMemoryArena* arena_ = nullptr;
+  std::size_t bytes_ = 0;
+  std::size_t count_ = 0;
+  std::unique_ptr<T[]> storage_;
+};
+
+}  // namespace sj::gpu

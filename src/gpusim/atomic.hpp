@@ -1,0 +1,28 @@
+// Device atomics. Result pairs are appended through an atomic cursor,
+// mirroring the paper's "atomic: resultSet <- resultSet U result"
+// (Algorithm 1, line 17).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sj::gpu {
+
+/// Analogue of CUDA atomicAdd on an unsigned 64-bit counter.
+class DeviceCounter {
+ public:
+  DeviceCounter() : v_(0) {}
+
+  /// Returns the value before the addition (CUDA atomicAdd semantics).
+  std::uint64_t fetch_add(std::uint64_t n) {
+    return v_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t load() const { return v_.load(std::memory_order_relaxed); }
+  void store(std::uint64_t n) { v_.store(n, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_;
+};
+
+}  // namespace sj::gpu

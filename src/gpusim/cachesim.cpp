@@ -1,0 +1,51 @@
+#include "gpusim/cachesim.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace sj::gpu {
+
+CacheSim::CacheSim(std::size_t capacity_bytes, int line_bytes, int ways)
+    : line_bytes_(line_bytes), ways_(ways) {
+  if (line_bytes <= 0 || ways <= 0 || capacity_bytes == 0) {
+    throw std::invalid_argument("CacheSim: invalid geometry");
+  }
+  sets_ = capacity_bytes / (static_cast<std::size_t>(line_bytes) * ways);
+  if (sets_ == 0) sets_ = 1;
+  tags_.assign(sets_ * ways_, std::numeric_limits<std::uint64_t>::max());
+  lru_.assign(sets_ * ways_, 0);
+}
+
+bool CacheSim::access(std::uint64_t addr, unsigned bytes) {
+  const std::uint64_t first = addr / line_bytes_;
+  const std::uint64_t last = (addr + (bytes == 0 ? 0 : bytes - 1)) / line_bytes_;
+  bool all_hit = true;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    all_hit = access_line(line) && all_hit;
+  }
+  return all_hit;
+}
+
+bool CacheSim::access_line(std::uint64_t line_addr) {
+  const std::size_t set = line_addr % sets_;
+  const std::size_t base = set * ways_;
+  ++clock_;
+  for (int w = 0; w < ways_; ++w) {
+    if (tags_[base + w] == line_addr) {
+      lru_[base + w] = clock_;
+      ++hits_;
+      return true;
+    }
+  }
+  // Miss: evict LRU way.
+  std::size_t victim = base;
+  for (int w = 1; w < ways_; ++w) {
+    if (lru_[base + w] < lru_[victim]) victim = base + w;
+  }
+  tags_[victim] = line_addr;
+  lru_[victim] = clock_;
+  ++misses_;
+  return false;
+}
+
+}  // namespace sj::gpu

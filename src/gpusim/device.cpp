@@ -1,0 +1,14 @@
+#include "gpusim/device.hpp"
+
+namespace sj::gpu {
+
+DeviceSpec DeviceSpec::titan_x_pascal() { return DeviceSpec{}; }
+
+DeviceSpec DeviceSpec::tiny(std::size_t global_bytes) {
+  DeviceSpec s;
+  s.name = "Simulated tiny device";
+  s.global_mem_bytes = global_bytes;
+  return s;
+}
+
+}  // namespace sj::gpu

@@ -1,0 +1,53 @@
+// Device model for the simulated GPU.
+//
+// The paper's experiments ran on an NVIDIA TITAN X (Pascal, GP102) with
+// 12 GiB of global memory (Section VI-B). This substrate reproduces the
+// *resource model* of that device — SM count, threads/blocks/registers per
+// SM, global-memory capacity, unified (L1) cache geometry, and PCIe
+// transfer bandwidth — so that the capacity constraint that motivates the
+// batching scheme and the occupancy/cache metrics of Table II can be
+// regenerated without CUDA hardware.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sj::gpu {
+
+struct DeviceSpec {
+  std::string name = "Simulated TITAN X (Pascal)";
+
+  // Streaming-multiprocessor resources (GP102).
+  int sm_count = 28;
+  int warp_size = 32;
+  int max_threads_per_sm = 2048;
+  int max_blocks_per_sm = 32;
+  int max_threads_per_block = 1024;
+  std::uint32_t regs_per_sm = 65536;
+  std::uint32_t reg_alloc_granularity = 256;  // per-warp register allocation
+  int max_regs_per_thread = 255;
+  std::size_t shared_mem_per_sm = 98304;
+  std::size_t shared_mem_per_block = 49152;
+
+  // Memory system.
+  std::size_t global_mem_bytes = 12ULL * 1024 * 1024 * 1024;  // 12 GiB
+  std::size_t l1_bytes = 49152;  // unified L1/texture cache per SM
+  int l1_line_bytes = 128;
+  int l1_ways = 4;
+  double core_clock_ghz = 1.417;
+  int l1_hit_latency_cycles = 28;
+  int mem_latency_cycles = 350;
+
+  // Host link (PCIe 3.0 x16 effective).
+  double pcie_bandwidth_gbs = 12.0;
+
+  /// The paper's evaluation device.
+  static DeviceSpec titan_x_pascal();
+
+  /// A tiny device used by tests to force out-of-memory and batching
+  /// paths without allocating much host RAM.
+  static DeviceSpec tiny(std::size_t global_bytes);
+};
+
+}  // namespace sj::gpu

@@ -1,0 +1,7 @@
+#include "gpusim/kernel.hpp"
+
+// launch() is a header template; this translation unit exists so the
+// library has a home for future non-template launch plumbing and keeps
+// the target's source list honest.
+
+namespace sj::gpu {}  // namespace sj::gpu

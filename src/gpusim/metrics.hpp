@@ -1,0 +1,50 @@
+// Kernel profiling counters — the simulated analogue of the nVIDIA Visual
+// Profiler metrics the paper collects for Table II (occupancy and unified
+// cache utilisation), plus algorithmic work counters (cells searched,
+// distance calculations) used by the EXPERIMENTS.md work-count analysis.
+#pragma once
+
+#include <cstdint>
+
+namespace sj::gpu {
+
+struct KernelMetrics {
+  // Algorithmic work.
+  std::uint64_t cells_examined = 0;    // adjacent cells enumerated
+  std::uint64_t cells_nonempty = 0;    // cells found in B (binary search hit)
+  std::uint64_t distance_calcs = 0;    // point-point distance evaluations
+  std::uint64_t results = 0;           // pairs emitted
+
+  // Memory behaviour (metrics mode only).
+  std::uint64_t global_loads = 0;      // point-coordinate loads
+  std::uint64_t global_load_bytes = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
+  // Derived/modelled.
+  double kernel_seconds = 0.0;         // wall-clock kernel time
+  double occupancy = 0.0;              // theoretical occupancy [0, 1]
+  double cache_bw_gbs = 0.0;           // modelled unified-cache bandwidth
+
+  double cache_hit_rate() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
+
+  KernelMetrics& operator+=(const KernelMetrics& o) {
+    cells_examined += o.cells_examined;
+    cells_nonempty += o.cells_nonempty;
+    distance_calcs += o.distance_calcs;
+    results += o.results;
+    global_loads += o.global_loads;
+    global_load_bytes += o.global_load_bytes;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    kernel_seconds += o.kernel_seconds;
+    return *this;
+  }
+};
+
+}  // namespace sj::gpu

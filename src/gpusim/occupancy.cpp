@@ -1,0 +1,56 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+
+namespace sj::gpu {
+
+namespace {
+
+std::uint32_t round_up(std::uint32_t v, std::uint32_t granularity) {
+  return (v + granularity - 1) / granularity * granularity;
+}
+
+}  // namespace
+
+OccupancyResult theoretical_occupancy(const DeviceSpec& spec, int block_size,
+                                      int regs_per_thread,
+                                      std::size_t smem_per_block) {
+  OccupancyResult r;
+  if (block_size <= 0 || block_size > spec.max_threads_per_block) return r;
+
+  r.limit_threads = spec.max_threads_per_sm / block_size;
+
+  const int warps_per_block =
+      (block_size + spec.warp_size - 1) / spec.warp_size;
+  if (regs_per_thread > 0) {
+    const std::uint32_t regs_per_warp =
+        round_up(static_cast<std::uint32_t>(regs_per_thread) *
+                     static_cast<std::uint32_t>(spec.warp_size),
+                 spec.reg_alloc_granularity);
+    const std::uint32_t regs_per_block =
+        regs_per_warp * static_cast<std::uint32_t>(warps_per_block);
+    r.limit_regs = static_cast<int>(spec.regs_per_sm / regs_per_block);
+  } else {
+    r.limit_regs = spec.max_blocks_per_sm;
+  }
+
+  r.limit_smem = smem_per_block == 0
+                     ? spec.max_blocks_per_sm
+                     : static_cast<int>(spec.shared_mem_per_sm /
+                                        smem_per_block);
+  r.limit_blocks = spec.max_blocks_per_sm;
+
+  r.blocks_per_sm = std::min({r.limit_threads, r.limit_regs, r.limit_smem,
+                              r.limit_blocks});
+  r.blocks_per_sm = std::max(r.blocks_per_sm, 0);
+  r.active_threads_per_sm = r.blocks_per_sm * block_size;
+  r.occupancy = static_cast<double>(r.active_threads_per_sm) /
+                static_cast<double>(spec.max_threads_per_sm);
+  return r;
+}
+
+int self_join_regs_per_thread(int dim, bool unicomp) {
+  return 24 + 4 * dim + (unicomp ? 8 : 0);
+}
+
+}  // namespace sj::gpu

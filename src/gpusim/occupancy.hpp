@@ -1,0 +1,42 @@
+// Theoretical occupancy calculator (the CUDA occupancy model for Pascal).
+//
+// Table II of the paper reports theoretical occupancy for the self-join
+// kernels with and without UNICOMP (100%/75% in 2-D, 62.5%/50% in 5-6-D)
+// and attributes the drop to register pressure. This module reproduces
+// the CUDA occupancy calculation: blocks per SM are limited by threads,
+// registers (allocated per warp at a fixed granularity), shared memory,
+// and the hardware block limit; occupancy is active threads over the SM's
+// maximum.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device.hpp"
+
+namespace sj::gpu {
+
+struct OccupancyResult {
+  int blocks_per_sm = 0;
+  int active_threads_per_sm = 0;
+  double occupancy = 0.0;  // in [0, 1]
+  // The individual limits (useful for "what is the bottleneck" queries).
+  int limit_threads = 0;
+  int limit_regs = 0;
+  int limit_smem = 0;
+  int limit_blocks = 0;
+};
+
+/// Theoretical occupancy of a kernel with `regs_per_thread` registers and
+/// `smem_per_block` bytes of shared memory at the given block size.
+OccupancyResult theoretical_occupancy(const DeviceSpec& spec, int block_size,
+                                      int regs_per_thread,
+                                      std::size_t smem_per_block = 0);
+
+/// Register-usage model for the self-join kernels. Derived from the
+/// occupancies the paper reports in Table II: the base kernel uses
+/// 24 + 4*dim registers per thread and UNICOMP adds 8 (its extra loop
+/// state and parity bookkeeping). Reproduces 100%/75% at 2-D and
+/// 62.5%/50% at 5-6-D with 256-thread blocks on the Pascal spec.
+int self_join_regs_per_thread(int dim, bool unicomp);
+
+}  // namespace sj::gpu

@@ -1,0 +1,49 @@
+#include "gpusim/sort.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace sj::gpu {
+
+namespace {
+
+inline std::uint64_t packed(const Pair& p) {
+  return (static_cast<std::uint64_t>(p.key) << 32) | p.value;
+}
+
+}  // namespace
+
+void sort_pairs_by_key(Pair* data, std::size_t n, Pair* tmp) {
+  if (n < 2) return;
+  constexpr int kBits = 16;
+  constexpr std::size_t kBuckets = std::size_t{1} << kBits;
+  std::vector<std::size_t> count(kBuckets);
+
+  Pair* src = data;
+  Pair* dst = tmp;
+  for (int shift = 0; shift < 64; shift += kBits) {
+    std::fill(count.begin(), count.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++count[(packed(src[i]) >> shift) & (kBuckets - 1)];
+    }
+    // Pass elision: if every element shares one digit the pass is the
+    // identity (common for the high key/value bits).
+    if (count[(packed(src[0]) >> shift) & (kBuckets - 1)] == n) continue;
+
+    std::size_t sum = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      const std::size_t c = count[b];
+      count[b] = sum;
+      sum += c;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[count[(packed(src[i]) >> shift) & (kBuckets - 1)]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != data) std::memcpy(data, src, n * sizeof(Pair));
+}
+
+}  // namespace sj::gpu

@@ -1,0 +1,19 @@
+// Device key/value sort — the stand-in for thrust::sort_by_key, which the
+// paper applies to each batch's (query id, neighbour id) pairs before
+// transferring them to the host (Section IV-E). Thrust dispatches integer
+// keys to a radix sort; this is the serial equivalent (LSD radix over the
+// packed 64-bit (key, value), 16 bits per pass), far cheaper than a
+// comparison sort at the result-set sizes the self-join produces.
+#pragma once
+
+#include <cstddef>
+
+#include "common/result.hpp"
+
+namespace sj::gpu {
+
+/// Sort pairs lexicographically by (key, value). `tmp` must hold at least
+/// `n` elements (the analogue of thrust's O(n) temporary device storage).
+void sort_pairs_by_key(Pair* data, std::size_t n, Pair* tmp);
+
+}  // namespace sj::gpu

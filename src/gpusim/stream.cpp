@@ -1,0 +1,65 @@
+#include "gpusim/stream.hpp"
+
+namespace sj::gpu {
+
+Stream::Stream(const DeviceSpec& spec) : spec_(spec) {
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+Stream::~Stream() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void Stream::enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void Stream::memcpy_async(void* dst, const void* src, std::size_t bytes) {
+  enqueue([this, dst, src, bytes] {
+    std::memcpy(dst, src, bytes);
+    // Accounting happens on the worker thread; synchronize() establishes
+    // the happens-before edge for readers.
+    bytes_copied_ += bytes;
+    modeled_copy_seconds_ +=
+        static_cast<double>(bytes) / (spec_.pcie_bandwidth_gbs * 1e9);
+  });
+}
+
+void Stream::synchronize() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+void Stream::worker_loop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    fn();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      busy_ = false;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace sj::gpu

@@ -1,0 +1,80 @@
+// Minimum bounding rectangles for the R-tree (Guttman 1984), in runtime
+// dimensionality up to kMaxDims.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/distance.hpp"
+
+namespace sj::rtree {
+
+struct MBR {
+  double lo[kMaxDims];
+  double hi[kMaxDims];
+
+  static MBR of_point(const double* pt, int dim) {
+    MBR m;
+    for (int j = 0; j < dim; ++j) {
+      m.lo[j] = pt[j];
+      m.hi[j] = pt[j];
+    }
+    return m;
+  }
+
+  void expand(const MBR& o, int dim) {
+    for (int j = 0; j < dim; ++j) {
+      lo[j] = std::min(lo[j], o.lo[j]);
+      hi[j] = std::max(hi[j], o.hi[j]);
+    }
+  }
+
+  double area(int dim) const {
+    double a = 1.0;
+    for (int j = 0; j < dim; ++j) a *= hi[j] - lo[j];
+    return a;
+  }
+
+  /// Area increase if `o` were merged in (Guttman's ChooseLeaf metric).
+  double enlargement(const MBR& o, int dim) const {
+    double merged = 1.0;
+    for (int j = 0; j < dim; ++j) {
+      merged *= std::max(hi[j], o.hi[j]) - std::min(lo[j], o.lo[j]);
+    }
+    return merged - area(dim);
+  }
+
+  bool contains(const MBR& o, int dim) const {
+    for (int j = 0; j < dim; ++j) {
+      if (o.lo[j] < lo[j] || o.hi[j] > hi[j]) return false;
+    }
+    return true;
+  }
+
+  /// Intersection with the axis-aligned query window
+  /// [center - eps, center + eps]^dim — the search phase of
+  /// search-and-refine generates candidates through this window.
+  bool intersects_window(const double* center, double eps, int dim) const {
+    for (int j = 0; j < dim; ++j) {
+      if (hi[j] < center[j] - eps || lo[j] > center[j] + eps) return false;
+    }
+    return true;
+  }
+
+  /// Squared minimum distance from a point to this rectangle.
+  double min_sq_dist(const double* pt, int dim) const {
+    double acc = 0.0;
+    for (int j = 0; j < dim; ++j) {
+      double d = 0.0;
+      if (pt[j] < lo[j]) {
+        d = lo[j] - pt[j];
+      } else if (pt[j] > hi[j]) {
+        d = pt[j] - hi[j];
+      }
+      acc += d * d;
+    }
+    return acc;
+  }
+};
+
+}  // namespace sj::rtree

@@ -1,0 +1,372 @@
+#include "rtree/rtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sj::rtree {
+
+struct RTree::Node {
+  bool leaf = true;
+  Node* parent = nullptr;
+  std::vector<MBR> entry_mbrs;
+  std::vector<std::unique_ptr<Node>> children;  // internal nodes
+  std::vector<std::uint32_t> ids;               // leaf nodes
+
+  std::size_t count() const {
+    return leaf ? ids.size() : children.size();
+  }
+
+  MBR bounding(int dim) const {
+    MBR m = entry_mbrs.front();
+    for (std::size_t i = 1; i < entry_mbrs.size(); ++i) {
+      m.expand(entry_mbrs[i], dim);
+    }
+    return m;
+  }
+};
+
+RTree::RTree(int dim, Options opt) : dim_(dim), opt_(opt) {
+  if (dim < 1 || dim > kMaxDims) {
+    throw std::invalid_argument("RTree: dim out of range");
+  }
+  if (opt_.min_entries < 1 || opt_.min_entries > opt_.max_entries / 2) {
+    throw std::invalid_argument("RTree: need 1 <= min_entries <= max/2");
+  }
+}
+
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+RTree::Node* RTree::choose_leaf(Node* node, const MBR& mbr) {
+  while (!node->leaf) {
+    std::size_t best = 0;
+    double best_enl = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < node->entry_mbrs.size(); ++i) {
+      const double enl = node->entry_mbrs[i].enlargement(mbr, dim_);
+      const double area = node->entry_mbrs[i].area(dim_);
+      if (enl < best_enl || (enl == best_enl && area < best_area)) {
+        best = i;
+        best_enl = enl;
+        best_area = area;
+      }
+    }
+    node->entry_mbrs[best].expand(mbr, dim_);
+    node = node->children[best].get();
+  }
+  return node;
+}
+
+void RTree::insert(const double* pt, std::uint32_t id) {
+  const MBR mbr = MBR::of_point(pt, dim_);
+  if (!root_) {
+    root_ = std::make_unique<Node>();
+  }
+  Node* leaf = choose_leaf(root_.get(), mbr);
+  leaf->entry_mbrs.push_back(mbr);
+  leaf->ids.push_back(id);
+  ++size_;
+  if (leaf->count() > static_cast<std::size_t>(opt_.max_entries)) {
+    split_node(leaf);
+  } else {
+    adjust_upwards(leaf);
+  }
+}
+
+void RTree::split_node(Node* node) {
+  // Collect the node's entries.
+  const std::size_t n = node->count();
+  std::vector<MBR> mbrs = std::move(node->entry_mbrs);
+  std::vector<std::unique_ptr<Node>> children = std::move(node->children);
+  std::vector<std::uint32_t> ids = std::move(node->ids);
+  node->entry_mbrs.clear();
+  node->children.clear();
+  node->ids.clear();
+
+  // Quadratic PickSeeds: the pair wasting the most area.
+  std::size_t seed1 = 0, seed2 = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      MBR u = mbrs[i];
+      u.expand(mbrs[j], dim_);
+      const double waste = u.area(dim_) - mbrs[i].area(dim_) - mbrs[j].area(dim_);
+      if (waste > worst) {
+        worst = waste;
+        seed1 = i;
+        seed2 = j;
+      }
+    }
+  }
+
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = node->leaf;
+
+  std::vector<bool> assigned(n, false);
+  MBR box1 = mbrs[seed1];
+  MBR box2 = mbrs[seed2];
+  auto put = [&](Node* dst, std::size_t i) {
+    dst->entry_mbrs.push_back(mbrs[i]);
+    if (node->leaf) {
+      dst->ids.push_back(ids[i]);
+    } else {
+      children[i]->parent = dst;
+      dst->children.push_back(std::move(children[i]));
+    }
+    assigned[i] = true;
+  };
+  put(node, seed1);
+  put(sibling.get(), seed2);
+
+  std::size_t remaining = n - 2;
+  while (remaining > 0) {
+    const std::size_t need1 =
+        static_cast<std::size_t>(opt_.min_entries) > node->count()
+            ? opt_.min_entries - node->count()
+            : 0;
+    const std::size_t need2 =
+        static_cast<std::size_t>(opt_.min_entries) > sibling->count()
+            ? opt_.min_entries - sibling->count()
+            : 0;
+    // If one group must absorb all remaining entries to reach the
+    // minimum, assign them wholesale (Guttman's QS2).
+    if (need1 == remaining || need2 == remaining) {
+      Node* dst = need1 == remaining ? node : sibling.get();
+      MBR* box = need1 == remaining ? &box1 : &box2;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!assigned[i]) {
+          box->expand(mbrs[i], dim_);
+          put(dst, i);
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    // PickNext: entry with the greatest preference for one group.
+    std::size_t pick = n;
+    double best_diff = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (assigned[i]) continue;
+      const double d1 = box1.enlargement(mbrs[i], dim_);
+      const double d2 = box2.enlargement(mbrs[i], dim_);
+      const double diff = std::abs(d1 - d2);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+      }
+    }
+    const double d1 = box1.enlargement(mbrs[pick], dim_);
+    const double d2 = box2.enlargement(mbrs[pick], dim_);
+    bool to_first;
+    if (d1 != d2) {
+      to_first = d1 < d2;
+    } else if (box1.area(dim_) != box2.area(dim_)) {
+      to_first = box1.area(dim_) < box2.area(dim_);
+    } else {
+      to_first = node->count() <= sibling->count();
+    }
+    if (to_first) {
+      box1.expand(mbrs[pick], dim_);
+      put(node, pick);
+    } else {
+      box2.expand(mbrs[pick], dim_);
+      put(sibling.get(), pick);
+    }
+    --remaining;
+  }
+
+  // Attach the sibling to the parent (creating a new root if needed).
+  if (node->parent == nullptr) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    Node* old = root_.release();
+    old->parent = new_root.get();
+    sibling->parent = new_root.get();
+    new_root->entry_mbrs.push_back(old->bounding(dim_));
+    new_root->children.emplace_back(old);
+    new_root->entry_mbrs.push_back(sibling->bounding(dim_));
+    new_root->children.push_back(std::move(sibling));
+    root_ = std::move(new_root);
+    return;
+  }
+
+  Node* parent = node->parent;
+  // Refresh this node's entry MBR in the parent.
+  for (std::size_t i = 0; i < parent->children.size(); ++i) {
+    if (parent->children[i].get() == node) {
+      parent->entry_mbrs[i] = node->bounding(dim_);
+      break;
+    }
+  }
+  sibling->parent = parent;
+  parent->entry_mbrs.push_back(sibling->bounding(dim_));
+  parent->children.push_back(std::move(sibling));
+  if (parent->count() > static_cast<std::size_t>(opt_.max_entries)) {
+    split_node(parent);
+  } else {
+    adjust_upwards(parent);
+  }
+}
+
+void RTree::adjust_upwards(Node* node) {
+  while (node->parent != nullptr) {
+    Node* parent = node->parent;
+    for (std::size_t i = 0; i < parent->children.size(); ++i) {
+      if (parent->children[i].get() == node) {
+        parent->entry_mbrs[i] = node->bounding(dim_);
+        break;
+      }
+    }
+    node = parent;
+  }
+}
+
+void RTree::bulk_load_str(const Dataset& d) {
+  root_.reset();
+  size_ = d.size();
+  if (d.empty()) return;
+
+  const std::size_t M = static_cast<std::size_t>(opt_.max_entries);
+
+  // Recursive sort-tile partition of point ids into leaf-sized runs.
+  std::vector<std::uint32_t> ids(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    ids[i] = static_cast<std::uint32_t>(i);
+  }
+  std::vector<std::unique_ptr<Node>> leaves;
+
+  // tile(first, last, axis): slab-partition on `axis`, recursing until the
+  // final axis, where leaf runs are emitted.
+  auto tile = [&](auto&& self, std::size_t first, std::size_t last,
+                  int axis) -> void {
+    const std::size_t n = last - first;
+    std::sort(ids.begin() + first, ids.begin() + last,
+              [&](std::uint32_t a, std::uint32_t b) {
+                return d.coord(a, axis) < d.coord(b, axis);
+              });
+    if (axis == dim_ - 1 || n <= M) {
+      for (std::size_t i = first; i < last; i += M) {
+        const std::size_t end = std::min(i + M, last);
+        auto leaf = std::make_unique<Node>();
+        for (std::size_t k = i; k < end; ++k) {
+          leaf->entry_mbrs.push_back(MBR::of_point(d.pt(ids[k]), dim_));
+          leaf->ids.push_back(ids[k]);
+        }
+        leaves.push_back(std::move(leaf));
+      }
+      return;
+    }
+    const std::size_t num_leaves = (n + M - 1) / M;
+    const auto slabs = static_cast<std::size_t>(std::ceil(
+        std::pow(static_cast<double>(num_leaves),
+                 1.0 / static_cast<double>(dim_ - axis))));
+    const std::size_t per_slab = (n + slabs - 1) / slabs;
+    for (std::size_t i = first; i < last; i += per_slab) {
+      self(self, i, std::min(i + per_slab, last), axis + 1);
+    }
+  };
+  tile(tile, 0, d.size(), 0);
+
+  root_ = build_str_level(std::move(leaves));
+}
+
+std::unique_ptr<RTree::Node> RTree::build_str_level(
+    std::vector<std::unique_ptr<Node>> nodes) {
+  const std::size_t M = static_cast<std::size_t>(opt_.max_entries);
+  while (nodes.size() > 1) {
+    std::vector<std::unique_ptr<Node>> parents;
+    for (std::size_t i = 0; i < nodes.size(); i += M) {
+      const std::size_t end = std::min(i + M, nodes.size());
+      auto parent = std::make_unique<Node>();
+      parent->leaf = false;
+      for (std::size_t k = i; k < end; ++k) {
+        parent->entry_mbrs.push_back(nodes[k]->bounding(dim_));
+        nodes[k]->parent = parent.get();
+        parent->children.push_back(std::move(nodes[k]));
+      }
+      parents.push_back(std::move(parent));
+    }
+    nodes = std::move(parents);
+  }
+  return std::move(nodes.front());
+}
+
+void RTree::window_candidates(const double* center, double eps,
+                              std::vector<std::uint32_t>& out,
+                              QueryStats* stats) const {
+  if (!root_) return;
+  // Explicit stack; tree depth is O(log n) but candidates can be many.
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (stats != nullptr) ++stats->nodes_visited;
+    for (std::size_t i = 0; i < node->entry_mbrs.size(); ++i) {
+      if (!node->entry_mbrs[i].intersects_window(center, eps, dim_)) continue;
+      if (node->leaf) {
+        out.push_back(node->ids[i]);
+        if (stats != nullptr) ++stats->candidates;
+      } else {
+        stack.push_back(node->children[i].get());
+      }
+    }
+  }
+}
+
+void RTree::range_query(const Dataset& d, const double* center, double eps,
+                        std::vector<std::uint32_t>& out,
+                        QueryStats* stats) const {
+  std::vector<std::uint32_t> candidates;
+  window_candidates(center, eps, candidates, stats);
+  const double eps2 = eps * eps;
+  for (std::uint32_t id : candidates) {
+    if (sq_dist(center, d.pt(id), dim_) <= eps2) out.push_back(id);
+  }
+}
+
+int RTree::height() const {
+  int h = 0;
+  const Node* node = root_.get();
+  while (node != nullptr) {
+    ++h;
+    node = node->leaf ? nullptr : node->children.front().get();
+  }
+  return h;
+}
+
+bool RTree::check_invariants() const {
+  if (!root_) return size_ == 0;
+  int leaf_depth = -1;
+  std::size_t points = 0;
+  bool ok = true;
+
+  auto visit = [&](auto&& self, const Node* node, int depth,
+                   bool is_root) -> void {
+    const std::size_t c = node->count();
+    if (!is_root && (c < static_cast<std::size_t>(opt_.min_entries) ||
+                     c > static_cast<std::size_t>(opt_.max_entries))) {
+      // STR packing can legally leave underfull rightmost nodes; only an
+      // overflow is a hard violation.
+      if (c > static_cast<std::size_t>(opt_.max_entries)) ok = false;
+    }
+    if (node->leaf) {
+      if (leaf_depth == -1) leaf_depth = depth;
+      if (leaf_depth != depth) ok = false;  // unbalanced
+      points += node->ids.size();
+      return;
+    }
+    for (std::size_t i = 0; i < node->children.size(); ++i) {
+      const MBR child_box = node->children[i]->bounding(dim_);
+      if (!node->entry_mbrs[i].contains(child_box, dim_)) ok = false;
+      if (node->children[i]->parent != node) ok = false;
+      self(self, node->children[i].get(), depth + 1, false);
+    }
+  };
+  visit(visit, root_.get(), 0, true);
+  return ok && points == size_;
+}
+
+}  // namespace sj::rtree

@@ -1,0 +1,79 @@
+// Guttman R-tree (1984) — the reference index for the CPU-RTREE
+// search-and-refine baseline (paper Section VI-B).
+//
+// Supports one-at-a-time insertion with quadratic split (the classic
+// construction the paper references via [9]) and STR bulk loading
+// (sort-tile-recursive), which the ablation bench compares against the
+// paper's "sort into unit bins, then insert" preparation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/dataset.hpp"
+#include "rtree/mbr.hpp"
+
+namespace sj::rtree {
+
+struct Options {
+  int max_entries = 16;
+  int min_entries = 6;  // Guttman recommends m <= M/2
+};
+
+struct QueryStats {
+  std::uint64_t nodes_visited = 0;
+  std::uint64_t candidates = 0;  // points reaching the refine step
+};
+
+class RTree {
+ public:
+  explicit RTree(int dim, Options opt = {});
+  ~RTree();
+  RTree(RTree&&) noexcept;
+  RTree& operator=(RTree&&) noexcept;
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  void insert(const double* pt, std::uint32_t id);
+
+  /// STR bulk load: replaces the current content with a packed tree over
+  /// the dataset. Far cheaper to build and better clustered than repeated
+  /// insertion.
+  void bulk_load_str(const Dataset& d);
+
+  /// Search phase: ids of all points whose coordinates fall inside the
+  /// window [center - eps, center + eps]; the caller refines with the
+  /// exact distance. `out` is appended to.
+  void window_candidates(const double* center, double eps,
+                         std::vector<std::uint32_t>& out,
+                         QueryStats* stats = nullptr) const;
+
+  /// Convenience: full search-and-refine range query (exact distances).
+  void range_query(const Dataset& d, const double* center, double eps,
+                   std::vector<std::uint32_t>& out,
+                   QueryStats* stats = nullptr) const;
+
+  std::size_t size() const { return size_; }
+  int height() const;
+
+  /// Structural invariants (tests): every child MBR is contained in its
+  /// parent entry, and entry counts respect [min_entries, max_entries]
+  /// (root exempt).
+  bool check_invariants() const;
+
+ private:
+  struct Node;
+
+  Node* choose_leaf(Node* node, const MBR& mbr);
+  void split_node(Node* node);
+  void adjust_upwards(Node* node);
+  std::unique_ptr<Node> build_str_level(std::vector<std::unique_ptr<Node>> nodes);
+
+  int dim_;
+  Options opt_;
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sj::rtree

@@ -1,0 +1,72 @@
+#include "rtree/rtree_self_join.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/timer.hpp"
+
+namespace sj::rtree {
+
+std::vector<std::uint32_t> binned_insertion_order(const Dataset& d) {
+  std::vector<std::uint32_t> order(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    order[i] = static_cast<std::uint32_t>(i);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              for (int j = 0; j < d.dim(); ++j) {
+                const double ba = std::floor(d.coord(a, j));
+                const double bb = std::floor(d.coord(b, j));
+                if (ba != bb) return ba < bb;
+              }
+              return a < b;
+            });
+  return order;
+}
+
+RTreeSelfJoinResult self_join(const Dataset& d, double eps, BuildMode mode,
+                              Options opt) {
+  RTreeSelfJoinResult result;
+  if (d.empty()) return result;
+
+  Timer build_timer;
+  RTree tree(d.dim(), opt);
+  switch (mode) {
+    case BuildMode::kBinnedInsert: {
+      const auto order = binned_insertion_order(d);
+      for (std::uint32_t id : order) tree.insert(d.pt(id), id);
+      break;
+    }
+    case BuildMode::kStrBulkLoad:
+      tree.bulk_load_str(d);
+      break;
+    case BuildMode::kRawInsert:
+      for (std::size_t i = 0; i < d.size(); ++i) {
+        tree.insert(d.pt(i), static_cast<std::uint32_t>(i));
+      }
+      break;
+  }
+  result.stats.build_seconds = build_timer.seconds();
+  result.stats.tree_height = tree.height();
+
+  Timer query_timer;
+  QueryStats qs;
+  const double eps2 = eps * eps;
+  std::vector<std::uint32_t> candidates;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    candidates.clear();
+    tree.window_candidates(d.pt(i), eps, candidates, &qs);
+    result.stats.distance_calcs += candidates.size();
+    for (std::uint32_t q : candidates) {
+      if (sq_dist(d.pt(i), d.pt(q), d.dim()) <= eps2) {
+        result.pairs.add(static_cast<std::uint32_t>(i), q);
+      }
+    }
+  }
+  result.stats.query_seconds = query_timer.seconds();
+  result.stats.nodes_visited = qs.nodes_visited;
+  result.stats.candidates = qs.candidates;
+  return result;
+}
+
+}  // namespace sj::rtree

@@ -1,0 +1,47 @@
+// CPU-RTREE: the sequential search-and-refine self-join baseline
+// (paper Section VI-B): one range query per point against an R-tree.
+//
+// As in the paper, the data is first sorted into unit-length bins in each
+// dimension before insertion, "so internal nodes of the R-tree do not
+// encompass too much empty space"; index construction time is reported
+// separately (the paper's timings exclude it).
+#pragma once
+
+#include <cstdint>
+
+#include "common/dataset.hpp"
+#include "common/result.hpp"
+#include "rtree/rtree.hpp"
+
+namespace sj::rtree {
+
+enum class BuildMode {
+  kBinnedInsert,  // the paper's preparation: unit-bin sort, then insert
+  kStrBulkLoad,   // ablation: sort-tile-recursive packing
+  kRawInsert,     // ablation: insertion in dataset order
+};
+
+struct RTreeSelfJoinStats {
+  double build_seconds = 0.0;
+  double query_seconds = 0.0;  // what the paper reports
+  std::uint64_t nodes_visited = 0;
+  std::uint64_t candidates = 0;      // search-phase output volume
+  std::uint64_t distance_calcs = 0;  // refine-phase work
+  int tree_height = 0;
+};
+
+struct RTreeSelfJoinResult {
+  ResultSet pairs;
+  RTreeSelfJoinStats stats;
+};
+
+/// Build the index (per `mode`), then run one range query per point.
+RTreeSelfJoinResult self_join(const Dataset& d, double eps,
+                              BuildMode mode = BuildMode::kBinnedInsert,
+                              Options opt = {});
+
+/// The insertion order the paper uses: ids sorted by unit-length bin
+/// (lexicographic over floor(x_j)). Exposed for tests and the ablation.
+std::vector<std::uint32_t> binned_insertion_order(const Dataset& d);
+
+}  // namespace sj::rtree

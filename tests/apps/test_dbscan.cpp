@@ -1,0 +1,197 @@
+// DBSCAN on the GPU self-join: semantics checked against a direct
+// reference implementation that uses brute-force neighbourhoods.
+#include "apps/dbscan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/datagen.hpp"
+#include "common/distance.hpp"
+#include "common/rng.hpp"
+
+namespace sj::apps {
+namespace {
+
+/// Reference DBSCAN with brute-force neighbourhoods (standard textbook
+/// expansion; identical label-partitioning semantics).
+std::vector<int> reference_dbscan(const Dataset& d, double eps,
+                                  std::size_t min_pts) {
+  const double eps2 = eps * eps;
+  const std::size_t n = d.size();
+  std::vector<std::vector<std::uint32_t>> nbrs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (sq_dist(d.pt(i), d.pt(j), d.dim()) <= eps2) {
+        nbrs[i].push_back(static_cast<std::uint32_t>(j));
+      }
+    }
+  }
+  constexpr int kUnvisited = -2, kNoise = -1;
+  std::vector<int> label(n, kUnvisited);
+  int cluster = 0;
+  std::vector<std::uint32_t> frontier;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (label[i] != kUnvisited) continue;
+    if (nbrs[i].size() < min_pts) {
+      label[i] = kNoise;
+      continue;
+    }
+    label[i] = cluster;
+    frontier = nbrs[i];
+    while (!frontier.empty()) {
+      const std::uint32_t q = frontier.back();
+      frontier.pop_back();
+      if (label[q] == kNoise) {
+        label[q] = cluster;
+        continue;
+      }
+      if (label[q] != kUnvisited) continue;
+      label[q] = cluster;
+      if (nbrs[q].size() >= min_pts) {
+        frontier.insert(frontier.end(), nbrs[q].begin(), nbrs[q].end());
+      }
+    }
+    ++cluster;
+  }
+  return label;
+}
+
+/// Same partition up to cluster relabelling, with identical noise sets.
+/// Border points reachable from two clusters may legitimately differ, so
+/// the comparison checks core-point partitions exactly and border/noise
+/// status loosely: noise-vs-cluster status must agree.
+void expect_equivalent_clustering(const Dataset& d, double eps,
+                                  std::size_t min_pts,
+                                  const std::vector<int>& got,
+                                  const std::vector<int>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  // Noise exactly matches.
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i] < 0, want[i] < 0) << "noise status of point " << i;
+  }
+  // Core points: the cluster partition must be identical up to renaming.
+  const double eps2 = eps * eps;
+  std::map<int, int> mapping;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    std::size_t degree = 0;
+    for (std::size_t j = 0; j < d.size(); ++j) {
+      if (sq_dist(d.pt(i), d.pt(j), d.dim()) <= eps2) ++degree;
+    }
+    if (degree < min_pts) continue;  // border points may tie-break apart
+    ASSERT_GE(got[i], 0);
+    ASSERT_GE(want[i], 0);
+    const auto it = mapping.find(want[i]);
+    if (it == mapping.end()) {
+      for (const auto& [w, g] : mapping) EXPECT_NE(g, got[i]);
+      mapping[want[i]] = got[i];
+    } else {
+      EXPECT_EQ(it->second, got[i]) << "core point " << i;
+    }
+  }
+}
+
+TEST(Dbscan, MatchesReferenceOnBlobs) {
+  const auto d = datagen::gaussian_mixture(1200, 2, 6, 1.0, 0.0, 100.0, 71);
+  DbscanOptions opt;
+  opt.eps = 1.5;
+  opt.min_pts = 6;
+  const auto r = dbscan(d, opt);
+  const auto want = reference_dbscan(d, opt.eps, opt.min_pts);
+  expect_equivalent_clustering(d, opt.eps, opt.min_pts, r.labels, want);
+}
+
+TEST(Dbscan, MatchesReferenceOnUniform) {
+  const auto d = datagen::uniform(800, 2, 0.0, 100.0, 73);
+  DbscanOptions opt;
+  opt.eps = 3.0;
+  opt.min_pts = 5;
+  const auto r = dbscan(d, opt);
+  const auto want = reference_dbscan(d, opt.eps, opt.min_pts);
+  expect_equivalent_clustering(d, opt.eps, opt.min_pts, r.labels, want);
+}
+
+TEST(Dbscan, MatchesReference3D) {
+  const auto d = datagen::gaussian_mixture(900, 3, 4, 2.0, 0.0, 100.0, 75);
+  DbscanOptions opt;
+  opt.eps = 4.0;
+  opt.min_pts = 8;
+  const auto r = dbscan(d, opt);
+  const auto want = reference_dbscan(d, opt.eps, opt.min_pts);
+  expect_equivalent_clustering(d, opt.eps, opt.min_pts, r.labels, want);
+}
+
+TEST(Dbscan, WellSeparatedBlobsGiveExactClusterCount) {
+  // Three tight blobs far apart: exactly 3 clusters, no noise.
+  Dataset d(2);
+  Xoshiro256 rng(77);
+  const double centers[3][2] = {{10, 10}, {50, 50}, {90, 10}};
+  for (const auto& c : centers) {
+    for (int i = 0; i < 60; ++i) {
+      double p[2] = {c[0] + rng.normal(0.0, 0.5), c[1] + rng.normal(0.0, 0.5)};
+      d.push_back(p);
+    }
+  }
+  DbscanOptions opt;
+  opt.eps = 2.0;
+  opt.min_pts = 5;
+  const auto r = dbscan(d, opt);
+  EXPECT_EQ(r.num_clusters, 3);
+  EXPECT_EQ(r.num_noise, 0u);
+  const auto sizes = r.cluster_sizes();
+  for (auto s : sizes) EXPECT_EQ(s, 60u);
+}
+
+TEST(Dbscan, AllNoiseWhenSparse) {
+  const auto d = datagen::uniform(200, 2, 0.0, 1000.0, 79);
+  DbscanOptions opt;
+  opt.eps = 0.5;
+  opt.min_pts = 4;
+  const auto r = dbscan(d, opt);
+  EXPECT_EQ(r.num_clusters, 0);
+  EXPECT_EQ(r.num_noise, d.size());
+}
+
+TEST(Dbscan, SingleClusterWhenDense) {
+  const auto d = datagen::uniform(500, 2, 0.0, 5.0, 81);
+  DbscanOptions opt;
+  opt.eps = 2.0;
+  opt.min_pts = 4;
+  const auto r = dbscan(d, opt);
+  EXPECT_EQ(r.num_clusters, 1);
+  EXPECT_EQ(r.num_noise, 0u);
+}
+
+TEST(Dbscan, EmptyDataset) {
+  const auto r = dbscan(Dataset(2), DbscanOptions{});
+  EXPECT_EQ(r.num_clusters, 0);
+  EXPECT_TRUE(r.labels.empty());
+}
+
+TEST(Dbscan, StatsPopulated) {
+  const auto d = datagen::gaussian_mixture(2000, 2, 5, 1.0, 0.0, 100.0, 83);
+  DbscanOptions opt;
+  opt.eps = 1.0;
+  opt.min_pts = 5;
+  const auto r = dbscan(d, opt);
+  EXPECT_GT(r.join_seconds, 0.0);
+  EXPECT_GT(r.traversal_seconds, 0.0);
+  EXPECT_GT(r.num_core, 0u);
+  EXPECT_EQ(r.labels.size(), d.size());
+}
+
+TEST(Dbscan, MinPtsOneMakesEveryPointCore) {
+  const auto d = datagen::uniform(300, 2, 0.0, 100.0, 85);
+  DbscanOptions opt;
+  opt.eps = 0.5;
+  opt.min_pts = 1;  // every point is core (self pair counts)
+  const auto r = dbscan(d, opt);
+  EXPECT_EQ(r.num_noise, 0u);
+  EXPECT_EQ(r.num_core, d.size());
+}
+
+}  // namespace
+}  // namespace sj::apps

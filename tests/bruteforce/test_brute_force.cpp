@@ -1,0 +1,52 @@
+#include "bruteforce/brute_force.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/datagen.hpp"
+
+namespace sj::brute {
+namespace {
+
+TEST(BruteForce, HandVerifiedTinyCase) {
+  // Three collinear points at distance 1 apart; eps = 1 links neighbours
+  // but not the endpoints.
+  Dataset d(1, {0.0, 1.0, 2.0});
+  auto r = self_join(d, 1.0);
+  r.pairs.normalize();
+  // (0,0),(0,1),(1,0),(1,1),(1,2),(2,1),(2,2)
+  EXPECT_EQ(r.pairs.size(), 7u);
+  EXPECT_TRUE(r.pairs.is_symmetric());
+}
+
+TEST(BruteForce, ParallelMatchesSerial) {
+  const auto d = datagen::uniform(2000, 3, 0.0, 100.0, 3);
+  auto serial = self_join(d, 4.0, 1);
+  auto parallel = self_join(d, 4.0, 4);
+  EXPECT_TRUE(ResultSet::equal_normalized(serial.pairs, parallel.pairs));
+}
+
+TEST(BruteForce, TriangleSweepCountsEveryUnorderedPairOnce) {
+  const auto d = datagen::uniform(500, 2, 0.0, 100.0, 5);
+  const auto r = self_join(d, 1.0);
+  EXPECT_EQ(r.stats.distance_calcs, d.size() * (d.size() - 1) / 2);
+}
+
+TEST(BruteForce, SymmetricAndSelfComplete) {
+  const auto d = datagen::uniform(800, 2, 0.0, 100.0, 7);
+  auto r = self_join(d, 3.0);
+  r.pairs.normalize();
+  EXPECT_TRUE(r.pairs.is_symmetric());
+  const auto counts = r.pairs.counts_per_key(d.size());
+  for (auto c : counts) EXPECT_GE(c, 1u);
+}
+
+TEST(BruteForce, EmptyDataset) {
+  EXPECT_TRUE(self_join(Dataset(3), 1.0).pairs.empty());
+}
+
+TEST(BruteForce, RejectsNegativeEps) {
+  EXPECT_THROW(self_join(Dataset(2), -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sj::brute

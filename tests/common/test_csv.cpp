@@ -1,0 +1,69 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+namespace sj {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("sj_csv_test_" + std::to_string(::getpid()) + ".csv");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(CsvTest, RoundTrip) {
+  csv::Table t({"dataset", "eps", "seconds"});
+  t.add_row({"Syn2D2M", "0.5", "1.25"});
+  t.add_row({"SW2DA", "0.3", "0.75"});
+  t.write(path_.string());
+
+  csv::Table r;
+  ASSERT_TRUE(csv::Table::read(path_.string(), r));
+  ASSERT_EQ(r.rows(), 2u);
+  EXPECT_EQ(r.cell(0, "dataset"), "Syn2D2M");
+  EXPECT_DOUBLE_EQ(r.num(1, "eps"), 0.3);
+  EXPECT_DOUBLE_EQ(r.num(0, "seconds"), 1.25);
+}
+
+TEST_F(CsvTest, MissingFileReturnsFalse) {
+  csv::Table r;
+  EXPECT_FALSE(csv::Table::read("/nonexistent/path/x.csv", r));
+}
+
+TEST_F(CsvTest, WrongColumnCountThrows) {
+  csv::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+}
+
+TEST_F(CsvTest, UnknownColumnThrows) {
+  csv::Table t({"a"});
+  t.add_row({"1"});
+  EXPECT_THROW(t.cell(0, "b"), std::out_of_range);
+}
+
+TEST_F(CsvTest, CreatesParentDirectories) {
+  const auto nested = std::filesystem::temp_directory_path() /
+                      "sj_csv_nested" / "deep" / "t.csv";
+  csv::Table t({"x"});
+  t.add_row({"1"});
+  t.write(nested.string());
+  EXPECT_TRUE(std::filesystem::exists(nested));
+  std::filesystem::remove_all(std::filesystem::temp_directory_path() /
+                              "sj_csv_nested");
+}
+
+TEST(CsvFmt, CompactFormatting) {
+  EXPECT_EQ(csv::fmt(0.3), "0.3");
+  EXPECT_EQ(csv::fmt(2.0), "2");
+}
+
+}  // namespace
+}  // namespace sj

@@ -1,0 +1,113 @@
+#include "common/datagen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace sj {
+namespace {
+
+TEST(DataGen, UniformSizeDimAndBounds) {
+  const auto d = datagen::uniform(1000, 3, 0.0, 100.0, 1);
+  EXPECT_EQ(d.size(), 1000u);
+  EXPECT_EQ(d.dim(), 3);
+  const auto lo = d.min_bound();
+  const auto hi = d.max_bound();
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_GE(lo[j], 0.0);
+    EXPECT_LE(hi[j], 100.0);
+  }
+}
+
+TEST(DataGen, UniformIsDeterministic) {
+  const auto a = datagen::uniform(500, 2, 0.0, 1.0, 42);
+  const auto b = datagen::uniform(500, 2, 0.0, 1.0, 42);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DataGen, UniformSeedChangesData) {
+  const auto a = datagen::uniform(500, 2, 0.0, 1.0, 1);
+  const auto b = datagen::uniform(500, 2, 0.0, 1.0, 2);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(DataGen, UniformCoversDomain) {
+  const auto d = datagen::uniform(20000, 2, 0.0, 100.0, 3);
+  const auto lo = d.min_bound();
+  const auto hi = d.max_bound();
+  EXPECT_LT(lo[0], 2.0);   // some point near the low edge
+  EXPECT_GT(hi[0], 98.0);  // some point near the high edge
+}
+
+TEST(DataGen, GaussianMixtureBoundsAndDeterminism) {
+  const auto a = datagen::gaussian_mixture(2000, 4, 5, 2.0, 0.0, 100.0, 9);
+  EXPECT_EQ(a.size(), 2000u);
+  EXPECT_EQ(a.dim(), 4);
+  const auto lo = a.min_bound();
+  const auto hi = a.max_bound();
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_GE(lo[j], 0.0);
+    EXPECT_LE(hi[j], 100.0);
+  }
+  EXPECT_EQ(a, datagen::gaussian_mixture(2000, 4, 5, 2.0, 0.0, 100.0, 9));
+}
+
+TEST(DataGen, GaussianMixtureRejectsBadK) {
+  EXPECT_THROW(datagen::gaussian_mixture(10, 2, 0, 1.0, 0.0, 1.0, 1),
+               std::invalid_argument);
+}
+
+TEST(DataGen, SwLikeRejectsBadDim) {
+  EXPECT_THROW(datagen::sw_like(100, 4, 1), std::invalid_argument);
+  EXPECT_THROW(datagen::sw_like(100, 1, 1), std::invalid_argument);
+}
+
+TEST(DataGen, SwLikeShapes) {
+  const auto d2 = datagen::sw_like(3000, 2, 11);
+  const auto d3 = datagen::sw_like(3000, 3, 11);
+  EXPECT_EQ(d2.dim(), 2);
+  EXPECT_EQ(d3.dim(), 3);
+  EXPECT_EQ(d2.size(), 3000u);
+  EXPECT_EQ(d3.size(), 3000u);
+}
+
+TEST(DataGen, SwLikeIsSkewed) {
+  // Station-structured data must be far more concentrated than uniform:
+  // compare the fraction of points in the densest 1x1 bin.
+  const auto sw = datagen::sw_like(20000, 2, 5);
+  const auto uni = datagen::uniform(20000, 2, 0.0, 100.0, 5);
+  auto densest_bin_count = [](const Dataset& d) {
+    std::map<std::pair<int, int>, int> bins;
+    int best = 0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      auto& c = bins[{static_cast<int>(d.coord(i, 0)),
+                      static_cast<int>(d.coord(i, 1))}];
+      best = std::max(best, ++c);
+    }
+    return best;
+  };
+  EXPECT_GT(densest_bin_count(sw), 4 * densest_bin_count(uni));
+}
+
+TEST(DataGen, SdssLikeShapeAndDeterminism) {
+  const auto a = datagen::sdss_like(5000, 21);
+  EXPECT_EQ(a.dim(), 2);
+  EXPECT_EQ(a.size(), 5000u);
+  EXPECT_EQ(a, datagen::sdss_like(5000, 21));
+}
+
+TEST(DataGen, ExponentialBlobWithinDomain) {
+  const auto d = datagen::exponential_blob(5000, 3, 0.1, 13);
+  const auto lo = d.min_bound();
+  const auto hi = d.max_bound();
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_GE(lo[j], 0.0);
+    EXPECT_LE(hi[j], 100.0);
+  }
+}
+
+}  // namespace
+}  // namespace sj

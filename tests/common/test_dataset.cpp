@@ -1,0 +1,80 @@
+#include "common/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/distance.hpp"
+
+namespace sj {
+namespace {
+
+TEST(Dataset, EmptyDataset) {
+  Dataset d(3);
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.dim(), 3);
+}
+
+TEST(Dataset, RejectsInvalidDim) {
+  EXPECT_THROW(Dataset(0), std::invalid_argument);
+  EXPECT_THROW(Dataset(kMaxDims + 1), std::invalid_argument);
+}
+
+TEST(Dataset, RejectsMisalignedFlatData) {
+  EXPECT_THROW(Dataset(3, std::vector<double>{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Dataset, PushBackAndAccess) {
+  Dataset d(2);
+  const double p0[] = {1.0, 2.0};
+  const double p1[] = {-3.0, 4.5};
+  d.push_back(p0);
+  d.push_back(p1);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.coord(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d.coord(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(d.coord(1, 0), -3.0);
+  EXPECT_DOUBLE_EQ(d.pt(1)[1], 4.5);
+}
+
+TEST(Dataset, Bounds) {
+  Dataset d(2, {0.0, 5.0, -2.0, 7.0, 3.0, -1.0});
+  const auto lo = d.min_bound();
+  const auto hi = d.max_bound();
+  EXPECT_DOUBLE_EQ(lo[0], -2.0);
+  EXPECT_DOUBLE_EQ(lo[1], -1.0);
+  EXPECT_DOUBLE_EQ(hi[0], 3.0);
+  EXPECT_DOUBLE_EQ(hi[1], 7.0);
+}
+
+TEST(Dataset, ScaleAll) {
+  Dataset d(1, {1.0, -2.0});
+  d.scale_all(3.0);
+  EXPECT_DOUBLE_EQ(d.coord(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(d.coord(1, 0), -6.0);
+}
+
+TEST(Distance, SqDistMatchesByHand) {
+  const double a[] = {0.0, 0.0, 0.0};
+  const double b[] = {1.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(sq_dist(a, b, 3), 9.0);
+  EXPECT_DOUBLE_EQ(euclidean_dist(a, b, 3), 3.0);
+}
+
+TEST(Distance, EarlyExitReturnsAboveThreshold) {
+  const double a[] = {0.0, 0.0, 0.0, 0.0};
+  const double b[] = {5.0, 5.0, 5.0, 5.0};
+  // Threshold 1: exits after the first term; whatever it returns must be
+  // strictly greater than the threshold.
+  EXPECT_GT(sq_dist_early_exit(a, b, 4, 1.0), 1.0);
+}
+
+TEST(Distance, EarlyExitExactWhenWithin) {
+  const double a[] = {1.0, 1.0};
+  const double b[] = {2.0, 3.0};
+  EXPECT_DOUBLE_EQ(sq_dist_early_exit(a, b, 2, 100.0), 5.0);
+}
+
+}  // namespace
+}  // namespace sj

@@ -1,0 +1,88 @@
+#include "common/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sj {
+namespace {
+
+TEST(NamedDatasets, TableOneHasSixteenEntries) {
+  EXPECT_EQ(datasets::all().size(), 16u);
+}
+
+TEST(NamedDatasets, PaperSizesMatchTableOne) {
+  EXPECT_EQ(datasets::info("Syn4D2M").paper_n, 2'000'000u);
+  EXPECT_EQ(datasets::info("Syn6D10M").paper_n, 10'000'000u);
+  EXPECT_EQ(datasets::info("SW2DA").paper_n, 1'864'620u);
+  EXPECT_EQ(datasets::info("SW3DB").paper_n, 5'159'737u);
+  EXPECT_EQ(datasets::info("SDSS2DB").paper_n, 15'228'633u);
+}
+
+TEST(NamedDatasets, DimsMatchTableOne) {
+  EXPECT_EQ(datasets::info("Syn2D2M").dim, 2);
+  EXPECT_EQ(datasets::info("Syn5D10M").dim, 5);
+  EXPECT_EQ(datasets::info("SW3DA").dim, 3);
+  EXPECT_EQ(datasets::info("SDSS2DA").dim, 2);
+}
+
+TEST(NamedDatasets, UnknownNameThrows) {
+  EXPECT_THROW(datasets::info("Syn9D1B"), std::out_of_range);
+}
+
+TEST(NamedDatasets, MakeProducesDescribedShape) {
+  for (const auto& info : datasets::all()) {
+    const auto d = datasets::make(info.name, 0.1);  // small for speed
+    EXPECT_EQ(d.dim(), info.dim) << info.name;
+    const auto expected = static_cast<std::size_t>(
+        std::llround(info.default_n * 0.1));
+    EXPECT_EQ(d.size(), expected) << info.name;
+    EXPECT_EQ(d.name(), info.name);
+  }
+}
+
+TEST(NamedDatasets, SyntheticEpsRescalePreservesNeighborRegime) {
+  // eps_bench = eps_paper * (N_paper / N_default)^(1/dim): the expected
+  // neighbour count N * V(eps) / Vol is invariant under this rescale.
+  const auto& info = datasets::info("Syn2D2M");
+  const double ratio = static_cast<double>(info.paper_n) /
+                       static_cast<double>(info.default_n);
+  for (std::size_t i = 0; i < info.paper_eps.size(); ++i) {
+    const double expected = info.paper_eps[i] * std::pow(ratio, 0.5);
+    EXPECT_NEAR(info.bench_eps[i], expected, 1e-9);
+  }
+}
+
+TEST(NamedDatasets, ScaleEpsIdentityAtDefaultSize) {
+  const auto& info = datasets::info("Syn3D2M");
+  EXPECT_DOUBLE_EQ(datasets::scale_eps(info, info.default_n, 1.5), 1.5);
+}
+
+TEST(NamedDatasets, ScaleEpsGrowsWhenShrinking) {
+  const auto& info = datasets::info("Syn2D2M");
+  // Half the points -> sqrt(2) larger eps in 2-D.
+  const double e = datasets::scale_eps(info, info.default_n / 2, 1.0);
+  EXPECT_NEAR(e, std::sqrt(2.0), 1e-9);
+}
+
+TEST(NamedDatasets, ScaledEpsVectorMatchesElementwise) {
+  const auto& info = datasets::info("Syn5D2M");
+  const auto v = datasets::scaled_eps(info, info.default_n / 4);
+  ASSERT_EQ(v.size(), info.bench_eps.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(v[i], datasets::scale_eps(info, info.default_n / 4,
+                                          info.bench_eps[i]),
+                1e-12);
+  }
+}
+
+TEST(NamedDatasets, EveryDatasetHasFiveEpsValues) {
+  for (const auto& info : datasets::all()) {
+    EXPECT_EQ(info.paper_eps.size(), 5u) << info.name;
+    EXPECT_EQ(info.bench_eps.size(), 5u) << info.name;
+  }
+}
+
+}  // namespace
+}  // namespace sj

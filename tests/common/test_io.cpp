@@ -1,0 +1,105 @@
+#include "common/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/datagen.hpp"
+
+namespace sj {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sj_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, BinaryRoundTripIsExact) {
+  const auto d = datagen::uniform(1234, 3, -50.0, 50.0, 7);
+  io::save_binary(d, path("x.sjd"));
+  const auto r = io::load_binary(path("x.sjd"));
+  EXPECT_EQ(r.dim(), 3);
+  EXPECT_EQ(r.size(), d.size());
+  EXPECT_EQ(r.raw(), d.raw());  // bit-exact
+  EXPECT_EQ(r.name(), "x");
+}
+
+TEST_F(IoTest, BinaryRejectsBadMagic) {
+  std::ofstream out(path("bad.sjd"), std::ios::binary);
+  out << "NOPE1234";
+  out.close();
+  EXPECT_THROW(io::load_binary(path("bad.sjd")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRejectsTruncation) {
+  const auto d = datagen::uniform(100, 2, 0.0, 1.0, 3);
+  io::save_binary(d, path("t.sjd"));
+  // Truncate the file in the middle of the coordinate block.
+  std::filesystem::resize_file(path("t.sjd"), 100);
+  EXPECT_THROW(io::load_binary(path("t.sjd")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryMissingFileThrows) {
+  EXPECT_THROW(io::load_binary(path("missing.sjd")), std::runtime_error);
+}
+
+TEST_F(IoTest, CsvRoundTrip) {
+  const auto d = datagen::uniform(500, 4, 0.0, 100.0, 9);
+  io::save_csv(d, path("x.csv"));
+  const auto r = io::load_csv(path("x.csv"));
+  ASSERT_EQ(r.dim(), 4);
+  ASSERT_EQ(r.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(r.coord(i, j), d.coord(i, j));
+    }
+  }
+}
+
+TEST_F(IoTest, CsvSkipsHeaderLine) {
+  std::ofstream out(path("h.csv"));
+  out << "x,y\n1.0,2.0\n3.0,4.0\n";
+  out.close();
+  const auto d = io::load_csv(path("h.csv"));
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.coord(1, 1), 4.0);
+}
+
+TEST_F(IoTest, CsvRejectsRaggedRows) {
+  std::ofstream out(path("r.csv"));
+  out << "1.0,2.0\n3.0\n";
+  out.close();
+  EXPECT_THROW(io::load_csv(path("r.csv")), std::runtime_error);
+}
+
+TEST_F(IoTest, CsvRejectsEmptyFile) {
+  std::ofstream out(path("e.csv"));
+  out.close();
+  EXPECT_THROW(io::load_csv(path("e.csv")), std::runtime_error);
+}
+
+TEST_F(IoTest, CsvRejectsNonNumericBody) {
+  std::ofstream out(path("n.csv"));
+  out << "1.0,2.0\nfoo,bar\n";
+  out.close();
+  EXPECT_THROW(io::load_csv(path("n.csv")), std::runtime_error);
+}
+
+TEST_F(IoTest, EmptyDatasetBinaryRoundTrip) {
+  Dataset d(2);
+  io::save_binary(d, path("empty.sjd"));
+  const auto r = io::load_binary(path("empty.sjd"));
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.dim(), 2);
+}
+
+}  // namespace
+}  // namespace sj

@@ -1,0 +1,110 @@
+#include "common/result.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sj {
+namespace {
+
+TEST(ResultSet, NormalizeSortsAndDeduplicates) {
+  ResultSet rs;
+  rs.add(2, 1);
+  rs.add(0, 3);
+  rs.add(2, 1);
+  rs.add(0, 0);
+  rs.normalize();
+  ASSERT_EQ(rs.size(), 3u);
+  EXPECT_EQ(rs.pairs()[0], (Pair{0, 0}));
+  EXPECT_EQ(rs.pairs()[1], (Pair{0, 3}));
+  EXPECT_EQ(rs.pairs()[2], (Pair{2, 1}));
+}
+
+TEST(ResultSet, EqualNormalizedIgnoresOrderAndDuplicates) {
+  ResultSet a, b;
+  a.add(1, 2);
+  a.add(0, 0);
+  b.add(0, 0);
+  b.add(1, 2);
+  b.add(1, 2);
+  EXPECT_TRUE(ResultSet::equal_normalized(a, b));
+  b.add(5, 5);
+  EXPECT_FALSE(ResultSet::equal_normalized(a, b));
+}
+
+TEST(ResultSet, SymmetryDetection) {
+  ResultSet rs;
+  rs.add(0, 1);
+  rs.add(1, 0);
+  rs.add(2, 2);
+  rs.normalize();
+  EXPECT_TRUE(rs.is_symmetric());
+  rs.add(3, 4);
+  rs.normalize();
+  EXPECT_FALSE(rs.is_symmetric());
+}
+
+TEST(ResultSet, CountsPerKey) {
+  ResultSet rs;
+  rs.add(0, 0);
+  rs.add(0, 1);
+  rs.add(2, 2);
+  const auto counts = rs.counts_per_key(3);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(ResultSet, AvgNeighbors) {
+  ResultSet rs;
+  rs.add(0, 0);
+  rs.add(0, 1);
+  rs.add(1, 0);
+  rs.add(1, 1);
+  EXPECT_DOUBLE_EQ(rs.avg_neighbors(2), 2.0);
+  EXPECT_DOUBLE_EQ(rs.avg_neighbors(0), 0.0);
+}
+
+TEST(ResultSet, AppendConcatenates) {
+  ResultSet a, b;
+  a.add(0, 1);
+  b.add(2, 3);
+  a.append(b);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(NeighborTable, CsrViewMatchesPairs) {
+  ResultSet rs;
+  rs.add(1, 0);
+  rs.add(0, 0);
+  rs.add(0, 1);
+  rs.add(2, 2);
+  rs.add(1, 1);
+  NeighborTable nt(rs, 3);
+  EXPECT_EQ(nt.num_points(), 3u);
+  ASSERT_EQ(nt.degree(0), 2u);
+  EXPECT_EQ(nt.begin(0)[0], 0u);
+  EXPECT_EQ(nt.begin(0)[1], 1u);
+  ASSERT_EQ(nt.degree(1), 2u);
+  EXPECT_EQ(nt.begin(1)[0], 0u);
+  EXPECT_EQ(nt.begin(1)[1], 1u);
+  ASSERT_EQ(nt.degree(2), 1u);
+  EXPECT_EQ(nt.begin(2)[0], 2u);
+  EXPECT_EQ(nt.total_neighbors(), 5u);
+}
+
+TEST(NeighborTable, EmptyResult) {
+  NeighborTable nt(ResultSet{}, 4);
+  EXPECT_EQ(nt.num_points(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(nt.degree(i), 0u);
+}
+
+TEST(NeighborTable, DeduplicatesOnBuild) {
+  ResultSet rs;
+  rs.add(0, 1);
+  rs.add(0, 1);
+  NeighborTable nt(rs, 2);
+  EXPECT_EQ(nt.degree(0), 1u);
+}
+
+}  // namespace
+}  // namespace sj

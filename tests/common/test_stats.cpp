@@ -1,0 +1,51 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/table.hpp"
+
+#include <sstream>
+
+namespace sj {
+namespace {
+
+TEST(Stats, MeanOfKnownValues) {
+  EXPECT_DOUBLE_EQ(stats::mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(stats::mean({}), 0.0);
+}
+
+TEST(Stats, GeomeanOfKnownValues) {
+  EXPECT_NEAR(stats::geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(stats::geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats::geomean({}), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  EXPECT_DOUBLE_EQ(stats::min({3.0, 1.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(stats::max({3.0, 1.0, 2.0}), 3.0);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(stats::median({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(stats::median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(TextTable, PrintsAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sj

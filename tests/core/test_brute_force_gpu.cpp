@@ -1,0 +1,56 @@
+#include "core/brute_force_gpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bruteforce/brute_force.hpp"
+#include "common/datagen.hpp"
+
+namespace sj {
+namespace {
+
+TEST(GpuBruteForce, CountMatchesCpuReference) {
+  const auto d = datagen::uniform(1000, 3, 0.0, 100.0, 3);
+  const auto gpu = gpu_brute_force(d, 5.0);
+  auto cpu = brute::self_join(d, 5.0);
+  EXPECT_EQ(gpu.num_pairs, cpu.pairs.size());
+}
+
+TEST(GpuBruteForce, MaterializedPairsMatchCpuReference) {
+  const auto d = datagen::uniform(600, 2, 0.0, 50.0, 5);
+  auto gpu = gpu_brute_force(d, 2.0, /*materialize=*/true);
+  const auto cpu = brute::self_join(d, 2.0);
+  EXPECT_TRUE(ResultSet::equal_normalized(gpu.pairs, cpu.pairs));
+  EXPECT_EQ(gpu.num_pairs, gpu.pairs.size());
+}
+
+TEST(GpuBruteForce, DistanceCalcsAreQuadratic) {
+  const auto d = datagen::uniform(500, 2, 0.0, 100.0, 7);
+  const auto r = gpu_brute_force(d, 1.0);
+  EXPECT_EQ(r.distance_calcs, d.size() * d.size());
+}
+
+TEST(GpuBruteForce, WorkIsIndependentOfEps) {
+  const auto d = datagen::uniform(400, 4, 0.0, 100.0, 9);
+  const auto small = gpu_brute_force(d, 0.01);
+  const auto large = gpu_brute_force(d, 100.0);
+  EXPECT_EQ(small.distance_calcs, large.distance_calcs);
+  EXPECT_LT(small.num_pairs, large.num_pairs);
+}
+
+TEST(GpuBruteForce, EmptyDataset) {
+  const auto r = gpu_brute_force(Dataset(2), 1.0);
+  EXPECT_EQ(r.num_pairs, 0u);
+}
+
+TEST(GpuBruteForce, SelfPairsAlwaysPresent) {
+  const auto d = datagen::uniform(100, 2, 0.0, 100.0, 11);
+  const auto r = gpu_brute_force(d, 0.0);
+  EXPECT_GE(r.num_pairs, d.size());  // at least the self pairs
+}
+
+TEST(GpuBruteForce, RejectsNegativeEps) {
+  EXPECT_THROW(gpu_brute_force(Dataset(2), -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sj

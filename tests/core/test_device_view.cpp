@@ -1,0 +1,99 @@
+// DeviceGrid upload: buffer contents must mirror the host index exactly
+// and the arena accounting must match the uploaded footprint.
+#include "core/device_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/datagen.hpp"
+#include "core/grid_index.hpp"
+#include "gpusim/arena.hpp"
+
+namespace sj {
+namespace {
+
+TEST(DeviceGrid, ViewMirrorsHostIndex) {
+  const auto d = datagen::uniform(2000, 3, 0.0, 100.0, 5);
+  GridIndex index(d, 4.0);
+  gpu::GlobalMemoryArena arena(gpu::DeviceSpec::titan_x_pascal());
+  DeviceGrid dev(arena, d, index);
+  const GridDeviceView& v = dev.view();
+
+  EXPECT_EQ(v.n, d.size());
+  EXPECT_EQ(v.dim, d.dim());
+  EXPECT_EQ(v.b_size, index.B().size());
+  EXPECT_DOUBLE_EQ(v.eps, index.eps());
+  EXPECT_DOUBLE_EQ(v.width, index.cell_width());
+  EXPECT_EQ(0, std::memcmp(v.points, d.raw().data(),
+                           d.raw().size() * sizeof(double)));
+  EXPECT_EQ(0, std::memcmp(v.B, index.B().data(),
+                           index.B().size() * sizeof(std::uint64_t)));
+  EXPECT_EQ(0, std::memcmp(v.A, index.A().data(),
+                           index.A().size() * sizeof(std::uint32_t)));
+  for (int j = 0; j < d.dim(); ++j) {
+    EXPECT_EQ(v.m_size[j], index.mask(j).size());
+    EXPECT_EQ(0, std::memcmp(v.M[j], index.mask(j).data(),
+                             index.mask(j).size() * sizeof(std::uint32_t)));
+    EXPECT_DOUBLE_EQ(v.gmin[j], index.gmin(j));
+    EXPECT_EQ(v.cells_per_dim[j], index.cells_in_dim(j));
+    EXPECT_EQ(v.stride[j], index.stride(j));
+  }
+}
+
+TEST(DeviceGrid, ArenaChargedAndReleased) {
+  const auto d = datagen::uniform(1000, 2, 0.0, 100.0, 7);
+  GridIndex index(d, 2.0);
+  gpu::GlobalMemoryArena arena(gpu::DeviceSpec::titan_x_pascal());
+  const std::size_t expected =
+      d.raw().size() * sizeof(double) +
+      index.B().size() * sizeof(std::uint64_t) +
+      index.G().size() * sizeof(GridIndex::CellRange) +
+      index.A().size() * sizeof(std::uint32_t) +
+      index.mask(0).size() * sizeof(std::uint32_t) +
+      index.mask(1).size() * sizeof(std::uint32_t);
+  {
+    DeviceGrid dev(arena, d, index);
+    EXPECT_EQ(arena.used(), expected);
+  }
+  EXPECT_EQ(arena.used(), 0u);
+}
+
+TEST(DeviceGrid, LinearizeMatchesHost) {
+  const auto d = datagen::uniform(500, 4, 0.0, 100.0, 9);
+  GridIndex index(d, 10.0);
+  gpu::GlobalMemoryArena arena(gpu::DeviceSpec::titan_x_pascal());
+  DeviceGrid dev(arena, d, index);
+  std::uint32_t coords[kMaxDims];
+  for (std::size_t i = 0; i < d.size(); i += 13) {
+    index.cell_coords(d.pt(i), coords);
+    EXPECT_EQ(dev.view().linearize(coords), index.linearize(coords));
+  }
+}
+
+TEST(DeviceGrid, QueryPointDefaultsToIndexedSet) {
+  const auto d = datagen::uniform(100, 2, 0.0, 10.0, 11);
+  GridIndex index(d, 1.0);
+  gpu::GlobalMemoryArena arena(gpu::DeviceSpec::titan_x_pascal());
+  DeviceGrid dev(arena, d, index);
+  GridDeviceView v = dev.view();
+  EXPECT_EQ(v.num_queries(), d.size());
+  EXPECT_EQ(v.query_point(7), v.points + 7 * 2);
+
+  // With a distinct query set the accessors switch over.
+  const auto q = datagen::uniform(10, 2, 0.0, 10.0, 12);
+  v.qpoints = q.raw().data();
+  v.qn = q.size();
+  EXPECT_EQ(v.num_queries(), q.size());
+  EXPECT_EQ(v.query_point(3), q.raw().data() + 3 * 2);
+}
+
+TEST(DeviceGrid, TooSmallDeviceThrows) {
+  const auto d = datagen::uniform(50000, 4, 0.0, 100.0, 13);
+  GridIndex index(d, 5.0);
+  gpu::GlobalMemoryArena arena(1 << 20);  // 1 MiB
+  EXPECT_THROW(DeviceGrid(arena, d, index), gpu::DeviceOutOfMemory);
+}
+
+}  // namespace
+}  // namespace sj

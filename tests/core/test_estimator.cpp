@@ -1,0 +1,80 @@
+#include "core/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/datagen.hpp"
+#include "core/device_view.hpp"
+#include "core/grid_index.hpp"
+#include "core/self_join.hpp"
+#include "gpusim/arena.hpp"
+
+namespace sj {
+namespace {
+
+struct GridFixture {
+  GridFixture(const Dataset& data, double eps)
+      : arena(gpu::DeviceSpec::titan_x_pascal()),
+        index(data, eps),
+        dev(arena, data, index) {}
+  gpu::GlobalMemoryArena arena;
+  GridIndex index;
+  DeviceGrid dev;
+};
+
+TEST(Estimator, FullSampleIsExact) {
+  const auto d = datagen::uniform(2000, 2, 0.0, 100.0, 3);
+  GridFixture f(d, 2.0);
+  const auto est = estimate_result_size(f.dev.view(), false, 1.0, 256);
+  EXPECT_EQ(est.sample_size, d.size());
+
+  GpuSelfJoinOptions opt;
+  opt.unicomp = false;
+  const auto r = GpuSelfJoin(opt).run(d, 2.0);
+  EXPECT_EQ(est.estimated_total, r.pairs.size());
+}
+
+TEST(Estimator, SampledEstimateWithinTolerance) {
+  const auto d = datagen::uniform(20000, 2, 0.0, 100.0, 5);
+  GridFixture f(d, 2.0);
+  const auto exact = estimate_result_size(f.dev.view(), false, 1.0, 256);
+  const auto sampled = estimate_result_size(f.dev.view(), false, 0.05, 256);
+  EXPECT_LT(sampled.sample_size, d.size());
+  const double err =
+      std::abs(static_cast<double>(sampled.estimated_total) -
+               static_cast<double>(exact.estimated_total)) /
+      static_cast<double>(exact.estimated_total);
+  EXPECT_LT(err, 0.25) << "sampled=" << sampled.estimated_total
+                       << " exact=" << exact.estimated_total;
+}
+
+TEST(Estimator, UnicompModeCountsItsOwnEmissions) {
+  // UNICOMP emits the same total pairs as the base kernel over the full
+  // dataset, so full-sample estimates must agree.
+  const auto d = datagen::uniform(3000, 3, 0.0, 100.0, 7);
+  GridFixture f(d, 4.0);
+  const auto base = estimate_result_size(f.dev.view(), false, 1.0, 256);
+  const auto uni = estimate_result_size(f.dev.view(), true, 1.0, 256);
+  EXPECT_EQ(base.estimated_total, uni.estimated_total);
+}
+
+TEST(Estimator, EmptyGrid) {
+  Dataset d(2);
+  GridIndex index(d, 1.0);
+  gpu::GlobalMemoryArena arena(gpu::DeviceSpec::titan_x_pascal());
+  DeviceGrid dev(arena, d, index);
+  const auto est = estimate_result_size(dev.view(), false, 0.1, 256);
+  EXPECT_EQ(est.estimated_total, 0u);
+  EXPECT_EQ(est.sample_size, 0u);
+}
+
+TEST(Estimator, MinSampleFloorApplies) {
+  const auto d = datagen::uniform(5000, 2, 0.0, 100.0, 9);
+  GridFixture f(d, 1.0);
+  // 0.0001 sample rate over 5000 points would be a single point; the
+  // floor forces at least 1024.
+  const auto est = estimate_result_size(f.dev.view(), false, 0.0001, 256);
+  EXPECT_GE(est.sample_size, 1024u);
+}
+
+}  // namespace
+}  // namespace sj

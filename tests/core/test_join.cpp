@@ -1,0 +1,112 @@
+// General epsilon join (A join B): correctness against a brute-force
+// reference, asymmetry semantics, batching behaviour.
+#include "core/join.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/datagen.hpp"
+
+namespace sj {
+namespace {
+
+ResultSet brute_join(const Dataset& a, const Dataset& b, double eps) {
+  ResultSet out;
+  const double eps2 = eps * eps;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (sq_dist(a.pt(i), b.pt(j), a.dim()) <= eps2) {
+        out.add(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j));
+      }
+    }
+  }
+  return out;
+}
+
+class JoinEquality : public ::testing::TestWithParam<int> {};
+
+TEST_P(JoinEquality, MatchesBruteForce) {
+  const int dim = GetParam();
+  const double eps = std::pow(2.2, dim - 2);
+  const auto a = datagen::uniform(700, dim, 0.0, 100.0, 60 + dim);
+  const auto b = datagen::gaussian_mixture(900, dim, 6, 4.0, 0.0, 100.0,
+                                           90 + dim);
+  auto got = gpu_join(a, b, eps);
+  EXPECT_TRUE(ResultSet::equal_normalized(got.pairs, brute_join(a, b, eps)))
+      << "dim=" << dim;
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, JoinEquality, ::testing::Values(1, 2, 3, 4, 6));
+
+TEST(GpuJoin, AsymmetricIndicesAreQueryThenData) {
+  Dataset a(2, {0.0, 0.0});
+  Dataset b(2, {0.1, 0.0, 50.0, 50.0});
+  auto r = gpu_join(a, b, 1.0);
+  r.pairs.normalize();
+  ASSERT_EQ(r.pairs.size(), 1u);
+  EXPECT_EQ(r.pairs.pairs()[0], (Pair{0, 0}));  // A[0] matches B[0] only
+}
+
+TEST(GpuJoin, SelfJoinAsTwoSetJoinMatchesSelfJoin) {
+  const auto d = datagen::uniform(1500, 2, 0.0, 100.0, 77);
+  auto two_set = gpu_join(d, d, 2.0);
+  GpuSelfJoinOptions opt;
+  opt.unicomp = true;
+  auto self = GpuSelfJoin(opt).run(d, 2.0);
+  EXPECT_TRUE(ResultSet::equal_normalized(two_set.pairs, self.pairs));
+}
+
+TEST(GpuJoin, EmptySidesProduceEmptyResult) {
+  const auto d = datagen::uniform(100, 3, 0.0, 10.0, 5);
+  EXPECT_TRUE(gpu_join(Dataset(3), d, 1.0).pairs.empty());
+  EXPECT_TRUE(gpu_join(d, Dataset(3), 1.0).pairs.empty());
+}
+
+TEST(GpuJoin, DimensionMismatchThrows) {
+  EXPECT_THROW(gpu_join(Dataset(2), Dataset(3), 1.0), std::invalid_argument);
+}
+
+TEST(GpuJoin, NegativeEpsThrows) {
+  EXPECT_THROW(gpu_join(Dataset(2), Dataset(2), -1.0),
+               std::invalid_argument);
+}
+
+TEST(GpuJoin, DisjointRegionsFindNothing) {
+  const auto a = datagen::uniform(500, 2, 0.0, 10.0, 1);
+  const auto b = datagen::uniform(500, 2, 50.0, 60.0, 2);
+  EXPECT_TRUE(gpu_join(a, b, 1.0).pairs.empty());
+}
+
+TEST(GpuJoin, ManyBatchesStayExact) {
+  const auto a = datagen::uniform(2000, 2, 0.0, 100.0, 3);
+  const auto b = datagen::uniform(2500, 2, 0.0, 100.0, 4);
+  GpuJoinOptions opt;
+  opt.min_batches = 11;
+  auto got = gpu_join(a, b, 3.0, opt);
+  EXPECT_TRUE(ResultSet::equal_normalized(got.pairs, brute_join(a, b, 3.0)));
+  EXPECT_GE(got.stats.batch.batches_run, 11u);
+}
+
+TEST(GpuJoin, StatsPopulated) {
+  const auto a = datagen::uniform(1000, 2, 0.0, 100.0, 5);
+  const auto b = datagen::uniform(1000, 2, 0.0, 100.0, 6);
+  const auto r = gpu_join(a, b, 2.0);
+  EXPECT_GT(r.stats.total_seconds, 0.0);
+  EXPECT_GT(r.stats.metrics.distance_calcs, 0u);
+  EXPECT_EQ(r.stats.metrics.results, r.pairs.size());
+}
+
+TEST(GpuJoin, QuerySmallerAndLargerThanData) {
+  const auto small = datagen::uniform(50, 2, 0.0, 100.0, 7);
+  const auto large = datagen::uniform(3000, 2, 0.0, 100.0, 8);
+  auto r1 = gpu_join(small, large, 2.0);
+  EXPECT_TRUE(
+      ResultSet::equal_normalized(r1.pairs, brute_join(small, large, 2.0)));
+  auto r2 = gpu_join(large, small, 2.0);
+  EXPECT_TRUE(
+      ResultSet::equal_normalized(r2.pairs, brute_join(large, small, 2.0)));
+}
+
+}  // namespace
+}  // namespace sj

@@ -1,0 +1,106 @@
+// Work counters and the Table II metrics-collection mode.
+#include "core/work_counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/datagen.hpp"
+#include "core/self_join.hpp"
+#include "gpusim/kernel.hpp"
+
+namespace sj {
+namespace {
+
+TEST(WorkCounters, FlushAggregatesExactly) {
+  AtomicWork work;
+  LocalWork a;
+  a.cells_examined = 3;
+  a.distance_calcs = 10;
+  a.results = 2;
+  LocalWork b;
+  b.cells_examined = 4;
+  b.global_loads = 7;
+  b.global_load_bytes = 56;
+  work.flush(a);
+  work.flush(b);
+  gpu::KernelMetrics m;
+  work.add_to(m);
+  EXPECT_EQ(m.cells_examined, 7u);
+  EXPECT_EQ(m.distance_calcs, 10u);
+  EXPECT_EQ(m.results, 2u);
+  EXPECT_EQ(m.global_loads, 7u);
+  EXPECT_EQ(m.global_load_bytes, 56u);
+}
+
+TEST(WorkCounters, ConcurrentFlushesAreExact) {
+  AtomicWork work;
+  gpu::launch(gpu::LaunchConfig::cover(10000, 128),
+              [&](const gpu::ThreadCtx& ctx) {
+                if (ctx.global_id() >= 10000) return;
+                LocalWork w;
+                w.distance_calcs = 1;
+                work.flush(w);
+              });
+  gpu::KernelMetrics m;
+  work.add_to(m);
+  EXPECT_EQ(m.distance_calcs, 10000u);
+}
+
+TEST(KernelMetrics, PlusEqualsAccumulates) {
+  gpu::KernelMetrics a, b;
+  a.distance_calcs = 5;
+  a.kernel_seconds = 1.5;
+  b.distance_calcs = 7;
+  b.kernel_seconds = 0.5;
+  a += b;
+  EXPECT_EQ(a.distance_calcs, 12u);
+  EXPECT_DOUBLE_EQ(a.kernel_seconds, 2.0);
+}
+
+TEST(KernelMetrics, CacheHitRate) {
+  gpu::KernelMetrics m;
+  EXPECT_DOUBLE_EQ(m.cache_hit_rate(), 0.0);
+  m.cache_hits = 3;
+  m.cache_misses = 1;
+  EXPECT_DOUBLE_EQ(m.cache_hit_rate(), 0.75);
+}
+
+TEST(MetricsMode, CollectsCacheCountersWithoutChangingResult) {
+  const auto d = datagen::uniform(2000, 2, 0.0, 100.0, 15);
+  GpuSelfJoinOptions plain;
+  plain.collect_metrics = false;
+  GpuSelfJoinOptions metrics;
+  metrics.collect_metrics = true;
+
+  auto a = GpuSelfJoin(plain).run(d, 2.0);
+  auto b = GpuSelfJoin(metrics).run(d, 2.0);
+  EXPECT_TRUE(ResultSet::equal_normalized(a.pairs, b.pairs));
+
+  EXPECT_EQ(a.stats.metrics.cache_hits + a.stats.metrics.cache_misses, 0u);
+  EXPECT_GT(b.stats.metrics.cache_hits + b.stats.metrics.cache_misses, 0u);
+  EXPECT_GT(b.stats.metrics.cache_bw_gbs, 0.0);
+}
+
+TEST(MetricsMode, OccupancyReportedInBothModes) {
+  const auto d = datagen::uniform(500, 5, 0.0, 100.0, 17);
+  GpuSelfJoinOptions opt;
+  const auto r = GpuSelfJoin(opt).run(d, 10.0);
+  EXPECT_DOUBLE_EQ(r.stats.occupancy, 0.5);  // 5-D with UNICOMP: Table II
+  EXPECT_EQ(r.stats.regs_per_thread, 52);
+}
+
+TEST(MetricsMode, WorkCountersScaleWithEps) {
+  const auto d = datagen::uniform(3000, 2, 0.0, 100.0, 19);
+  GpuSelfJoinOptions opt;
+  const auto small = GpuSelfJoin(opt).run(d, 0.5);
+  const auto large = GpuSelfJoin(opt).run(d, 4.0);
+  EXPECT_GT(large.stats.metrics.distance_calcs,
+            small.stats.metrics.distance_calcs);
+  EXPECT_GT(large.stats.metrics.results, small.stats.metrics.results);
+  // Larger cells -> fewer non-empty cells -> fewer cells examined per
+  // point, but far more distance calcs per cell.
+  EXPECT_GT(small.stats.metrics.cells_examined,
+            large.stats.metrics.cells_examined);
+}
+
+}  // namespace
+}  // namespace sj

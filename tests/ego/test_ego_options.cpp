@@ -1,0 +1,100 @@
+// Super-EGO option sweeps: the result must be invariant under the base-
+// case threshold, thread count, reordering and precision knobs; the
+// internal statistics must move the way the algorithm promises.
+#include <gtest/gtest.h>
+
+#include "bruteforce/brute_force.hpp"
+#include "common/datagen.hpp"
+#include "ego/ego.hpp"
+
+namespace sj::ego {
+namespace {
+
+class EgoThreshold : public ::testing::TestWithParam<int> {};
+
+TEST_P(EgoThreshold, ResultInvariantUnderBaseCaseSize) {
+  const int threshold = GetParam();
+  const auto d = datagen::uniform(2000, 2, 0.0, 100.0, 55);
+  Options opt;
+  opt.simple_threshold = threshold;
+  auto got = self_join(d, 1.5, opt);
+  const auto want = brute::self_join(d, 1.5);
+  EXPECT_TRUE(ResultSet::equal_normalized(got.pairs, want.pairs))
+      << "threshold=" << threshold;
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, EgoThreshold,
+                         ::testing::Values(1, 2, 8, 32, 256, 4096));
+
+class EgoThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(EgoThreads, ResultInvariantUnderThreadCount) {
+  const auto d = datagen::gaussian_mixture(2500, 3, 6, 4.0, 0.0, 100.0, 57);
+  Options opt;
+  opt.threads = GetParam();
+  auto got = self_join(d, 3.0, opt);
+  const auto want = brute::self_join(d, 3.0);
+  EXPECT_TRUE(ResultSet::equal_normalized(got.pairs, want.pairs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, EgoThreads, ::testing::Values(1, 2, 3, 8));
+
+TEST(EgoInternals, SmallerThresholdMeansMorePruningOpportunities) {
+  const auto d = datagen::uniform(4000, 2, 0.0, 100.0, 59);
+  Options fine;
+  fine.simple_threshold = 4;
+  Options coarse;
+  coarse.simple_threshold = 512;
+  const auto f = self_join(d, 0.5, fine);
+  const auto c = self_join(d, 0.5, coarse);
+  // Finer recursion prunes more sequence pairs but runs more simple
+  // joins; both must report consistent work.
+  EXPECT_GT(f.stats.sequence_pairs_pruned, c.stats.sequence_pairs_pruned);
+  EXPECT_GT(f.stats.simple_joins, 0u);
+  // Coarser base cases compute more distances (less pruning inside).
+  EXPECT_GE(c.stats.distance_calcs, f.stats.distance_calcs);
+}
+
+TEST(EgoInternals, DimReorderPicksSelectiveDimensionAndNeverAddsWork) {
+  // Dimension 0 spans only a couple of eps-cells (weak selectivity);
+  // dimension 1 is uniform over the full domain (strong). Reordering
+  // must put dimension 1 first; with the segment bounding-box prune this
+  // can only reduce (never increase) refinement work, and on this shape
+  // it also prunes more sequence pairs.
+  Dataset d(2);
+  const auto base = datagen::uniform(4000, 2, 0.0, 100.0, 61);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    double p[2] = {base.coord(i, 0) * 0.012, base.coord(i, 1)};
+    d.push_back(p);
+  }
+  Options on;
+  on.reorder_dims = true;
+  Options off;
+  off.reorder_dims = false;
+  const auto with = self_join(d, 0.5, on);
+  const auto without = self_join(d, 0.5, off);
+  EXPECT_TRUE(ResultSet::equal_normalized(ResultSet(with.pairs),
+                                          ResultSet(without.pairs)));
+  EXPECT_LE(with.stats.distance_calcs, without.stats.distance_calcs);
+  EXPECT_EQ(with.stats.dim_order[0], 1);  // the selective dimension first
+}
+
+TEST(EgoFloat, FloatAndDoubleAgreeAwayFromBoundary) {
+  // With eps chosen so no pair sits within float-rounding distance of
+  // the threshold, 32-bit and 64-bit runs must produce identical sets.
+  Dataset d(2);
+  for (int x = 0; x < 40; ++x) {
+    for (int y = 0; y < 40; ++y) {
+      double p[2] = {x * 3.0, y * 3.0};
+      d.push_back(p);
+    }
+  }
+  Options f;
+  f.use_float = true;
+  auto a = self_join(d, 3.5, f);  // neighbours at 3.0, next at 4.24
+  auto b = self_join(d, 3.5);
+  EXPECT_TRUE(ResultSet::equal_normalized(a.pairs, b.pairs));
+}
+
+}  // namespace
+}  // namespace sj::ego

@@ -1,0 +1,101 @@
+#include "gpusim/arena.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sj::gpu {
+namespace {
+
+TEST(Arena, TracksUsedAndFree) {
+  GlobalMemoryArena arena(1024);
+  EXPECT_EQ(arena.capacity(), 1024u);
+  arena.allocate(100);
+  EXPECT_EQ(arena.used(), 100u);
+  EXPECT_EQ(arena.free_bytes(), 924u);
+  arena.release(100);
+  EXPECT_EQ(arena.used(), 0u);
+}
+
+TEST(Arena, ThrowsOnExhaustion) {
+  GlobalMemoryArena arena(100);
+  arena.allocate(60);
+  EXPECT_THROW(arena.allocate(41), DeviceOutOfMemory);
+  // The failed allocation must not change accounting.
+  EXPECT_EQ(arena.used(), 60u);
+  arena.allocate(40);  // exactly fits
+  EXPECT_EQ(arena.free_bytes(), 0u);
+}
+
+TEST(Arena, ExceptionCarriesSizes) {
+  GlobalMemoryArena arena(100);
+  try {
+    arena.allocate(200);
+    FAIL() << "expected DeviceOutOfMemory";
+  } catch (const DeviceOutOfMemory& e) {
+    EXPECT_EQ(e.requested, 200u);
+    EXPECT_EQ(e.free_bytes, 100u);
+  }
+}
+
+TEST(Arena, PeakTracksHighWatermark) {
+  GlobalMemoryArena arena(1000);
+  arena.allocate(400);
+  arena.allocate(300);
+  arena.release(500);
+  arena.allocate(100);
+  EXPECT_EQ(arena.peak_used(), 700u);
+}
+
+TEST(Arena, FromDeviceSpec) {
+  GlobalMemoryArena arena(DeviceSpec::titan_x_pascal());
+  EXPECT_EQ(arena.capacity(), 12ULL * 1024 * 1024 * 1024);
+}
+
+TEST(DeviceBuffer, ChargesAndReleasesArena) {
+  GlobalMemoryArena arena(4096);
+  {
+    DeviceBuffer<double> buf(arena, 256);  // 2048 bytes
+    EXPECT_EQ(arena.used(), 2048u);
+    EXPECT_EQ(buf.size(), 256u);
+    buf[0] = 1.5;
+    EXPECT_DOUBLE_EQ(buf[0], 1.5);
+  }
+  EXPECT_EQ(arena.used(), 0u);
+}
+
+TEST(DeviceBuffer, ThrowsWhenTooLarge) {
+  GlobalMemoryArena arena(100);
+  EXPECT_THROW(DeviceBuffer<double>(arena, 100), DeviceOutOfMemory);
+  EXPECT_EQ(arena.used(), 0u);
+}
+
+TEST(DeviceBuffer, MoveTransfersOwnership) {
+  GlobalMemoryArena arena(4096);
+  DeviceBuffer<int> a(arena, 10);
+  a[3] = 7;
+  DeviceBuffer<int> b = std::move(a);
+  EXPECT_EQ(b[3], 7);
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_EQ(arena.used(), 10 * sizeof(int));
+  b.reset();
+  EXPECT_EQ(arena.used(), 0u);
+}
+
+TEST(DeviceBuffer, MoveAssignReleasesOld) {
+  GlobalMemoryArena arena(4096);
+  DeviceBuffer<int> a(arena, 10);
+  DeviceBuffer<int> b(arena, 20);
+  EXPECT_EQ(arena.used(), 30 * sizeof(int));
+  b = std::move(a);
+  EXPECT_EQ(arena.used(), 10 * sizeof(int));
+  EXPECT_EQ(b.size(), 10u);
+}
+
+TEST(DeviceSpec, TinyDeviceHasRequestedCapacity) {
+  const auto tiny = DeviceSpec::tiny(12345);
+  EXPECT_EQ(tiny.global_mem_bytes, 12345u);
+  // Other resources keep the Pascal model.
+  EXPECT_EQ(tiny.sm_count, 28);
+}
+
+}  // namespace
+}  // namespace sj::gpu

@@ -1,0 +1,86 @@
+#include "gpusim/cachesim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sj::gpu {
+namespace {
+
+TEST(CacheSim, FirstAccessMissesThenHits) {
+  CacheSim c(1024, 64, 2);
+  EXPECT_FALSE(c.access(0, 8));
+  EXPECT_TRUE(c.access(0, 8));
+  EXPECT_TRUE(c.access(56, 8));  // same 64-byte line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(CacheSim, StraddlingAccessTouchesTwoLines) {
+  CacheSim c(1024, 64, 2);
+  EXPECT_FALSE(c.access(60, 8));  // lines 0 and 1, both cold
+  EXPECT_EQ(c.misses(), 2u);
+  EXPECT_TRUE(c.access(60, 8));
+  EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(CacheSim, LruEvictionWithinSet) {
+  // 2 sets, 2 ways, 64-byte lines: capacity = 256 bytes.
+  CacheSim c(256, 64, 2);
+  // Lines 0, 2, 4 all map to set 0 (even line numbers).
+  c.access(0 * 64, 1);   // miss, set 0 way 0
+  c.access(2 * 64, 1);   // miss, set 0 way 1
+  c.access(0 * 64, 1);   // hit (line 0 now MRU)
+  c.access(4 * 64, 1);   // miss, evicts line 2 (LRU)
+  EXPECT_TRUE(c.access(0 * 64, 1));    // still resident
+  EXPECT_FALSE(c.access(2 * 64, 1));   // was evicted
+}
+
+TEST(CacheSim, HitRate) {
+  CacheSim c(4096, 64, 4);
+  c.access(0, 4);
+  c.access(0, 4);
+  c.access(0, 4);
+  c.access(0, 4);
+  EXPECT_DOUBLE_EQ(c.hit_rate(), 0.75);
+  c.reset_counters();
+  EXPECT_EQ(c.accesses(), 0u);
+  EXPECT_DOUBLE_EQ(c.hit_rate(), 0.0);
+}
+
+TEST(CacheSim, WorkingSetLargerThanCacheThrashes) {
+  CacheSim c(1024, 64, 2);  // 16 lines
+  // Cycle through 64 distinct lines twice: with LRU and round-robin
+  // access, every access misses.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int line = 0; line < 64; ++line) {
+      c.access(static_cast<std::uint64_t>(line) * 64, 1);
+    }
+  }
+  EXPECT_EQ(c.misses(), 128u);
+  EXPECT_EQ(c.hits(), 0u);
+}
+
+TEST(CacheSim, WorkingSetSmallerThanCacheStaysResident) {
+  CacheSim c(4096, 64, 4);  // 64 lines
+  for (int pass = 0; pass < 10; ++pass) {
+    for (int line = 0; line < 8; ++line) {
+      c.access(static_cast<std::uint64_t>(line) * 64, 1);
+    }
+  }
+  EXPECT_EQ(c.misses(), 8u);       // compulsory only
+  EXPECT_EQ(c.hits(), 8u * 9);     // everything else hits
+}
+
+TEST(CacheSim, GeometryFromDeviceSpec) {
+  const auto spec = DeviceSpec::titan_x_pascal();
+  CacheSim c(spec);
+  EXPECT_EQ(c.line_bytes(), spec.l1_line_bytes);
+}
+
+TEST(CacheSim, RejectsInvalidGeometry) {
+  EXPECT_THROW(CacheSim(0, 64, 4), std::invalid_argument);
+  EXPECT_THROW(CacheSim(1024, 0, 4), std::invalid_argument);
+  EXPECT_THROW(CacheSim(1024, 64, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sj::gpu

@@ -1,0 +1,89 @@
+#include "gpusim/sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace sj::gpu {
+namespace {
+
+std::vector<Pair> random_pairs(std::size_t n, std::uint32_t key_range,
+                               std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Pair> v(n);
+  for (auto& p : v) {
+    p.key = static_cast<std::uint32_t>(rng.below(key_range));
+    p.value = static_cast<std::uint32_t>(rng.below(key_range));
+  }
+  return v;
+}
+
+TEST(DeviceSort, MatchesStdSort) {
+  for (const std::uint64_t seed : {1, 2, 3}) {
+    auto v = random_pairs(10000, 1u << 20, seed);
+    auto want = v;
+    std::sort(want.begin(), want.end());
+    std::vector<Pair> tmp(v.size());
+    sort_pairs_by_key(v.data(), v.size(), tmp.data());
+    EXPECT_EQ(v, want);
+  }
+}
+
+TEST(DeviceSort, SmallKeyRangeTriggersPassElision) {
+  // Keys/values below 2^16: the two high-digit passes are identities.
+  auto v = random_pairs(20000, 1u << 12, 7);
+  auto want = v;
+  std::sort(want.begin(), want.end());
+  std::vector<Pair> tmp(v.size());
+  sort_pairs_by_key(v.data(), v.size(), tmp.data());
+  EXPECT_EQ(v, want);
+}
+
+TEST(DeviceSort, LargeKeysUseAllPasses) {
+  auto v = random_pairs(5000, 0xFFFFFFFFu, 11);
+  auto want = v;
+  std::sort(want.begin(), want.end());
+  std::vector<Pair> tmp(v.size());
+  sort_pairs_by_key(v.data(), v.size(), tmp.data());
+  EXPECT_EQ(v, want);
+}
+
+TEST(DeviceSort, EmptyAndSingle) {
+  std::vector<Pair> tmp(4);
+  std::vector<Pair> empty;
+  sort_pairs_by_key(empty.data(), 0, tmp.data());
+  std::vector<Pair> one{{5, 6}};
+  sort_pairs_by_key(one.data(), 1, tmp.data());
+  EXPECT_EQ(one[0], (Pair{5, 6}));
+}
+
+TEST(DeviceSort, AlreadySorted) {
+  std::vector<Pair> v;
+  for (std::uint32_t i = 0; i < 1000; ++i) v.push_back({i, i * 2});
+  auto want = v;
+  std::vector<Pair> tmp(v.size());
+  sort_pairs_by_key(v.data(), v.size(), tmp.data());
+  EXPECT_EQ(v, want);
+}
+
+TEST(DeviceSort, AllEqual) {
+  std::vector<Pair> v(500, Pair{3, 4});
+  std::vector<Pair> tmp(v.size());
+  sort_pairs_by_key(v.data(), v.size(), tmp.data());
+  for (const auto& p : v) EXPECT_EQ(p, (Pair{3, 4}));
+}
+
+TEST(DeviceSort, StableGroupingByKey) {
+  auto v = random_pairs(30000, 200, 13);  // many duplicates per key
+  std::vector<Pair> tmp(v.size());
+  sort_pairs_by_key(v.data(), v.size(), tmp.data());
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    EXPECT_LE(v[i - 1], v[i]);
+  }
+}
+
+}  // namespace
+}  // namespace sj::gpu

@@ -1,0 +1,98 @@
+#include "gpusim/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sj::gpu {
+namespace {
+
+// The paper's Table II occupancies for the self-join kernels at 256
+// threads/block on the TITAN X (Pascal): 100%/75% in 2-D (without/with
+// UNICOMP) and 62.5%/50% in 5-6-D.
+TEST(Occupancy, TableTwoValues2D) {
+  const auto spec = DeviceSpec::titan_x_pascal();
+  const auto base = theoretical_occupancy(
+      spec, 256, self_join_regs_per_thread(2, false));
+  const auto uni = theoretical_occupancy(
+      spec, 256, self_join_regs_per_thread(2, true));
+  EXPECT_DOUBLE_EQ(base.occupancy, 1.0);
+  EXPECT_DOUBLE_EQ(uni.occupancy, 0.75);
+}
+
+TEST(Occupancy, TableTwoValues5D) {
+  const auto spec = DeviceSpec::titan_x_pascal();
+  EXPECT_DOUBLE_EQ(theoretical_occupancy(
+                       spec, 256, self_join_regs_per_thread(5, false))
+                       .occupancy,
+                   0.625);
+  EXPECT_DOUBLE_EQ(theoretical_occupancy(
+                       spec, 256, self_join_regs_per_thread(5, true))
+                       .occupancy,
+                   0.5);
+}
+
+TEST(Occupancy, TableTwoValues6D) {
+  const auto spec = DeviceSpec::titan_x_pascal();
+  EXPECT_DOUBLE_EQ(theoretical_occupancy(
+                       spec, 256, self_join_regs_per_thread(6, false))
+                       .occupancy,
+                   0.625);
+  EXPECT_DOUBLE_EQ(theoretical_occupancy(
+                       spec, 256, self_join_regs_per_thread(6, true))
+                       .occupancy,
+                   0.5);
+}
+
+TEST(Occupancy, UnicompAlwaysUsesMoreRegisters) {
+  for (int dim = 1; dim <= 6; ++dim) {
+    EXPECT_GT(self_join_regs_per_thread(dim, true),
+              self_join_regs_per_thread(dim, false));
+  }
+}
+
+TEST(Occupancy, ThreadLimitBoundsBlocks) {
+  const auto spec = DeviceSpec::titan_x_pascal();
+  // Tiny register usage: limited purely by threads per SM.
+  const auto r = theoretical_occupancy(spec, 1024, 16);
+  EXPECT_EQ(r.blocks_per_sm, 2);
+  EXPECT_DOUBLE_EQ(r.occupancy, 1.0);
+}
+
+TEST(Occupancy, RegisterLimitKicksIn) {
+  const auto spec = DeviceSpec::titan_x_pascal();
+  // 255 regs/thread, 256-thread blocks: 255*32 = 8160 -> 8192 per warp
+  // after granularity, * 8 warps = 65536 per block -> exactly 1 block.
+  const auto r = theoretical_occupancy(spec, 256, 255);
+  EXPECT_EQ(r.blocks_per_sm, 1);
+  EXPECT_DOUBLE_EQ(r.occupancy, 0.125);
+}
+
+TEST(Occupancy, SharedMemoryLimit) {
+  const auto spec = DeviceSpec::titan_x_pascal();
+  // 48 KiB smem per block with 96 KiB per SM: at most 2 blocks.
+  const auto r = theoretical_occupancy(spec, 128, 16, 48 * 1024);
+  EXPECT_EQ(r.blocks_per_sm, 2);
+}
+
+TEST(Occupancy, HardwareBlockLimit) {
+  const auto spec = DeviceSpec::titan_x_pascal();
+  // Tiny blocks: bounded by max_blocks_per_sm (32), not threads (64).
+  const auto r = theoretical_occupancy(spec, 32, 8);
+  EXPECT_EQ(r.blocks_per_sm, 32);
+  EXPECT_DOUBLE_EQ(r.occupancy, 0.5);
+}
+
+TEST(Occupancy, InvalidBlockSizeGivesZero) {
+  const auto spec = DeviceSpec::titan_x_pascal();
+  EXPECT_DOUBLE_EQ(theoretical_occupancy(spec, 0, 32).occupancy, 0.0);
+  EXPECT_DOUBLE_EQ(theoretical_occupancy(spec, 2048, 32).occupancy, 0.0);
+}
+
+TEST(Occupancy, RegisterModelGrowsWithDimension) {
+  EXPECT_EQ(self_join_regs_per_thread(2, false), 32);
+  EXPECT_EQ(self_join_regs_per_thread(6, false), 48);
+  EXPECT_EQ(self_join_regs_per_thread(2, true), 40);
+  EXPECT_EQ(self_join_regs_per_thread(6, true), 56);
+}
+
+}  // namespace
+}  // namespace sj::gpu

@@ -1,0 +1,74 @@
+#include "gpusim/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace sj::gpu {
+namespace {
+
+TEST(Stream, ExecutesEnqueuedWork) {
+  Stream s(DeviceSpec::titan_x_pascal());
+  std::atomic<int> x{0};
+  s.enqueue([&] { x = 42; });
+  s.synchronize();
+  EXPECT_EQ(x.load(), 42);
+}
+
+TEST(Stream, FifoOrderWithinStream) {
+  Stream s(DeviceSpec::titan_x_pascal());
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    s.enqueue([&order, i] { order.push_back(i); });
+  }
+  s.synchronize();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Stream, MemcpyAsyncCopiesAndAccounts) {
+  Stream s(DeviceSpec::titan_x_pascal());
+  std::vector<double> src(1000, 3.14);
+  std::vector<double> dst(1000, 0.0);
+  s.memcpy_async(dst.data(), src.data(), 1000 * sizeof(double));
+  s.synchronize();
+  EXPECT_DOUBLE_EQ(dst[999], 3.14);
+  EXPECT_EQ(s.bytes_copied(), 1000 * sizeof(double));
+  // Modelled PCIe time: bytes / (12 GB/s).
+  EXPECT_NEAR(s.modeled_copy_seconds(), 8000.0 / 12e9, 1e-12);
+}
+
+TEST(Stream, SynchronizeIsIdempotent) {
+  Stream s(DeviceSpec::titan_x_pascal());
+  s.synchronize();
+  s.enqueue([] {});
+  s.synchronize();
+  s.synchronize();
+}
+
+TEST(Stream, MultipleStreamsRunIndependently) {
+  Stream a(DeviceSpec::titan_x_pascal());
+  Stream b(DeviceSpec::titan_x_pascal());
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    a.enqueue([&] { count.fetch_add(1); });
+    b.enqueue([&] { count.fetch_add(1); });
+  }
+  a.synchronize();
+  b.synchronize();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Stream, DestructorDrainsGracefully) {
+  std::atomic<int> done{0};
+  {
+    Stream s(DeviceSpec::titan_x_pascal());
+    s.enqueue([&] { done = 1; });
+    s.synchronize();
+  }
+  EXPECT_EQ(done.load(), 1);
+}
+
+}  // namespace
+}  // namespace sj::gpu

@@ -1,0 +1,116 @@
+// Edge cases exercised uniformly across all implementations.
+#include <gtest/gtest.h>
+
+#include "bruteforce/brute_force.hpp"
+#include "common/datagen.hpp"
+#include "core/self_join.hpp"
+#include "ego/ego.hpp"
+#include "rtree/rtree_self_join.hpp"
+
+namespace sj {
+namespace {
+
+void expect_all_equal(const Dataset& d, double eps) {
+  auto want = brute::self_join(d, eps);
+  auto gpu = GpuSelfJoin().run(d, eps);
+  auto rt = rtree::self_join(d, eps);
+  auto eg = ego::self_join(d, eps);
+  EXPECT_TRUE(ResultSet::equal_normalized(gpu.pairs, want.pairs))
+      << "GPU-SJ eps=" << eps;
+  EXPECT_TRUE(ResultSet::equal_normalized(rt.pairs, want.pairs))
+      << "RTREE eps=" << eps;
+  EXPECT_TRUE(ResultSet::equal_normalized(eg.pairs, want.pairs))
+      << "EGO eps=" << eps;
+}
+
+TEST(EdgeCases, TwoPointsExactlyEpsApart) {
+  // Boundary inclusion: dist == eps must be reported (<=, not <).
+  Dataset d(2, {0.0, 0.0, 3.0, 4.0});  // distance exactly 5
+  auto r = GpuSelfJoin().run(d, 5.0);
+  r.pairs.normalize();
+  EXPECT_EQ(r.pairs.size(), 4u);
+  auto r2 = GpuSelfJoin().run(d, 4.999999);
+  r2.pairs.normalize();
+  EXPECT_EQ(r2.pairs.size(), 2u);
+  expect_all_equal(d, 5.0);
+}
+
+TEST(EdgeCases, PointsOnCellBoundaries) {
+  // Integer coordinates with eps = 1: points sit exactly on grid lines.
+  Dataset d(2);
+  for (int x = 0; x < 12; ++x) {
+    for (int y = 0; y < 12; ++y) {
+      double p[2] = {static_cast<double>(x), static_cast<double>(y)};
+      d.push_back(p);
+    }
+  }
+  expect_all_equal(d, 1.0);
+}
+
+TEST(EdgeCases, NegativeCoordinates) {
+  const auto base = datagen::uniform(800, 3, -50.0, 50.0, 3);
+  expect_all_equal(base, 3.0);
+}
+
+TEST(EdgeCases, AllIdenticalPoints) {
+  Dataset d(2);
+  for (int i = 0; i < 40; ++i) {
+    double p[2] = {7.0, -3.0};
+    d.push_back(p);
+  }
+  expect_all_equal(d, 0.5);
+  auto r = GpuSelfJoin().run(d, 0.5);
+  r.pairs.normalize();
+  EXPECT_EQ(r.pairs.size(), 40u * 40u);
+}
+
+TEST(EdgeCases, OneDimensionalData) {
+  const auto d = datagen::uniform(1000, 1, 0.0, 100.0, 5);
+  expect_all_equal(d, 0.3);
+}
+
+TEST(EdgeCases, EpsZeroAcrossAlgorithms) {
+  Dataset d(2, {1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0});
+  expect_all_equal(d, 0.0);
+}
+
+TEST(EdgeCases, EpsLargerThanDomain) {
+  const auto d = datagen::uniform(150, 2, 0.0, 10.0, 7);
+  expect_all_equal(d, 100.0);
+}
+
+TEST(EdgeCases, VerySmallEps) {
+  const auto d = datagen::uniform(1000, 2, 0.0, 100.0, 9);
+  expect_all_equal(d, 1e-6);
+}
+
+TEST(EdgeCases, ExtremeAspectRatio) {
+  // One dimension a thousand times wider than the other.
+  Dataset d(2);
+  const auto base = datagen::uniform(800, 2, 0.0, 1.0, 11);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    double p[2] = {base.coord(i, 0) * 1000.0, base.coord(i, 1)};
+    d.push_back(p);
+  }
+  expect_all_equal(d, 2.0);
+}
+
+TEST(EdgeCases, DegenerateDimension) {
+  // A dimension in which every point has the same value.
+  Dataset d(3);
+  const auto base = datagen::uniform(600, 2, 0.0, 100.0, 13);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    double p[3] = {base.coord(i, 0), 42.0, base.coord(i, 1)};
+    d.push_back(p);
+  }
+  expect_all_equal(d, 2.5);
+}
+
+TEST(EdgeCases, TwoPoints) {
+  Dataset d(4, {1.0, 2.0, 3.0, 4.0, 1.1, 2.1, 3.1, 4.1});
+  expect_all_equal(d, 0.5);
+  expect_all_equal(d, 0.1);
+}
+
+}  // namespace
+}  // namespace sj

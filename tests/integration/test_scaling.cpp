@@ -1,0 +1,74 @@
+// Empirical validation of the DESIGN.md §5 scaling contract: rescaling
+// eps by (N_big / N_small)^(1/dim) keeps the average neighbour count of
+// uniform synthetic data approximately invariant — the property that
+// keeps the scaled-down benches in the paper's operating regime.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/datagen.hpp"
+#include "common/datasets.hpp"
+#include "core/self_join.hpp"
+
+namespace sj {
+namespace {
+
+class EpsScaling : public ::testing::TestWithParam<int> {};
+
+TEST_P(EpsScaling, AvgNeighborsInvariantUnderSizeRescale) {
+  const int dim = GetParam();
+  const std::size_t n_small = 4000;
+  const std::size_t n_big = 16000;
+  // Choose eps so the small run has a meaningful neighbour count.
+  const double eps_small = 2.2 * std::pow(4.0, (dim - 2) / 2.0);
+  const double eps_big =
+      eps_small * std::pow(static_cast<double>(n_small) /
+                               static_cast<double>(n_big),
+                           1.0 / dim);
+
+  const auto small = datagen::uniform(n_small, dim, 0.0, 100.0, 1000 + dim);
+  const auto big = datagen::uniform(n_big, dim, 0.0, 100.0, 2000 + dim);
+
+  GpuSelfJoin join;
+  const auto rs = join.run(small, eps_small);
+  const auto rb = join.run(big, eps_big);
+
+  const double avg_small = rs.pairs.avg_neighbors(n_small) - 1.0;  // drop self
+  const double avg_big = rb.pairs.avg_neighbors(n_big) - 1.0;
+  ASSERT_GT(avg_small, 0.5) << "test needs a non-trivial neighbour count";
+  // Statistical agreement within 15%.
+  EXPECT_NEAR(avg_big / avg_small, 1.0, 0.15)
+      << "dim=" << dim << " avg_small=" << avg_small
+      << " avg_big=" << avg_big;
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, EpsScaling, ::testing::Values(2, 3, 4));
+
+TEST(DatasetScaling, MakeHonorsScaleFactor) {
+  const auto full = datasets::make("Syn2D2M", 0.5);
+  EXPECT_EQ(full.size(), 10000u);
+  const auto tiny = datasets::make("SW3DA", 0.05);
+  EXPECT_EQ(tiny.size(), 1000u);
+  EXPECT_EQ(tiny.dim(), 3);
+}
+
+TEST(DatasetScaling, ScaledEpsKeepsRegimeAcrossScales) {
+  // Running the same dataset family at two scales with scaled_eps must
+  // produce similar avg-neighbour counts.
+  const auto& info = datasets::info("Syn2D2M");
+  const auto small = datasets::make("Syn2D2M", 0.25);
+  const auto big = datasets::make("Syn2D2M", 1.0);
+  const double eps_small = datasets::scale_eps(info, small.size(),
+                                               info.bench_eps[2]);
+  const double eps_big = info.bench_eps[2];
+
+  GpuSelfJoin join;
+  const double avg_small =
+      join.run(small, eps_small).pairs.avg_neighbors(small.size());
+  const double avg_big =
+      join.run(big, eps_big).pairs.avg_neighbors(big.size());
+  EXPECT_NEAR(avg_big / avg_small, 1.0, 0.15);
+}
+
+}  // namespace
+}  // namespace sj

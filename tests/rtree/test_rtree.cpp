@@ -1,0 +1,184 @@
+#include "rtree/rtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/datagen.hpp"
+#include "rtree/mbr.hpp"
+
+namespace sj::rtree {
+namespace {
+
+std::set<std::uint32_t> brute_window(const Dataset& d, const double* c,
+                                     double eps) {
+  std::set<std::uint32_t> out;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    bool in = true;
+    for (int j = 0; j < d.dim(); ++j) {
+      if (d.coord(i, j) < c[j] - eps || d.coord(i, j) > c[j] + eps) in = false;
+    }
+    if (in) out.insert(static_cast<std::uint32_t>(i));
+  }
+  return out;
+}
+
+TEST(Mbr, PointMbrAndExpand) {
+  const double p[] = {1.0, 2.0};
+  MBR m = MBR::of_point(p, 2);
+  EXPECT_DOUBLE_EQ(m.area(2), 0.0);
+  const double q[] = {3.0, 0.0};
+  m.expand(MBR::of_point(q, 2), 2);
+  EXPECT_DOUBLE_EQ(m.area(2), 4.0);  // [1,3] x [0,2]
+}
+
+TEST(Mbr, EnlargementZeroWhenContained) {
+  const double p[] = {0.0, 0.0};
+  const double q[] = {4.0, 4.0};
+  MBR m = MBR::of_point(p, 2);
+  m.expand(MBR::of_point(q, 2), 2);
+  const double inner[] = {2.0, 2.0};
+  EXPECT_DOUBLE_EQ(m.enlargement(MBR::of_point(inner, 2), 2), 0.0);
+  const double outer[] = {6.0, 2.0};
+  EXPECT_GT(m.enlargement(MBR::of_point(outer, 2), 2), 0.0);
+}
+
+TEST(Mbr, WindowIntersection) {
+  const double p[] = {0.0, 0.0};
+  const double q[] = {2.0, 2.0};
+  MBR m = MBR::of_point(p, 2);
+  m.expand(MBR::of_point(q, 2), 2);
+  const double near[] = {3.0, 3.0};
+  EXPECT_TRUE(m.intersects_window(near, 1.0, 2));
+  const double far[] = {4.0, 4.0};
+  EXPECT_FALSE(m.intersects_window(far, 1.0, 2));
+}
+
+TEST(Mbr, MinSqDist) {
+  const double p[] = {0.0, 0.0};
+  const double q[] = {2.0, 2.0};
+  MBR m = MBR::of_point(p, 2);
+  m.expand(MBR::of_point(q, 2), 2);
+  const double inside[] = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(m.min_sq_dist(inside, 2), 0.0);
+  const double outside[] = {5.0, 2.0};
+  EXPECT_DOUBLE_EQ(m.min_sq_dist(outside, 2), 9.0);
+}
+
+TEST(RTree, RejectsBadConfig) {
+  EXPECT_THROW(RTree(0), std::invalid_argument);
+  Options bad;
+  bad.min_entries = 10;
+  bad.max_entries = 16;  // min > max/2
+  EXPECT_THROW(RTree(2, bad), std::invalid_argument);
+}
+
+TEST(RTree, InsertMaintainsInvariants) {
+  const auto d = datagen::uniform(2000, 2, 0.0, 100.0, 3);
+  RTree tree(2);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    tree.insert(d.pt(i), static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(tree.size(), d.size());
+  EXPECT_TRUE(tree.check_invariants());
+  EXPECT_GT(tree.height(), 1);
+}
+
+TEST(RTree, WindowCandidatesMatchBruteForce) {
+  const auto d = datagen::uniform(1500, 3, 0.0, 100.0, 5);
+  RTree tree(3);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    tree.insert(d.pt(i), static_cast<std::uint32_t>(i));
+  }
+  for (std::size_t q = 0; q < 50; ++q) {
+    std::vector<std::uint32_t> got;
+    tree.window_candidates(d.pt(q * 30), 5.0, got);
+    EXPECT_EQ(std::set<std::uint32_t>(got.begin(), got.end()),
+              brute_window(d, d.pt(q * 30), 5.0));
+  }
+}
+
+TEST(RTree, RangeQueryRefinesExactly) {
+  const auto d = datagen::uniform(1000, 2, 0.0, 100.0, 7);
+  RTree tree(2);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    tree.insert(d.pt(i), static_cast<std::uint32_t>(i));
+  }
+  const double eps = 4.0;
+  for (std::size_t q = 0; q < 20; ++q) {
+    std::vector<std::uint32_t> got;
+    tree.range_query(d, d.pt(q * 50), eps, got);
+    std::set<std::uint32_t> want;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      if (sq_dist(d.pt(q * 50), d.pt(i), 2) <= eps * eps) {
+        want.insert(static_cast<std::uint32_t>(i));
+      }
+    }
+    EXPECT_EQ(std::set<std::uint32_t>(got.begin(), got.end()), want);
+  }
+}
+
+TEST(RTree, CandidatesSupersetOfResults) {
+  // The search phase must never filter a true neighbour: window
+  // candidates >= refined results.
+  const auto d = datagen::uniform(800, 2, 0.0, 100.0, 9);
+  RTree tree(2);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    tree.insert(d.pt(i), static_cast<std::uint32_t>(i));
+  }
+  QueryStats stats;
+  std::vector<std::uint32_t> refined;
+  tree.range_query(d, d.pt(0), 3.0, refined, &stats);
+  EXPECT_GE(stats.candidates, refined.size());
+  EXPECT_GT(stats.nodes_visited, 0u);
+}
+
+TEST(RTree, StrBulkLoadInvariantsAndQueries) {
+  const auto d = datagen::uniform(3000, 2, 0.0, 100.0, 11);
+  RTree tree(2);
+  tree.bulk_load_str(d);
+  EXPECT_EQ(tree.size(), d.size());
+  EXPECT_TRUE(tree.check_invariants());
+  for (std::size_t q = 0; q < 30; ++q) {
+    std::vector<std::uint32_t> got;
+    tree.window_candidates(d.pt(q * 100), 3.0, got);
+    EXPECT_EQ(std::set<std::uint32_t>(got.begin(), got.end()),
+              brute_window(d, d.pt(q * 100), 3.0));
+  }
+}
+
+TEST(RTree, StrBulkLoadHigherDims) {
+  const auto d = datagen::uniform(2000, 5, 0.0, 100.0, 13);
+  RTree tree(5);
+  tree.bulk_load_str(d);
+  EXPECT_TRUE(tree.check_invariants());
+  std::vector<std::uint32_t> got;
+  tree.window_candidates(d.pt(0), 20.0, got);
+  EXPECT_EQ(std::set<std::uint32_t>(got.begin(), got.end()),
+            brute_window(d, d.pt(0), 20.0));
+}
+
+TEST(RTree, EmptyTreeQueries) {
+  RTree tree(2);
+  std::vector<std::uint32_t> got;
+  const double c[] = {0.0, 0.0};
+  tree.window_candidates(c, 10.0, got);
+  EXPECT_TRUE(got.empty());
+  EXPECT_TRUE(tree.check_invariants());
+  EXPECT_EQ(tree.height(), 0);
+}
+
+TEST(RTree, DuplicatePointsAllRetrievable) {
+  Dataset d(2, {5.0, 5.0, 5.0, 5.0, 5.0, 5.0});
+  RTree tree(2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    tree.insert(d.pt(i), static_cast<std::uint32_t>(i));
+  }
+  std::vector<std::uint32_t> got;
+  tree.window_candidates(d.pt(0), 0.5, got);
+  EXPECT_EQ(got.size(), 3u);
+}
+
+}  // namespace
+}  // namespace sj::rtree

@@ -1,0 +1,99 @@
+// R-tree configuration sweeps: structural invariants and query
+// equivalence must hold for every legal fanout and build mode.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "common/datagen.hpp"
+#include "rtree/rtree.hpp"
+#include "rtree/rtree_self_join.hpp"
+
+namespace sj::rtree {
+namespace {
+
+class RTreeFanout
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};  // (max, min)
+
+TEST_P(RTreeFanout, InvariantsHoldAfterInsertion) {
+  const auto [max_e, min_e] = GetParam();
+  Options opt;
+  opt.max_entries = max_e;
+  opt.min_entries = min_e;
+  const auto d = datagen::uniform(1500, 2, 0.0, 100.0, 600 + max_e);
+  RTree tree(2, opt);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    tree.insert(d.pt(i), static_cast<std::uint32_t>(i));
+  }
+  EXPECT_TRUE(tree.check_invariants());
+  EXPECT_EQ(tree.size(), d.size());
+}
+
+TEST_P(RTreeFanout, QueriesIndependentOfFanout) {
+  const auto [max_e, min_e] = GetParam();
+  Options opt;
+  opt.max_entries = max_e;
+  opt.min_entries = min_e;
+  const auto d = datagen::uniform(800, 3, 0.0, 100.0, 700 + max_e);
+  RTree tree(3, opt);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    tree.insert(d.pt(i), static_cast<std::uint32_t>(i));
+  }
+  std::vector<std::uint32_t> got;
+  tree.window_candidates(d.pt(0), 8.0, got);
+  std::set<std::uint32_t> want;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    bool in = true;
+    for (int j = 0; j < 3; ++j) {
+      if (std::abs(d.coord(i, j) - d.coord(0, j)) > 8.0) in = false;
+    }
+    if (in) want.insert(static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(std::set<std::uint32_t>(got.begin(), got.end()), want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fanouts, RTreeFanout,
+    ::testing::Values(std::make_tuple(4, 2), std::make_tuple(8, 3),
+                      std::make_tuple(16, 6), std::make_tuple(64, 16)),
+    [](const auto& info) {
+      return "max" + std::to_string(std::get<0>(info.param)) + "_min" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class RTreeBuildModes : public ::testing::TestWithParam<int> {};
+
+TEST_P(RTreeBuildModes, SelfJoinEqualAcrossModesAndDims) {
+  const int dim = GetParam();
+  const double eps = 1.0 * (1 << (dim - 2));
+  const auto d = datagen::gaussian_mixture(800, dim, 4, 5.0, 0.0, 100.0,
+                                           900 + dim);
+  auto binned = self_join(d, eps, BuildMode::kBinnedInsert);
+  auto str = self_join(d, eps, BuildMode::kStrBulkLoad);
+  auto raw = self_join(d, eps, BuildMode::kRawInsert);
+  EXPECT_TRUE(ResultSet::equal_normalized(binned.pairs, str.pairs));
+  EXPECT_TRUE(ResultSet::equal_normalized(binned.pairs, raw.pairs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, RTreeBuildModes, ::testing::Values(2, 3, 5));
+
+TEST(RTreeStr, PackedTreeIsShallowerOrEqual) {
+  const auto d = datagen::uniform(5000, 2, 0.0, 100.0, 950);
+  RTree inserted(2);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    inserted.insert(d.pt(i), static_cast<std::uint32_t>(i));
+  }
+  RTree packed(2);
+  packed.bulk_load_str(d);
+  EXPECT_LE(packed.height(), inserted.height());
+}
+
+TEST(RTreeStr, VisitsFewerNodesThanRawInsertOnAverage) {
+  const auto d = datagen::uniform(4000, 2, 0.0, 100.0, 960);
+  const auto str = self_join(d, 2.0, BuildMode::kStrBulkLoad);
+  const auto raw = self_join(d, 2.0, BuildMode::kRawInsert);
+  EXPECT_LT(str.stats.nodes_visited, raw.stats.nodes_visited);
+}
+
+}  // namespace
+}  // namespace sj::rtree

@@ -1,0 +1,79 @@
+#include "rtree/rtree_self_join.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bruteforce/brute_force.hpp"
+#include "common/datagen.hpp"
+
+namespace sj::rtree {
+namespace {
+
+class RTreeSelfJoinEquality : public ::testing::TestWithParam<int> {};
+
+TEST_P(RTreeSelfJoinEquality, MatchesBruteForce) {
+  const int dim = GetParam();
+  const double eps = 1.0 + 2.0 * (dim - 2);
+  const auto d = datagen::uniform(1000, dim, 0.0, 100.0, 100 + dim);
+  auto got = self_join(d, eps);
+  const auto want = brute::self_join(d, eps);
+  EXPECT_TRUE(ResultSet::equal_normalized(got.pairs, want.pairs))
+      << "dim=" << dim;
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, RTreeSelfJoinEquality,
+                         ::testing::Values(2, 3, 4, 5, 6));
+
+TEST(RTreeSelfJoin, AllBuildModesAgree) {
+  const auto d = datagen::uniform(1500, 2, 0.0, 100.0, 19);
+  auto binned = self_join(d, 2.0, BuildMode::kBinnedInsert);
+  auto str = self_join(d, 2.0, BuildMode::kStrBulkLoad);
+  auto raw = self_join(d, 2.0, BuildMode::kRawInsert);
+  EXPECT_TRUE(ResultSet::equal_normalized(binned.pairs, str.pairs));
+  EXPECT_TRUE(ResultSet::equal_normalized(binned.pairs, raw.pairs));
+}
+
+TEST(RTreeSelfJoin, BinnedOrderSortsByUnitBins) {
+  Dataset d(2, {5.7, 0.2,   // bin (5, 0)
+                0.1, 0.9,   // bin (0, 0)
+                0.5, 3.2,   // bin (0, 3)
+                2.9, 0.0}); // bin (2, 0)
+  const auto order = binned_insertion_order(d);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1u);  // (0,0)
+  EXPECT_EQ(order[1], 2u);  // (0,3)
+  EXPECT_EQ(order[2], 3u);  // (2,0)
+  EXPECT_EQ(order[3], 0u);  // (5,0)
+}
+
+TEST(RTreeSelfJoin, StatsPopulated) {
+  const auto d = datagen::uniform(2000, 2, 0.0, 100.0, 21);
+  const auto r = self_join(d, 2.0);
+  EXPECT_GT(r.stats.build_seconds, 0.0);
+  EXPECT_GT(r.stats.query_seconds, 0.0);
+  EXPECT_GT(r.stats.nodes_visited, 0u);
+  EXPECT_GE(r.stats.candidates, r.pairs.size());
+  EXPECT_EQ(r.stats.distance_calcs, r.stats.candidates);
+  EXPECT_GT(r.stats.tree_height, 1);
+}
+
+TEST(RTreeSelfJoin, SkewedDataMatchesBruteForce) {
+  const auto d = datagen::sdss_like(2000, 23);
+  auto got = self_join(d, 0.5);
+  const auto want = brute::self_join(d, 0.5);
+  EXPECT_TRUE(ResultSet::equal_normalized(got.pairs, want.pairs));
+}
+
+TEST(RTreeSelfJoin, EmptyDataset) {
+  const auto r = self_join(Dataset(2), 1.0);
+  EXPECT_TRUE(r.pairs.empty());
+}
+
+TEST(RTreeSelfJoin, SelfPairsPresent) {
+  const auto d = datagen::uniform(300, 2, 0.0, 100.0, 25);
+  auto r = self_join(d, 0.01);
+  r.pairs.normalize();
+  EXPECT_GE(r.pairs.size(), d.size());
+}
+
+}  // namespace
+}  // namespace sj::rtree

@@ -1,0 +1,234 @@
+// sjtool — command-line driver for the library: generate Table I
+// datasets, inspect files, and run any of the join/kNN implementations on
+// binary (.sjd) or CSV point files.
+//
+//   sjtool gen      --dataset Syn2D2M [--scale 1.0] --out points.sjd
+//   sjtool info     --in points.sjd
+//   sjtool selfjoin --in points.sjd --eps 2.0 [--algo gpu_unicomp]
+//                   [--pairs-out pairs.csv] [--counts-out counts.csv]
+//   sjtool join     --in queries.sjd --data data.sjd --eps 1.0
+//   sjtool knn      --in points.sjd --k 8 [--out knn.csv]
+//
+// Formats are chosen by extension: .sjd binary, anything else CSV.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "bruteforce/brute_force.hpp"
+#include "common/csv.hpp"
+#include "common/datasets.hpp"
+#include "common/io.hpp"
+#include "core/brute_force_gpu.hpp"
+#include "core/join.hpp"
+#include "core/knn.hpp"
+#include "core/self_join.hpp"
+#include "ego/ego.hpp"
+#include "rtree/rtree_self_join.hpp"
+
+namespace {
+
+using sj::Dataset;
+
+[[noreturn]] void usage(const std::string& msg = {}) {
+  if (!msg.empty()) std::cerr << "error: " << msg << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  sjtool gen      --dataset NAME [--scale S] --out FILE\n"
+      "  sjtool info     --in FILE\n"
+      "  sjtool selfjoin --in FILE --eps E [--algo A] [--pairs-out F]\n"
+      "                  [--counts-out F]\n"
+      "  sjtool join     --in FILE --data FILE --eps E [--pairs-out F]\n"
+      "  sjtool knn      --in FILE --k K [--out F]\n"
+      "algorithms: gpu_unicomp (default), gpu, rtree, superego, brute,\n"
+      "            gpu_bf\n"
+      "datasets for gen: ";
+  for (const auto& i : sj::datasets::all()) std::cerr << i.name << " ";
+  std::cerr << "\n";
+  std::exit(2);
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int start) {
+  std::map<std::string, std::string> flags;
+  for (int i = start; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) usage("unexpected argument " + arg);
+    if (i + 1 >= argc) usage("missing value for " + arg);
+    flags[arg.substr(2)] = argv[++i];
+  }
+  return flags;
+}
+
+std::string require(const std::map<std::string, std::string>& flags,
+                    const std::string& key) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) usage("missing --" + key);
+  return it->second;
+}
+
+bool is_binary_path(const std::string& path) {
+  return path.size() > 4 && path.substr(path.size() - 4) == ".sjd";
+}
+
+Dataset load_any(const std::string& path) {
+  return is_binary_path(path) ? sj::io::load_binary(path)
+                              : sj::io::load_csv(path);
+}
+
+void save_any(const Dataset& d, const std::string& path) {
+  if (is_binary_path(path)) {
+    sj::io::save_binary(d, path);
+  } else {
+    sj::io::save_csv(d, path);
+  }
+}
+
+void write_pairs_csv(const sj::ResultSet& pairs, const std::string& path) {
+  sj::csv::Table t({"key", "value"});
+  for (const auto& p : pairs.pairs()) {
+    t.add_row({std::to_string(p.key), std::to_string(p.value)});
+  }
+  t.write(path);
+}
+
+int cmd_gen(const std::map<std::string, std::string>& flags) {
+  const std::string name = require(flags, "dataset");
+  const double scale =
+      flags.count("scale") ? std::stod(flags.at("scale")) : 1.0;
+  const std::string out = require(flags, "out");
+  const Dataset d = sj::datasets::make(name, scale);
+  save_any(d, out);
+  std::cout << "wrote " << d.size() << " points (" << d.dim() << "-D) to "
+            << out << "\n";
+  return 0;
+}
+
+int cmd_info(const std::map<std::string, std::string>& flags) {
+  const Dataset d = load_any(require(flags, "in"));
+  std::cout << "points: " << d.size() << "\ndim:    " << d.dim() << "\n";
+  const auto lo = d.min_bound();
+  const auto hi = d.max_bound();
+  for (int j = 0; j < d.dim(); ++j) {
+    std::cout << "dim " << j << ":  [" << lo[j] << ", " << hi[j] << "]\n";
+  }
+  return 0;
+}
+
+int cmd_selfjoin(const std::map<std::string, std::string>& flags) {
+  const Dataset d = load_any(require(flags, "in"));
+  const double eps = std::stod(require(flags, "eps"));
+  const std::string algo =
+      flags.count("algo") ? flags.at("algo") : "gpu_unicomp";
+
+  sj::ResultSet pairs;
+  double seconds = 0.0;
+  if (algo == "gpu" || algo == "gpu_unicomp") {
+    sj::GpuSelfJoinOptions opt;
+    opt.unicomp = algo == "gpu_unicomp";
+    auto r = sj::GpuSelfJoin(opt).run(d, eps);
+    pairs = std::move(r.pairs);
+    seconds = r.stats.total_seconds;
+    std::cout << "batches: " << r.stats.batch.batches_run
+              << "  nonempty cells: " << r.stats.grid_nonempty_cells
+              << "  distance calcs: " << r.stats.metrics.distance_calcs
+              << "\n";
+  } else if (algo == "rtree") {
+    auto r = sj::rtree::self_join(d, eps);
+    pairs = std::move(r.pairs);
+    seconds = r.stats.query_seconds;
+  } else if (algo == "superego") {
+    auto r = sj::ego::self_join(d, eps);
+    pairs = std::move(r.pairs);
+    seconds = r.stats.total_seconds();
+  } else if (algo == "brute") {
+    auto r = sj::brute::self_join(d, eps);
+    pairs = std::move(r.pairs);
+    seconds = r.stats.seconds;
+  } else if (algo == "gpu_bf") {
+    auto r = sj::gpu_brute_force(d, eps, /*materialize=*/true);
+    pairs = std::move(r.pairs);
+    seconds = r.kernel_seconds;
+  } else {
+    usage("unknown algorithm " + algo);
+  }
+
+  std::cout << "pairs:   " << pairs.size() << " (incl. self pairs)\n"
+            << "avg nbr: " << pairs.avg_neighbors(d.size()) << "\n"
+            << "time:    " << seconds << " s  [" << algo << "]\n";
+  if (flags.count("pairs-out")) {
+    pairs.normalize();
+    write_pairs_csv(pairs, flags.at("pairs-out"));
+    std::cout << "pairs written to " << flags.at("pairs-out") << "\n";
+  }
+  if (flags.count("counts-out")) {
+    const auto counts = pairs.counts_per_key(d.size());
+    sj::csv::Table t({"point", "neighbors"});
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      t.add_row({std::to_string(i), std::to_string(counts[i])});
+    }
+    t.write(flags.at("counts-out"));
+    std::cout << "counts written to " << flags.at("counts-out") << "\n";
+  }
+  return 0;
+}
+
+int cmd_join(const std::map<std::string, std::string>& flags) {
+  const Dataset a = load_any(require(flags, "in"));
+  const Dataset b = load_any(require(flags, "data"));
+  const double eps = std::stod(require(flags, "eps"));
+  auto r = sj::gpu_join(a, b, eps);
+  std::cout << "pairs: " << r.pairs.size() << "\ntime:  "
+            << r.stats.total_seconds << " s\n";
+  if (flags.count("pairs-out")) {
+    r.pairs.normalize();
+    write_pairs_csv(r.pairs, flags.at("pairs-out"));
+  }
+  return 0;
+}
+
+int cmd_knn(const std::map<std::string, std::string>& flags) {
+  const Dataset d = load_any(require(flags, "in"));
+  sj::KnnOptions opt;
+  opt.k = std::stoi(require(flags, "k"));
+  const auto r = sj::gpu_knn(d, opt);
+  std::cout << "queries: " << r.num_queries() << "  k: " << r.k()
+            << "\ncell width: " << r.stats.chosen_cell_width
+            << "\ntime: " << r.stats.total_seconds << " s ("
+            << static_cast<double>(r.stats.metrics.distance_calcs) /
+                   static_cast<double>(std::max<std::size_t>(d.size(), 1))
+            << " candidates/query)\n";
+  if (flags.count("out")) {
+    sj::csv::Table t({"query", "rank", "neighbor", "distance"});
+    for (std::size_t q = 0; q < r.num_queries(); ++q) {
+      for (int j = 0; j < r.count(q); ++j) {
+        t.add_row({std::to_string(q), std::to_string(j),
+                   std::to_string(r.neighbor(q, j)),
+                   sj::csv::fmt(r.distance(q, j))});
+      }
+    }
+    t.write(flags.at("out"));
+    std::cout << "neighbors written to " << flags.at("out") << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  const auto flags = parse_flags(argc, argv, 2);
+  try {
+    if (cmd == "gen") return cmd_gen(flags);
+    if (cmd == "info") return cmd_info(flags);
+    if (cmd == "selfjoin") return cmd_selfjoin(flags);
+    if (cmd == "join") return cmd_join(flags);
+    if (cmd == "knn") return cmd_knn(flags);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  usage("unknown command " + cmd);
+}
