@@ -9,14 +9,13 @@
 //       unfiltered 3^n neighbourhood bound.
 #include <iostream>
 
+#include "api/registry.hpp"
 #include "common/csv.hpp"
 #include "common/datasets.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "core/grid_index.hpp"
-#include "core/self_join.hpp"
 #include "harness/bench_common.hpp"
-#include "rtree/rtree_self_join.hpp"
 
 int main(int argc, char** argv) {
   using namespace sj;
@@ -35,15 +34,15 @@ int main(int argc, char** argv) {
         Timer timer;
         GridIndex grid(d, eps);
         const double grid_s = timer.seconds();
-        const double binned =
-            rtree::self_join(d, eps, rtree::BuildMode::kBinnedInsert)
-                .stats.build_seconds;
-        const double str =
-            rtree::self_join(d, eps, rtree::BuildMode::kStrBulkLoad)
-                .stats.build_seconds;
-        const double raw =
-            rtree::self_join(d, eps, rtree::BuildMode::kRawInsert)
-                .stats.build_seconds;
+        const auto& rt = api::BackendRegistry::instance().at("rtree");
+        auto rtree_build = [&](const char* mode) {
+          api::RunConfig config;
+          config.extra["build_mode"] = mode;
+          return rt.run(d, eps, config).stats.build_seconds;
+        };
+        const double binned = rtree_build("binned");
+        const double str = rtree_build("str");
+        const double raw = rtree_build("raw");
         t.add_row({name, csv::fmt(eps), csv::fmt(grid_s), csv::fmt(binned),
                    csv::fmt(str), csv::fmt(raw)});
       }
@@ -57,12 +56,13 @@ int main(int argc, char** argv) {
       const Dataset d = datasets::make("Syn3D2M", scale);
       const auto& info = datasets::info("Syn3D2M");
       const double eps = datasets::scaled_eps(info, d.size())[2];
+      const auto& gpu = api::BackendRegistry::instance().at("gpu_unicomp");
       for (int bs : {32, 64, 128, 256, 512, 1024}) {
-        GpuSelfJoinOptions opt;
-        opt.block_size = bs;
-        const auto r = GpuSelfJoin(opt).run(d, eps);
-        t.add_row({std::to_string(bs), csv::fmt(r.stats.total_seconds),
-                   csv::fmt(r.stats.occupancy * 100) + "%"});
+        api::RunConfig config;
+        config.extra["block_size"] = std::to_string(bs);
+        const auto r = gpu.run(d, eps, config);
+        t.add_row({std::to_string(bs), csv::fmt(r.stats.seconds),
+                   csv::fmt(r.stats.native_value("occupancy") * 100) + "%"});
       }
       std::cout << "\n== ablation: block size (Syn3D2M) ==\n";
       t.print(std::cout);
@@ -74,14 +74,16 @@ int main(int argc, char** argv) {
       const Dataset d = datasets::make("Syn2D2M", scale);
       const auto& info = datasets::info("Syn2D2M");
       const double eps = datasets::scaled_eps(info, d.size())[2];
+      const auto& gpu = api::BackendRegistry::instance().at("gpu_unicomp");
       for (std::size_t mb : {std::size_t{1}, std::size_t{3},
                              std::size_t{12}}) {
-        GpuSelfJoinOptions opt;
-        opt.min_batches = mb;
-        const auto r = GpuSelfJoin(opt).run(d, eps);
+        api::RunConfig config;
+        config.extra["min_batches"] = std::to_string(mb);
+        const auto r = gpu.run(d, eps, config);
         t.add_row({std::to_string(mb),
-                   std::to_string(r.stats.batch.batches_run),
-                   csv::fmt(r.stats.total_seconds)});
+                   std::to_string(static_cast<std::uint64_t>(
+                       r.stats.native_value("batches_run"))),
+                   csv::fmt(r.stats.seconds)});
       }
       std::cout << "\n== ablation: minimum batch count (Syn2D2M) ==\n";
       t.print(std::cout);
@@ -96,17 +98,16 @@ int main(int argc, char** argv) {
         const auto& info = datasets::info(name);
         const Dataset d = datasets::make(name, scale);
         const double eps = datasets::scaled_eps(info, d.size())[2];
-        GpuSelfJoinOptions opt;
-        opt.unicomp = false;
-        const auto r = GpuSelfJoin(opt).run(d, eps);
+        const auto r = api::BackendRegistry::instance().at("gpu").run(d, eps);
+        const auto cells_examined = static_cast<std::uint64_t>(
+            r.stats.native_value("cells_examined"));
         double bound = 1.0;
         for (int j = 0; j < info.dim; ++j) bound *= 3.0;
         bound *= static_cast<double>(d.size());
-        const double frac =
-            static_cast<double>(r.stats.metrics.cells_examined) / bound;
+        const double frac = static_cast<double>(cells_examined) / bound;
         t.add_row({name, std::to_string(info.dim),
-                   std::to_string(r.stats.metrics.cells_examined),
-                   csv::fmt(bound), csv::fmt(frac)});
+                   std::to_string(cells_examined), csv::fmt(bound),
+                   csv::fmt(frac)});
       }
       std::cout << "\n== ablation: mask-array filtering of adjacent cells ==\n";
       t.print(std::cout);

@@ -7,12 +7,11 @@
 // detail".
 #include <iostream>
 
+#include "api/registry.hpp"
 #include "common/csv.hpp"
 #include "common/datagen.hpp"
 #include "common/table.hpp"
 #include "core/grid_index.hpp"
-#include "core/self_join.hpp"
-#include "ego/ego.hpp"
 #include "harness/bench_common.hpp"
 
 int main(int argc, char** argv) {
@@ -44,28 +43,25 @@ int main(int argc, char** argv) {
                  "pairs", "gpu+unicomp (s)", "superego (s)"});
     csv::Table out({"distribution", "nonempty_cells", "cells_searched",
                     "pairs", "gpu_seconds", "ego_seconds"});
+    const auto& registry = api::BackendRegistry::instance();
     for (auto& cfg : configs) {
       cfg.data.set_name(cfg.name);
       const GridIndex grid(cfg.data, eps);
 
-      GpuSelfJoinOptions opt;
-      opt.unicomp = true;
-      const auto gpu = GpuSelfJoin(opt).run(cfg.data, eps);
+      const auto gpu = registry.at("gpu_unicomp").run(cfg.data, eps);
 
-      ego::Options eopt;
-      eopt.use_float = true;
-      const auto eg = ego::self_join(cfg.data, eps, eopt);
+      api::RunConfig ego_config;
+      ego_config.extra["use_float"] = "1";
+      const auto eg = registry.at("ego").run(cfg.data, eps, ego_config);
 
+      const auto cells_searched = std::to_string(static_cast<std::uint64_t>(
+          gpu.stats.native_value("cells_examined")));
       t.add_row({cfg.name, std::to_string(grid.num_nonempty_cells()),
-                 std::to_string(gpu.stats.metrics.cells_examined),
-                 std::to_string(gpu.pairs.size()),
-                 csv::fmt(gpu.stats.total_seconds),
-                 csv::fmt(eg.stats.total_seconds())});
+                 cells_searched, std::to_string(gpu.pairs.size()),
+                 csv::fmt(gpu.stats.seconds), csv::fmt(eg.stats.seconds)});
       out.add_row({cfg.name, std::to_string(grid.num_nonempty_cells()),
-                   std::to_string(gpu.stats.metrics.cells_examined),
-                   std::to_string(gpu.pairs.size()),
-                   csv::fmt(gpu.stats.total_seconds),
-                   csv::fmt(eg.stats.total_seconds())});
+                   cells_searched, std::to_string(gpu.pairs.size()),
+                   csv::fmt(gpu.stats.seconds), csv::fmt(eg.stats.seconds)});
     }
     std::cout << "\n== ablation: data-distribution skew at fixed |D|, eps ==\n";
     t.print(std::cout);

@@ -34,7 +34,10 @@ int main(int argc, char** argv) {
 
     std::map<std::pair<std::string, double>, const Measurement*> ego_m, gpu_m;
     for (const auto& m : rows) {
-      if (m.algo == "superego") ego_m[{m.dataset, m.eps}] = &m;
+      // "superego" covers CSVs cached before the registry rename to "ego".
+      if (m.algo == "ego" || m.algo == "superego") {
+        ego_m[{m.dataset, m.eps}] = &m;
+      }
       if (m.algo == "gpu_unicomp") gpu_m[{m.dataset, m.eps}] = &m;
     }
 

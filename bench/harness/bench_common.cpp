@@ -7,13 +7,9 @@
 #include <map>
 #include <stdexcept>
 
-#include "bruteforce/brute_force.hpp"
+#include "api/registry.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
-#include "core/brute_force_gpu.hpp"
-#include "core/self_join.hpp"
-#include "ego/ego.hpp"
-#include "rtree/rtree_self_join.hpp"
 
 namespace sj::bench {
 
@@ -32,33 +28,24 @@ Measurement run_algo(const std::string& algo, const Dataset& d, double eps) {
   m.dim = d.dim();
   m.eps = eps;
 
-  if (algo == "gpu" || algo == "gpu_unicomp") {
-    GpuSelfJoinOptions opt;
-    opt.unicomp = (algo == "gpu_unicomp");
-    const auto r = GpuSelfJoin(opt).run(d, eps);
-    m.seconds = r.stats.total_seconds;
-    m.pairs = r.pairs.size();
-    m.distance_calcs = r.stats.metrics.distance_calcs;
-  } else if (algo == "rtree") {
-    const auto r = rtree::self_join(d, eps);
-    m.seconds = r.stats.query_seconds;
-    m.pairs = r.pairs.size();
-    m.distance_calcs = r.stats.distance_calcs;
-  } else if (algo == "superego") {
-    ego::Options opt;
-    opt.use_float = true;  // the paper's Super-EGO runs used 32-bit floats
-    const auto r = ego::self_join(d, eps, opt);
-    m.seconds = r.stats.total_seconds();
-    m.pairs = r.pairs.size();
-    m.distance_calcs = r.stats.distance_calcs;
-  } else if (algo == "gpu_bf") {
-    const auto r = gpu_brute_force(d, eps);
-    m.seconds = r.kernel_seconds;
-    m.pairs = r.num_pairs;
-    m.distance_calcs = r.distance_calcs;
-  } else {
-    throw std::invalid_argument("run_algo: unknown algorithm " + algo);
+  const auto& backend = api::BackendRegistry::instance().at(algo);
+  api::RunConfig config;
+  if (backend.name() == "ego") {
+    config.extra["use_float"] = "1";  // the paper's Super-EGO runs used
+                                      // 32-bit floats (Section VI-B)
+  } else if (backend.name() == "gpu_bf") {
+    config.extra["materialize"] = "0";  // the paper's lower bound counts
+                                        // pairs without storing them
   }
+  const auto outcome = backend.run(d, eps, config);
+  // BackendStats::seconds already follows each engine's paper measurement
+  // convention (see the table in bench_common.hpp).
+  m.seconds = outcome.stats.seconds;
+  m.pairs = outcome.pairs.empty()
+                ? static_cast<std::uint64_t>(
+                      outcome.stats.native_value("num_pairs"))
+                : outcome.pairs.size();
+  m.distance_calcs = outcome.stats.distance_calcs;
   m.avg_neighbors = m.n == 0 ? 0.0
                              : static_cast<double>(m.pairs) /
                                    static_cast<double>(m.n);

@@ -27,8 +27,10 @@ double env_scale();
 ///   gpu, gpu_unicomp — total GPU-SJ response time (index build, upload,
 ///                      estimate, batched kernels, sorts, transfers)
 ///   rtree            — query phase only (the paper omits construction)
-///   superego         — ego-sort + join (32-bit floats, as the paper ran)
+///   ego              — ego-sort + join (32-bit floats, as the paper ran)
 ///   gpu_bf           — brute-force kernel only (no result transfer)
+/// These are what BackendStats::seconds reports, so run_algo works for
+/// any name registered with sj::api::BackendRegistry.
 struct Measurement {
   std::string figure;
   std::string panel;
@@ -46,6 +48,8 @@ struct Measurement {
   std::uint64_t distance_calcs = 0;
 };
 
+/// Run one backend (any BackendRegistry name) with the paper's
+/// measurement conventions.
 Measurement run_algo(const std::string& algo, const Dataset& d, double eps);
 
 class Collector {

@@ -30,7 +30,7 @@ inline void run_figure_sweep(const std::string& figure,
       col.add(std::move(m));
     }
     for (double eps : eps_sweep) {
-      for (const char* algo : {"rtree", "superego", "gpu", "gpu_unicomp"}) {
+      for (const char* algo : {"rtree", "ego", "gpu", "gpu_unicomp"}) {
         auto m = run_algo(algo, d, eps);
         m.panel = name;
         col.add(std::move(m));

@@ -5,10 +5,10 @@
 // with/without ratios the paper uses to explain UNICOMP's behaviour.
 #include <iostream>
 
+#include "api/registry.hpp"
 #include "common/csv.hpp"
 #include "common/datasets.hpp"
 #include "common/table.hpp"
-#include "core/self_join.hpp"
 #include "harness/bench_common.hpp"
 
 int main(int argc, char** argv) {
@@ -37,37 +37,30 @@ int main(int argc, char** argv) {
       const double eps =
           datasets::scaled_eps(info, d.size())[row.eps_index];
 
-      GpuSelfJoinOptions base_opt;
-      base_opt.unicomp = false;
-      base_opt.collect_metrics = true;
-      GpuSelfJoinOptions uni_opt;
-      uni_opt.unicomp = true;
-      uni_opt.collect_metrics = true;
+      const auto& registry = api::BackendRegistry::instance();
+      api::RunConfig config;
+      config.collect_metrics = true;
 
-      const auto base = GpuSelfJoin(base_opt).run(d, eps);
-      const auto uni = GpuSelfJoin(uni_opt).run(d, eps);
+      const auto base = registry.at("gpu").run(d, eps, config);
+      const auto uni = registry.at("gpu_unicomp").run(d, eps, config);
 
-      const double resp_ratio =
-          base.stats.total_seconds / uni.stats.total_seconds;
-      const double occ_ratio = uni.stats.occupancy / base.stats.occupancy;
-      const double cache_ratio =
-          base.stats.metrics.cache_bw_gbs > 0.0
-              ? uni.stats.metrics.cache_bw_gbs /
-                    base.stats.metrics.cache_bw_gbs
-              : 0.0;
+      const double base_occ = base.stats.native_value("occupancy");
+      const double uni_occ = uni.stats.native_value("occupancy");
+      const double base_bw = base.stats.native_value("cache_bw_gbs");
+      const double uni_bw = uni.stats.native_value("cache_bw_gbs");
+
+      const double resp_ratio = base.stats.seconds / uni.stats.seconds;
+      const double occ_ratio = uni_occ / base_occ;
+      const double cache_ratio = base_bw > 0.0 ? uni_bw / base_bw : 0.0;
 
       t.add_row({row.dataset, csv::fmt(eps), csv::fmt(resp_ratio),
-                 csv::fmt(base.stats.occupancy * 100) + "%",
-                 csv::fmt(base.stats.metrics.cache_bw_gbs),
-                 csv::fmt(uni.stats.occupancy * 100) + "%",
-                 csv::fmt(uni.stats.metrics.cache_bw_gbs),
+                 csv::fmt(base_occ * 100) + "%", csv::fmt(base_bw),
+                 csv::fmt(uni_occ * 100) + "%", csv::fmt(uni_bw),
                  csv::fmt(occ_ratio), csv::fmt(cache_ratio)});
       out.add_row({row.dataset, csv::fmt(eps), csv::fmt(resp_ratio),
-                   csv::fmt(base.stats.occupancy),
-                   csv::fmt(base.stats.metrics.cache_bw_gbs),
-                   csv::fmt(uni.stats.occupancy),
-                   csv::fmt(uni.stats.metrics.cache_bw_gbs),
-                   csv::fmt(occ_ratio), csv::fmt(cache_ratio)});
+                   csv::fmt(base_occ), csv::fmt(base_bw), csv::fmt(uni_occ),
+                   csv::fmt(uni_bw), csv::fmt(occ_ratio),
+                   csv::fmt(cache_ratio)});
     }
     std::cout << "\n== Table II: kernel metrics without/with UNICOMP ==\n";
     t.print(std::cout);

@@ -11,10 +11,9 @@
 #include <iostream>
 #include <vector>
 
+#include "api/registry.hpp"
 #include "common/datagen.hpp"
 #include "common/distance.hpp"
-#include "core/self_join.hpp"
-#include "ego/ego.hpp"
 
 int main(int argc, char** argv) {
   const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 40000;
@@ -24,14 +23,14 @@ int main(int argc, char** argv) {
             << " galaxies (cluster process + field population)\n";
   const sj::Dataset cat = sj::datagen::sdss_like(n, 2027);
 
-  sj::GpuSelfJoin join;
-  const auto result = join.run(cat, eps);
+  const auto& registry = sj::api::BackendRegistry::instance();
+  const auto result = registry.at("gpu_unicomp").run(cat, eps);
 
   // Unordered close pairs, excluding self pairs.
   const std::size_t unordered =
       (result.pairs.size() - cat.size()) / 2;
   std::cout << "\nClose pairs within " << eps << " deg: " << unordered
-            << " (" << result.stats.total_seconds << " s on the self-join)\n";
+            << " (" << result.stats.seconds << " s on the self-join)\n";
 
   // Pair-separation histogram in 10 radial bins — the DD(r) counts of a
   // two-point correlation estimator.
@@ -57,12 +56,12 @@ int main(int argc, char** argv) {
 
   // Cross-check with the Super-EGO CPU baseline (the paper validates
   // implementations against each other by neighbour totals).
-  auto ego = sj::ego::self_join(cat, eps);
+  auto ego = registry.at("ego").run(cat, eps);
   std::cout << "\nValidation: SUPEREGO finds " << ego.pairs.size()
             << " ordered pairs vs GPU-SJ " << result.pairs.size()
             << (ego.pairs.size() == result.pairs.size() ? "  [match]\n"
                                                         : "  [MISMATCH]\n");
-  std::cout << "SUPEREGO time: " << ego.stats.total_seconds()
-            << " s vs GPU-SJ " << result.stats.total_seconds << " s\n";
+  std::cout << "SUPEREGO time: " << ego.stats.seconds
+            << " s vs GPU-SJ " << result.stats.seconds << " s\n";
   return 0;
 }

@@ -11,14 +11,14 @@
 #include <iostream>
 #include <vector>
 
+#include "api/registry.hpp"
 #include "common/datagen.hpp"
-#include "core/self_join.hpp"
 
 namespace {
 
 void density_report(const sj::Dataset& d, double eps, int print_dim) {
-  sj::GpuSelfJoin join;
-  const auto result = join.run(d, eps);
+  const auto& backend = sj::api::BackendRegistry::instance().at("gpu_unicomp");
+  const auto result = backend.run(d, eps);
   const auto counts = result.pairs.counts_per_key(d.size());
 
   std::vector<std::uint32_t> sorted(counts.begin(), counts.end());
@@ -39,9 +39,10 @@ void density_report(const sj::Dataset& d, double eps, int print_dim) {
     std::cout << (j > 0 ? ", " : "") << d.coord(densest, j);
   }
   std::cout << ") with " << *it << " neighbours\n";
-  std::cout << "  self-join: " << result.stats.total_seconds << " s, "
-            << result.stats.batch.batches_run << " batches, "
-            << result.stats.grid_nonempty_cells << " non-empty cells\n";
+  std::cout << "  self-join: " << result.stats.seconds << " s, "
+            << result.stats.native_value("batches_run") << " batches, "
+            << result.stats.native_value("grid_nonempty_cells")
+            << " non-empty cells\n";
 }
 
 }  // namespace

@@ -1,29 +1,43 @@
-// Quickstart: the minimal end-to-end use of the GPU self-join API.
+// Quickstart: the minimal end-to-end use of the unified self-join API.
 //
-//   ./quickstart [n] [dim] [eps]
+//   ./quickstart [n] [dim] [eps] [backend]
 //
-// Generates a uniform dataset, runs GPU-SJ with UNICOMP, and prints the
-// result summary plus the execution statistics the library exposes.
+// Generates a uniform dataset, resolves a backend from the registry
+// (default gpu_unicomp — the paper's configuration), and prints the
+// result summary plus the normalised execution statistics.
 #include <cstdlib>
 #include <iostream>
 
+#include "api/registry.hpp"
 #include "common/datagen.hpp"
-#include "core/self_join.hpp"
 
 int main(int argc, char** argv) {
   const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
   const int dim = argc > 2 ? std::atoi(argv[2]) : 2;
   const double eps = argc > 3 ? std::atof(argv[3]) : 2.0;
+  const std::string backend_name = argc > 4 ? argv[4] : "gpu_unicomp";
 
   std::cout << "Generating " << n << " uniform points in " << dim
             << "-D on [0, 100]^" << dim << "...\n";
   const sj::Dataset data = sj::datagen::uniform(n, dim, 0.0, 100.0, 42);
 
-  // Default options reproduce the paper's configuration: UNICOMP on,
-  // 256-thread blocks, at least 3 batches over 3 streams.
-  sj::GpuSelfJoin join;
-  std::cout << "Running the self-join with eps = " << eps << "...\n";
-  const sj::SelfJoinResult result = join.run(data, eps);
+  // Every engine is registered under a string key; list them like sjtool
+  // does on --help.
+  const auto& registry = sj::api::BackendRegistry::instance();
+  std::cout << "Registered backends:";
+  for (const auto& name : registry.names()) std::cout << " " << name;
+  std::cout << "\n";
+
+  const auto* lookup = registry.find(backend_name);
+  if (lookup == nullptr) {
+    std::cerr << "unknown backend '" << backend_name
+              << "' — pick one of the names above\n";
+    return 2;
+  }
+  const auto& backend = *lookup;
+  std::cout << "Running " << backend.name() << " ("
+            << backend.description() << ") with eps = " << eps << "...\n";
+  const sj::api::JoinOutcome result = backend.run(data, eps);
 
   const auto& st = result.stats;
   std::cout << "\nResult:\n"
@@ -31,20 +45,16 @@ int main(int argc, char** argv) {
             << "  avg. neighbors per point:  "
             << result.pairs.avg_neighbors(data.size()) << "\n";
   std::cout << "\nExecution breakdown:\n"
-            << "  total:            " << st.total_seconds << " s\n"
-            << "  grid build:       " << st.index_build_seconds << " s\n"
-            << "  estimate:         " << st.estimate_seconds << " s  (est. "
-            << st.estimated_total << " pairs)\n"
-            << "  batched join:     " << st.join_seconds << " s over "
-            << st.batch.batches_run << " batches\n";
-  std::cout << "\nGrid index:\n"
-            << "  non-empty cells:  " << st.grid_nonempty_cells << " of "
-            << st.grid_total_cells << " total grid cells\n";
-  std::cout << "\nKernel work:\n"
-            << "  cells examined:   " << st.metrics.cells_examined << "\n"
-            << "  distance calcs:   " << st.metrics.distance_calcs << "\n"
-            << "  theoretical occupancy: " << st.occupancy * 100 << "% ("
-            << st.regs_per_thread << " regs/thread)\n";
+            << "  reported time:    " << st.seconds << " s\n"
+            << "  end-to-end:       " << st.total_seconds << " s\n"
+            << "  index build/sort: " << st.build_seconds << " s\n"
+            << "  distance calcs:   " << st.distance_calcs << "\n";
+  if (!st.native.empty()) {
+    std::cout << "\nEngine-native stats:\n";
+    for (const auto& [key, value] : st.native) {
+      std::cout << "  " << key << ":  " << value << "\n";
+    }
+  }
 
   // A NeighborTable gives CSR-style access for downstream algorithms.
   const sj::NeighborTable nt(result.pairs, data.size());

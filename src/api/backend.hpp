@@ -1,0 +1,124 @@
+// Unified self-join backend interface.
+//
+// Every engine in this repo (the paper's GPU-SJ with and without UNICOMP,
+// the Super-EGO and R-tree CPU baselines, and the brute-force references)
+// is exposed through one abstract interface so that callers — sjtool, the
+// bench harness, the examples, DBSCAN — dispatch by registry name instead
+// of hard-coding engine types.
+//
+// Pair convention (uniform across ALL backends, asserted once by the
+// backend-parity test suite): the result is the set of ORDERED pairs
+// (a, b) with dist(a, b) <= eps, INCLUDING self pairs (a, a). Every
+// correct result is therefore symmetric and has size >= |D|.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/dataset.hpp"
+#include "common/result.hpp"
+
+namespace sj::api {
+
+/// What a backend can do beyond the mandatory self-join. Callers may use
+/// these to pick engines for workloads the unified API does not cover yet
+/// (e.g. the kNN extension or query/data joins).
+struct Capabilities {
+  bool supports_join = false;  ///< two-dataset (query vs data) join
+  bool supports_knn = false;   ///< grid-based kNN extension
+  bool gpu = false;            ///< runs on the (simulated) GPU
+};
+
+/// Engine-agnostic run configuration. Common knobs are typed; anything
+/// engine-specific travels in `extra` as string key/values (e.g.
+/// {"use_float", "1"} for the Super-EGO 32-bit mode or {"block_size",
+/// "128"} for the GPU kernel). Backends reject unknown keys so typos
+/// surface instead of silently running defaults.
+struct RunConfig {
+  /// Worker threads for CPU engines; 0 keeps the engine default, a
+  /// negative value requests all hardware threads. Backends without host
+  /// threading (gpu, gpu_unicomp, gpu_bf, rtree) reject non-zero values
+  /// rather than silently ignoring them.
+  int threads = 0;
+
+  /// Collect the expensive Table II-style kernel metrics (GPU engines).
+  bool collect_metrics = false;
+
+  /// Engine-specific knobs; see each backend's adapter for its key set.
+  std::map<std::string, std::string> extra;
+
+  // Typed accessors for `extra` (missing key -> `def`).
+  bool flag(const std::string& key, bool def) const;
+  int integer(const std::string& key, int def) const;
+  double number(const std::string& key, double def) const;
+  std::string text(const std::string& key, std::string def) const;
+
+  /// Throws std::invalid_argument if `extra` contains a key outside
+  /// `allowed` (a comma-separated list), naming the offending key and the
+  /// backend. Adapters call this first.
+  void check_keys(std::string_view backend, std::string_view allowed) const;
+};
+
+/// Normalised execution statistics. The typed fields mean the same thing
+/// for every backend; `native` preserves each engine's own stats block
+/// (flattened to name -> value) so nothing the engines report is lost in
+/// the adaptation.
+struct BackendStats {
+  /// The time the paper reports for this engine: total response time for
+  /// GPU-SJ, query phase only for the R-tree, ego-sort + join for
+  /// Super-EGO, kernel time for the GPU brute force.
+  double seconds = 0.0;
+
+  /// End-to-end time including index/sort construction.
+  double total_seconds = 0.0;
+
+  /// Index build / sort phase, when the engine has one.
+  double build_seconds = 0.0;
+
+  /// Candidate distance evaluations — the hardware-independent work count.
+  std::uint64_t distance_calcs = 0;
+
+  /// Engine-native stats, e.g. "occupancy" or "batches_run" for GPU-SJ,
+  /// "tree_height" for the R-tree, "sequence_pairs_pruned" for Super-EGO.
+  std::map<std::string, double> native;
+
+  /// Lookup in `native` with a default for absent entries.
+  double native_value(const std::string& key, double def = 0.0) const {
+    const auto it = native.find(key);
+    return it == native.end() ? def : it->second;
+  }
+};
+
+/// What a backend run produces: the pair set (see the convention above)
+/// plus the normalised stats.
+struct JoinOutcome {
+  ResultSet pairs;
+  BackendStats stats;
+};
+
+/// Abstract self-join engine. Implementations are stateless adapters over
+/// the concrete engines; register them via BackendRegistry (registry.hpp).
+class SelfJoinBackend {
+ public:
+  virtual ~SelfJoinBackend() = default;
+
+  /// Registry key, e.g. "gpu_unicomp". Lowercase, stable.
+  virtual std::string_view name() const = 0;
+
+  /// One-line human description for --help style listings.
+  virtual std::string_view description() const = 0;
+
+  virtual Capabilities capabilities() const = 0;
+
+  /// Compute the full self-join of `d` with threshold eps >= 0.
+  virtual JoinOutcome run(const Dataset& d, double eps,
+                          const RunConfig& config) const = 0;
+
+  JoinOutcome run(const Dataset& d, double eps) const {
+    return run(d, eps, RunConfig{});
+  }
+};
+
+}  // namespace sj::api

@@ -1,0 +1,176 @@
+#include "api/registry.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "bruteforce/brute_backend.hpp"
+#include "core/gpu_backend.hpp"
+#include "ego/ego_backend.hpp"
+#include "rtree/rtree_backend.hpp"
+
+namespace sj::api {
+
+namespace {
+
+std::string join_names(const std::vector<std::string>& names) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    os << (i > 0 ? ", " : "") << names[i];
+  }
+  return os.str();
+}
+
+}  // namespace
+
+bool RunConfig::flag(const std::string& key, bool def) const {
+  const auto it = extra.find(key);
+  if (it == extra.end()) return def;
+  return it->second != "0" && it->second != "false" && it->second != "off";
+}
+
+int RunConfig::integer(const std::string& key, int def) const {
+  const auto it = extra.find(key);
+  if (it == extra.end()) return def;
+  try {
+    return std::stoi(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option '" + key + "' expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+double RunConfig::number(const std::string& key, double def) const {
+  const auto it = extra.find(key);
+  if (it == extra.end()) return def;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option '" + key + "' expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+std::string RunConfig::text(const std::string& key, std::string def) const {
+  const auto it = extra.find(key);
+  return it == extra.end() ? std::move(def) : it->second;
+}
+
+void RunConfig::check_keys(std::string_view backend,
+                           std::string_view allowed) const {
+  for (const auto& [key, value] : extra) {
+    const std::string needle = key;
+    bool known = false;
+    std::size_t pos = 0;
+    while (pos <= allowed.size() && !known) {
+      const std::size_t comma = allowed.find(',', pos);
+      const auto token = allowed.substr(
+          pos, comma == std::string_view::npos ? allowed.size() - pos
+                                               : comma - pos);
+      known = token == needle;
+      if (comma == std::string_view::npos) break;
+      pos = comma + 1;
+    }
+    if (!known) {
+      throw std::invalid_argument(
+          "backend '" + std::string(backend) + "' does not understand option '" +
+          key + "' (known: " + std::string(allowed) + ")");
+    }
+  }
+}
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry* registry = [] {
+    auto* r = new BackendRegistry();
+    backends::register_gpu(*r);
+    backends::register_ego(*r);
+    backends::register_rtree(*r);
+    backends::register_brute(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void BackendRegistry::add(std::unique_ptr<SelfJoinBackend> backend) {
+  if (backend == nullptr) {
+    throw std::invalid_argument("BackendRegistry::add: null backend");
+  }
+  const std::string name(backend->name());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    if (name == e.backend->name() ||
+        std::find(e.aliases.begin(), e.aliases.end(), name) !=
+            e.aliases.end()) {
+      throw std::invalid_argument("backend '" + name + "' already registered");
+    }
+  }
+  entries_.push_back({std::move(backend), {}});
+}
+
+void BackendRegistry::add_alias(std::string alias, const std::string& target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* target_entry = nullptr;
+  for (auto& e : entries_) {
+    if (alias == e.backend->name() ||
+        std::find(e.aliases.begin(), e.aliases.end(), alias) !=
+            e.aliases.end()) {
+      throw std::invalid_argument("backend alias '" + alias +
+                                  "' already registered");
+    }
+    if (target == e.backend->name()) target_entry = &e;
+  }
+  if (target_entry == nullptr) {
+    throw std::invalid_argument("backend alias target '" + target +
+                                "' is not registered");
+  }
+  target_entry->aliases.push_back(std::move(alias));
+}
+
+const SelfJoinBackend* BackendRegistry::find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    if (name == e.backend->name()) return e.backend.get();
+    for (const auto& alias : e.aliases) {
+      if (name == alias) return e.backend.get();
+    }
+  }
+  return nullptr;
+}
+
+const SelfJoinBackend& BackendRegistry::at(std::string_view name) const {
+  const SelfJoinBackend* backend = find(name);
+  if (backend == nullptr) {
+    throw std::invalid_argument("unknown self-join backend '" +
+                                std::string(name) +
+                                "'; registered backends: " +
+                                join_names(names()));
+  }
+  return *backend;
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  std::vector<std::string> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(entries_.size());
+    for (const auto& e : entries_) out.emplace_back(e.backend->name());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> BackendRegistry::aliases() const {
+  std::vector<std::string> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& e : entries_) {
+      for (const auto& alias : e.aliases) {
+        out.push_back(alias + " -> " + std::string(e.backend->name()));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sj::api

@@ -1,0 +1,72 @@
+// String-keyed registry of self-join backends — the single dispatch point
+// for every caller in the repo.
+//
+//   const auto& b = sj::api::BackendRegistry::instance().at("gpu_unicomp");
+//   auto outcome = b.run(dataset, eps);
+//
+// The five built-in engines (gpu, gpu_unicomp, ego, rtree, brute — plus
+// the gpu_bf lower-bound reference) self-register on first access.
+// External code extends the system by registering further backends, or a
+// static BackendRegistrar at namespace scope in a translation unit that is
+// guaranteed to be linked:
+//
+//   static sj::api::BackendRegistrar reg{
+//       std::make_unique<MyShardedBackend>()};
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/backend.hpp"
+
+namespace sj::api {
+
+class BackendRegistry {
+ public:
+  /// The process-wide registry, with the built-in backends registered.
+  static BackendRegistry& instance();
+
+  /// Register `backend` under its name(). Throws std::invalid_argument on
+  /// a duplicate name or alias.
+  void add(std::unique_ptr<SelfJoinBackend> backend);
+
+  /// Register an alternative name for an existing backend (e.g.
+  /// "superego" -> "ego"). Throws if `alias` is taken or `target` unknown.
+  void add_alias(std::string alias, const std::string& target);
+
+  /// Lookup by primary name or alias; nullptr when absent.
+  const SelfJoinBackend* find(std::string_view name) const;
+
+  /// Lookup that throws std::invalid_argument with a message listing every
+  /// registered name — the error sjtool surfaces for a bad --algo.
+  const SelfJoinBackend& at(std::string_view name) const;
+
+  bool contains(std::string_view name) const { return find(name) != nullptr; }
+
+  /// Sorted primary names (aliases excluded).
+  std::vector<std::string> names() const;
+
+  /// Sorted "alias -> target" descriptions.
+  std::vector<std::string> aliases() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<SelfJoinBackend> backend;
+    std::vector<std::string> aliases;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;  // registration order
+};
+
+/// RAII self-registration helper for out-of-tree backends.
+struct BackendRegistrar {
+  explicit BackendRegistrar(std::unique_ptr<SelfJoinBackend> backend) {
+    BackendRegistry::instance().add(std::move(backend));
+  }
+};
+
+}  // namespace sj::api

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "api/registry.hpp"
 #include "common/timer.hpp"
 
 namespace sj::apps {
@@ -20,8 +21,8 @@ DbscanResult dbscan(const Dataset& d, const DbscanOptions& opt) {
   if (d.empty()) return result;
 
   Timer join_timer;
-  GpuSelfJoin join(opt.join);
-  auto sj_result = join.run(d, opt.eps);
+  const auto& backend = api::BackendRegistry::instance().at(opt.algo);
+  auto sj_result = backend.run(d, opt.eps, opt.join_config);
   const NeighborTable nt(std::move(sj_result.pairs), d.size());
   result.join_seconds = join_timer.seconds();
 

@@ -4,23 +4,27 @@
 // DBSCAN [29]; [6] shows clustering on a precomputed self-join beats
 // iterative range queries).
 //
-// The eps-neighbourhood of every point comes from one batched GPU
-// self-join; the clustering itself is a host-side traversal of the
-// resulting neighbour table.
+// The eps-neighbourhood of every point comes from one self-join through
+// the unified backend registry (default: the batched GPU engine); the
+// clustering itself is a host-side traversal of the resulting neighbour
+// table.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "api/backend.hpp"
 #include "common/dataset.hpp"
-#include "core/self_join.hpp"
 
 namespace sj::apps {
 
 struct DbscanOptions {
   double eps = 1.0;
   std::size_t min_pts = 4;  // core-point threshold, self included
-  GpuSelfJoinOptions join;  // forwarded to the self-join
+  /// Registry name of the self-join backend computing the neighbourhoods.
+  std::string algo = "gpu_unicomp";
+  api::RunConfig join_config;  // forwarded to the backend
 };
 
 struct DbscanResult {

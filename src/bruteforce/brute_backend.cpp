@@ -1,0 +1,48 @@
+// Adapter shim exposing the CPU brute-force reference through the
+// unified backend interface as "brute".
+#include "bruteforce/brute_backend.hpp"
+
+#include <memory>
+
+#include "api/registry.hpp"
+#include "bruteforce/brute_force.hpp"
+
+namespace sj::backends {
+
+namespace {
+
+class BruteBackend final : public api::SelfJoinBackend {
+ public:
+  std::string_view name() const override { return "brute"; }
+  std::string_view description() const override {
+    return "exact CPU nested-loop self-join, the O(|D|^2) validation "
+           "reference";
+  }
+
+  api::Capabilities capabilities() const override { return {}; }
+
+  api::JoinOutcome run(const Dataset& d, double eps,
+                       const api::RunConfig& config) const override {
+    config.check_keys(name(), "");
+    // RunConfig: 0 = engine default (the serial reference), negative =
+    // all hardware threads (brute::self_join's 0).
+    int threads = config.threads;
+    if (threads == 0) threads = 1;
+    if (threads < 0) threads = 0;
+    auto r = brute::self_join(d, eps, threads);
+    api::JoinOutcome out;
+    out.pairs = std::move(r.pairs);
+    out.stats.seconds = r.stats.seconds;
+    out.stats.total_seconds = r.stats.seconds;
+    out.stats.distance_calcs = r.stats.distance_calcs;
+    return out;
+  }
+};
+
+}  // namespace
+
+void register_brute(api::BackendRegistry& registry) {
+  registry.add(std::make_unique<BruteBackend>());
+}
+
+}  // namespace sj::backends

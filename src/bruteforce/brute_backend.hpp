@@ -1,0 +1,13 @@
+// Registration hook for the CPU brute-force adapter ("brute"). Called
+// once by BackendRegistry::instance().
+#pragma once
+
+namespace sj::api {
+class BackendRegistry;
+}
+
+namespace sj::backends {
+
+void register_brute(api::BackendRegistry& registry);
+
+}  // namespace sj::backends

@@ -1,0 +1,159 @@
+// Adapter shims exposing the GPU engines through the unified backend
+// interface: "gpu" (GPU-SJ, Algorithm 1), "gpu_unicomp" (GPU-SJ with the
+// Section V-B duplicate-search removal) and "gpu_bf" (the Section VI-B
+// brute-force kernel lower bound).
+#include "core/gpu_backend.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "api/registry.hpp"
+#include "core/brute_force_gpu.hpp"
+#include "core/self_join.hpp"
+
+namespace sj::backends {
+
+namespace {
+
+constexpr std::string_view kGpuKeys =
+    "block_size,min_batches,num_streams,sample_rate,safety,max_buffer_pairs";
+
+/// Knob values arrive from untrusted CLI input (--opt); reject anything
+/// non-positive before it is cast to an unsigned engine option.
+int positive_int(const api::RunConfig& config, const std::string& key,
+                 int def) {
+  const int v = config.integer(key, def);
+  if (v <= 0) {
+    throw std::invalid_argument("option '" + key +
+                                "' must be a positive integer");
+  }
+  return v;
+}
+
+void reject_threads(std::string_view backend, const api::RunConfig& config) {
+  if (config.threads != 0) {
+    throw std::invalid_argument(std::string(backend) +
+                                ": --threads is not supported (the GPU "
+                                "engine's parallelism is the device model)");
+  }
+}
+
+class GpuBackend final : public api::SelfJoinBackend {
+ public:
+  GpuBackend(std::string name, std::string description, bool unicomp)
+      : name_(std::move(name)),
+        description_(std::move(description)),
+        unicomp_(unicomp) {}
+
+  std::string_view name() const override { return name_; }
+  std::string_view description() const override { return description_; }
+
+  api::Capabilities capabilities() const override {
+    return {.supports_join = true, .supports_knn = true, .gpu = true};
+  }
+
+  api::JoinOutcome run(const Dataset& d, double eps,
+                       const api::RunConfig& config) const override {
+    config.check_keys(name_, kGpuKeys);
+    reject_threads(name_, config);
+    GpuSelfJoinOptions opt;
+    opt.unicomp = unicomp_;
+    opt.collect_metrics = config.collect_metrics;
+    opt.block_size = positive_int(config, "block_size", opt.block_size);
+    opt.min_batches = static_cast<std::size_t>(positive_int(
+        config, "min_batches", static_cast<int>(opt.min_batches)));
+    opt.num_streams = positive_int(config, "num_streams", opt.num_streams);
+    opt.sample_rate = config.number("sample_rate", opt.sample_rate);
+    opt.safety = config.number("safety", opt.safety);
+    const double buffer_pairs = config.number(
+        "max_buffer_pairs", static_cast<double>(opt.max_buffer_pairs));
+    if (buffer_pairs <= 0.0) {
+      throw std::invalid_argument("option 'max_buffer_pairs' must be > 0");
+    }
+    opt.max_buffer_pairs = static_cast<std::uint64_t>(buffer_pairs);
+
+    auto r = GpuSelfJoin(opt).run(d, eps);
+
+    api::JoinOutcome out;
+    out.pairs = std::move(r.pairs);
+    const SelfJoinStats& s = r.stats;
+    out.stats.seconds = s.total_seconds;
+    out.stats.total_seconds = s.total_seconds;
+    out.stats.build_seconds = s.index_build_seconds;
+    out.stats.distance_calcs = s.metrics.distance_calcs;
+    out.stats.native = {
+        {"index_build_seconds", s.index_build_seconds},
+        {"upload_seconds", s.upload_seconds},
+        {"estimate_seconds", s.estimate_seconds},
+        {"join_seconds", s.join_seconds},
+        {"estimated_total", static_cast<double>(s.estimated_total)},
+        {"batches_run", static_cast<double>(s.batch.batches_run)},
+        {"overflow_retries", static_cast<double>(s.batch.overflow_retries)},
+        {"kernel_seconds", s.batch.kernel_seconds},
+        {"sort_seconds", s.batch.sort_seconds},
+        {"bytes_to_host", static_cast<double>(s.batch.bytes_to_host)},
+        {"grid_nonempty_cells", static_cast<double>(s.grid_nonempty_cells)},
+        {"grid_total_cells", static_cast<double>(s.grid_total_cells)},
+        {"cells_examined", static_cast<double>(s.metrics.cells_examined)},
+        {"cells_nonempty", static_cast<double>(s.metrics.cells_nonempty)},
+        {"cache_hit_rate", s.metrics.cache_hit_rate()},
+        {"cache_bw_gbs", s.metrics.cache_bw_gbs},
+        {"occupancy", s.occupancy},
+        {"regs_per_thread", static_cast<double>(s.regs_per_thread)},
+    };
+    return out;
+  }
+
+ private:
+  std::string name_;
+  std::string description_;
+  bool unicomp_;
+};
+
+class GpuBruteForceBackend final : public api::SelfJoinBackend {
+ public:
+  std::string_view name() const override { return "gpu_bf"; }
+  std::string_view description() const override {
+    return "GPU brute-force nested-loop kernel (eps-independent lower "
+           "bound, Section VI-B)";
+  }
+
+  api::Capabilities capabilities() const override { return {.gpu = true}; }
+
+  api::JoinOutcome run(const Dataset& d, double eps,
+                       const api::RunConfig& config) const override {
+    config.check_keys(name(), "block_size,materialize");
+    reject_threads(name(), config);
+    // materialize=0 keeps the paper's count-only lower-bound measurement
+    // (no pair buffer in device memory); the count is still reported in
+    // native["num_pairs"].
+    auto r = gpu_brute_force(d, eps, config.flag("materialize", true),
+                             positive_int(config, "block_size", 256));
+    api::JoinOutcome out;
+    out.pairs = std::move(r.pairs);
+    // Paper convention: the brute-force measurement is the kernel only.
+    out.stats.seconds = r.kernel_seconds;
+    out.stats.total_seconds = r.kernel_seconds;
+    out.stats.distance_calcs = r.distance_calcs;
+    out.stats.native = {
+        {"kernel_seconds", r.kernel_seconds},
+        {"num_pairs", static_cast<double>(r.num_pairs)},
+    };
+    return out;
+  }
+};
+
+}  // namespace
+
+void register_gpu(api::BackendRegistry& registry) {
+  registry.add(std::make_unique<GpuBackend>(
+      "gpu", "GPU-SJ grid-index self-join (Algorithm 1), UNICOMP off",
+      /*unicomp=*/false));
+  registry.add(std::make_unique<GpuBackend>(
+      "gpu_unicomp",
+      "GPU-SJ with the UNICOMP duplicate-search removal (Section V-B)",
+      /*unicomp=*/true));
+  registry.add(std::make_unique<GpuBruteForceBackend>());
+}
+
+}  // namespace sj::backends

@@ -76,7 +76,7 @@ struct SelfJoinStats {
 };
 
 struct SelfJoinResult {
-  ResultSet pairs;  // all ordered pairs, including self pairs
+  ResultSet pairs;  // repo-wide pair convention, see api/backend.hpp
   SelfJoinStats stats;
 };
 

@@ -55,8 +55,7 @@ struct EgoStats {
 };
 
 struct EgoResult {
-  ResultSet pairs;  // ordered pairs incl. self pairs (same convention as
-                    // every other algorithm in this repo)
+  ResultSet pairs;  // repo-wide pair convention, see api/backend.hpp
   EgoStats stats;
 };
 

@@ -1,0 +1,13 @@
+// Registration hook for the Super-EGO adapter ("ego", alias "superego").
+// Called once by BackendRegistry::instance().
+#pragma once
+
+namespace sj::api {
+class BackendRegistry;
+}
+
+namespace sj::backends {
+
+void register_ego(api::BackendRegistry& registry);
+
+}  // namespace sj::backends

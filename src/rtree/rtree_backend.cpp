@@ -1,0 +1,74 @@
+// Adapter shim exposing the sequential R-tree search-and-refine baseline
+// through the unified backend interface as "rtree".
+#include "rtree/rtree_backend.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "api/registry.hpp"
+#include "rtree/rtree_self_join.hpp"
+
+namespace sj::backends {
+
+namespace {
+
+rtree::BuildMode parse_build_mode(const std::string& mode) {
+  if (mode == "binned") return rtree::BuildMode::kBinnedInsert;
+  if (mode == "str") return rtree::BuildMode::kStrBulkLoad;
+  if (mode == "raw") return rtree::BuildMode::kRawInsert;
+  throw std::invalid_argument(
+      "rtree: unknown build_mode '" + mode + "' (known: binned, str, raw)");
+}
+
+class RtreeBackend final : public api::SelfJoinBackend {
+ public:
+  std::string_view name() const override { return "rtree"; }
+  std::string_view description() const override {
+    return "sequential CPU R-tree search-and-refine self-join (Section "
+           "VI-B baseline)";
+  }
+
+  api::Capabilities capabilities() const override { return {}; }
+
+  api::JoinOutcome run(const Dataset& d, double eps,
+                       const api::RunConfig& config) const override {
+    config.check_keys(name(), "build_mode,max_entries,min_entries");
+    if (config.threads != 0) {
+      throw std::invalid_argument(
+          "rtree: --threads is not supported (the baseline is the paper's "
+          "sequential search-and-refine)");
+    }
+    const rtree::BuildMode mode =
+        parse_build_mode(config.text("build_mode", "binned"));
+    rtree::Options opt;
+    opt.max_entries = config.integer("max_entries", opt.max_entries);
+    opt.min_entries = config.integer("min_entries", opt.min_entries);
+
+    auto r = rtree::self_join(d, eps, mode, opt);
+
+    api::JoinOutcome out;
+    out.pairs = std::move(r.pairs);
+    const rtree::RTreeSelfJoinStats& s = r.stats;
+    // Paper convention: construction is excluded from the reported time.
+    out.stats.seconds = s.query_seconds;
+    out.stats.total_seconds = s.build_seconds + s.query_seconds;
+    out.stats.build_seconds = s.build_seconds;
+    out.stats.distance_calcs = s.distance_calcs;
+    out.stats.native = {
+        {"build_seconds", s.build_seconds},
+        {"query_seconds", s.query_seconds},
+        {"nodes_visited", static_cast<double>(s.nodes_visited)},
+        {"candidates", static_cast<double>(s.candidates)},
+        {"tree_height", static_cast<double>(s.tree_height)},
+    };
+    return out;
+  }
+};
+
+}  // namespace
+
+void register_rtree(api::BackendRegistry& registry) {
+  registry.add(std::make_unique<RtreeBackend>());
+}
+
+}  // namespace sj::backends

@@ -1,0 +1,13 @@
+// Registration hook for the CPU R-tree adapter ("rtree"). Called once by
+// BackendRegistry::instance().
+#pragma once
+
+namespace sj::api {
+class BackendRegistry;
+}
+
+namespace sj::backends {
+
+void register_rtree(api::BackendRegistry& registry);
+
+}  // namespace sj::backends

@@ -1,0 +1,118 @@
+// Backend parity on edge cases: one parameterized sweep over EVERY
+// registered backend asserting bit-identical sorted pair sets against the
+// brute-force reference, on the inputs that historically break spatial
+// join implementations — empty input, a single point, eps = 0, and
+// all-duplicate points.
+//
+// This suite is also where the repo-wide pair convention is asserted
+// ONCE, instead of per-engine comments: results are ordered pairs
+// (a, b) AND (b, a), self pairs (a, a) included for every point.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "api/registry.hpp"
+#include "bruteforce/brute_force.hpp"
+#include "common/datagen.hpp"
+
+namespace sj {
+namespace {
+
+Dataset all_duplicates(int dim, std::size_t n) {
+  Dataset d(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    double p[kMaxDims] = {7.0, -3.0, 2.5, 0.0, 1.0, -9.0};
+    d.push_back(p);
+  }
+  return d;
+}
+
+class BackendParity : public ::testing::TestWithParam<std::string> {
+ protected:
+  const api::SelfJoinBackend& backend() const {
+    return api::BackendRegistry::instance().at(GetParam());
+  }
+
+  /// Runs the backend, checks exact pair-set equality against the brute
+  /// reference, and asserts the repo-wide pair convention.
+  void expect_parity(const Dataset& d, double eps) {
+    auto want = brute::self_join(d, eps).pairs;
+    want.normalize();
+    auto got = backend().run(d, eps).pairs;
+    got.normalize();
+    EXPECT_TRUE(ResultSet::equal_normalized(got, want))
+        << GetParam() << " on n=" << d.size() << " eps=" << eps
+        << " (got " << got.size() << " pairs, want " << want.size() << ")";
+
+    // Convention: ordered pairs — symmetric set, self pair per point.
+    EXPECT_TRUE(got.is_symmetric()) << GetParam();
+    ASSERT_GE(got.size(), d.size()) << GetParam();
+    const auto& pairs = got.pairs();
+    for (std::uint32_t i = 0; i < d.size(); ++i) {
+      EXPECT_TRUE(std::binary_search(pairs.begin(), pairs.end(),
+                                     Pair{i, i}))
+          << GetParam() << ": missing self pair for point " << i;
+    }
+  }
+};
+
+TEST_P(BackendParity, EmptyDataset) {
+  const auto got = backend().run(Dataset(2), 1.0);
+  EXPECT_TRUE(got.pairs.empty());
+}
+
+TEST_P(BackendParity, SinglePoint) {
+  Dataset d(3, {1.0, 2.0, 3.0});
+  expect_parity(d, 0.5);
+  // The lone pair is the self pair.
+  auto got = backend().run(d, 0.5).pairs;
+  got.normalize();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got.pairs()[0], (Pair{0, 0}));
+}
+
+TEST_P(BackendParity, EpsZero) {
+  // eps = 0 keeps only co-located points (dist <= 0), including each
+  // point's self pair.
+  Dataset d(2, {1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0});
+  expect_parity(d, 0.0);
+}
+
+TEST_P(BackendParity, EpsZeroSinglePoint) {
+  Dataset d(2, {4.0, -4.0});
+  expect_parity(d, 0.0);
+}
+
+TEST_P(BackendParity, AllDuplicatePoints) {
+  for (int dim : {2, 4}) {
+    const auto d = all_duplicates(dim, 40);
+    expect_parity(d, 0.5);
+    auto got = backend().run(d, 0.5).pairs;
+    EXPECT_EQ(got.size(), 40u * 40u) << "dim=" << dim;
+  }
+}
+
+TEST_P(BackendParity, DuplicatesMixedWithRegularPoints) {
+  auto d = datagen::uniform(120, 2, 0.0, 30.0, 17);
+  for (int i = 0; i < 15; ++i) {
+    double p[2] = {5.0, 5.0};
+    d.push_back(p);
+  }
+  expect_parity(d, 1.0);
+}
+
+TEST_P(BackendParity, SmallUniformSweep) {
+  const auto d = datagen::uniform(250, 3, 0.0, 20.0, 19);
+  for (double eps : {0.5, 2.0, 50.0}) {
+    expect_parity(d, eps);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendParity,
+    ::testing::ValuesIn(api::BackendRegistry::instance().names()),
+    [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace sj

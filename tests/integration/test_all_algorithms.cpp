@@ -1,23 +1,22 @@
-// Cross-implementation integration tests: all five join implementations
-// (GPU-SJ, GPU-SJ+UNICOMP, CPU-RTREE, SUPEREGO, brute force CPU/GPU) must
-// produce the identical pair set on the same input — the validation the
-// paper performs by comparing total neighbour counts, strengthened here
-// to exact set equality.
+// Cross-implementation integration tests: every backend registered in
+// the BackendRegistry (GPU-SJ, GPU-SJ+UNICOMP, CPU-RTREE, SUPEREGO, brute
+// force CPU/GPU) must produce the identical pair set on the same input —
+// the validation the paper performs by comparing total neighbour counts,
+// strengthened here to exact set equality. The sweep enumerates the
+// registry, so a newly registered backend is covered automatically.
 #include <gtest/gtest.h>
 
 #include <string>
 #include <tuple>
 
-#include "bruteforce/brute_force.hpp"
+#include "api/registry.hpp"
 #include "common/datagen.hpp"
 #include "common/datasets.hpp"
-#include "core/brute_force_gpu.hpp"
-#include "core/self_join.hpp"
-#include "ego/ego.hpp"
-#include "rtree/rtree_self_join.hpp"
 
 namespace sj {
 namespace {
+
+using api::BackendRegistry;
 
 class AllAlgorithms
     : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
@@ -34,31 +33,15 @@ TEST_P(AllAlgorithms, IdenticalPairSets) {
     d = datagen::exponential_blob(900, dim, 0.1, 40 + dim);
   }
 
-  auto want = brute::self_join(d, eps);
+  const auto& registry = BackendRegistry::instance();
+  auto want = registry.at("brute").run(d, eps);
   want.pairs.normalize();
 
-  GpuSelfJoinOptions base;
-  base.unicomp = false;
-  auto gpu = GpuSelfJoin(base).run(d, eps);
-  EXPECT_TRUE(ResultSet::equal_normalized(gpu.pairs, want.pairs)) << "GPU-SJ";
-
-  GpuSelfJoinOptions uni;
-  uni.unicomp = true;
-  auto gpu_uni = GpuSelfJoin(uni).run(d, eps);
-  EXPECT_TRUE(ResultSet::equal_normalized(gpu_uni.pairs, want.pairs))
-      << "GPU-SJ+UNICOMP";
-
-  auto rt = rtree::self_join(d, eps);
-  EXPECT_TRUE(ResultSet::equal_normalized(rt.pairs, want.pairs))
-      << "CPU-RTREE";
-
-  auto eg = ego::self_join(d, eps);
-  EXPECT_TRUE(ResultSet::equal_normalized(eg.pairs, want.pairs))
-      << "SUPEREGO";
-
-  auto bf = gpu_brute_force(d, eps, /*materialize=*/true);
-  EXPECT_TRUE(ResultSet::equal_normalized(bf.pairs, want.pairs))
-      << "GPU brute force";
+  for (const auto& name : registry.names()) {
+    if (name == "brute") continue;
+    auto got = registry.at(name).run(d, eps);
+    EXPECT_TRUE(ResultSet::equal_normalized(got.pairs, want.pairs)) << name;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -73,15 +56,16 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(AllAlgorithmsNamed, TableOneDatasetsAgreeAtSmallScale) {
   // Scaled-down versions of representative Table I datasets.
+  const auto& registry = BackendRegistry::instance();
   for (const std::string name :
        {"Syn2D2M", "Syn4D2M", "SW2DA", "SW3DA", "SDSS2DA"}) {
     const auto& info = datasets::info(name);
     const auto d = datasets::make(name, 0.08);
     const double eps = datasets::scale_eps(info, d.size(), info.bench_eps[1]);
 
-    auto want = brute::self_join(d, eps);
-    auto gpu = GpuSelfJoin().run(d, eps);
-    auto eg = ego::self_join(d, eps);
+    auto want = registry.at("brute").run(d, eps);
+    auto gpu = registry.at("gpu_unicomp").run(d, eps);
+    auto eg = registry.at("ego").run(d, eps);
     EXPECT_TRUE(ResultSet::equal_normalized(gpu.pairs, want.pairs)) << name;
     EXPECT_TRUE(ResultSet::equal_normalized(eg.pairs, want.pairs)) << name;
   }
@@ -90,12 +74,12 @@ TEST(AllAlgorithmsNamed, TableOneDatasetsAgreeAtSmallScale) {
 TEST(AllAlgorithmsNamed, NeighborCountValidationLikePaper) {
   // The paper "validated consistency between our implementations by
   // comparing the total number of neighbors within eps".
+  const auto& registry = BackendRegistry::instance();
   const auto d = datasets::make("SDSS2DA", 0.1);
   const double eps = 0.4;
-  const auto gpu = GpuSelfJoin().run(d, eps);
-  const auto rt = rtree::self_join(d, eps);
-  const auto eg = ego::self_join(d, eps);
-  auto g = gpu.pairs, r = rt.pairs, e = eg.pairs;
+  auto g = registry.at("gpu_unicomp").run(d, eps).pairs;
+  auto r = registry.at("rtree").run(d, eps).pairs;
+  auto e = registry.at("ego").run(d, eps).pairs;
   g.normalize();
   r.normalize();
   e.normalize();

@@ -1,35 +1,32 @@
-// Edge cases exercised uniformly across all implementations.
+// Edge cases exercised uniformly across every registered backend.
 #include <gtest/gtest.h>
 
-#include "bruteforce/brute_force.hpp"
+#include "api/registry.hpp"
 #include "common/datagen.hpp"
-#include "core/self_join.hpp"
-#include "ego/ego.hpp"
-#include "rtree/rtree_self_join.hpp"
 
 namespace sj {
 namespace {
 
 void expect_all_equal(const Dataset& d, double eps) {
-  auto want = brute::self_join(d, eps);
-  auto gpu = GpuSelfJoin().run(d, eps);
-  auto rt = rtree::self_join(d, eps);
-  auto eg = ego::self_join(d, eps);
-  EXPECT_TRUE(ResultSet::equal_normalized(gpu.pairs, want.pairs))
-      << "GPU-SJ eps=" << eps;
-  EXPECT_TRUE(ResultSet::equal_normalized(rt.pairs, want.pairs))
-      << "RTREE eps=" << eps;
-  EXPECT_TRUE(ResultSet::equal_normalized(eg.pairs, want.pairs))
-      << "EGO eps=" << eps;
+  const auto& registry = api::BackendRegistry::instance();
+  auto want = registry.at("brute").run(d, eps);
+  want.pairs.normalize();
+  for (const auto& name : registry.names()) {
+    if (name == "brute") continue;
+    auto got = registry.at(name).run(d, eps);
+    EXPECT_TRUE(ResultSet::equal_normalized(got.pairs, want.pairs))
+        << name << " eps=" << eps;
+  }
 }
 
 TEST(EdgeCases, TwoPointsExactlyEpsApart) {
   // Boundary inclusion: dist == eps must be reported (<=, not <).
+  const auto& gpu = api::BackendRegistry::instance().at("gpu_unicomp");
   Dataset d(2, {0.0, 0.0, 3.0, 4.0});  // distance exactly 5
-  auto r = GpuSelfJoin().run(d, 5.0);
+  auto r = gpu.run(d, 5.0);
   r.pairs.normalize();
   EXPECT_EQ(r.pairs.size(), 4u);
-  auto r2 = GpuSelfJoin().run(d, 4.999999);
+  auto r2 = gpu.run(d, 4.999999);
   r2.pairs.normalize();
   EXPECT_EQ(r2.pairs.size(), 2u);
   expect_all_equal(d, 5.0);
@@ -59,7 +56,7 @@ TEST(EdgeCases, AllIdenticalPoints) {
     d.push_back(p);
   }
   expect_all_equal(d, 0.5);
-  auto r = GpuSelfJoin().run(d, 0.5);
+  auto r = api::BackendRegistry::instance().at("gpu_unicomp").run(d, 0.5);
   r.pairs.normalize();
   EXPECT_EQ(r.pairs.size(), 40u * 40u);
 }

@@ -6,9 +6,9 @@
 
 #include <cmath>
 
+#include "api/registry.hpp"
 #include "common/datagen.hpp"
 #include "common/datasets.hpp"
-#include "core/self_join.hpp"
 
 namespace sj {
 namespace {
@@ -29,7 +29,7 @@ TEST_P(EpsScaling, AvgNeighborsInvariantUnderSizeRescale) {
   const auto small = datagen::uniform(n_small, dim, 0.0, 100.0, 1000 + dim);
   const auto big = datagen::uniform(n_big, dim, 0.0, 100.0, 2000 + dim);
 
-  GpuSelfJoin join;
+  const auto& join = api::BackendRegistry::instance().at("gpu_unicomp");
   const auto rs = join.run(small, eps_small);
   const auto rb = join.run(big, eps_big);
 
@@ -62,7 +62,7 @@ TEST(DatasetScaling, ScaledEpsKeepsRegimeAcrossScales) {
                                                info.bench_eps[2]);
   const double eps_big = info.bench_eps[2];
 
-  GpuSelfJoin join;
+  const auto& join = api::BackendRegistry::instance().at("gpu_unicomp");
   const double avg_small =
       join.run(small, eps_small).pairs.avg_neighbors(small.size());
   const double avg_big =

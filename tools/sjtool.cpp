@@ -16,16 +16,12 @@
 #include <map>
 #include <string>
 
-#include "bruteforce/brute_force.hpp"
+#include "api/registry.hpp"
 #include "common/csv.hpp"
 #include "common/datasets.hpp"
 #include "common/io.hpp"
-#include "core/brute_force_gpu.hpp"
 #include "core/join.hpp"
 #include "core/knn.hpp"
-#include "core/self_join.hpp"
-#include "ego/ego.hpp"
-#include "rtree/rtree_self_join.hpp"
 
 namespace {
 
@@ -37,13 +33,16 @@ using sj::Dataset;
       "usage:\n"
       "  sjtool gen      --dataset NAME [--scale S] --out FILE\n"
       "  sjtool info     --in FILE\n"
-      "  sjtool selfjoin --in FILE --eps E [--algo A] [--pairs-out F]\n"
+      "  sjtool selfjoin --in FILE --eps E [--algo A] [--threads N]\n"
+      "                  [--opt k=v[,k=v...]] [--stats 1] [--pairs-out F]\n"
       "                  [--counts-out F]\n"
       "  sjtool join     --in FILE --data FILE --eps E [--pairs-out F]\n"
       "  sjtool knn      --in FILE --k K [--out F]\n"
-      "algorithms: gpu_unicomp (default), gpu, rtree, superego, brute,\n"
-      "            gpu_bf\n"
-      "datasets for gen: ";
+      "algorithms (gpu_unicomp is the default): ";
+  for (const auto& name : sj::api::BackendRegistry::instance().names()) {
+    std::cerr << name << " ";
+  }
+  std::cerr << "\ndatasets for gen: ";
   for (const auto& i : sj::datasets::all()) std::cerr << i.name << " ";
   std::cerr << "\n";
   std::exit(2);
@@ -116,42 +115,63 @@ int cmd_info(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// Parse "--opt k=v,k2=v2" into RunConfig::extra.
+void parse_opts(const std::string& spec, sj::api::RunConfig& config) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      usage("--opt entries must look like key=value, got '" + item + "'");
+    }
+    config.extra[item.substr(0, eq)] = item.substr(eq + 1);
+    pos = comma + 1;
+  }
+}
+
 int cmd_selfjoin(const std::map<std::string, std::string>& flags) {
   const Dataset d = load_any(require(flags, "in"));
   const double eps = std::stod(require(flags, "eps"));
   const std::string algo =
       flags.count("algo") ? flags.at("algo") : "gpu_unicomp";
 
-  sj::ResultSet pairs;
-  double seconds = 0.0;
-  if (algo == "gpu" || algo == "gpu_unicomp") {
-    sj::GpuSelfJoinOptions opt;
-    opt.unicomp = algo == "gpu_unicomp";
-    auto r = sj::GpuSelfJoin(opt).run(d, eps);
-    pairs = std::move(r.pairs);
-    seconds = r.stats.total_seconds;
-    std::cout << "batches: " << r.stats.batch.batches_run
-              << "  nonempty cells: " << r.stats.grid_nonempty_cells
-              << "  distance calcs: " << r.stats.metrics.distance_calcs
-              << "\n";
-  } else if (algo == "rtree") {
-    auto r = sj::rtree::self_join(d, eps);
-    pairs = std::move(r.pairs);
-    seconds = r.stats.query_seconds;
-  } else if (algo == "superego") {
-    auto r = sj::ego::self_join(d, eps);
-    pairs = std::move(r.pairs);
-    seconds = r.stats.total_seconds();
-  } else if (algo == "brute") {
-    auto r = sj::brute::self_join(d, eps);
-    pairs = std::move(r.pairs);
-    seconds = r.stats.seconds;
-  } else if (algo == "gpu_bf") {
-    auto r = sj::gpu_brute_force(d, eps, /*materialize=*/true);
-    pairs = std::move(r.pairs);
-    seconds = r.kernel_seconds;
-  } else {
-    usage("unknown algorithm " + algo);
+  const auto& registry = sj::api::BackendRegistry::instance();
+  const sj::api::SelfJoinBackend* backend = registry.find(algo);
+  if (backend == nullptr) {
+    std::cerr << "error: unknown algorithm '" << algo
+              << "'\nregistered backends:\n";
+    for (const auto& name : registry.names()) {
+      std::cerr << "  " << name << "  — "
+                << registry.at(name).description() << "\n";
+    }
+    for (const auto& alias : registry.aliases()) {
+      std::cerr << "  " << alias << " (alias)\n";
+    }
+    return 2;
+  }
+
+  sj::api::RunConfig config;
+  if (flags.count("threads")) config.threads = std::stoi(flags.at("threads"));
+  if (flags.count("opt")) parse_opts(flags.at("opt"), config);
+  const bool show_stats = flags.count("stats") && flags.at("stats") != "0";
+  config.collect_metrics = show_stats && backend->capabilities().gpu;
+
+  auto outcome = backend->run(d, eps, config);
+  sj::ResultSet pairs = std::move(outcome.pairs);
+  const double seconds = outcome.stats.seconds;
+
+  std::cout << "distance calcs: " << outcome.stats.distance_calcs;
+  if (outcome.stats.build_seconds > 0.0) {
+    std::cout << "  build/sort: " << outcome.stats.build_seconds << " s";
+  }
+  std::cout << "\n";
+  if (show_stats && !outcome.stats.native.empty()) {
+    std::cout << "native stats [" << backend->name() << "]:\n";
+    for (const auto& [key, value] : outcome.stats.native) {
+      std::cout << "  " << key << ": " << value << "\n";
+    }
   }
 
   std::cout << "pairs:   " << pairs.size() << " (incl. self pairs)\n"
