@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "bruteforce/brute_backend.hpp"
+#include "common/parse.hpp"
 #include "core/gpu_backend.hpp"
 #include "ego/ego_backend.hpp"
 #include "rtree/rtree_backend.hpp"
@@ -32,23 +33,14 @@ bool RunConfig::flag(const std::string& key, bool def) const {
 int RunConfig::integer(const std::string& key, int def) const {
   const auto it = extra.find(key);
   if (it == extra.end()) return def;
-  try {
-    return std::stoi(it->second);
-  } catch (const std::exception&) {
-    throw std::invalid_argument("option '" + key + "' expects an integer, got '" +
-                                it->second + "'");
-  }
+  // Strict: trailing junk ("2x") is rejected, not silently truncated.
+  return parse::integer("option '" + key + "'", it->second);
 }
 
 double RunConfig::number(const std::string& key, double def) const {
   const auto it = extra.find(key);
   if (it == extra.end()) return def;
-  try {
-    return std::stod(it->second);
-  } catch (const std::exception&) {
-    throw std::invalid_argument("option '" + key + "' expects a number, got '" +
-                                it->second + "'");
-  }
+  return parse::number("option '" + key + "'", it->second);
 }
 
 std::string RunConfig::text(const std::string& key, std::string def) const {

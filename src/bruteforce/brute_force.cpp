@@ -1,12 +1,11 @@
 #include "bruteforce/brute_force.hpp"
 
-#include <omp.h>
-
 #include <algorithm>
 #include <stdexcept>
 #include <vector>
 
 #include "common/distance.hpp"
+#include "common/omp_compat.hpp"
 #include "common/timer.hpp"
 
 namespace sj::brute {

@@ -137,6 +137,45 @@ Dataset sdss_like(std::size_t n, std::uint64_t seed, double field_frac) {
   return d;
 }
 
+Dataset ippp(std::size_t n, int dim, double contrast, std::uint64_t seed) {
+  if (dim < 1 || dim > kMaxDims) {
+    throw std::invalid_argument("ippp: dim out of range");
+  }
+  if (contrast < 1.0) {
+    throw std::invalid_argument("ippp: contrast must be >= 1");
+  }
+  Dataset d(dim);
+  d.reserve(n);
+  Xoshiro256 rng(seed);
+
+  // Intensity field: background 1 plus a few Gaussian bumps that together
+  // peak at `contrast`. lambda(x) in [1, contrast] by construction.
+  constexpr int kBumps = 6;
+  double centers[kBumps][kMaxDims];
+  double sigma[kBumps];
+  for (int b = 0; b < kBumps; ++b) {
+    for (int j = 0; j < dim; ++j) centers[b][j] = rng.uniform(5.0, 95.0);
+    sigma[b] = rng.uniform(2.0, 8.0);
+  }
+
+  double row[kMaxDims];
+  while (d.size() < n) {
+    for (int j = 0; j < dim; ++j) row[j] = rng.uniform(0.0, 100.0);
+    double intensity = 1.0;
+    for (int b = 0; b < kBumps; ++b) {
+      double q = 0.0;
+      for (int j = 0; j < dim; ++j) {
+        const double t = (row[j] - centers[b][j]) / sigma[b];
+        q += t * t;
+      }
+      intensity += (contrast - 1.0) * std::exp(-0.5 * q) / kBumps;
+    }
+    // Thinning: accept with probability lambda(x) / lambda_max.
+    if (rng.uniform() * contrast <= intensity) d.push_back(row);
+  }
+  return d;
+}
+
 Dataset exponential_blob(std::size_t n, int dim, double lambda,
                          std::uint64_t seed) {
   Dataset d(dim);

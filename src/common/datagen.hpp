@@ -11,8 +11,9 @@
 // * sdss_like()    — stands in for the SDSS DR12 galaxy catalogue: a
 //                    Neyman–Scott cluster process (galaxy clusters plus a
 //                    uniform field population) in 2-D.
-// * gaussian_mixture(), exponential_blob() — extra distributions used by
-//                    tests and the skew ablation.
+// * gaussian_mixture(), exponential_blob(), ippp() — extra distributions
+//                    used by tests, the skew ablation and the async
+//                    pipeline stress bench.
 //
 // All generators are fully deterministic in (n, seed).
 #pragma once
@@ -51,5 +52,13 @@ Dataset sdss_like(std::size_t n, std::uint64_t seed, double field_frac = 0.35);
 /// the skew ablation bench and robustness tests.
 Dataset exponential_blob(std::size_t n, int dim, double lambda,
                          std::uint64_t seed);
+
+/// Inhomogeneous Poisson point process (IPPP) stand-in, after the point-
+/// process simulation workloads of Hohmann 2019: a homogeneous candidate
+/// stream over [0, 100]^dim thinned against a smooth multi-bump intensity
+/// field whose peak-to-background ratio is `contrast` (>= 1). Large
+/// contrasts give strongly skewed data — a few very dense cores over a
+/// sparse background — which is the stress case for batch load balance.
+Dataset ippp(std::size_t n, int dim, double contrast, std::uint64_t seed);
 
 }  // namespace sj::datagen

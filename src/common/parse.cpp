@@ -1,0 +1,71 @@
+#include "common/parse.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace sj::parse {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const char* kind,
+                       const std::string& text) {
+  throw std::invalid_argument(what + " expects " + kind + ", got '" + text +
+                              "'");
+}
+
+// strtod/strtol skip leading whitespace, which would defeat the
+// whole-string check below ("  1" would parse while "1  " would not).
+bool bad_lead(const std::string& text) {
+  return text.empty() ||
+         std::isspace(static_cast<unsigned char>(text.front())) != 0;
+}
+
+}  // namespace
+
+double number(const std::string& what, const std::string& text) {
+  if (bad_lead(text)) fail(what, "a finite number", text);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || errno == ERANGE ||
+      !std::isfinite(v)) {
+    fail(what, "a finite number", text);
+  }
+  return v;
+}
+
+double positive_number(const std::string& what, const std::string& text) {
+  const double v = number(what, text);
+  if (v <= 0.0) {
+    throw std::invalid_argument(what + " must be > 0, got '" + text + "'");
+  }
+  return v;
+}
+
+int integer(const std::string& what, const std::string& text) {
+  if (bad_lead(text)) fail(what, "an integer", text);
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE ||
+      v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    fail(what, "an integer", text);
+  }
+  return static_cast<int>(v);
+}
+
+int positive_integer(const std::string& what, const std::string& text) {
+  const int v = integer(what, text);
+  if (v <= 0) {
+    throw std::invalid_argument(what + " must be a positive integer, got '" +
+                                text + "'");
+  }
+  return v;
+}
+
+}  // namespace sj::parse

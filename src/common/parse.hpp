@@ -1,0 +1,28 @@
+// Strict numeric parsing for untrusted CLI input.
+//
+// std::stod / std::stoi silently accept trailing junk ("0.5x" parses as
+// 0.5) and surface garbage as a bare "stod" exception message. These
+// helpers consume the ENTIRE token, reject non-finite values, and name
+// the offending flag in a one-line std::invalid_argument so tools can
+// fail fast with something actionable.
+#pragma once
+
+#include <string>
+
+namespace sj::parse {
+
+/// Parse `text` as a double. The whole string must be consumed and the
+/// value finite; otherwise throws std::invalid_argument whose message
+/// starts with `what` (e.g. "--eps expects a finite number, got '0.5x'").
+double number(const std::string& what, const std::string& text);
+
+/// number() restricted to values > 0 (e.g. --eps, --scale).
+double positive_number(const std::string& what, const std::string& text);
+
+/// Parse `text` as an int (whole string consumed, in int range).
+int integer(const std::string& what, const std::string& text);
+
+/// integer() restricted to values > 0 (e.g. --k).
+int positive_integer(const std::string& what, const std::string& text);
+
+}  // namespace sj::parse

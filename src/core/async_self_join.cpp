@@ -1,0 +1,127 @@
+#include "core/async_self_join.hpp"
+
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "common/timer.hpp"
+#include "core/batch_pipeline.hpp"
+#include "core/device_view.hpp"
+#include "core/estimator.hpp"
+#include "core/grid_index.hpp"
+#include "gpusim/arena.hpp"
+#include "gpusim/stream.hpp"
+
+namespace sj {
+
+AsyncGpuSelfJoin::AsyncGpuSelfJoin(AsyncSelfJoinOptions opt) : opt_(opt) {
+  if (opt_.block_size <= 0) {
+    throw std::invalid_argument("AsyncGpuSelfJoin: block_size must be positive");
+  }
+  if (opt_.num_streams <= 0) {
+    throw std::invalid_argument(
+        "AsyncGpuSelfJoin: num_streams must be positive");
+  }
+  if (opt_.assembly_threads <= 0) {
+    throw std::invalid_argument(
+        "AsyncGpuSelfJoin: assembly_threads must be positive");
+  }
+  if (opt_.sample_rate <= 0.0 || opt_.sample_rate > 1.0) {
+    throw std::invalid_argument(
+        "AsyncGpuSelfJoin: sample_rate must be in (0, 1]");
+  }
+}
+
+SelfJoinResult AsyncGpuSelfJoin::run(const Dataset& d, double eps) const {
+  if (eps < 0.0) {
+    throw std::invalid_argument("AsyncGpuSelfJoin: eps must be >= 0");
+  }
+  SelfJoinResult result;
+  SelfJoinStats& st = result.stats;
+  Timer total;
+
+  // --- Host-side index construction (cheap relative to tree indexes).
+  Timer phase;
+  GridIndex index(d, eps);
+  st.index_build_seconds = phase.seconds();
+  st.grid_nonempty_cells = index.num_nonempty_cells();
+  st.grid_total_cells = index.total_cells();
+
+  if (d.empty()) {
+    st.total_seconds = total.seconds();
+    return result;
+  }
+
+  // --- Upload dataset + index to the (simulated) device.
+  gpu::GlobalMemoryArena arena(opt_.device);
+  phase.reset();
+  DeviceGrid dev(arena, d, index);
+  st.upload_seconds = phase.seconds();
+  const GridDeviceView& grid = dev.view();
+
+  // --- Stage 0: the sampling estimator kicks off immediately on its own
+  // stream. Batch sizing depends on its result, so with default options
+  // the host has little to overlap beyond pipeline setup; in metrics mode
+  // the serial Table II cache/occupancy pass — which, like the estimator,
+  // only reads the grid — runs concurrently instead of serially after the
+  // join, and that one is expensive.
+  EstimateResult est;
+  gpu::Stream estimate_stream(opt_.device);
+  gpu::Event estimate_done;
+  estimate_stream.enqueue([&] {
+    est = estimate_result_size(grid, opt_.unicomp, opt_.sample_rate,
+                               opt_.block_size);
+  });
+  estimate_done.record(estimate_stream);
+
+  std::thread metrics_thread;
+  if (opt_.collect_metrics) {
+    // Writes only the occupancy/cache fields of st, disjoint from
+    // everything the join path below touches.
+    metrics_thread = std::thread([&] { collect_gpu_stats(grid, opt_, st); });
+  }
+
+  PipelineConfig config;
+  config.streams = opt_.num_streams;
+  config.assembly_threads = opt_.assembly_threads;
+  config.block_size = opt_.block_size;
+  BatchPipeline pipeline(arena, opt_.device, config);
+
+  estimate_done.wait();
+  st.estimate_seconds = est.seconds;
+  st.estimated_total = est.estimated_total;
+
+  const std::uint64_t buffer_pairs = size_buffer_pairs(
+      arena, d.size(), est.estimated_total, opt_.min_batches,
+      opt_.num_streams, opt_.max_buffer_pairs, opt_.safety);
+  const BatchPlan plan = plan_batches(est.estimated_total, d.size(),
+                                      opt_.min_batches, buffer_pairs,
+                                      opt_.safety);
+
+  // --- Stages 1-3: the overlapped batch pipeline.
+  AtomicWork work;
+  phase.reset();
+  ResultSet pairs;
+  try {
+    pairs = pipeline.run(grid, opt_.unicomp, plan, &work, &st.batch);
+  } catch (...) {
+    if (metrics_thread.joinable()) metrics_thread.join();
+    throw;
+  }
+  result.pairs = std::move(pairs);
+  st.join_seconds = phase.seconds();
+
+  work.add_to(st.metrics);
+  st.metrics.kernel_seconds = st.batch.kernel_seconds;
+
+  if (metrics_thread.joinable()) {
+    metrics_thread.join();
+  } else {
+    collect_gpu_stats(grid, opt_, st);
+  }
+
+  st.total_seconds = total.seconds();
+  return result;
+}
+
+}  // namespace sj

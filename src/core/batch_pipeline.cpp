@@ -1,0 +1,328 @@
+#include "core/batch_pipeline.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <exception>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "common/timer.hpp"
+#include "core/kernels.hpp"
+#include "gpusim/atomic.hpp"
+#include "gpusim/kernel.hpp"
+#include "gpusim/sort.hpp"
+#include "gpusim/stream.hpp"
+
+namespace sj {
+
+namespace {
+
+// One unit of kernel-stage work. Root batches are generated lazily inside
+// the worker (ids empty, the strided assignment is recomputed from
+// `root`); overflow splits carry their explicit id halves.
+struct Task {
+  std::size_t root = 0;
+  std::vector<std::uint32_t> ids;
+};
+
+// A batch result handed from the stream pool to the assembly stage.
+// `first_id` is the batch's smallest query id — batches partition the
+// query ids, so it is a unique, deterministic merge key.
+struct Completed {
+  std::uint32_t first_id = 0;
+  std::vector<Pair> pairs;
+};
+
+}  // namespace
+
+BatchPipeline::BatchPipeline(gpu::GlobalMemoryArena& arena,
+                             const gpu::DeviceSpec& spec,
+                             const PipelineConfig& config)
+    : arena_(arena), spec_(spec), config_(config) {
+  if (config_.streams <= 0) {
+    throw std::invalid_argument("BatchPipeline: streams must be positive");
+  }
+  if (config_.assembly_threads <= 0) {
+    throw std::invalid_argument(
+        "BatchPipeline: assembly_threads must be positive");
+  }
+  if (config_.block_size <= 0) {
+    throw std::invalid_argument("BatchPipeline: block_size must be positive");
+  }
+}
+
+ResultSet BatchPipeline::run(const GridDeviceView& grid, bool unicomp,
+                             const BatchPlan& plan, AtomicWork* work,
+                             BatchRunStats* stats) {
+  ResultSet final_result;
+  const std::uint64_t nq = grid.num_queries();
+  if (nq == 0 || grid.n == 0) {
+    if (stats != nullptr) *stats = {};
+    return final_result;
+  }
+  // Clamp like plan_batches does: a batch needs at least one point, and a
+  // root past nq would produce an empty id list.
+  const std::size_t nb = std::min<std::size_t>(
+      std::max<std::size_t>(plan.num_batches, 1),
+      static_cast<std::size_t>(nq));
+  const std::uint64_t buffer_pairs = std::max<std::uint64_t>(
+      plan.buffer_pairs, 1);
+
+  // Double-buffered device allocations, owned by the caller thread so a
+  // DeviceOutOfMemory propagates here instead of killing a worker.
+  struct Slot {
+    gpu::DeviceBuffer<Pair> buffer;
+    gpu::DeviceBuffer<Pair> scratch;  // thrust-style O(n) sort storage
+    gpu::Event transferred;           // signals this slot's buffer is free
+  };
+  std::vector<std::array<Slot, 2>> slots(
+      static_cast<std::size_t>(config_.streams));
+  for (auto& pair_of_slots : slots) {
+    for (Slot& s : pair_of_slots) {
+      s.buffer = gpu::DeviceBuffer<Pair>(arena_, buffer_pairs);
+      s.scratch = gpu::DeviceBuffer<Pair>(arena_, buffer_pairs);
+    }
+  }
+
+  const std::size_t task_cap =
+      config_.task_queue_capacity != 0
+          ? config_.task_queue_capacity
+          : 2 * static_cast<std::size_t>(config_.streams);
+  BoundedQueue<Task> tasks(task_cap);
+  BoundedQueue<Completed> done(
+      2 * static_cast<std::size_t>(config_.assembly_threads));
+
+  // Tasks seeded or split but not yet terminally handled; the thread that
+  // brings it to zero closes the task queue and ends the kernel stage.
+  std::atomic<std::size_t> outstanding{nb};
+  std::atomic<bool> fatal_overflow{false};
+  std::atomic<bool> failed{false};
+
+  std::mutex mu;  // protects acc, segments and first_error
+  BatchRunStats acc;
+  std::map<std::uint32_t, std::vector<Pair>> segments;
+  std::exception_ptr first_error;
+
+  auto complete_one = [&outstanding, &tasks] {
+    if (outstanding.fetch_sub(1) == 1) tasks.close();
+  };
+
+  // --- Stage 3: host assembly. Completed segments are merged into the
+  // deterministic batch-key order while further kernels run.
+  std::vector<std::thread> assemblers;
+  assemblers.reserve(static_cast<std::size_t>(config_.assembly_threads));
+  for (int a = 0; a < config_.assembly_threads; ++a) {
+    assemblers.emplace_back([&done, &mu, &segments, &acc] {
+      Completed c;
+      while (done.pop(c)) {
+        Timer merge_timer;
+        std::lock_guard<std::mutex> lock(mu);
+        segments[c.first_id] = std::move(c.pairs);
+        acc.assembly_seconds += merge_timer.seconds();
+      }
+    });
+  }
+
+  // --- Stage 2: kernel workers, one simulated stream each. The kernel and
+  // the device sort run on the worker; the device->host result transfer
+  // and the hand-off to assembly are enqueued on the stream, so the next
+  // batch's kernel overlaps the previous batch's transfer (double
+  // buffered per worker).
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(config_.streams));
+  for (int w = 0; w < config_.streams; ++w) {
+    workers.emplace_back([&, w] {
+      gpu::Stream stream(spec_);
+      auto& my_slots = slots[static_cast<std::size_t>(w)];
+      int flip = 0;
+      Task task;
+      while (tasks.pop(task)) {
+        if (fatal_overflow.load(std::memory_order_relaxed) ||
+            failed.load(std::memory_order_relaxed)) {
+          complete_one();  // drain mode: shut down as fast as possible
+          continue;
+        }
+        try {
+          Slot& slot = my_slots[static_cast<std::size_t>(flip)];
+          flip ^= 1;
+          slot.transferred.wait();  // slot's previous transfer has drained
+
+          if (task.ids.empty()) {
+            // Strided root batch: {i : i % nb == root} spreads dense
+            // regions evenly across batches. Generated here, off the
+            // seeding thread's critical path.
+            task.ids.reserve(static_cast<std::size_t>(nq / nb) + 1);
+            for (std::uint64_t i = task.root; i < nq; i += nb) {
+              task.ids.push_back(static_cast<std::uint32_t>(i));
+            }
+          }
+
+          // Ship this batch's query ids to the device.
+          gpu::DeviceBuffer<std::uint32_t> qids(arena_, task.ids.size());
+          std::memcpy(qids.data(), task.ids.data(),
+                      task.ids.size() * sizeof(std::uint32_t));
+
+          gpu::DeviceCounter cursor;
+          std::atomic<bool> overflow{false};
+
+          SelfJoinKernelParams p;
+          p.grid = grid;
+          p.query_ids = qids.data();
+          p.num_queries = task.ids.size();
+          p.result.out = slot.buffer.data();
+          p.result.capacity = buffer_pairs;
+          p.result.cursor = &cursor;
+          p.result.overflow = &overflow;
+          p.unicomp = unicomp;
+          p.work = work;
+
+          const gpu::KernelStats ks = gpu::launch(
+              gpu::LaunchConfig::cover(task.ids.size(), config_.block_size),
+              [&p](const gpu::ThreadCtx& ctx) { self_join_thread(ctx, p); });
+
+          if (overflow.load()) {
+            // The estimate undershot for this batch: split in two and feed
+            // both halves back into the SAME queue — no barrier, the other
+            // streams never notice.
+            {
+              std::lock_guard<std::mutex> lock(mu);
+              acc.kernel_seconds += ks.seconds;
+              ++acc.batches_run;
+              ++acc.overflow_retries;
+            }
+            if (task.ids.size() <= 1) {
+              // A single point's neighbourhood exceeds the buffer —
+              // cannot split further. Reported after the drain.
+              fatal_overflow.store(true);
+              complete_one();
+              continue;
+            }
+            const std::size_t half = task.ids.size() / 2;
+            Task lo, hi;
+            lo.ids.assign(task.ids.begin(),
+                          task.ids.begin() + static_cast<std::ptrdiff_t>(half));
+            hi.ids.assign(task.ids.begin() + static_cast<std::ptrdiff_t>(half),
+                          task.ids.end());
+            outstanding.fetch_add(1);  // net effect of the split: 1 -> 2
+            tasks.push_overflow(std::move(lo));
+            tasks.push_overflow(std::move(hi));
+            continue;
+          }
+
+          const std::uint64_t nres = cursor.load();
+          // Device key/value sort of the batch (the paper sorts each batch
+          // before transferring it, Section IV-E) — this is also what
+          // makes every segment's content deterministic.
+          Timer sort_timer;
+          gpu::sort_pairs_by_key(slot.buffer.data(), nres,
+                                 slot.scratch.data());
+          const double sort_s = sort_timer.seconds();
+
+          // Async transfer + hand-off: enqueued on the stream so this
+          // worker immediately starts the next kernel in the other slot.
+          auto host = std::make_shared<std::vector<Pair>>(
+              static_cast<std::size_t>(nres));
+          const std::uint32_t first_id = task.ids.front();
+          if (nres > 0) {
+            stream.memcpy_async(host->data(), slot.buffer.data(),
+                                static_cast<std::size_t>(nres) * sizeof(Pair));
+          }
+          stream.enqueue([host, first_id, &done, &complete_one] {
+            done.push(Completed{first_id, std::move(*host)});
+            complete_one();
+          });
+          slot.transferred.record(stream);
+
+          std::lock_guard<std::mutex> lock(mu);
+          acc.kernel_seconds += ks.seconds;
+          acc.sort_seconds += sort_s;
+          ++acc.batches_run;
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            if (first_error == nullptr) first_error = std::current_exception();
+          }
+          failed.store(true);
+          complete_one();
+        }
+      }
+      stream.synchronize();  // pending transfers still read the slots
+      std::lock_guard<std::mutex> lock(mu);
+      acc.bytes_to_host += stream.bytes_copied();
+      acc.modeled_transfer_seconds += stream.modeled_copy_seconds();
+    });
+  }
+
+  // --- Stage 1: seed the root batches (bounded push: backpressure once
+  // the pool is saturated). `outstanding` was pre-charged with all roots,
+  // so the queue cannot close before the last root is seeded.
+  for (std::size_t b = 0; b < nb; ++b) {
+    Task t;
+    t.root = b;
+    tasks.push(std::move(t));
+  }
+
+  for (auto& w : workers) w.join();
+  done.close();
+  for (auto& a : assemblers) a.join();
+
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+  if (fatal_overflow.load()) {
+    throw gpu::DeviceOutOfMemory(buffer_pairs * sizeof(Pair) * 2,
+                                 buffer_pairs * sizeof(Pair));
+  }
+
+  // Deterministic final assembly: segments in ascending first-query-id
+  // order, each internally sorted by the device sort. Final offsets are
+  // only known once every segment has landed, so this concatenation is
+  // the pipeline's serial tail — the assembly workers parallelise it
+  // (each copies an interleaved subset of segments to its precomputed
+  // offset), which is where a multi-thread assembly config pays off on
+  // large result sets.
+  struct Placement {
+    const std::vector<Pair>* segment;
+    std::size_t offset;
+  };
+  std::vector<Placement> layout;
+  layout.reserve(segments.size());
+  std::size_t total = 0;
+  for (const auto& [key, pairs] : segments) {
+    layout.push_back({&pairs, total});
+    total += pairs.size();
+  }
+  auto& out = final_result.pairs();
+  const std::size_t copiers = std::min<std::size_t>(
+      static_cast<std::size_t>(config_.assembly_threads), layout.size());
+  Timer concat_timer;
+  if (copiers <= 1) {
+    out.reserve(total);
+    for (const auto& p : layout) {
+      out.insert(out.end(), p.segment->begin(), p.segment->end());
+    }
+  } else {
+    out.resize(total);
+    std::vector<std::thread> concat;
+    concat.reserve(copiers);
+    for (std::size_t t = 0; t < copiers; ++t) {
+      concat.emplace_back([&layout, &out, t, copiers] {
+        for (std::size_t i = t; i < layout.size(); i += copiers) {
+          std::copy(layout[i].segment->begin(), layout[i].segment->end(),
+                    out.begin() + static_cast<std::ptrdiff_t>(
+                                      layout[i].offset));
+        }
+      });
+    }
+    for (auto& c : concat) c.join();
+  }
+  acc.assembly_seconds += concat_timer.seconds();
+
+  if (stats != nullptr) *stats = acc;
+  return final_result;
+}
+
+}  // namespace sj

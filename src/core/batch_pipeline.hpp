@@ -1,0 +1,131 @@
+// Asynchronous batch pipeline — the Section V-A batching scheme
+// restructured into three overlapped stages.
+//
+// The original Batcher ran kernel batches round by round with a barrier
+// before every overflow retry, and appended results to the final set from
+// whichever stream finished first. This file is the reusable replacement:
+//
+//   [bounded task queue] -> kernel workers (stream pool: per-batch kernel,
+//   device key/value sort, async device->host transfer, double-buffered)
+//   -> [bounded assembly queue] -> host assembly threads (merge segments
+//   by batch key)
+//
+// A batch whose result buffer overflows is split in two and fed back into
+// the SAME task queue — no barrier: the other streams keep executing
+// while the halves are retried. The final output is deterministic no
+// matter how streams and assembly threads interleave: batches own
+// disjoint query-id sets, every segment is device-sorted before transfer,
+// and segments are concatenated in ascending order of each batch's first
+// query id.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/batcher.hpp"
+#include "core/device_view.hpp"
+#include "core/work_counters.hpp"
+#include "gpusim/arena.hpp"
+#include "gpusim/device.hpp"
+
+namespace sj {
+
+/// Bounded MPMC queue connecting pipeline stages. push() blocks while the
+/// queue is full — backpressure on the seeding producer. push_overflow()
+/// never blocks: the overflow-split feedback path pushes from the same
+/// worker threads that pop, and blocking there could deadlock with every
+/// worker waiting for queue space that only workers can free.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+  void push(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      space_cv_.wait(lock,
+                     [this] { return items_.size() < capacity_ || closed_; });
+      if (closed_) return;  // shutting down; the item is dropped
+      items_.push_back(std::move(item));
+    }
+    item_cv_.notify_one();
+  }
+
+  void push_overflow(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return;
+      items_.push_back(std::move(item));
+    }
+    item_cv_.notify_one();
+  }
+
+  /// Blocks until an item is available or the queue is closed; returns
+  /// false only when closed AND drained.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    item_cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    space_cv_.notify_one();
+    return true;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    item_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable item_cv_;
+  std::condition_variable space_cv_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+/// Device allocations one pipeline stream worker holds: two double-
+/// buffered slots, each a result buffer plus the O(n) sort scratch.
+/// size_buffer_pairs() (batcher.hpp) divides free device memory by this.
+inline constexpr std::uint64_t kDeviceBuffersPerStream = 4;
+
+struct PipelineConfig {
+  int streams = 3;           ///< kernel-stage workers, one gpu::Stream each
+  int assembly_threads = 1;  ///< host-side merge workers
+  int block_size = 256;
+  std::size_t task_queue_capacity = 0;  ///< 0 -> 2 * streams
+};
+
+/// The three-stage pipeline. Construct one per join run; run() spins up
+/// the worker and assembly threads, executes the plan, and joins them.
+class BatchPipeline {
+ public:
+  BatchPipeline(gpu::GlobalMemoryArena& arena, const gpu::DeviceSpec& spec,
+                const PipelineConfig& config);
+
+  /// Execute the full self-join over `grid` according to `plan`. Exact:
+  /// overflowed batches are split and retried through the same queue;
+  /// throws gpu::DeviceOutOfMemory when a single point's neighbourhood
+  /// exceeds the buffer (unsplittable).
+  ResultSet run(const GridDeviceView& grid, bool unicomp,
+                const BatchPlan& plan, AtomicWork* work, BatchRunStats* stats);
+
+ private:
+  gpu::GlobalMemoryArena& arena_;
+  gpu::DeviceSpec spec_;
+  PipelineConfig config_;
+};
+
+}  // namespace sj

@@ -2,16 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstring>
-#include <memory>
-#include <mutex>
 
-#include "common/timer.hpp"
-#include "core/kernels.hpp"
-#include "gpusim/atomic.hpp"
-#include "gpusim/kernel.hpp"
-#include "gpusim/sort.hpp"
-#include "gpusim/stream.hpp"
+#include "core/batch_pipeline.hpp"
 
 namespace sj {
 
@@ -33,128 +25,43 @@ BatchPlan plan_batches(std::uint64_t estimated_total, std::uint64_t n_queries,
   return plan;
 }
 
+std::uint64_t size_buffer_pairs(const gpu::GlobalMemoryArena& arena,
+                                std::uint64_t n_queries,
+                                std::uint64_t estimated_total,
+                                std::size_t min_batches, int num_streams,
+                                std::uint64_t max_buffer_pairs, double safety) {
+  // Keep room for the per-batch query-id uploads.
+  const std::uint64_t reserve_bytes =
+      n_queries * sizeof(std::uint32_t) + (16u << 10);
+  const std::uint64_t free_bytes =
+      arena.free_bytes() > reserve_bytes ? arena.free_bytes() - reserve_bytes
+                                         : 0;
+  std::uint64_t buffer_pairs =
+      free_bytes /
+      (sizeof(Pair) * kDeviceBuffersPerStream *
+       static_cast<std::uint64_t>(std::max(1, num_streams)));
+  buffer_pairs = std::min(buffer_pairs, max_buffer_pairs);
+  // No point allocating beyond what one batch is expected to produce
+  // (padded by the safety factor and a floor); the overflow-split path
+  // recovers from any underestimate.
+  const std::uint64_t desired =
+      static_cast<std::uint64_t>(std::ceil(
+          static_cast<double>(estimated_total) * safety /
+          static_cast<double>(std::max<std::size_t>(min_batches, 1)))) +
+      1024;
+  buffer_pairs = std::min(buffer_pairs, desired);
+  return std::max<std::uint64_t>(buffer_pairs, 64);
+}
+
 ResultSet Batcher::run(const GridDeviceView& grid, bool unicomp,
                        const BatchPlan& plan, AtomicWork* work,
                        BatchRunStats* stats) {
-  ResultSet final_result;
-  const std::uint64_t nq = grid.num_queries();
-  if (nq == 0 || grid.n == 0) return final_result;
-
-  // Strided batch assignment: batch b owns the queries {i : i % nb == b},
-  // spreading dense regions evenly across batches.
-  std::vector<std::vector<std::uint32_t>> pending(plan.num_batches);
-  for (std::uint64_t i = 0; i < nq; ++i) {
-    pending[i % plan.num_batches].push_back(static_cast<std::uint32_t>(i));
-  }
-
-  // Per-stream device result buffers (allocated once, reused by every
-  // batch scheduled on that stream — FIFO ordering makes this safe).
-  const int nstreams = std::max(1, num_streams_);
-  std::vector<gpu::DeviceBuffer<Pair>> buffers;
-  std::vector<gpu::DeviceBuffer<Pair>> sort_tmp;  // thrust-style O(n) scratch
-  std::vector<std::unique_ptr<gpu::Stream>> streams;
-  buffers.reserve(nstreams);
-  sort_tmp.reserve(nstreams);
-  streams.reserve(nstreams);
-  for (int s = 0; s < nstreams; ++s) {
-    buffers.emplace_back(arena_, plan.buffer_pairs);
-    sort_tmp.emplace_back(arena_, plan.buffer_pairs);
-    streams.emplace_back(std::make_unique<gpu::Stream>(spec_));
-  }
-
-  std::mutex mu;  // protects final_result, stats, and the overflow list
-  std::vector<std::vector<std::uint32_t>> overflowed;
-  BatchRunStats local_stats;
-  bool fatal_overflow = false;
-
-  while (!pending.empty()) {
-    for (std::size_t b = 0; b < pending.size(); ++b) {
-      const int s = static_cast<int>(b % nstreams);
-      std::vector<std::uint32_t>* ids = &pending[b];
-      Pair* buffer = buffers[static_cast<std::size_t>(s)].data();
-      Pair* scratch = sort_tmp[static_cast<std::size_t>(s)].data();
-      streams[static_cast<std::size_t>(s)]->enqueue([this, &grid, unicomp,
-                                                     &plan, work, ids, buffer,
-                                                     scratch, &mu, &overflowed,
-                                                     &local_stats,
-                                                     &final_result,
-                                                     &fatal_overflow] {
-        // Ship this batch's query ids to the device.
-        gpu::DeviceBuffer<std::uint32_t> qids(arena_, ids->size());
-        std::memcpy(qids.data(), ids->data(),
-                    ids->size() * sizeof(std::uint32_t));
-
-        gpu::DeviceCounter cursor;
-        std::atomic<bool> overflow{false};
-
-        SelfJoinKernelParams p;
-        p.grid = grid;
-        p.query_ids = qids.data();
-        p.num_queries = ids->size();
-        p.result.out = buffer;
-        p.result.capacity = plan.buffer_pairs;
-        p.result.cursor = &cursor;
-        p.result.overflow = &overflow;
-        p.unicomp = unicomp;
-        p.work = work;
-
-        const gpu::KernelStats ks = gpu::launch(
-            gpu::LaunchConfig::cover(ids->size(), block_size_),
-            [&p](const gpu::ThreadCtx& ctx) { self_join_thread(ctx, p); });
-
-        if (overflow.load()) {
-          // The estimate undershot for this batch: split and retry.
-          std::lock_guard<std::mutex> lock(mu);
-          local_stats.kernel_seconds += ks.seconds;
-          ++local_stats.batches_run;
-          ++local_stats.overflow_retries;
-          if (ids->size() <= 1) {
-            // A single point's neighbourhood exceeds the buffer — cannot
-            // split further. Flagged and reported after synchronisation.
-            fatal_overflow = true;
-            return;
-          }
-          const std::size_t half = ids->size() / 2;
-          overflowed.emplace_back(ids->begin(), ids->begin() + half);
-          overflowed.emplace_back(ids->begin() + half, ids->end());
-          return;
-        }
-
-        const std::uint64_t nres = cursor.load();
-        // Key/value sort of the batch result (the paper sorts the pairs
-        // before transferring them to the host, Section IV-E; thrust
-        // radix-sorts integer keys).
-        Timer sort_timer;
-        gpu::sort_pairs_by_key(buffer, nres, scratch);
-        const double sort_s = sort_timer.seconds();
-
-        // Transfer to host (the real copy plus the modelled PCIe time the
-        // stream overlap is hiding).
-        const std::uint64_t bytes = nres * sizeof(Pair);
-        std::lock_guard<std::mutex> lock(mu);
-        local_stats.kernel_seconds += ks.seconds;
-        local_stats.sort_seconds += sort_s;
-        ++local_stats.batches_run;
-        local_stats.bytes_to_host += bytes;
-        local_stats.modeled_transfer_seconds +=
-            static_cast<double>(bytes) / (spec_.pcie_bandwidth_gbs * 1e9);
-        auto& out = final_result.pairs();
-        out.insert(out.end(), buffer, buffer + nres);
-      });
-    }
-    for (auto& s : streams) s->synchronize();
-
-    std::lock_guard<std::mutex> lock(mu);
-    if (fatal_overflow) {
-      throw gpu::DeviceOutOfMemory(plan.buffer_pairs * sizeof(Pair) * 2,
-                                   plan.buffer_pairs * sizeof(Pair));
-    }
-    pending = std::move(overflowed);
-    overflowed.clear();
-  }
-
-  if (stats != nullptr) *stats = local_stats;
-  return final_result;
+  PipelineConfig config;
+  config.streams = std::max(1, num_streams_);
+  config.assembly_threads = 1;
+  config.block_size = block_size_;
+  BatchPipeline pipeline(arena_, spec_, config);
+  return pipeline.run(grid, unicomp, plan, work, stats);
 }
 
 Batcher::Batcher(gpu::GlobalMemoryArena& arena, const gpu::DeviceSpec& spec,

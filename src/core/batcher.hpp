@@ -7,6 +7,11 @@
 // with bidirectional host-GPU transfers. A batch whose result overflows
 // its buffer (the estimate is only an estimate) is split in two and
 // retried — the scheme is exact, not best-effort.
+//
+// The execution machinery lives in batch_pipeline.hpp: a three-stage
+// pipeline (task queue -> stream pool -> host assembly) with
+// deterministic, batch-keyed result order. Batcher is the serial-friendly
+// facade over it that GpuSelfJoin and the query/data join use.
 #pragma once
 
 #include <cstdint>
@@ -31,11 +36,23 @@ BatchPlan plan_batches(std::uint64_t estimated_total, std::uint64_t n_queries,
                        std::size_t min_batches, std::uint64_t buffer_pairs,
                        double safety);
 
+/// Size the per-stream result buffers within the device's free memory
+/// (keeping room for the per-batch query-id uploads and accounting for
+/// the pipeline's double-buffered slots), capped by `max_buffer_pairs`
+/// and by what one batch is expected to produce. Shared by the self-join,
+/// the query/data join and the async engine.
+std::uint64_t size_buffer_pairs(const gpu::GlobalMemoryArena& arena,
+                                std::uint64_t n_queries,
+                                std::uint64_t estimated_total,
+                                std::size_t min_batches, int num_streams,
+                                std::uint64_t max_buffer_pairs, double safety);
+
 struct BatchRunStats {
   std::size_t batches_run = 0;       // including overflow retries
   std::size_t overflow_retries = 0;  // batches that had to be split
   double kernel_seconds = 0.0;       // summed kernel wall-clock
   double sort_seconds = 0.0;         // per-batch key/value sorts
+  double assembly_seconds = 0.0;     // host-side segment merging
   std::uint64_t bytes_to_host = 0;   // result transfer volume
   double modeled_transfer_seconds = 0.0;  // bytes / PCIe bandwidth
 };
@@ -46,7 +63,9 @@ class Batcher {
           int num_streams, int block_size);
 
   /// Execute the full self-join over all of `grid`'s points according to
-  /// `plan`, returning the complete result set.
+  /// `plan`, returning the complete result set. Result order is
+  /// deterministic (segments merged by batch key) regardless of the
+  /// stream count or scheduling.
   ResultSet run(const GridDeviceView& grid, bool unicomp,
                 const BatchPlan& plan, AtomicWork* work, BatchRunStats* stats);
 

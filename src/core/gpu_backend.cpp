@@ -1,13 +1,15 @@
 // Adapter shims exposing the GPU engines through the unified backend
 // interface: "gpu" (GPU-SJ, Algorithm 1), "gpu_unicomp" (GPU-SJ with the
-// Section V-B duplicate-search removal) and "gpu_bf" (the Section VI-B
-// brute-force kernel lower bound).
+// Section V-B duplicate-search removal), "gpu_async" (GPU-SJ with the
+// estimate/kernel/assembly stages overlapped on a stream pool) and
+// "gpu_bf" (the Section VI-B brute-force kernel lower bound).
 #include "core/gpu_backend.hpp"
 
 #include <memory>
 #include <stdexcept>
 
 #include "api/registry.hpp"
+#include "core/async_self_join.hpp"
 #include "core/brute_force_gpu.hpp"
 #include "core/self_join.hpp"
 
@@ -36,6 +38,40 @@ void reject_threads(std::string_view backend, const api::RunConfig& config) {
                                 ": --threads is not supported (the GPU "
                                 "engine's parallelism is the device model)");
   }
+}
+
+/// The normalised + native stats block shared by the GPU-SJ engines
+/// (sync and async run the same pipeline and report the same counters).
+api::JoinOutcome make_gpu_outcome(SelfJoinResult r) {
+  api::JoinOutcome out;
+  out.pairs = std::move(r.pairs);
+  const SelfJoinStats& s = r.stats;
+  out.stats.seconds = s.total_seconds;
+  out.stats.total_seconds = s.total_seconds;
+  out.stats.build_seconds = s.index_build_seconds;
+  out.stats.distance_calcs = s.metrics.distance_calcs;
+  out.stats.native = {
+      {"index_build_seconds", s.index_build_seconds},
+      {"upload_seconds", s.upload_seconds},
+      {"estimate_seconds", s.estimate_seconds},
+      {"join_seconds", s.join_seconds},
+      {"estimated_total", static_cast<double>(s.estimated_total)},
+      {"batches_run", static_cast<double>(s.batch.batches_run)},
+      {"overflow_retries", static_cast<double>(s.batch.overflow_retries)},
+      {"kernel_seconds", s.batch.kernel_seconds},
+      {"sort_seconds", s.batch.sort_seconds},
+      {"assembly_seconds", s.batch.assembly_seconds},
+      {"bytes_to_host", static_cast<double>(s.batch.bytes_to_host)},
+      {"grid_nonempty_cells", static_cast<double>(s.grid_nonempty_cells)},
+      {"grid_total_cells", static_cast<double>(s.grid_total_cells)},
+      {"cells_examined", static_cast<double>(s.metrics.cells_examined)},
+      {"cells_nonempty", static_cast<double>(s.metrics.cells_nonempty)},
+      {"cache_hit_rate", s.metrics.cache_hit_rate()},
+      {"cache_bw_gbs", s.metrics.cache_bw_gbs},
+      {"occupancy", s.occupancy},
+      {"regs_per_thread", static_cast<double>(s.regs_per_thread)},
+  };
+  return out;
 }
 
 class GpuBackend final : public api::SelfJoinBackend {
@@ -72,42 +108,63 @@ class GpuBackend final : public api::SelfJoinBackend {
     }
     opt.max_buffer_pairs = static_cast<std::uint64_t>(buffer_pairs);
 
-    auto r = GpuSelfJoin(opt).run(d, eps);
-
-    api::JoinOutcome out;
-    out.pairs = std::move(r.pairs);
-    const SelfJoinStats& s = r.stats;
-    out.stats.seconds = s.total_seconds;
-    out.stats.total_seconds = s.total_seconds;
-    out.stats.build_seconds = s.index_build_seconds;
-    out.stats.distance_calcs = s.metrics.distance_calcs;
-    out.stats.native = {
-        {"index_build_seconds", s.index_build_seconds},
-        {"upload_seconds", s.upload_seconds},
-        {"estimate_seconds", s.estimate_seconds},
-        {"join_seconds", s.join_seconds},
-        {"estimated_total", static_cast<double>(s.estimated_total)},
-        {"batches_run", static_cast<double>(s.batch.batches_run)},
-        {"overflow_retries", static_cast<double>(s.batch.overflow_retries)},
-        {"kernel_seconds", s.batch.kernel_seconds},
-        {"sort_seconds", s.batch.sort_seconds},
-        {"bytes_to_host", static_cast<double>(s.batch.bytes_to_host)},
-        {"grid_nonempty_cells", static_cast<double>(s.grid_nonempty_cells)},
-        {"grid_total_cells", static_cast<double>(s.grid_total_cells)},
-        {"cells_examined", static_cast<double>(s.metrics.cells_examined)},
-        {"cells_nonempty", static_cast<double>(s.metrics.cells_nonempty)},
-        {"cache_hit_rate", s.metrics.cache_hit_rate()},
-        {"cache_bw_gbs", s.metrics.cache_bw_gbs},
-        {"occupancy", s.occupancy},
-        {"regs_per_thread", static_cast<double>(s.regs_per_thread)},
-    };
-    return out;
+    return make_gpu_outcome(GpuSelfJoin(opt).run(d, eps));
   }
 
  private:
   std::string name_;
   std::string description_;
   bool unicomp_;
+};
+
+class GpuAsyncBackend final : public api::SelfJoinBackend {
+ public:
+  std::string_view name() const override { return "gpu_async"; }
+  std::string_view description() const override {
+    return "GPU-SJ with estimate, batch kernels and host assembly "
+           "overlapped (work-queue batches on a stream pool, dedicated "
+           "assembly threads)";
+  }
+
+  api::Capabilities capabilities() const override { return {.gpu = true}; }
+
+  api::JoinOutcome run(const Dataset& d, double eps,
+                       const api::RunConfig& config) const override {
+    config.check_keys(name(),
+                      "block_size,min_batches,streams,num_streams,"
+                      "assembly_threads,sample_rate,safety,max_buffer_pairs,"
+                      "unicomp");
+    reject_threads(name(), config);
+    AsyncSelfJoinOptions opt;
+    // Mirrors "gpu" (UNICOMP off) so the head-to-head bench and the
+    // parity suite compare like with like; unicomp=1 opts in.
+    opt.unicomp = config.flag("unicomp", false);
+    opt.collect_metrics = config.collect_metrics;
+    opt.block_size = positive_int(config, "block_size", opt.block_size);
+    opt.min_batches = static_cast<std::size_t>(positive_int(
+        config, "min_batches", static_cast<int>(opt.min_batches)));
+    // "streams" is this backend's spelling; "num_streams" (the sibling
+    // gpu/gpu_unicomp knob) is accepted too so scripts can switch
+    // --algo without renaming options.
+    opt.num_streams =
+        positive_int(config, "num_streams", opt.num_streams);
+    opt.num_streams = positive_int(config, "streams", opt.num_streams);
+    opt.assembly_threads =
+        positive_int(config, "assembly_threads", opt.assembly_threads);
+    opt.sample_rate = config.number("sample_rate", opt.sample_rate);
+    opt.safety = config.number("safety", opt.safety);
+    const double buffer_pairs = config.number(
+        "max_buffer_pairs", static_cast<double>(opt.max_buffer_pairs));
+    if (buffer_pairs <= 0.0) {
+      throw std::invalid_argument("option 'max_buffer_pairs' must be > 0");
+    }
+    opt.max_buffer_pairs = static_cast<std::uint64_t>(buffer_pairs);
+
+    auto out = make_gpu_outcome(AsyncGpuSelfJoin(opt).run(d, eps));
+    out.stats.native["streams"] = opt.num_streams;
+    out.stats.native["assembly_threads"] = opt.assembly_threads;
+    return out;
+  }
 };
 
 class GpuBruteForceBackend final : public api::SelfJoinBackend {
@@ -153,6 +210,7 @@ void register_gpu(api::BackendRegistry& registry) {
       "gpu_unicomp",
       "GPU-SJ with the UNICOMP duplicate-search removal (Section V-B)",
       /*unicomp=*/true));
+  registry.add(std::make_unique<GpuAsyncBackend>());
   registry.add(std::make_unique<GpuBruteForceBackend>());
 }
 

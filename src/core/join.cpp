@@ -47,21 +47,9 @@ GpuJoinResult gpu_join(const Dataset& queries, const Dataset& data,
       grid, /*unicomp=*/false, opt.sample_rate, opt.block_size);
   st.estimated_total = est.estimated_total;
 
-  const std::uint64_t reserve_bytes =
-      queries.size() * sizeof(std::uint32_t) + (16u << 10);
-  const std::uint64_t free_bytes =
-      arena.free_bytes() > reserve_bytes ? arena.free_bytes() - reserve_bytes
-                                         : 0;
-  std::uint64_t buffer_pairs =
-      free_bytes /
-      (sizeof(Pair) * static_cast<std::uint64_t>(std::max(1, opt.num_streams)));
-  buffer_pairs = std::min(buffer_pairs, opt.max_buffer_pairs);
-  const std::uint64_t desired = static_cast<std::uint64_t>(
-      std::ceil(static_cast<double>(est.estimated_total) * opt.safety /
-                static_cast<double>(std::max<std::size_t>(opt.min_batches,
-                                                          1)))) +
-      1024;
-  buffer_pairs = std::max<std::uint64_t>(std::min(buffer_pairs, desired), 64);
+  const std::uint64_t buffer_pairs = size_buffer_pairs(
+      arena, queries.size(), est.estimated_total, opt.min_batches,
+      opt.num_streams, opt.max_buffer_pairs, opt.safety);
 
   const BatchPlan plan = plan_batches(est.estimated_total, queries.size(),
                                       opt.min_batches, buffer_pairs,

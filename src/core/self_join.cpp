@@ -60,27 +60,10 @@ SelfJoinResult GpuSelfJoin::run(const Dataset& d, double eps) const {
   st.estimate_seconds = phase.seconds();
   st.estimated_total = est.estimated_total;
 
-  // --- Size the per-stream buffers within the device's free memory,
-  // keeping room for the per-batch query-id uploads.
-  const std::uint64_t reserve_bytes =
-      d.size() * sizeof(std::uint32_t) + (16u << 10);
-  const std::uint64_t free_bytes =
-      arena.free_bytes() > reserve_bytes ? arena.free_bytes() - reserve_bytes
-                                         : 0;
-  std::uint64_t buffer_pairs =
-      free_bytes / (sizeof(Pair) * static_cast<std::uint64_t>(
-                                       std::max(1, opt_.num_streams)));
-  buffer_pairs = std::min(buffer_pairs, opt_.max_buffer_pairs);
-  // No point allocating beyond what one batch is expected to produce
-  // (padded by the safety factor and a floor); the overflow-split path
-  // recovers from any underestimate.
-  const std::uint64_t desired = static_cast<std::uint64_t>(
-      std::ceil(static_cast<double>(est.estimated_total) * opt_.safety /
-                static_cast<double>(std::max<std::size_t>(opt_.min_batches,
-                                                          1)))) +
-      1024;
-  buffer_pairs = std::min(buffer_pairs, desired);
-  buffer_pairs = std::max<std::uint64_t>(buffer_pairs, 64);
+  // --- Size the per-stream buffers within the device's free memory.
+  const std::uint64_t buffer_pairs = size_buffer_pairs(
+      arena, d.size(), est.estimated_total, opt_.min_batches,
+      opt_.num_streams, opt_.max_buffer_pairs, opt_.safety);
 
   const BatchPlan plan = plan_batches(est.estimated_total, d.size(),
                                       opt_.min_batches, buffer_pairs,
@@ -96,25 +79,33 @@ SelfJoinResult GpuSelfJoin::run(const Dataset& d, double eps) const {
   work.add_to(st.metrics);
   st.metrics.kernel_seconds = st.batch.kernel_seconds;
 
+  collect_gpu_stats(grid, opt_, st);
+
+  st.total_seconds = total.seconds();
+  return result;
+}
+
+void collect_gpu_stats(const GridDeviceView& grid,
+                       const GpuSelfJoinOptions& opt, SelfJoinStats& st) {
   // --- Occupancy model (Table II).
-  st.regs_per_thread = gpu::self_join_regs_per_thread(d.dim(), opt_.unicomp);
+  st.regs_per_thread = gpu::self_join_regs_per_thread(grid.dim, opt.unicomp);
   const gpu::OccupancyResult occ = gpu::theoretical_occupancy(
-      opt_.device, opt_.block_size, st.regs_per_thread);
+      opt.device, opt.block_size, st.regs_per_thread);
   st.occupancy = occ.occupancy;
   st.metrics.occupancy = occ.occupancy;
 
   // --- Optional metrics pass: serial execution with the L1 cache model
   // (deterministic access order, as a profiler replay would see).
-  if (opt_.collect_metrics) {
-    gpu::CacheSim cache(opt_.device);
+  if (opt.collect_metrics) {
+    gpu::CacheSim cache(opt.device);
     AtomicWork mwork;
     SelfJoinKernelParams p;
     p.grid = grid;
     p.num_queries = grid.n;
-    p.unicomp = opt_.unicomp;
+    p.unicomp = opt.unicomp;
     p.work = &mwork;
     p.cache = &cache;
-    gpu::launch(gpu::LaunchConfig::cover(grid.n, opt_.block_size),
+    gpu::launch(gpu::LaunchConfig::cover(grid.n, opt.block_size),
                 [&p](const gpu::ThreadCtx& ctx) { self_join_thread(ctx, p); },
                 gpu::ExecMode::kSerial);
     st.metrics.cache_hits = cache.hits();
@@ -125,19 +116,16 @@ SelfJoinResult GpuSelfJoin::run(const Dataset& d, double eps) const {
     // the quantity of interest (Table II).
     const double cycles =
         static_cast<double>(cache.hits()) *
-            opt_.device.l1_hit_latency_cycles +
-        static_cast<double>(cache.misses()) * opt_.device.mem_latency_cycles;
+            opt.device.l1_hit_latency_cycles +
+        static_cast<double>(cache.misses()) * opt.device.mem_latency_cycles;
     if (cycles > 0.0) {
       gpu::KernelMetrics m;
       mwork.add_to(m);
-      const double seconds = cycles / (opt_.device.core_clock_ghz * 1e9);
+      const double seconds = cycles / (opt.device.core_clock_ghz * 1e9);
       st.metrics.cache_bw_gbs =
           static_cast<double>(m.global_load_bytes) / seconds / 1e9;
     }
   }
-
-  st.total_seconds = total.seconds();
-  return result;
 }
 
 }  // namespace sj

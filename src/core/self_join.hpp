@@ -93,4 +93,9 @@ class GpuSelfJoin {
   GpuSelfJoinOptions opt_;
 };
 
+/// Shared tail of the GPU engines' runs: the occupancy model plus the
+/// optional serial metrics pass. Used by GpuSelfJoin and AsyncGpuSelfJoin.
+void collect_gpu_stats(const GridDeviceView& grid,
+                       const GpuSelfJoinOptions& opt, SelfJoinStats& st);
+
 }  // namespace sj

@@ -1,7 +1,5 @@
 #include "ego/ego.hpp"
 
-#include <omp.h>
-
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -12,6 +10,7 @@
 #include <vector>
 
 #include "common/distance.hpp"
+#include "common/omp_compat.hpp"
 #include "common/timer.hpp"
 
 namespace sj::ego {

@@ -62,4 +62,26 @@ void Stream::worker_loop() {
   }
 }
 
+void Event::record(Stream& s) {
+  auto st = std::make_shared<State>();
+  state_ = st;
+  s.enqueue([st] {
+    std::lock_guard<std::mutex> lock(st->mu);
+    st->done = true;
+    st->cv.notify_all();
+  });
+}
+
+void Event::wait() const {
+  if (state_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+}
+
+bool Event::query() const {
+  if (state_ == nullptr) return true;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
 }  // namespace sj::gpu

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -54,6 +55,33 @@ class Stream {
   std::size_t bytes_copied_ = 0;
   double modeled_copy_seconds_ = 0.0;
   std::thread worker_;
+};
+
+/// CUDA-event analogue: marks a point in a stream's FIFO that other host
+/// threads can wait on without draining the whole stream the way
+/// synchronize() does. This is what lets a pipeline stage hand work to a
+/// stream and move on, with a later stage blocking only on the specific
+/// operations it depends on.
+class Event {
+ public:
+  /// Capture the work enqueued on `s` so far; the event signals once that
+  /// work has executed. Re-recording replaces the previous capture.
+  void record(Stream& s);
+
+  /// Block until the recorded point has been reached. A never-recorded
+  /// event is immediately ready.
+  void wait() const;
+
+  /// Non-blocking completion check (cudaEventQuery).
+  bool query() const;
+
+ private:
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace sj::gpu

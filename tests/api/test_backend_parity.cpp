@@ -102,6 +102,16 @@ TEST_P(BackendParity, DuplicatesMixedWithRegularPoints) {
   expect_parity(d, 1.0);
 }
 
+TEST_P(BackendParity, SkewedClusteredData) {
+  // Strongly inhomogeneous density (IPPP-style bumps over a sparse
+  // background): the stress case for batch load balance and for any
+  // engine whose pruning assumes near-uniform cells.
+  const auto d = datagen::ippp(600, 2, 32.0, 29);
+  for (double eps : {0.5, 2.0}) {
+    expect_parity(d, eps);
+  }
+}
+
 TEST_P(BackendParity, SmallUniformSweep) {
   const auto d = datagen::uniform(250, 3, 0.0, 20.0, 19);
   for (double eps : {0.5, 2.0, 50.0}) {

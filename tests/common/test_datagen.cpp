@@ -109,5 +109,39 @@ TEST(DataGen, ExponentialBlobWithinDomain) {
   }
 }
 
+TEST(DataGen, IpppShapeBoundsAndDeterminism) {
+  const auto a = datagen::ippp(2000, 2, 32.0, 7);
+  const auto b = datagen::ippp(2000, 2, 32.0, 7);
+  EXPECT_EQ(a.size(), 2000u);
+  EXPECT_EQ(a.dim(), 2);
+  EXPECT_EQ(a, b);
+  const auto lo = a.min_bound();
+  const auto hi = a.max_bound();
+  for (int j = 0; j < 2; ++j) {
+    EXPECT_GE(lo[j], 0.0);
+    EXPECT_LE(hi[j], 100.0);
+  }
+}
+
+TEST(DataGen, IpppIsStronglySkewed) {
+  // Bin into a 10x10 grid: the densest cell of a contrast-32 IPPP must
+  // hold far more than the uniform expectation (n/100 per cell).
+  const auto d = datagen::ippp(20000, 2, 32.0, 9);
+  std::map<std::pair<int, int>, int> cells;
+  int peak = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const double* p = d.pt(i);
+    const int cx = std::min(9, static_cast<int>(p[0] / 10.0));
+    const int cy = std::min(9, static_cast<int>(p[1] / 10.0));
+    peak = std::max(peak, ++cells[{cx, cy}]);
+  }
+  EXPECT_GT(peak, 3 * 200);  // >3x the uniform per-cell expectation
+}
+
+TEST(DataGen, IpppRejectsBadArguments) {
+  EXPECT_THROW(datagen::ippp(10, 0, 8.0, 1), std::invalid_argument);
+  EXPECT_THROW(datagen::ippp(10, 2, 0.5, 1), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace sj

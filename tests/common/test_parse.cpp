@@ -1,0 +1,78 @@
+// Strict CLI numeric parsing: whole-token consumption, finiteness,
+// positivity, and the one-line errors naming the offending flag.
+#include "common/parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace sj::parse {
+namespace {
+
+TEST(ParseNumber, AcceptsPlainAndScientific) {
+  EXPECT_DOUBLE_EQ(number("--eps", "2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(number("--eps", "-0.125"), -0.125);
+  EXPECT_DOUBLE_EQ(number("--eps", "1e-3"), 1e-3);
+  EXPECT_DOUBLE_EQ(number("--eps", "3"), 3.0);
+}
+
+TEST(ParseNumber, RejectsTrailingJunk) {
+  // std::stod would silently parse "0.5x" as 0.5.
+  EXPECT_THROW(number("--eps", "0.5x"), std::invalid_argument);
+  EXPECT_THROW(number("--eps", "1.0 "), std::invalid_argument);
+  EXPECT_THROW(number("--eps", "1,5"), std::invalid_argument);
+}
+
+TEST(ParseNumber, RejectsGarbageEmptyAndWhitespace) {
+  EXPECT_THROW(number("--eps", "abc"), std::invalid_argument);
+  EXPECT_THROW(number("--eps", ""), std::invalid_argument);
+  EXPECT_THROW(number("--eps", " 1.0"), std::invalid_argument);
+}
+
+TEST(ParseNumber, RejectsNonFinite) {
+  EXPECT_THROW(number("--eps", "inf"), std::invalid_argument);
+  EXPECT_THROW(number("--eps", "-inf"), std::invalid_argument);
+  EXPECT_THROW(number("--eps", "nan"), std::invalid_argument);
+  EXPECT_THROW(number("--eps", "1e999"), std::invalid_argument);
+}
+
+TEST(ParseNumber, ErrorNamesTheFlag) {
+  try {
+    number("--scale", "bogus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--scale"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("bogus"), std::string::npos) << msg;
+  }
+}
+
+TEST(ParsePositiveNumber, RejectsZeroAndNegative) {
+  EXPECT_DOUBLE_EQ(positive_number("--eps", "0.25"), 0.25);
+  EXPECT_THROW(positive_number("--eps", "0"), std::invalid_argument);
+  EXPECT_THROW(positive_number("--eps", "0.0"), std::invalid_argument);
+  EXPECT_THROW(positive_number("--eps", "-2"), std::invalid_argument);
+}
+
+TEST(ParseInteger, AcceptsSignedDecimal) {
+  EXPECT_EQ(integer("--threads", "8"), 8);
+  EXPECT_EQ(integer("--threads", "-1"), -1);  // "all hardware threads"
+  EXPECT_EQ(integer("--threads", "0"), 0);
+}
+
+TEST(ParseInteger, RejectsJunkFloatsAndOverflow) {
+  EXPECT_THROW(integer("--k", "8x"), std::invalid_argument);
+  EXPECT_THROW(integer("--k", "2.5"), std::invalid_argument);
+  EXPECT_THROW(integer("--k", ""), std::invalid_argument);
+  EXPECT_THROW(integer("--k", "99999999999999999999"), std::invalid_argument);
+}
+
+TEST(ParsePositiveInteger, RejectsZeroAndNegative) {
+  EXPECT_EQ(positive_integer("--k", "4"), 4);
+  EXPECT_THROW(positive_integer("--k", "0"), std::invalid_argument);
+  EXPECT_THROW(positive_integer("--k", "-3"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sj::parse

@@ -1,0 +1,242 @@
+// gpu_async / BatchPipeline: parity on skewed data, raw-output
+// determinism across configs and runs, overflow-split feedback without
+// barriers, fatal-overflow behaviour, and the registry adapter's knobs.
+#include "core/async_self_join.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "api/registry.hpp"
+#include "bruteforce/brute_force.hpp"
+#include "common/datagen.hpp"
+#include "core/batch_pipeline.hpp"
+#include "core/device_view.hpp"
+#include "core/grid_index.hpp"
+#include "core/self_join.hpp"
+#include "gpusim/arena.hpp"
+
+namespace sj {
+namespace {
+
+AsyncSelfJoinOptions async_opts(int streams, int assembly) {
+  AsyncSelfJoinOptions opt;
+  opt.unicomp = false;  // mirror the "gpu" backend
+  opt.num_streams = streams;
+  opt.assembly_threads = assembly;
+  return opt;
+}
+
+TEST(AsyncPipeline, ParityWithBruteOnSkewedClusteredData) {
+  struct Case {
+    const char* name;
+    Dataset data;
+  };
+  const Case cases[] = {
+      {"ippp", datagen::ippp(1500, 2, 32.0, 71)},
+      {"gaussian_x8", datagen::gaussian_mixture(1500, 2, 8, 2.0, 0.0, 100.0,
+                                                72)},
+      {"sw_stations", datagen::sw_like(1200, 2, 73)},
+  };
+  for (const auto& c : cases) {
+    const auto want = brute::self_join(c.data, 1.0);
+    auto got = AsyncGpuSelfJoin(async_opts(3, 2)).run(c.data, 1.0);
+    EXPECT_TRUE(ResultSet::equal_normalized(got.pairs, want.pairs)) << c.name;
+  }
+}
+
+TEST(AsyncPipeline, IdenticalSortedPairSetAsGpuBackend) {
+  const auto d = datagen::ippp(1200, 2, 16.0, 5);
+  const auto& registry = api::BackendRegistry::instance();
+  for (double eps : {0.25, 1.0, 4.0}) {
+    auto gpu = registry.at("gpu").run(d, eps).pairs;
+    auto async = registry.at("gpu_async").run(d, eps).pairs;
+    gpu.normalize();
+    async.normalize();
+    EXPECT_TRUE(ResultSet::equal_normalized(gpu, async)) << "eps=" << eps;
+    EXPECT_EQ(gpu.pairs(), async.pairs()) << "eps=" << eps;
+  }
+}
+
+// streams=1 / assembly_threads=1 must degenerate to the serial result —
+// and because assembly merges by batch key, every other configuration
+// must produce the same RAW pair order too (given an identical plan,
+// pinned here via max_buffer_pairs).
+TEST(AsyncPipeline, ConfigSweepDegeneratesToSerialRawOutput) {
+  const auto d = datagen::ippp(1200, 2, 24.0, 11);
+  const double eps = 1.5;
+
+  GpuSelfJoinOptions serial_opt;
+  serial_opt.unicomp = false;
+  serial_opt.num_streams = 1;
+  serial_opt.max_buffer_pairs = 2048;
+  serial_opt.min_batches = 5;
+  const auto serial = GpuSelfJoin(serial_opt).run(d, eps);
+
+  for (int streams : {1, 2, 4}) {
+    for (int assembly : {1, 2, 4}) {
+      auto opt = async_opts(streams, assembly);
+      opt.max_buffer_pairs = 2048;
+      opt.min_batches = 5;
+      const auto got = AsyncGpuSelfJoin(opt).run(d, eps);
+      EXPECT_EQ(got.pairs.pairs(), serial.pairs.pairs())
+          << streams << " streams, " << assembly << " assembly threads";
+    }
+  }
+}
+
+TEST(AsyncPipeline, DeterministicAcrossRunsUnderOverflowStress) {
+  const auto d = datagen::ippp(1500, 2, 32.0, 23);
+  auto opt = async_opts(4, 3);
+  opt.max_buffer_pairs = 64;  // force overflow splits
+  opt.safety = 0.01;          // sabotage the estimate too
+  const auto first = AsyncGpuSelfJoin(opt).run(d, 1.0);
+  const auto second = AsyncGpuSelfJoin(opt).run(d, 1.0);
+  EXPECT_GT(first.stats.batch.overflow_retries, 0u);
+  EXPECT_EQ(first.pairs.pairs(), second.pairs.pairs());
+
+  const auto want = brute::self_join(d, 1.0);
+  EXPECT_TRUE(ResultSet::equal_normalized(first.pairs, want.pairs));
+}
+
+TEST(AsyncPipeline, TinyBuffersStayExactOnSkewedData) {
+  const auto d = datagen::ippp(1200, 2, 48.0, 31);
+  auto opt = async_opts(3, 2);
+  opt.max_buffer_pairs = 64;
+  opt.safety = 0.01;
+  const auto got = AsyncGpuSelfJoin(opt).run(d, 2.0);
+  const auto want = brute::self_join(d, 2.0);
+  EXPECT_TRUE(ResultSet::equal_normalized(got.pairs, want.pairs));
+}
+
+TEST(AsyncPipeline, EmptyAndSinglePointDatasets) {
+  EXPECT_TRUE(AsyncGpuSelfJoin(async_opts(2, 2))
+                  .run(Dataset(2), 1.0)
+                  .pairs.empty());
+  Dataset one(3, {1.0, 2.0, 3.0});
+  auto got = AsyncGpuSelfJoin(async_opts(2, 2)).run(one, 0.5);
+  ASSERT_EQ(got.pairs.size(), 1u);
+  EXPECT_EQ(got.pairs.pairs()[0], (Pair{0, 0}));
+}
+
+TEST(AsyncPipeline, AssemblyStatsArePopulated) {
+  const auto d = datagen::uniform(2000, 2, 0.0, 100.0, 41);
+  const auto r = AsyncGpuSelfJoin(async_opts(3, 2)).run(d, 2.0);
+  EXPECT_GE(r.stats.batch.batches_run, 3u);  // paper minimum
+  EXPECT_EQ(r.stats.batch.bytes_to_host, r.pairs.size() * sizeof(Pair));
+  EXPECT_GT(r.stats.batch.modeled_transfer_seconds, 0.0);
+}
+
+TEST(AsyncPipeline, RejectsBadOptions) {
+  EXPECT_THROW(AsyncGpuSelfJoin(async_opts(0, 1)), std::invalid_argument);
+  EXPECT_THROW(AsyncGpuSelfJoin(async_opts(1, 0)), std::invalid_argument);
+}
+
+// --- Direct BatchPipeline coverage (the machinery both gpu and
+// gpu_async run on).
+
+// Isolated points: every point's only neighbour is itself.
+Dataset isolated_points(std::size_t n, double spacing) {
+  Dataset d(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    double p[2] = {spacing * static_cast<double>(i), 0.0};
+    d.push_back(p);
+  }
+  return d;
+}
+
+TEST(BatchPipelineDirect, OnePairBufferRecoversViaSplitsExactly) {
+  // A zero estimate with nonzero true pairs and a 1-pair buffer: every
+  // multi-point batch overflows and must split all the way down to
+  // singletons, which then fit exactly (one self pair each).
+  const auto d = isolated_points(64, 10.0);
+  const double eps = 1.0;
+  GridIndex index(d, eps);
+  gpu::GlobalMemoryArena arena(gpu::DeviceSpec::titan_x_pascal());
+  DeviceGrid dev(arena, d, index);
+
+  const BatchPlan plan = plan_batches(/*estimated_total=*/0, d.size(),
+                                      /*min_batches=*/3, /*buffer_pairs=*/1,
+                                      /*safety=*/1.25);
+  ASSERT_EQ(plan.buffer_pairs, 1u);
+
+  PipelineConfig config;
+  config.streams = 3;
+  config.assembly_threads = 2;
+  BatchPipeline pipeline(arena, gpu::DeviceSpec::titan_x_pascal(), config);
+  AtomicWork work;
+  BatchRunStats stats;
+  auto got = pipeline.run(dev.view(), /*unicomp=*/false, plan, &work, &stats);
+
+  EXPECT_GT(stats.overflow_retries, 0u);
+  got.normalize();
+  ASSERT_EQ(got.size(), d.size());
+  for (std::uint32_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(got.pairs()[i], (Pair{i, i}));
+  }
+}
+
+TEST(BatchPipelineDirect, FatalOverflowOnlyOnUnsplittableSinglePoint) {
+  // Two co-located points: each singleton batch produces TWO pairs, which
+  // cannot fit a 1-pair buffer no matter how far the splits go.
+  auto d = isolated_points(16, 10.0);
+  double dup[2] = {0.0, 0.0};  // duplicates point 0
+  d.push_back(dup);
+  const double eps = 1.0;
+  GridIndex index(d, eps);
+  gpu::GlobalMemoryArena arena(gpu::DeviceSpec::titan_x_pascal());
+  DeviceGrid dev(arena, d, index);
+
+  const BatchPlan plan =
+      plan_batches(0, d.size(), 3, /*buffer_pairs=*/1, 1.25);
+  PipelineConfig config;
+  config.streams = 2;
+  BatchPipeline pipeline(arena, gpu::DeviceSpec::titan_x_pascal(), config);
+  AtomicWork work;
+  EXPECT_THROW(
+      pipeline.run(dev.view(), false, plan, &work, nullptr),
+      gpu::DeviceOutOfMemory);
+}
+
+TEST(GpuAsyncBackend, RegistryKnobsAndValidation) {
+  const auto& registry = api::BackendRegistry::instance();
+  const api::SelfJoinBackend* backend = registry.find("gpu_async");
+  ASSERT_NE(backend, nullptr);
+  EXPECT_TRUE(backend->capabilities().gpu);
+
+  const auto d = datagen::uniform(300, 2, 0.0, 50.0, 55);
+
+  api::RunConfig ok;
+  ok.extra = {{"streams", "2"}, {"assembly_threads", "3"}, {"unicomp", "1"}};
+  const auto outcome = backend->run(d, 1.0, ok);
+  EXPECT_EQ(outcome.stats.native_value("streams"), 2.0);
+  EXPECT_EQ(outcome.stats.native_value("assembly_threads"), 3.0);
+  auto want = registry.at("gpu").run(d, 1.0).pairs;
+  auto got = outcome.pairs;
+  EXPECT_TRUE(ResultSet::equal_normalized(got, want));
+
+  api::RunConfig junk;
+  junk.extra = {{"streams", "2x"}};
+  EXPECT_THROW(backend->run(d, 1.0, junk), std::invalid_argument);
+
+  api::RunConfig zero;
+  zero.extra = {{"assembly_threads", "0"}};
+  EXPECT_THROW(backend->run(d, 1.0, zero), std::invalid_argument);
+
+  // gpu's spelling of the stream knob is accepted as an alias, so
+  // switching --algo does not require renaming options.
+  api::RunConfig alias;
+  alias.extra = {{"num_streams", "2"}};
+  EXPECT_EQ(backend->run(d, 1.0, alias).stats.native_value("streams"), 2.0);
+
+  api::RunConfig unknown;
+  unknown.extra = {{"bogus_knob", "2"}};
+  EXPECT_THROW(backend->run(d, 1.0, unknown), std::invalid_argument);
+
+  api::RunConfig threads;
+  threads.threads = 4;
+  EXPECT_THROW(backend->run(d, 1.0, threads), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sj

@@ -6,6 +6,8 @@
 
 #include "bruteforce/brute_force.hpp"
 #include "common/datagen.hpp"
+#include "core/device_view.hpp"
+#include "core/grid_index.hpp"
 #include "core/self_join.hpp"
 
 namespace sj {
@@ -109,6 +111,78 @@ TEST(Batching, StreamCountDoesNotChangeResult) {
           << streams << " streams";
     }
   }
+}
+
+TEST(Batching, AssemblyOrderIsDeterministicAcrossRuns) {
+  // Overflow splits used to be appended from whichever stream hit them
+  // first, making the raw (non-normalized) result order nondeterministic.
+  // Assembly now merges segments by batch key: two runs with overflow
+  // retries on 4 streams must produce byte-identical raw pair vectors.
+  const auto d = datagen::ippp(1500, 2, 32.0, 23);
+  GpuSelfJoinOptions opt;
+  opt.num_streams = 4;
+  opt.max_buffer_pairs = 64;  // force overflow splits
+  opt.safety = 0.01;
+  const auto first = GpuSelfJoin(opt).run(d, 1.0);
+  const auto second = GpuSelfJoin(opt).run(d, 1.0);
+  EXPECT_GT(first.stats.batch.overflow_retries, 0u);
+  EXPECT_EQ(first.pairs.pairs(), second.pairs.pairs());
+}
+
+TEST(Batching, ZeroEstimateWithOnePairBufferStaysExact) {
+  // Regression: estimator undershoot taken to the limit. A plan built
+  // from estimated_total == 0 with a 1-pair buffer (the self pair of any
+  // singleton barely fits) must recover through the overflow-split path
+  // and stay exact — sparse isolated points first, a dense clump last so
+  // the strided batches mix both regimes.
+  Dataset d(2);
+  for (int i = 0; i < 48; ++i) {
+    double p[2] = {10.0 * i, 0.0};
+    d.push_back(p);
+  }
+  const double eps = 1.0;
+  const auto want = brute::self_join(d, eps);
+  ASSERT_GT(want.pairs.size(), 0u);
+
+  GpuSelfJoinOptions opt;
+  opt.num_streams = 3;
+  const BatchPlan plan = plan_batches(/*estimated_total=*/0, d.size(),
+                                      opt.min_batches, /*buffer_pairs=*/1,
+                                      opt.safety);
+  GridIndex index(d, eps);
+  gpu::GlobalMemoryArena arena(opt.device);
+  DeviceGrid dev(arena, d, index);
+  Batcher batcher(arena, opt.device, opt.num_streams, opt.block_size);
+  AtomicWork work;
+  BatchRunStats stats;
+  auto got = batcher.run(dev.view(), false, plan, &work, &stats);
+
+  EXPECT_GT(stats.overflow_retries, 0u);
+  EXPECT_TRUE(ResultSet::equal_normalized(got, want.pairs));
+}
+
+TEST(Batching, FatalOverflowRequiresUnsplittableSinglePoint) {
+  // fatal_overflow must only fire when a SINGLE point's neighbourhood
+  // exceeds the buffer: add a duplicate pair so two singleton batches
+  // each produce 2 pairs against a 1-pair buffer.
+  Dataset d(2);
+  for (int i = 0; i < 16; ++i) {
+    double p[2] = {10.0 * i, 0.0};
+    d.push_back(p);
+  }
+  double dup[2] = {0.0, 0.0};
+  d.push_back(dup);
+  const double eps = 1.0;
+  GridIndex index(d, eps);
+  GpuSelfJoinOptions opt;
+  gpu::GlobalMemoryArena arena(opt.device);
+  DeviceGrid dev(arena, d, index);
+  Batcher batcher(arena, opt.device, opt.num_streams, opt.block_size);
+  const BatchPlan plan = plan_batches(0, d.size(), opt.min_batches, 1,
+                                      opt.safety);
+  AtomicWork work;
+  EXPECT_THROW(batcher.run(dev.view(), false, plan, &work, nullptr),
+               gpu::DeviceOutOfMemory);
 }
 
 TEST(Batching, BatchResultsArriveSortedPerBatch) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 #include <vector>
 
 namespace sj::gpu {
@@ -58,6 +59,55 @@ TEST(Stream, MultipleStreamsRunIndependently) {
   a.synchronize();
   b.synchronize();
   EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Event, SignalsAfterRecordedWorkCompletes) {
+  Stream s(DeviceSpec::titan_x_pascal());
+  std::atomic<int> x{0};
+  s.enqueue([&] { x = 7; });
+  Event ev;
+  ev.record(s);
+  ev.wait();
+  EXPECT_EQ(x.load(), 7);
+  EXPECT_TRUE(ev.query());
+}
+
+TEST(Event, NeverRecordedIsImmediatelyReady) {
+  Event ev;
+  EXPECT_TRUE(ev.query());
+  ev.wait();  // must not block
+}
+
+TEST(Event, DoesNotWaitForLaterWork) {
+  // The event marks a POINT in the FIFO: waiting on it must not require
+  // work enqueued after the record to have run (unlike synchronize()).
+  Stream s(DeviceSpec::titan_x_pascal());
+  std::atomic<bool> release{false};
+  std::atomic<int> after{0};
+  Event ev;
+  s.enqueue([] {});
+  ev.record(s);
+  s.enqueue([&] {
+    while (!release.load()) std::this_thread::yield();
+    after = 1;
+  });
+  ev.wait();  // completes while the later job still spins
+  EXPECT_TRUE(ev.query());
+  release = true;
+  s.synchronize();
+  EXPECT_EQ(after.load(), 1);
+}
+
+TEST(Event, RerecordReplacesCapturePoint) {
+  Stream s(DeviceSpec::titan_x_pascal());
+  Event ev;
+  ev.record(s);
+  ev.wait();
+  std::atomic<int> x{0};
+  s.enqueue([&] { x = 3; });
+  ev.record(s);
+  ev.wait();
+  EXPECT_EQ(x.load(), 3);
 }
 
 TEST(Stream, DestructorDrainsGracefully) {

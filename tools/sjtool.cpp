@@ -20,6 +20,7 @@
 #include "common/csv.hpp"
 #include "common/datasets.hpp"
 #include "common/io.hpp"
+#include "common/parse.hpp"
 #include "core/join.hpp"
 #include "core/knn.hpp"
 
@@ -95,7 +96,9 @@ void write_pairs_csv(const sj::ResultSet& pairs, const std::string& path) {
 int cmd_gen(const std::map<std::string, std::string>& flags) {
   const std::string name = require(flags, "dataset");
   const double scale =
-      flags.count("scale") ? std::stod(flags.at("scale")) : 1.0;
+      flags.count("scale") ? sj::parse::positive_number("--scale",
+                                                        flags.at("scale"))
+                           : 1.0;
   const std::string out = require(flags, "out");
   const Dataset d = sj::datasets::make(name, scale);
   save_any(d, out);
@@ -133,7 +136,7 @@ void parse_opts(const std::string& spec, sj::api::RunConfig& config) {
 
 int cmd_selfjoin(const std::map<std::string, std::string>& flags) {
   const Dataset d = load_any(require(flags, "in"));
-  const double eps = std::stod(require(flags, "eps"));
+  const double eps = sj::parse::positive_number("--eps", require(flags, "eps"));
   const std::string algo =
       flags.count("algo") ? flags.at("algo") : "gpu_unicomp";
 
@@ -153,7 +156,9 @@ int cmd_selfjoin(const std::map<std::string, std::string>& flags) {
   }
 
   sj::api::RunConfig config;
-  if (flags.count("threads")) config.threads = std::stoi(flags.at("threads"));
+  if (flags.count("threads")) {
+    config.threads = sj::parse::integer("--threads", flags.at("threads"));
+  }
   if (flags.count("opt")) parse_opts(flags.at("opt"), config);
   const bool show_stats = flags.count("stats") && flags.at("stats") != "0";
   config.collect_metrics = show_stats && backend->capabilities().gpu;
@@ -197,7 +202,7 @@ int cmd_selfjoin(const std::map<std::string, std::string>& flags) {
 int cmd_join(const std::map<std::string, std::string>& flags) {
   const Dataset a = load_any(require(flags, "in"));
   const Dataset b = load_any(require(flags, "data"));
-  const double eps = std::stod(require(flags, "eps"));
+  const double eps = sj::parse::positive_number("--eps", require(flags, "eps"));
   auto r = sj::gpu_join(a, b, eps);
   std::cout << "pairs: " << r.pairs.size() << "\ntime:  "
             << r.stats.total_seconds << " s\n";
@@ -211,7 +216,7 @@ int cmd_join(const std::map<std::string, std::string>& flags) {
 int cmd_knn(const std::map<std::string, std::string>& flags) {
   const Dataset d = load_any(require(flags, "in"));
   sj::KnnOptions opt;
-  opt.k = std::stoi(require(flags, "k"));
+  opt.k = sj::parse::positive_integer("--k", require(flags, "k"));
   const auto r = sj::gpu_knn(d, opt);
   std::cout << "queries: " << r.num_queries() << "  k: " << r.k()
             << "\ncell width: " << r.stats.chosen_cell_width
