@@ -1,0 +1,173 @@
+// Head-to-head: the legacy point-centric layout vs the cell-major layout
+// + cell-centric kernel, on the same grid index and batching scheme.
+//
+// Workloads:
+//   * Syn{2..6}D2M — the paper's uniform synthetic family across the full
+//     dimensionality sweep (mid eps of each dataset's bench sweep), and
+//   * a strongly skewed IPPP dataset where a few dense cores dominate the
+//     result volume — the case the per-cell work-estimate batching is
+//     built for.
+//
+// Output: the usual CSV under SJ_RESULTS_DIR plus BENCH_layout.json (path
+// overridable via SJ_BENCH_JSON) — the perf-trajectory artefact CI
+// uploads. With SJ_SMOKE_CHECK=1 the process exits non-zero when the
+// geometric-mean speedup of cell over legacy falls below 0.9x (a >10%
+// regression), which is the CI bench-smoke gate.
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "common/csv.hpp"
+#include "common/datagen.hpp"
+#include "common/datasets.hpp"
+#include "common/table.hpp"
+#include "harness/bench_common.hpp"
+
+namespace {
+
+struct Row {
+  std::string workload;
+  int dim = 0;
+  std::size_t n = 0;
+  double eps = 0.0;
+  std::string algo;
+  double legacy_seconds = 0.0;
+  double cell_seconds = 0.0;
+  std::uint64_t pairs = 0;
+  double speedup = 0.0;
+};
+
+double run_layout(const sj::Dataset& d, double eps, const std::string& algo,
+                  const std::string& layout, std::uint64_t& pairs_out) {
+  sj::api::RunConfig config;
+  config.extra["layout"] = layout;
+  const auto r =
+      sj::api::BackendRegistry::instance().at(algo).run(d, eps, config);
+  pairs_out = r.pairs.size();
+  return r.stats.seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sj;
+  using namespace sj::bench;
+  std::vector<Row> rows;
+  const int rc = bench_main(argc, argv, [&rows] {
+    const double scale = env_scale();
+
+    struct Workload {
+      std::string name;
+      Dataset data;
+      double eps;
+    };
+    std::vector<Workload> workloads;
+    for (int dim = 2; dim <= 6; ++dim) {
+      const std::string name = "Syn" + std::to_string(dim) + "D2M";
+      const auto& info = datasets::info(name);
+      Dataset d = datasets::make(name, scale);
+      const double eps = datasets::scaled_eps(info, d.size())[2];  // mid
+      workloads.push_back({name, std::move(d), eps});
+    }
+    {
+      const auto n = static_cast<std::size_t>(2'000'000 * scale);
+      Dataset d = datagen::ippp(n, 2, 64.0, 4242);
+      d.set_name("IPPP2D2M");
+      workloads.push_back({"IPPP2D2M", std::move(d), 0.15});
+    }
+
+    TextTable t({"workload", "dim", "algo", "eps", "legacy (s)", "cell (s)",
+                 "speedup", "pairs"});
+    csv::Table out({"workload", "dim", "n", "eps", "algo", "legacy_seconds",
+                    "cell_seconds", "speedup", "pairs"});
+    for (const auto& w : workloads) {
+      for (const std::string algo : {"gpu", "gpu_unicomp"}) {
+        Row row;
+        row.workload = w.name;
+        row.dim = w.data.dim();
+        row.n = w.data.size();
+        row.eps = w.eps;
+        row.algo = algo;
+        std::uint64_t legacy_pairs = 0;
+        row.legacy_seconds =
+            run_layout(w.data, w.eps, algo, "legacy", legacy_pairs);
+        row.cell_seconds = run_layout(w.data, w.eps, algo, "cell", row.pairs);
+        if (row.pairs != legacy_pairs) {
+          std::cerr << "FATAL: layouts disagree on " << w.name << "/" << algo
+                    << ": legacy=" << legacy_pairs << " cell=" << row.pairs
+                    << "\n";
+          std::exit(1);
+        }
+        row.speedup = row.cell_seconds > 0.0
+                          ? row.legacy_seconds / row.cell_seconds
+                          : 0.0;
+        t.add_row({row.workload, std::to_string(row.dim), row.algo,
+                   csv::fmt(row.eps), csv::fmt(row.legacy_seconds),
+                   csv::fmt(row.cell_seconds), csv::fmt(row.speedup),
+                   std::to_string(row.pairs)});
+        out.add_row({row.workload, std::to_string(row.dim),
+                     std::to_string(row.n), csv::fmt(row.eps), row.algo,
+                     csv::fmt(row.legacy_seconds), csv::fmt(row.cell_seconds),
+                     csv::fmt(row.speedup), std::to_string(row.pairs)});
+        rows.push_back(row);
+      }
+    }
+    std::cout << "\n== ablation: legacy vs cell-major layout ==\n";
+    t.print(std::cout);
+    std::cout << "(both layouts return identical pair sets; asserted above "
+                 "and by tests/api/test_backend_parity.cpp)\n";
+    out.write(Collector::results_dir() + "/ablation_layout.csv");
+  });
+  if (rc != 0) return rc;
+
+  // --- BENCH_layout.json: the perf-trajectory artefact.
+  double geomean = 0.0;
+  std::size_t counted = 0;
+  for (const Row& r : rows) {
+    if (r.speedup > 0.0) {
+      geomean += std::log(r.speedup);
+      ++counted;
+    }
+  }
+  geomean = counted > 0 ? std::exp(geomean / static_cast<double>(counted))
+                        : 0.0;
+
+  const char* json_path = std::getenv("SJ_BENCH_JSON");
+  const std::string path =
+      json_path != nullptr && *json_path != '\0' ? json_path
+                                                 : "BENCH_layout.json";
+  {
+    std::ofstream js(path);
+    js << "{\n  \"bench\": \"ablation_layout\",\n"
+       << "  \"scale\": " << env_scale() << ",\n"
+       << "  \"geomean_speedup_cell_vs_legacy\": " << geomean << ",\n"
+       << "  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      js << "    {\"workload\": \"" << r.workload << "\", \"dim\": " << r.dim
+         << ", \"n\": " << r.n << ", \"eps\": " << r.eps << ", \"algo\": \""
+         << r.algo << "\", \"legacy_seconds\": " << r.legacy_seconds
+         << ", \"cell_seconds\": " << r.cell_seconds
+         << ", \"speedup\": " << r.speedup << ", \"pairs\": " << r.pairs
+         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    js << "  ]\n}\n";
+  }
+  std::cout << "wrote " << path << " (geomean speedup " << geomean << ")\n";
+
+  // --- CI smoke gate: cell-major must not regress >10% vs legacy.
+  const char* smoke = std::getenv("SJ_SMOKE_CHECK");
+  if (smoke != nullptr && *smoke != '\0' && std::string(smoke) != "0") {
+    if (geomean < 0.9) {
+      std::cerr << "SMOKE CHECK FAILED: cell-major geomean speedup "
+                << geomean << " < 0.9 (a >10% regression vs legacy)\n";
+      return 1;
+    }
+    std::cout << "smoke check passed (geomean " << geomean << " >= 0.9)\n";
+  }
+  return 0;
+}

@@ -1,13 +1,47 @@
 #include "common/datasets.hpp"
 
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "common/datagen.hpp"
+#include "common/io.hpp"
 
 namespace sj::datasets {
 
 namespace {
+
+/// Generator-version component of the cache key. BUMP THIS whenever any
+/// datagen:: generator or the datasets::make wiring changes output bytes
+/// — the key otherwise cannot tell a stale cached file from a fresh one.
+constexpr const char* kCacheVersion = "v1";
+
+/// Cache path for a generated dataset, or "" when caching is off. Keyed
+/// by generator version / name / resolved size / seed (the size folds
+/// the scale factor in, so a default_n change can never serve a stale
+/// file); the directory comes from SJ_DATASET_CACHE. Generation of the
+/// Table I datasets dominates bench start-up, so sjtool, the benches and
+/// the tests all reuse the cached .sjd files.
+std::string cache_path(const Info& i, std::size_t n) {
+  const char* dir = std::getenv("SJ_DATASET_CACHE");
+  if (dir == nullptr || *dir == '\0') return {};
+  return std::string(dir) + "/" + i.name + "-n" + std::to_string(n) +
+         "-seed" + std::to_string(i.seed) + "-" + kCacheVersion + ".sjd";
+}
+
+/// Load a cached dataset; empty optional-style Dataset on any miss or
+/// mismatch (a corrupt or stale file falls back to regeneration).
+bool load_cached(const std::string& path, const Info& i, std::size_t n,
+                 Dataset& out) {
+  try {
+    Dataset d = io::load_binary(path);
+    if (d.dim() != i.dim || d.size() != n) return false;
+    out = std::move(d);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
 
 std::vector<double> rescaled(const std::vector<double>& paper_eps,
                              std::size_t paper_n, std::size_t default_n,
@@ -104,7 +138,12 @@ Dataset make(const std::string& name, double scale) {
   const Info& i = info(name);
   const auto n = static_cast<std::size_t>(
       std::llround(static_cast<double>(i.default_n) * scale));
+  const std::string cached = cache_path(i, n);
   Dataset d;
+  if (!cached.empty() && load_cached(cached, i, n, d)) {
+    d.set_name(i.name);
+    return d;
+  }
   switch (i.kind) {
     case Kind::kUniform:
       d = datagen::uniform(n, i.dim, 0.0, 100.0, i.seed);
@@ -117,6 +156,14 @@ Dataset make(const std::string& name, double scale) {
       break;
   }
   d.set_name(i.name);
+  if (!cached.empty()) {
+    try {
+      io::save_binary(d, cached);
+    } catch (const std::exception&) {
+      // An unwritable cache directory is not an error — next run
+      // regenerates.
+    }
+  }
   return d;
 }
 

@@ -9,6 +9,7 @@
 #include "core/device_view.hpp"
 #include "core/estimator.hpp"
 #include "core/grid_index.hpp"
+#include "core/kernels.hpp"
 #include "gpusim/arena.hpp"
 #include "gpusim/stream.hpp"
 
@@ -55,7 +56,7 @@ SelfJoinResult AsyncGpuSelfJoin::run(const Dataset& d, double eps) const {
   // --- Upload dataset + index to the (simulated) device.
   gpu::GlobalMemoryArena arena(opt_.device);
   phase.reset();
-  DeviceGrid dev(arena, d, index);
+  DeviceGrid dev(arena, d, index, opt_.layout);
   st.upload_seconds = phase.seconds();
   const GridDeviceView& grid = dev.view();
 
@@ -87,23 +88,41 @@ SelfJoinResult AsyncGpuSelfJoin::run(const Dataset& d, double eps) const {
   config.block_size = opt_.block_size;
   BatchPipeline pipeline(arena, opt_.device, config);
 
+  // Cell-mode planning pass overlaps the sampling estimator: both only
+  // read the grid. The adjacency is built before buffer sizing so its
+  // device memory is accounted for.
+  CellAdjacency adjacency;
+  if (opt_.layout == GridLayout::kCellMajor) {
+    adjacency = build_cell_adjacency(arena, grid, opt_.unicomp);
+  }
+
   estimate_done.wait();
   st.estimate_seconds = est.seconds;
   st.estimated_total = est.estimated_total;
 
+  const std::uint64_t upload_units =
+      grid.cell_major ? d.size() * 3 : d.size();
   const std::uint64_t buffer_pairs = size_buffer_pairs(
-      arena, d.size(), est.estimated_total, opt_.min_batches,
+      arena, upload_units, est.estimated_total, opt_.min_batches,
       opt_.num_streams, opt_.max_buffer_pairs, opt_.safety);
-  const BatchPlan plan = plan_batches(est.estimated_total, d.size(),
-                                      opt_.min_batches, buffer_pairs,
-                                      opt_.safety);
 
   // --- Stages 1-3: the overlapped batch pipeline.
   AtomicWork work;
   phase.reset();
   ResultSet pairs;
   try {
-    pairs = pipeline.run(grid, opt_.unicomp, plan, &work, &st.batch);
+    if (opt_.layout == GridLayout::kCellMajor) {
+      const CellBatchPlan plan =
+          plan_cell_batches(adjacency.weights, est.estimated_total,
+                            opt_.min_batches, buffer_pairs, opt_.safety);
+      pairs = pipeline.run_cells(grid, opt_.unicomp, plan, &adjacency,
+                                 &work, &st.batch);
+    } else {
+      const BatchPlan plan = plan_batches(est.estimated_total, d.size(),
+                                          opt_.min_batches, buffer_pairs,
+                                          opt_.safety);
+      pairs = pipeline.run(grid, opt_.unicomp, plan, &work, &st.batch);
+    }
   } catch (...) {
     if (metrics_thread.joinable()) metrics_thread.join();
     throw;
@@ -112,6 +131,8 @@ SelfJoinResult AsyncGpuSelfJoin::run(const Dataset& d, double eps) const {
   st.join_seconds = phase.seconds();
 
   work.add_to(st.metrics);
+  st.metrics.cells_examined += adjacency.cells_examined;
+  st.metrics.cells_nonempty += adjacency.cells_nonempty;
   st.metrics.kernel_seconds = st.batch.kernel_seconds;
 
   if (metrics_thread.joinable()) {

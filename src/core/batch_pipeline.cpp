@@ -23,19 +23,158 @@ namespace sj {
 namespace {
 
 // One unit of kernel-stage work. Root batches are generated lazily inside
-// the worker (ids empty, the strided assignment is recomputed from
-// `root`); overflow splits carry their explicit id halves.
+// the worker (the work list is recomputed from `root`); overflow splits
+// carry their explicit halves.
 struct Task {
   std::size_t root = 0;
-  std::vector<std::uint32_t> ids;
+  bool is_root = true;
+  std::vector<std::uint32_t> ids;    // point mode
+  std::vector<CellWorkItem> cells;   // cell mode
 };
 
 // A batch result handed from the stream pool to the assembly stage.
-// `first_id` is the batch's smallest query id — batches partition the
-// query ids, so it is a unique, deterministic merge key.
+// `first_key` is the batch's smallest query slot — batches partition the
+// query slots, so it is a unique, deterministic merge key.
 struct Completed {
-  std::uint32_t first_id = 0;
+  std::uint32_t first_key = 0;
   std::vector<Pair> pairs;
+};
+
+/// Point-centric execution policy: a work unit is one query id, root
+/// batch b is the strided set {i : i % nb == b} (spreads dense regions
+/// evenly across batches), splits halve the id list.
+class PointMode {
+ public:
+  PointMode(const GridDeviceView& grid, bool unicomp, std::size_t nb,
+            int block_size)
+      : grid_(grid), unicomp_(unicomp), nb_(nb), block_size_(block_size) {}
+
+  void expand_root(Task& t) const {
+    const std::uint64_t nq = grid_.num_queries();
+    t.ids.reserve(static_cast<std::size_t>(nq / nb_) + 1);
+    for (std::uint64_t i = t.root; i < nq; i += nb_) {
+      t.ids.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  std::uint32_t first_key(const Task& t) const { return t.ids.front(); }
+
+  /// Split in two; false when the task is a single point (unsplittable).
+  bool split(const Task& t, Task& lo, Task& hi) const {
+    if (t.ids.size() <= 1) return false;
+    const std::size_t half = t.ids.size() / 2;
+    lo.is_root = hi.is_root = false;
+    lo.ids.assign(t.ids.begin(),
+                  t.ids.begin() + static_cast<std::ptrdiff_t>(half));
+    hi.ids.assign(t.ids.begin() + static_cast<std::ptrdiff_t>(half),
+                  t.ids.end());
+    return true;
+  }
+
+  gpu::KernelStats launch(gpu::GlobalMemoryArena& arena, const Task& t,
+                          const ResultBufferView& result,
+                          AtomicWork* work) const {
+    // Ship this batch's query ids to the device.
+    gpu::DeviceBuffer<std::uint32_t> qids(arena, t.ids.size());
+    std::memcpy(qids.data(), t.ids.data(),
+                t.ids.size() * sizeof(std::uint32_t));
+    SelfJoinKernelParams p;
+    p.grid = grid_;
+    p.query_ids = qids.data();
+    p.num_queries = t.ids.size();
+    p.result = result;
+    p.unicomp = unicomp_;
+    p.work = work;
+    return gpu::launch(
+        gpu::LaunchConfig::cover(t.ids.size(), block_size_),
+        [&p](const gpu::ThreadCtx& ctx) { self_join_thread(ctx, p); });
+  }
+
+ private:
+  const GridDeviceView& grid_;
+  bool unicomp_;
+  std::size_t nb_;
+  int block_size_;
+};
+
+/// Cell-centric execution policy: a work unit is a (cell, slot-subrange)
+/// item, root batch b is the plan's contiguous cell range, splits halve
+/// the item list and fall back to halving a single cell's slot range.
+class CellMode {
+ public:
+  CellMode(const GridDeviceView& grid, bool unicomp,
+           const CellBatchPlan& plan, const CellAdjacency* adjacency,
+           int block_size)
+      : grid_(grid), unicomp_(unicomp), plan_(plan), adjacency_(adjacency),
+        block_size_(block_size) {}
+
+  void expand_root(Task& t) const {
+    const std::uint32_t begin = plan_.boundaries[t.root];
+    const std::uint32_t end = plan_.boundaries[t.root + 1];
+    t.cells.reserve(end - begin);
+    for (std::uint32_t cell = begin; cell < end; ++cell) {
+      const GridIndex::CellRange r = grid_.G[cell];
+      t.cells.push_back(CellWorkItem{cell, r.min, r.max + 1});
+    }
+  }
+
+  std::uint32_t first_key(const Task& t) const {
+    return t.cells.front().begin;  // first point slot of the batch
+  }
+
+  bool split(const Task& t, Task& lo, Task& hi) const {
+    lo.is_root = hi.is_root = false;
+    if (t.cells.size() > 1) {
+      const std::size_t half = t.cells.size() / 2;
+      lo.cells.assign(t.cells.begin(),
+                      t.cells.begin() + static_cast<std::ptrdiff_t>(half));
+      hi.cells.assign(t.cells.begin() + static_cast<std::ptrdiff_t>(half),
+                      t.cells.end());
+      return true;
+    }
+    // A single oversized cell: halve its slot range, so the fatal
+    // condition stays "one POINT's neighbourhood exceeds the buffer",
+    // exactly as in the point-centric scheme.
+    const CellWorkItem item = t.cells.front();
+    if (item.end - item.begin <= 1) return false;
+    const std::uint32_t mid = item.begin + (item.end - item.begin) / 2;
+    lo.cells.push_back(CellWorkItem{item.cell, item.begin, mid});
+    hi.cells.push_back(CellWorkItem{item.cell, mid, item.end});
+    return true;
+  }
+
+  gpu::KernelStats launch(gpu::GlobalMemoryArena& arena, const Task& t,
+                          const ResultBufferView& result,
+                          AtomicWork* work) const {
+    gpu::DeviceBuffer<CellWorkItem> items(arena, t.cells.size());
+    std::memcpy(items.data(), t.cells.data(),
+                t.cells.size() * sizeof(CellWorkItem));
+    CellJoinKernelParams p;
+    p.grid = grid_;
+    p.items = items.data();
+    p.num_items = t.cells.size();
+    if (adjacency_ != nullptr) {
+      p.ranges = adjacency_->ranges.data();
+      p.range_offsets = adjacency_->offsets.data();
+    }
+    p.result = result;
+    p.unicomp = unicomp_;
+    p.work = work;
+    // A cell-mode "thread" covers a whole cell, so batches hold far fewer
+    // work units than point batches hold points; smaller blocks keep
+    // enough blocks in flight for the block-level scheduler.
+    return gpu::launch(
+        gpu::LaunchConfig::cover(t.cells.size(),
+                                 std::min(block_size_, 32)),
+        [&p](const gpu::ThreadCtx& ctx) { self_join_cells_thread(ctx, p); });
+  }
+
+ private:
+  const GridDeviceView& grid_;
+  bool unicomp_;
+  const CellBatchPlan& plan_;
+  const CellAdjacency* adjacency_;
+  int block_size_;
 };
 
 }  // namespace
@@ -59,19 +198,45 @@ BatchPipeline::BatchPipeline(gpu::GlobalMemoryArena& arena,
 ResultSet BatchPipeline::run(const GridDeviceView& grid, bool unicomp,
                              const BatchPlan& plan, AtomicWork* work,
                              BatchRunStats* stats) {
-  ResultSet final_result;
   const std::uint64_t nq = grid.num_queries();
   if (nq == 0 || grid.n == 0) {
     if (stats != nullptr) *stats = {};
-    return final_result;
+    return ResultSet{};
   }
   // Clamp like plan_batches does: a batch needs at least one point, and a
   // root past nq would produce an empty id list.
   const std::size_t nb = std::min<std::size_t>(
       std::max<std::size_t>(plan.num_batches, 1),
       static_cast<std::size_t>(nq));
-  const std::uint64_t buffer_pairs = std::max<std::uint64_t>(
-      plan.buffer_pairs, 1);
+  const std::uint64_t buffer_pairs =
+      std::max<std::uint64_t>(plan.buffer_pairs, 1);
+  const PointMode mode(grid, unicomp, nb, config_.block_size);
+  return run_impl(mode, nb, buffer_pairs, work, stats);
+}
+
+ResultSet BatchPipeline::run_cells(const GridDeviceView& grid, bool unicomp,
+                                   const CellBatchPlan& plan,
+                                   const CellAdjacency* adjacency,
+                                   AtomicWork* work, BatchRunStats* stats) {
+  if (grid.n == 0 || plan.num_batches() == 0) {
+    if (stats != nullptr) *stats = {};
+    return ResultSet{};
+  }
+  if (!grid.cell_major) {
+    throw std::invalid_argument(
+        "BatchPipeline::run_cells: grid must use the cell-major layout");
+  }
+  const std::uint64_t buffer_pairs =
+      std::max<std::uint64_t>(plan.buffer_pairs, 1);
+  const CellMode mode(grid, unicomp, plan, adjacency, config_.block_size);
+  return run_impl(mode, plan.num_batches(), buffer_pairs, work, stats);
+}
+
+template <typename Mode>
+ResultSet BatchPipeline::run_impl(const Mode& mode, std::size_t num_roots,
+                                  std::uint64_t buffer_pairs,
+                                  AtomicWork* work, BatchRunStats* stats) {
+  ResultSet final_result;
 
   // Double-buffered device allocations, owned by the caller thread so a
   // DeviceOutOfMemory propagates here instead of killing a worker.
@@ -99,7 +264,7 @@ ResultSet BatchPipeline::run(const GridDeviceView& grid, bool unicomp,
 
   // Tasks seeded or split but not yet terminally handled; the thread that
   // brings it to zero closes the task queue and ends the kernel stage.
-  std::atomic<std::size_t> outstanding{nb};
+  std::atomic<std::size_t> outstanding{num_roots};
   std::atomic<bool> fatal_overflow{false};
   std::atomic<bool> failed{false};
 
@@ -122,7 +287,7 @@ ResultSet BatchPipeline::run(const GridDeviceView& grid, bool unicomp,
       while (done.pop(c)) {
         Timer merge_timer;
         std::lock_guard<std::mutex> lock(mu);
-        segments[c.first_id] = std::move(c.pairs);
+        segments[c.first_key] = std::move(c.pairs);
         acc.assembly_seconds += merge_timer.seconds();
       }
     });
@@ -152,38 +317,23 @@ ResultSet BatchPipeline::run(const GridDeviceView& grid, bool unicomp,
           flip ^= 1;
           slot.transferred.wait();  // slot's previous transfer has drained
 
-          if (task.ids.empty()) {
-            // Strided root batch: {i : i % nb == root} spreads dense
-            // regions evenly across batches. Generated here, off the
-            // seeding thread's critical path.
-            task.ids.reserve(static_cast<std::size_t>(nq / nb) + 1);
-            for (std::uint64_t i = task.root; i < nq; i += nb) {
-              task.ids.push_back(static_cast<std::uint32_t>(i));
-            }
+          if (task.is_root) {
+            // Root batches expand here, off the seeding thread's
+            // critical path.
+            mode.expand_root(task);
           }
-
-          // Ship this batch's query ids to the device.
-          gpu::DeviceBuffer<std::uint32_t> qids(arena_, task.ids.size());
-          std::memcpy(qids.data(), task.ids.data(),
-                      task.ids.size() * sizeof(std::uint32_t));
 
           gpu::DeviceCounter cursor;
           std::atomic<bool> overflow{false};
 
-          SelfJoinKernelParams p;
-          p.grid = grid;
-          p.query_ids = qids.data();
-          p.num_queries = task.ids.size();
-          p.result.out = slot.buffer.data();
-          p.result.capacity = buffer_pairs;
-          p.result.cursor = &cursor;
-          p.result.overflow = &overflow;
-          p.unicomp = unicomp;
-          p.work = work;
+          ResultBufferView result;
+          result.out = slot.buffer.data();
+          result.capacity = buffer_pairs;
+          result.cursor = &cursor;
+          result.overflow = &overflow;
 
-          const gpu::KernelStats ks = gpu::launch(
-              gpu::LaunchConfig::cover(task.ids.size(), config_.block_size),
-              [&p](const gpu::ThreadCtx& ctx) { self_join_thread(ctx, p); });
+          const gpu::KernelStats ks =
+              mode.launch(arena_, task, result, work);
 
           if (overflow.load()) {
             // The estimate undershot for this batch: split in two and feed
@@ -195,19 +345,14 @@ ResultSet BatchPipeline::run(const GridDeviceView& grid, bool unicomp,
               ++acc.batches_run;
               ++acc.overflow_retries;
             }
-            if (task.ids.size() <= 1) {
+            Task lo, hi;
+            if (!mode.split(task, lo, hi)) {
               // A single point's neighbourhood exceeds the buffer —
               // cannot split further. Reported after the drain.
               fatal_overflow.store(true);
               complete_one();
               continue;
             }
-            const std::size_t half = task.ids.size() / 2;
-            Task lo, hi;
-            lo.ids.assign(task.ids.begin(),
-                          task.ids.begin() + static_cast<std::ptrdiff_t>(half));
-            hi.ids.assign(task.ids.begin() + static_cast<std::ptrdiff_t>(half),
-                          task.ids.end());
             outstanding.fetch_add(1);  // net effect of the split: 1 -> 2
             tasks.push_overflow(std::move(lo));
             tasks.push_overflow(std::move(hi));
@@ -227,13 +372,13 @@ ResultSet BatchPipeline::run(const GridDeviceView& grid, bool unicomp,
           // worker immediately starts the next kernel in the other slot.
           auto host = std::make_shared<std::vector<Pair>>(
               static_cast<std::size_t>(nres));
-          const std::uint32_t first_id = task.ids.front();
+          const std::uint32_t first_key = mode.first_key(task);
           if (nres > 0) {
             stream.memcpy_async(host->data(), slot.buffer.data(),
                                 static_cast<std::size_t>(nres) * sizeof(Pair));
           }
-          stream.enqueue([host, first_id, &done, &complete_one] {
-            done.push(Completed{first_id, std::move(*host)});
+          stream.enqueue([host, first_key, &done, &complete_one] {
+            done.push(Completed{first_key, std::move(*host)});
             complete_one();
           });
           slot.transferred.record(stream);
@@ -261,7 +406,7 @@ ResultSet BatchPipeline::run(const GridDeviceView& grid, bool unicomp,
   // --- Stage 1: seed the root batches (bounded push: backpressure once
   // the pool is saturated). `outstanding` was pre-charged with all roots,
   // so the queue cannot close before the last root is seeded.
-  for (std::size_t b = 0; b < nb; ++b) {
+  for (std::size_t b = 0; b < num_roots; ++b) {
     Task t;
     t.root = b;
     tasks.push(std::move(t));
@@ -277,13 +422,13 @@ ResultSet BatchPipeline::run(const GridDeviceView& grid, bool unicomp,
                                  buffer_pairs * sizeof(Pair));
   }
 
-  // Deterministic final assembly: segments in ascending first-query-id
-  // order, each internally sorted by the device sort. Final offsets are
-  // only known once every segment has landed, so this concatenation is
-  // the pipeline's serial tail — the assembly workers parallelise it
-  // (each copies an interleaved subset of segments to its precomputed
-  // offset), which is where a multi-thread assembly config pays off on
-  // large result sets.
+  // Deterministic final assembly: segments in ascending first-key order,
+  // each internally sorted by the device sort. Final offsets are only
+  // known once every segment has landed, so this concatenation is the
+  // pipeline's serial tail — the assembly workers parallelise it (each
+  // copies an interleaved subset of segments to its precomputed offset),
+  // which is where a multi-thread assembly config pays off on large
+  // result sets.
   struct Placement {
     const std::vector<Pair>* segment;
     std::size_t offset;

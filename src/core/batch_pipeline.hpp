@@ -35,6 +35,8 @@
 
 namespace sj {
 
+struct CellAdjacency;  // kernels.hpp
+
 /// Bounded MPMC queue connecting pipeline stages. push() blocks while the
 /// queue is full — backpressure on the seeding producer. push_overflow()
 /// never blocks: the overflow-split feedback path pushes from the same
@@ -122,7 +124,25 @@ class BatchPipeline {
   ResultSet run(const GridDeviceView& grid, bool unicomp,
                 const BatchPlan& plan, AtomicWork* work, BatchRunStats* stats);
 
+  /// Cell-centric variant: `grid` must be cell-major and batches are the
+  /// plan's contiguous cell ranges, executed by the cell-centric kernel
+  /// through the same three-stage machinery. `adjacency` (from
+  /// build_cell_adjacency) supplies the precomputed candidate ranges;
+  /// when null each launch enumerates them inline. Overflowed batches
+  /// split by cells first, then by point subranges of a single oversized
+  /// cell, so the unsplittable-overflow condition is the same as run()'s:
+  /// one point's neighbourhood exceeding the buffer.
+  ResultSet run_cells(const GridDeviceView& grid, bool unicomp,
+                      const CellBatchPlan& plan,
+                      const CellAdjacency* adjacency, AtomicWork* work,
+                      BatchRunStats* stats);
+
  private:
+  template <typename Mode>
+  ResultSet run_impl(const Mode& mode, std::size_t num_roots,
+                     std::uint64_t buffer_pairs, AtomicWork* work,
+                     BatchRunStats* stats);
+
   gpu::GlobalMemoryArena& arena_;
   gpu::DeviceSpec spec_;
   PipelineConfig config_;

@@ -25,6 +25,48 @@ BatchPlan plan_batches(std::uint64_t estimated_total, std::uint64_t n_queries,
   return plan;
 }
 
+CellBatchPlan plan_cell_batches(const std::vector<std::uint64_t>& cell_weights,
+                                std::uint64_t estimated_total,
+                                std::size_t min_batches,
+                                std::uint64_t buffer_pairs, double safety) {
+  CellBatchPlan plan;
+  plan.buffer_pairs = std::max<std::uint64_t>(buffer_pairs, 1);
+  const std::size_t num_cells = cell_weights.size();
+  if (num_cells == 0) return plan;  // no batches
+
+  const auto padded = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(estimated_total) * safety));
+  const std::size_t by_volume = static_cast<std::size_t>(
+      (padded + plan.buffer_pairs - 1) / plan.buffer_pairs);
+  std::size_t nb = std::max(min_batches, std::max<std::size_t>(by_volume, 1));
+  // Never more batches than cells (each batch needs at least one cell).
+  nb = std::min(nb, num_cells);
+
+  // Weights are per-cell candidate-pair counts and can sum past 64 bits
+  // in adversarial cases; accumulate in 128 bits.
+  unsigned __int128 total = 0;
+  for (const std::uint64_t w : cell_weights) total += w;
+
+  plan.boundaries.reserve(nb + 1);
+  plan.boundaries.push_back(0);
+  std::size_t pos = 0;
+  unsigned __int128 cum = 0;
+  for (std::size_t b = 0; b + 1 < nb; ++b) {
+    // Close batch b where the cumulative weight reaches its equal share,
+    // taking at least one cell and leaving one for every later batch.
+    const unsigned __int128 target =
+        total * static_cast<unsigned __int128>(b + 1) / nb;
+    const std::size_t max_end = num_cells - (nb - 1 - b);
+    do {
+      cum += cell_weights[pos];
+      ++pos;
+    } while (pos < max_end && cum < target);
+    plan.boundaries.push_back(static_cast<std::uint32_t>(pos));
+  }
+  plan.boundaries.push_back(static_cast<std::uint32_t>(num_cells));
+  return plan;
+}
+
 std::uint64_t size_buffer_pairs(const gpu::GlobalMemoryArena& arena,
                                 std::uint64_t n_queries,
                                 std::uint64_t estimated_total,
@@ -62,6 +104,18 @@ ResultSet Batcher::run(const GridDeviceView& grid, bool unicomp,
   config.block_size = block_size_;
   BatchPipeline pipeline(arena_, spec_, config);
   return pipeline.run(grid, unicomp, plan, work, stats);
+}
+
+ResultSet Batcher::run_cells(const GridDeviceView& grid, bool unicomp,
+                             const CellBatchPlan& plan,
+                             const CellAdjacency* adjacency, AtomicWork* work,
+                             BatchRunStats* stats) {
+  PipelineConfig config;
+  config.streams = std::max(1, num_streams_);
+  config.assembly_threads = 1;
+  config.block_size = block_size_;
+  BatchPipeline pipeline(arena_, spec_, config);
+  return pipeline.run_cells(grid, unicomp, plan, adjacency, work, stats);
 }
 
 Batcher::Batcher(gpu::GlobalMemoryArena& arena, const gpu::DeviceSpec& spec,

@@ -25,6 +25,8 @@
 
 namespace sj {
 
+struct CellAdjacency;  // kernels.hpp
+
 struct BatchPlan {
   std::size_t num_batches = 0;
   std::uint64_t buffer_pairs = 0;  // per-stream result buffer capacity
@@ -35,6 +37,30 @@ struct BatchPlan {
 BatchPlan plan_batches(std::uint64_t estimated_total, std::uint64_t n_queries,
                        std::size_t min_batches, std::uint64_t buffer_pairs,
                        double safety);
+
+/// Batch plan for the cell-centric kernel: batch b covers the non-empty
+/// cells [boundaries[b], boundaries[b+1]). Contiguous cell ranges keep
+/// every batch's point slots contiguous, which preserves the
+/// deterministic first-slot merge key.
+struct CellBatchPlan {
+  std::vector<std::uint32_t> boundaries;  // size num_batches + 1
+  std::uint64_t buffer_pairs = 0;
+
+  std::size_t num_batches() const {
+    return boundaries.empty() ? 0 : boundaries.size() - 1;
+  }
+};
+
+/// Partition the non-empty cells into contiguous, WORK-BALANCED batches:
+/// the batch count follows the plan_batches() volume rule (capped by the
+/// cell count), and boundaries are placed so each batch carries an
+/// approximately equal share of `cell_weights` (per_cell_candidates) —
+/// the fix for load skew on clustered data, where uniform-cardinality
+/// batches put most of the result volume into a handful of batches.
+CellBatchPlan plan_cell_batches(const std::vector<std::uint64_t>& cell_weights,
+                                std::uint64_t estimated_total,
+                                std::size_t min_batches,
+                                std::uint64_t buffer_pairs, double safety);
 
 /// Size the per-stream result buffers within the device's free memory
 /// (keeping room for the per-batch query-id uploads and accounting for
@@ -68,6 +94,15 @@ class Batcher {
   /// stream count or scheduling.
   ResultSet run(const GridDeviceView& grid, bool unicomp,
                 const BatchPlan& plan, AtomicWork* work, BatchRunStats* stats);
+
+  /// Cell-centric variant over a cell-major grid: batches are the plan's
+  /// cell ranges, executed by the cell-centric kernel over the
+  /// precomputed `adjacency` (nullable — launches then enumerate inline).
+  /// Same exactness and determinism guarantees as run().
+  ResultSet run_cells(const GridDeviceView& grid, bool unicomp,
+                      const CellBatchPlan& plan,
+                      const CellAdjacency* adjacency, AtomicWork* work,
+                      BatchRunStats* stats);
 
  private:
   gpu::GlobalMemoryArena& arena_;

@@ -5,13 +5,24 @@
 namespace sj {
 
 DeviceGrid::DeviceGrid(gpu::GlobalMemoryArena& arena, const Dataset& d,
-                       const GridIndex& index)
+                       const GridIndex& index, GridLayout layout)
     : points_(arena, d.raw().size()),
       b_(arena, index.B().size()),
       g_(arena, index.G().size()),
       a_(arena, index.A().size()) {
-  std::memcpy(points_.data(), d.raw().data(),
-              d.raw().size() * sizeof(double));
+  const int dim = d.dim();
+  if (layout == GridLayout::kCellMajor) {
+    // Reorder the dataset into cell-major order: slot k holds the
+    // coordinates of point A[k], so every cell's points are contiguous
+    // and A becomes the identity. a_ holds the slot -> original-id map.
+    for (std::size_t k = 0; k < index.A().size(); ++k) {
+      std::memcpy(points_.data() + k * dim,
+                  d.pt(index.A()[k]), dim * sizeof(double));
+    }
+  } else {
+    std::memcpy(points_.data(), d.raw().data(),
+                d.raw().size() * sizeof(double));
+  }
   std::memcpy(b_.data(), index.B().data(),
               index.B().size() * sizeof(std::uint64_t));
   std::memcpy(g_.data(), index.G().data(),
@@ -21,14 +32,19 @@ DeviceGrid::DeviceGrid(gpu::GlobalMemoryArena& arena, const Dataset& d,
 
   view_.points = points_.data();
   view_.n = d.size();
-  view_.dim = d.dim();
+  view_.dim = dim;
   view_.B = b_.data();
   view_.b_size = b_.size();
   view_.G = g_.data();
-  view_.A = a_.data();
+  if (layout == GridLayout::kCellMajor) {
+    view_.orig = a_.data();
+    view_.cell_major = true;
+  } else {
+    view_.A = a_.data();
+  }
   view_.width = index.cell_width();
   view_.eps = index.eps();
-  for (int j = 0; j < d.dim(); ++j) {
+  for (int j = 0; j < dim; ++j) {
     m_[j] = gpu::DeviceBuffer<std::uint32_t>(arena, index.mask(j).size());
     std::memcpy(m_[j].data(), index.mask(j).data(),
                 index.mask(j).size() * sizeof(std::uint32_t));

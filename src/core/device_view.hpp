@@ -1,6 +1,20 @@
 // Device-resident copy of the dataset and grid index, plus the plain-
 // pointer view the kernels consume (the analogue of the D, A, G, B, M
 // kernel arguments of Algorithm 1).
+//
+// Two data layouts are supported:
+//
+//   kLegacy    — the paper's layout: `points` holds the dataset in its
+//                original order and every candidate coordinate is
+//                gathered through the A[] indirection (a random access
+//                per distance calculation).
+//   kCellMajor — the dataset is reordered at upload time so that each
+//                non-empty cell's points are CONTIGUOUS in `points`
+//                (A-order). A[] becomes the identity and is not stored;
+//                `orig` maps a point slot back to its original dataset
+//                id so emitted pairs still carry original ids. Candidate
+//                scans become contiguous range reads, which is what the
+//                cell-centric kernel exploits.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +24,12 @@
 #include "gpusim/arena.hpp"
 
 namespace sj {
+
+/// How DeviceGrid lays the dataset out in device memory.
+enum class GridLayout {
+  kLegacy,    ///< original point order, candidates gathered through A[]
+  kCellMajor  ///< points reordered cell-by-cell, A[] is the identity
+};
 
 /// Raw-pointer view passed to kernels.
 struct GridDeviceView {
@@ -32,7 +52,16 @@ struct GridDeviceView {
   const std::uint64_t* B = nullptr;
   std::uint64_t b_size = 0;
   const GridIndex::CellRange* G = nullptr;
+
+  /// Legacy layout: slot -> point id (the paper's A). Null in cell-major
+  /// layout, where the mapping is the identity.
   const std::uint32_t* A = nullptr;
+  /// Cell-major layout: slot -> ORIGINAL dataset id (the reorder map).
+  /// Null in the legacy layout, where slots already hold original ids
+  /// through A.
+  const std::uint32_t* orig = nullptr;
+  bool cell_major = false;
+
   const std::uint32_t* M[kMaxDims] = {};
   std::uint64_t m_size[kMaxDims] = {};
 
@@ -42,12 +71,27 @@ struct GridDeviceView {
   std::uint32_t cells_per_dim[kMaxDims] = {};
   std::uint64_t stride[kMaxDims] = {};
 
+  /// Coordinates of the candidate at slot k of the A-range (legacy
+  /// gathers through A, cell-major reads contiguously).
+  const double* candidate_point(std::uint64_t k) const {
+    const std::size_t idx =
+        A != nullptr ? A[k] : static_cast<std::size_t>(k);
+    return points + idx * dim;
+  }
+
+  /// Original dataset id of the candidate at slot k.
+  std::uint32_t candidate_id(std::uint64_t k) const {
+    return A != nullptr ? A[k] : orig[k];
+  }
+
+  /// Original dataset id of query `pid` (a point id in the legacy layout,
+  /// a point slot in cell-major; external query sets pass through).
+  std::uint32_t query_id(std::uint64_t pid) const {
+    return orig != nullptr ? orig[pid] : static_cast<std::uint32_t>(pid);
+  }
+
   std::uint64_t linearize(const std::uint32_t* coords) const {
-    std::uint64_t id = 0;
-    for (int j = 0; j < dim; ++j) {
-      id += static_cast<std::uint64_t>(coords[j]) * stride[j];
-    }
-    return id;
+    return linearize_cell(coords, stride, dim);
   }
 };
 
@@ -56,7 +100,7 @@ struct GridDeviceView {
 class DeviceGrid {
  public:
   DeviceGrid(gpu::GlobalMemoryArena& arena, const Dataset& d,
-             const GridIndex& index);
+             const GridIndex& index, GridLayout layout = GridLayout::kLegacy);
 
   const GridDeviceView& view() const { return view_; }
 
@@ -64,7 +108,7 @@ class DeviceGrid {
   gpu::DeviceBuffer<double> points_;
   gpu::DeviceBuffer<std::uint64_t> b_;
   gpu::DeviceBuffer<GridIndex::CellRange> g_;
-  gpu::DeviceBuffer<std::uint32_t> a_;
+  gpu::DeviceBuffer<std::uint32_t> a_;  // legacy: A; cell-major: orig map
   gpu::DeviceBuffer<std::uint32_t> m_[kMaxDims];
   GridDeviceView view_;
 };

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
+
+#include "gpusim/arena.hpp"
 
 #include "common/timer.hpp"
 #include "core/kernels.hpp"
@@ -55,6 +58,15 @@ EstimateResult estimate_result_size(const GridDeviceView& grid, bool unicomp,
                 (static_cast<double>(nq) / static_cast<double>(sample))));
   r.seconds = t.seconds();
   return r;
+}
+
+std::vector<std::uint64_t> per_cell_candidates(const GridDeviceView& grid,
+                                               bool unicomp) {
+  // Standalone wrapper over the adjacency build (tests, ad-hoc planning);
+  // the join engines call build_cell_adjacency directly and keep the
+  // range lists for the kernels.
+  gpu::GlobalMemoryArena scratch(std::numeric_limits<std::size_t>::max() / 2);
+  return build_cell_adjacency(scratch, grid, unicomp).weights;
 }
 
 }  // namespace sj

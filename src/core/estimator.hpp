@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/device_view.hpp"
 
@@ -27,5 +28,16 @@ struct EstimateResult {
 EstimateResult estimate_result_size(const GridDeviceView& grid, bool unicomp,
                                     double sample_rate, int block_size,
                                     std::uint64_t min_sample = 1024);
+
+/// Per-cell work estimates for the cell-centric batch planner: for every
+/// non-empty cell, the number of candidate pairs the cell-centric kernel
+/// will evaluate (cell population x adjacent population, UNICOMP
+/// neighbour finds counted twice). A count-only planning pass — no
+/// distance calculations — costing one adjacency enumeration per CELL
+/// rather than per point. Relative weights drive the batch partition,
+/// which is what fixes load skew on clustered data. (The join engines get
+/// the same weights from build_cell_adjacency and keep the range lists.)
+std::vector<std::uint64_t> per_cell_candidates(const GridDeviceView& grid,
+                                               bool unicomp);
 
 }  // namespace sj

@@ -18,7 +18,18 @@ namespace sj::backends {
 namespace {
 
 constexpr std::string_view kGpuKeys =
-    "block_size,min_batches,num_streams,sample_rate,safety,max_buffer_pairs";
+    "block_size,min_batches,num_streams,sample_rate,safety,max_buffer_pairs,"
+    "layout";
+
+/// The "layout" knob shared by the GPU-SJ engines: cell (default) runs
+/// the cell-major reorder + cell-centric kernel, legacy the paper's
+/// point-centric kernel over the original point order.
+GridLayout parse_layout(const api::RunConfig& config) {
+  const std::string v = config.text("layout", "cell");
+  if (v == "cell") return GridLayout::kCellMajor;
+  if (v == "legacy") return GridLayout::kLegacy;
+  throw std::invalid_argument("option 'layout' must be 'cell' or 'legacy'");
+}
 
 /// Knob values arrive from untrusted CLI input (--opt); reject anything
 /// non-positive before it is cast to an unsigned engine option.
@@ -94,6 +105,7 @@ class GpuBackend final : public api::SelfJoinBackend {
     reject_threads(name_, config);
     GpuSelfJoinOptions opt;
     opt.unicomp = unicomp_;
+    opt.layout = parse_layout(config);
     opt.collect_metrics = config.collect_metrics;
     opt.block_size = positive_int(config, "block_size", opt.block_size);
     opt.min_batches = static_cast<std::size_t>(positive_int(
@@ -108,7 +120,10 @@ class GpuBackend final : public api::SelfJoinBackend {
     }
     opt.max_buffer_pairs = static_cast<std::uint64_t>(buffer_pairs);
 
-    return make_gpu_outcome(GpuSelfJoin(opt).run(d, eps));
+    auto out = make_gpu_outcome(GpuSelfJoin(opt).run(d, eps));
+    out.stats.native["layout_cell_major"] =
+        opt.layout == GridLayout::kCellMajor ? 1.0 : 0.0;
+    return out;
   }
 
  private:
@@ -133,12 +148,13 @@ class GpuAsyncBackend final : public api::SelfJoinBackend {
     config.check_keys(name(),
                       "block_size,min_batches,streams,num_streams,"
                       "assembly_threads,sample_rate,safety,max_buffer_pairs,"
-                      "unicomp");
+                      "unicomp,layout");
     reject_threads(name(), config);
     AsyncSelfJoinOptions opt;
     // Mirrors "gpu" (UNICOMP off) so the head-to-head bench and the
     // parity suite compare like with like; unicomp=1 opts in.
     opt.unicomp = config.flag("unicomp", false);
+    opt.layout = parse_layout(config);
     opt.collect_metrics = config.collect_metrics;
     opt.block_size = positive_int(config, "block_size", opt.block_size);
     opt.min_batches = static_cast<std::size_t>(positive_int(
@@ -163,6 +179,8 @@ class GpuAsyncBackend final : public api::SelfJoinBackend {
     auto out = make_gpu_outcome(AsyncGpuSelfJoin(opt).run(d, eps));
     out.stats.native["streams"] = opt.num_streams;
     out.stats.native["assembly_threads"] = opt.assembly_threads;
+    out.stats.native["layout_cell_major"] =
+        opt.layout == GridLayout::kCellMajor ? 1.0 : 0.0;
     return out;
   }
 };

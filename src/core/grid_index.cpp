@@ -4,11 +4,17 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace sj {
 
 GridIndex::GridIndex(const Dataset& d, double eps) {
   if (eps < 0.0) throw std::invalid_argument("GridIndex: eps must be >= 0");
+  if (d.dim() > kMaxDims) {
+    throw std::invalid_argument(
+        "GridIndex: dim " + std::to_string(d.dim()) + " exceeds kMaxDims=" +
+        std::to_string(kMaxDims) + " (the fixed-size per-dimension arrays)");
+  }
   if (d.size() > std::numeric_limits<std::uint32_t>::max()) {
     throw std::invalid_argument("GridIndex: dataset too large for 32-bit ids");
   }
@@ -126,11 +132,7 @@ void GridIndex::cell_coords(const double* pt, std::uint32_t* out) const {
 }
 
 std::uint64_t GridIndex::linearize(const std::uint32_t* coords) const {
-  std::uint64_t id = 0;
-  for (int j = 0; j < dim_; ++j) {
-    id += static_cast<std::uint64_t>(coords[j]) * stride_[j];
-  }
-  return id;
+  return linearize_cell(coords, stride_, dim_);
 }
 
 std::int64_t GridIndex::find_cell(std::uint64_t linear_id) const {

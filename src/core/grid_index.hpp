@@ -22,6 +22,18 @@
 
 namespace sj {
 
+/// Row-major linearisation of n-dimensional cell coordinates. The single
+/// implementation shared by the host index and the device view
+/// (GridDeviceView), so the two layouts cannot drift.
+inline std::uint64_t linearize_cell(const std::uint32_t* coords,
+                                    const std::uint64_t* stride, int dim) {
+  std::uint64_t id = 0;
+  for (int j = 0; j < dim; ++j) {
+    id += static_cast<std::uint64_t>(coords[j]) * stride[j];
+  }
+  return id;
+}
+
 class GridIndex {
  public:
   /// Inclusive range [min, max] into A for one non-empty cell (the

@@ -33,7 +33,10 @@ GpuJoinResult gpu_join(const Dataset& queries, const Dataset& data,
   }
 
   gpu::GlobalMemoryArena arena(opt.device);
-  DeviceGrid dev(arena, data, index);
+  // The query/data join batches over the EXTERNAL query set, so the
+  // cell-centric kernel (whose work units are the indexed set's cells)
+  // does not apply; the indexed data keeps the legacy layout.
+  DeviceGrid dev(arena, data, index, GridLayout::kLegacy);
 
   // Ship the query set to the device alongside the indexed data.
   gpu::DeviceBuffer<double> qbuf(arena, queries.raw().size());

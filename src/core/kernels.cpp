@@ -1,6 +1,8 @@
 #include "core/kernels.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <vector>
 
 #include "common/distance.hpp"
 
@@ -37,85 +39,92 @@ struct Emitter {
     r.out[idx] = Pair{a, b};
     r.out[idx + 1] = Pair{b, a};
   }
+
+  /// Blocked emission for the cell-centric kernel: all of one scan
+  /// block's finds are reserved with a SINGLE atomic (two slots per find
+  /// when `both` — UNICOMP's "add both ordered pairs" rule).
+  void emit_block(std::uint32_t key, const std::uint32_t* values, int count,
+                  bool both) {
+    const std::uint64_t slots =
+        static_cast<std::uint64_t>(count) * (both ? 2 : 1);
+    w.results += slots;
+    if (r.out == nullptr) return;
+    const std::uint64_t idx = r.cursor->fetch_add(slots);
+    if (idx + slots > r.capacity) {
+      r.overflow->store(true, std::memory_order_relaxed);
+      return;
+    }
+    Pair* out = r.out + idx;
+    if (both) {
+      for (int v = 0; v < count; ++v) {
+        out[2 * v] = Pair{key, values[v]};
+        out[2 * v + 1] = Pair{values[v], key};
+      }
+    } else {
+      for (int v = 0; v < count; ++v) out[v] = Pair{key, values[v]};
+    }
+  }
 };
 
-/// Evaluate one candidate cell: binary-search B for existence, then
-/// compute distances to every point it contains (Algorithm 1, lines
-/// 10-17). `both_orders` implements UNICOMP's "add both (p, q) and
-/// (q, p)" rule for neighbour cells.
-inline void eval_cell(const SelfJoinKernelParams& p, LocalWork& w,
-                      Emitter& em, std::uint32_t pid, const double* pt,
-                      const std::uint32_t* cc, bool both_orders) {
-  const GridDeviceView& g = p.grid;
-  const std::uint64_t lin = g.linearize(cc);
-  ++w.cells_examined;
-  const std::uint64_t* end = g.B + g.b_size;
-  const std::uint64_t* it = std::lower_bound(g.B, end, lin);
-  if (it == end || *it != lin) return;
-  ++w.cells_nonempty;
-
-  const GridIndex::CellRange range = g.G[it - g.B];
-  const double eps2 = g.eps * g.eps;
-  for (std::uint32_t k = range.min; k <= range.max; ++k) {
-    const std::uint32_t q = g.A[k];
-    const double* qt = g.points + static_cast<std::size_t>(q) * g.dim;
-    w.global_loads += static_cast<std::uint64_t>(g.dim);
-    w.global_load_bytes += static_cast<std::uint64_t>(g.dim) * sizeof(double);
-    if (p.cache != nullptr) {
-      p.cache->access(reinterpret_cast<std::uint64_t>(qt),
-                      static_cast<unsigned>(g.dim) * sizeof(double));
+/// Mask-filtered adjacent coordinates per dimension (Algorithm 1,
+/// line 7): the elements of {c_j - 1, c_j, c_j + 1} present in M_j.
+inline void filter_adjacent(const GridDeviceView& g, const std::uint32_t* c,
+                            std::uint32_t adj[][3], int* adjn) {
+  for (int j = 0; j < g.dim; ++j) {
+    const std::uint32_t* m = g.M[j];
+    const std::uint32_t* mend = m + g.m_size[j];
+    const std::uint32_t lo = c[j] == 0 ? 0 : c[j] - 1;
+    const std::int64_t hi = static_cast<std::int64_t>(c[j]) + 1;
+    int count = 0;
+    const std::uint32_t* it = std::lower_bound(m, mend, lo);
+    for (; it != mend && static_cast<std::int64_t>(*it) <= hi; ++it) {
+      adj[j][count++] = *it;
     }
-    ++w.distance_calcs;
-    const double d2 = sq_dist_early_exit(pt, qt, g.dim, eps2);
-    if (d2 <= eps2) {
-      if (both_orders) {
-        em.emit_both(pid, q);
-      } else {
-        em.emit(pid, q);
+    adjn[j] = count;
+  }
+}
+
+/// The neighbourhood enumeration shared by the point-centric and the
+/// cell-centric kernels: visit(cc, both_orders) is called for every
+/// candidate cell of a home cell at coordinates `c`.
+///
+/// Full mode (Algorithm 1): the cartesian product of the mask-filtered
+/// adjacent coordinates in every dimension, own cell included, all with
+/// both_orders = false.
+///
+/// UNICOMP mode (Algorithm 2, generalised to n dimensions): the home cell
+/// in one direction, then for each dimension d with an odd home
+/// coordinate the cells where dimensions < d range over all filtered
+/// adjacent coordinates, dimension d over the filtered coordinates that
+/// differ from home, and dimensions > d stay pinned to home — those with
+/// both_orders = true.
+template <typename F>
+void enumerate_neighborhood(int dim, const std::uint32_t* c,
+                            const std::uint32_t adj[][3], const int* adjn,
+                            bool unicomp, F&& visit) {
+  std::uint32_t cc[kMaxDims];
+  if (!unicomp) {
+    for (int j = 0; j < dim; ++j) {
+      if (adjn[j] == 0) return;  // cannot happen for in-dataset queries
+    }
+    int idx[kMaxDims] = {};
+    for (;;) {
+      for (int j = 0; j < dim; ++j) cc[j] = adj[j][idx[j]];
+      visit(static_cast<const std::uint32_t*>(cc), /*both_orders=*/false);
+      int j = 0;
+      while (j < dim) {
+        if (++idx[j] < adjn[j]) break;
+        idx[j] = 0;
+        ++j;
       }
+      if (j == dim) break;
     }
+    return;
   }
-}
-
-/// Full-neighbourhood enumeration (Algorithm 1): the cartesian product of
-/// the mask-filtered adjacent coordinates in every dimension, own cell
-/// included.
-void enumerate_all(const SelfJoinKernelParams& p, LocalWork& w, Emitter& em,
-                   std::uint32_t pid, const double* pt,
-                   const std::uint32_t adj[][3], const int* adjn) {
-  const int dim = p.grid.dim;
-  for (int j = 0; j < dim; ++j) {
-    if (adjn[j] == 0) return;  // cannot happen for in-dataset queries
-  }
-  int idx[kMaxDims] = {};
-  std::uint32_t cc[kMaxDims];
-  for (;;) {
-    for (int j = 0; j < dim; ++j) cc[j] = adj[j][idx[j]];
-    eval_cell(p, w, em, pid, pt, cc, /*both_orders=*/false);
-    int j = 0;
-    while (j < dim) {
-      if (++idx[j] < adjn[j]) break;
-      idx[j] = 0;
-      ++j;
-    }
-    if (j == dim) break;
-  }
-}
-
-/// UNICOMP enumeration (Algorithm 2, generalised to n dimensions). For
-/// each dimension d with an odd home coordinate: dimensions < d range over
-/// all filtered adjacent coordinates, dimension d over the filtered
-/// coordinates that differ from home, dimensions > d stay pinned to home.
-void enumerate_unicomp(const SelfJoinKernelParams& p, LocalWork& w,
-                       Emitter& em, std::uint32_t pid, const double* pt,
-                       const std::uint32_t* c, const std::uint32_t adj[][3],
-                       const int* adjn) {
-  const int dim = p.grid.dim;
-  std::uint32_t cc[kMaxDims];
 
   // Home cell, one direction only: over all points of the cell, every
   // ordered pair (including the self pair) is emitted exactly once.
-  eval_cell(p, w, em, pid, pt, c, /*both_orders=*/false);
+  visit(c, /*both_orders=*/false);
 
   for (int d = 0; d < dim; ++d) {
     if ((c[d] & 1u) == 0) continue;  // even coordinate: skip (Algorithm 2)
@@ -140,7 +149,7 @@ void enumerate_unicomp(const SelfJoinKernelParams& p, LocalWork& w,
       for (int j = 0; j < d; ++j) cc[j] = adj[j][idx[j]];
       cc[d] = adj[d][idx[d]];
       for (int j = d + 1; j < dim; ++j) cc[j] = c[j];
-      eval_cell(p, w, em, pid, pt, cc, /*both_orders=*/true);
+      visit(static_cast<const std::uint32_t*>(cc), /*both_orders=*/true);
 
       // Advance the odometer over positions 0..d (position d skips home).
       int j = 0;
@@ -162,6 +171,143 @@ void enumerate_unicomp(const SelfJoinKernelParams& p, LocalWork& w,
   }
 }
 
+/// Evaluate one candidate cell of a point-centric query: binary-search B
+/// for existence, then compute distances to every point it contains
+/// (Algorithm 1, lines 10-17). `both_orders` implements UNICOMP's "add
+/// both (p, q) and (q, p)" rule for neighbour cells. `key` is the
+/// ORIGINAL dataset id emitted for the query point.
+inline void eval_cell(const SelfJoinKernelParams& p, LocalWork& w,
+                      Emitter& em, std::uint32_t key, const double* pt,
+                      const std::uint32_t* cc, bool both_orders) {
+  const GridDeviceView& g = p.grid;
+  const std::uint64_t lin = g.linearize(cc);
+  ++w.cells_examined;
+  const std::uint64_t* end = g.B + g.b_size;
+  const std::uint64_t* it = std::lower_bound(g.B, end, lin);
+  if (it == end || *it != lin) return;
+  ++w.cells_nonempty;
+
+  const GridIndex::CellRange range = g.G[it - g.B];
+  const double eps2 = g.eps * g.eps;
+  for (std::uint32_t k = range.min; k <= range.max; ++k) {
+    const double* qt = g.candidate_point(k);
+    w.global_loads += static_cast<std::uint64_t>(g.dim);
+    w.global_load_bytes += static_cast<std::uint64_t>(g.dim) * sizeof(double);
+    if (p.cache != nullptr) {
+      p.cache->access(reinterpret_cast<std::uint64_t>(qt),
+                      static_cast<unsigned>(g.dim) * sizeof(double));
+    }
+    ++w.distance_calcs;
+    const double d2 = sq_dist_early_exit(pt, qt, g.dim, eps2);
+    if (d2 <= eps2) {
+      const std::uint32_t q = g.candidate_id(k);
+      if (both_orders) {
+        em.emit_both(key, q);
+      } else {
+        em.emit(key, q);
+      }
+    }
+  }
+}
+
+/// Per-thread scratch for the cell-centric kernel's inline-enumeration
+/// mode, reused across work items so the range list never reallocates on
+/// the hot path.
+thread_local std::vector<CandidateRange> t_ranges;
+
+/// Build the candidate slot-range list of one non-empty cell — decoding
+/// its coordinates from B, mask-filtering the adjacency, enumerating the
+/// neighbourhood (full or UNICOMP) and binary-searching B ONCE PER CELL
+/// instead of once per point. Contiguous ranges with the same orientation
+/// are merged: adjacent non-empty cells occupy adjacent slot ranges in
+/// the cell-major layout, so the 3^n candidate cells frequently collapse
+/// into a few long scans.
+void collect_cell_ranges(const GridDeviceView& g, std::uint32_t cell_idx,
+                         bool unicomp, LocalWork& w,
+                         std::vector<CandidateRange>& out) {
+  const std::size_t first = out.size();
+  std::uint32_t c[kMaxDims];
+  const std::uint64_t lin = g.B[cell_idx];
+  for (int j = 0; j < g.dim; ++j) {
+    c[j] =
+        static_cast<std::uint32_t>((lin / g.stride[j]) % g.cells_per_dim[j]);
+  }
+  std::uint32_t adj[kMaxDims][3];
+  int adjn[kMaxDims];
+  filter_adjacent(g, c, adj, adjn);
+  enumerate_neighborhood(
+      g.dim, c, adj, adjn, unicomp,
+      [&](const std::uint32_t* cc, bool both) {
+        ++w.cells_examined;
+        const std::uint64_t id = g.linearize(cc);
+        const std::uint64_t* bend = g.B + g.b_size;
+        const std::uint64_t* it = std::lower_bound(g.B, bend, id);
+        if (it == bend || *it != id) return;
+        ++w.cells_nonempty;
+        const GridIndex::CellRange r = g.G[it - g.B];
+        const std::uint32_t flag = both ? 1 : 0;
+        if (out.size() > first && out.back().end == r.min &&
+            out.back().both == flag) {
+          out.back().end = r.max + 1;
+        } else {
+          out.push_back({r.min, r.max + 1, flag});
+        }
+      });
+}
+
+/// Scan one contiguous candidate range for one query point with blocked
+/// distance evaluation: each block of up to kScanBlock candidates is
+/// evaluated with a branch-free lane loop (vectorisable — no per-
+/// candidate early exit, no gather), and the dimension loop bails out at
+/// BLOCK granularity once every lane's partial sum exceeds eps^2.
+inline void scan_range(const GridDeviceView& g, LocalWork& w, Emitter& em,
+                       std::uint32_t key, const double* pt,
+                       const CandidateRange& r, double eps2,
+                       gpu::CacheSim* cache) {
+  constexpr int kScanBlock = 8;
+  const int dim = g.dim;
+  double acc[kScanBlock];
+  for (std::uint32_t k0 = r.begin; k0 < r.end; k0 += kScanBlock) {
+    const int bw = static_cast<int>(
+        std::min<std::uint32_t>(kScanBlock, r.end - k0));
+    const double* base = g.points + static_cast<std::size_t>(k0) * dim;
+    w.distance_calcs += static_cast<std::uint64_t>(bw);
+    w.global_loads += static_cast<std::uint64_t>(bw) * dim;
+    w.global_load_bytes +=
+        static_cast<std::uint64_t>(bw) * dim * sizeof(double);
+    if (cache != nullptr) {
+      cache->access(reinterpret_cast<std::uint64_t>(base),
+                    static_cast<unsigned>(bw * dim) * sizeof(double));
+    }
+    for (int v = 0; v < bw; ++v) acc[v] = 0.0;
+    bool block_pruned = false;
+    for (int j = 0; j < dim; ++j) {
+      const double pj = pt[j];
+      for (int v = 0; v < bw; ++v) {
+        const double diff = base[v * dim + j] - pj;
+        acc[v] += diff * diff;
+      }
+      // Only bother with the per-block prune in higher dimensions, where
+      // the remaining per-lane work it saves outweighs the min-reduction.
+      if (dim > 3 && j + 1 < dim) {
+        double m = acc[0];
+        for (int v = 1; v < bw; ++v) m = std::min(m, acc[v]);
+        if (m > eps2) {
+          block_pruned = true;
+          break;
+        }
+      }
+    }
+    if (block_pruned) continue;
+    std::uint32_t match[kScanBlock];
+    int m = 0;
+    for (int v = 0; v < bw; ++v) {
+      if (acc[v] <= eps2) match[m++] = g.orig[k0 + v];
+    }
+    if (m > 0) em.emit_block(key, match, m, r.both);
+  }
+}
+
 }  // namespace
 
 void self_join_thread(const gpu::ThreadCtx& ctx,
@@ -174,6 +320,7 @@ void self_join_thread(const gpu::ThreadCtx& ctx,
 
   const GridDeviceView& g = p.grid;
   const double* pt = g.query_point(pid);
+  const std::uint32_t key = g.query_id(pid);
 
   LocalWork w;
   Emitter em{p.result, w};
@@ -196,30 +343,110 @@ void self_join_thread(const gpu::ThreadCtx& ctx,
     c[j] = static_cast<std::uint32_t>(cj);
   }
 
-  // Mask-filtered adjacent coordinates per dimension (line 7): the
-  // elements of {c_j - 1, c_j, c_j + 1} present in M_j.
   std::uint32_t adj[kMaxDims][3];
   int adjn[kMaxDims];
-  for (int j = 0; j < g.dim; ++j) {
-    const std::uint32_t* m = g.M[j];
-    const std::uint32_t* mend = m + g.m_size[j];
-    const std::uint32_t lo = c[j] == 0 ? 0 : c[j] - 1;
-    const std::int64_t hi = static_cast<std::int64_t>(c[j]) + 1;
-    int count = 0;
-    const std::uint32_t* it = std::lower_bound(m, mend, lo);
-    for (; it != mend && static_cast<std::int64_t>(*it) <= hi; ++it) {
-      adj[j][count++] = *it;
-    }
-    adjn[j] = count;
+  filter_adjacent(g, c, adj, adjn);
+
+  enumerate_neighborhood(g.dim, c, adj, adjn, p.unicomp,
+                         [&](const std::uint32_t* cc, bool both) {
+                           eval_cell(p, w, em, key, pt, cc, both);
+                         });
+
+  if (p.work != nullptr) p.work->flush(w);
+}
+
+void self_join_cells_thread(const gpu::ThreadCtx& ctx,
+                            const CellJoinKernelParams& p) {
+  const std::uint64_t gid = ctx.global_id();
+  if (gid >= p.num_items) return;
+  const CellWorkItem item = p.items[gid];
+  const GridDeviceView& g = p.grid;
+
+  LocalWork w;
+  Emitter em{p.result, w};
+
+  // The adjacent-cell range list is shared by the whole item — every
+  // point of the cell has the same neighbourhood. With a precomputed
+  // adjacency the lookup is free; the standalone mode (metrics pass)
+  // enumerates it here, once per item.
+  const CandidateRange* ranges;
+  std::size_t num_ranges;
+  if (p.ranges != nullptr) {
+    ranges = p.ranges + p.range_offsets[item.cell];
+    num_ranges = static_cast<std::size_t>(p.range_offsets[item.cell + 1] -
+                                          p.range_offsets[item.cell]);
+  } else {
+    t_ranges.clear();
+    collect_cell_ranges(g, item.cell, p.unicomp, w, t_ranges);
+    ranges = t_ranges.data();
+    num_ranges = t_ranges.size();
   }
 
-  if (p.unicomp) {
-    enumerate_unicomp(p, w, em, pid, pt, c, adj, adjn);
-  } else {
-    enumerate_all(p, w, em, pid, pt, adj, adjn);
+  const double eps2 = g.eps * g.eps;
+  for (std::uint32_t s = item.begin; s < item.end; ++s) {
+    const double* pt = g.points + static_cast<std::size_t>(s) * g.dim;
+    const std::uint32_t key = g.orig[s];
+    w.global_loads += static_cast<std::uint64_t>(g.dim);
+    w.global_load_bytes += static_cast<std::uint64_t>(g.dim) * sizeof(double);
+    if (p.cache != nullptr) {
+      p.cache->access(reinterpret_cast<std::uint64_t>(pt),
+                      static_cast<unsigned>(g.dim) * sizeof(double));
+    }
+    for (std::size_t r = 0; r < num_ranges; ++r) {
+      scan_range(g, w, em, key, pt, ranges[r], eps2, p.cache);
+    }
   }
 
   if (p.work != nullptr) p.work->flush(w);
+}
+
+CellAdjacency build_cell_adjacency(gpu::GlobalMemoryArena& arena,
+                                   const GridDeviceView& grid, bool unicomp) {
+  CellAdjacency adj;
+  const std::size_t num_cells = static_cast<std::size_t>(grid.b_size);
+  adj.weights.assign(num_cells, 0);
+  if (num_cells == 0) {
+    adj.offsets = gpu::DeviceBuffer<std::uint64_t>(arena, 1);
+    adj.offsets[0] = 0;
+    return adj;
+  }
+
+  // One enumeration pass over the cells, accumulated on the host, then
+  // uploaded as a CSR-style (offsets, ranges) pair. The pass is the same
+  // work one point-centric query performs per POINT, so it amortises to a
+  // small fraction of the legacy kernel's search overhead.
+  std::vector<CandidateRange> ranges;
+  ranges.reserve(num_cells * 4);
+  std::vector<std::uint64_t> offsets(num_cells + 1, 0);
+  LocalWork w;  // planning work, not flushed into join counters
+  for (std::size_t cell = 0; cell < num_cells; ++cell) {
+    collect_cell_ranges(grid, static_cast<std::uint32_t>(cell), unicomp, w,
+                        ranges);
+    offsets[cell + 1] = ranges.size();
+    std::uint64_t candidates = 0;
+    for (std::size_t r = offsets[cell]; r < offsets[cell + 1]; ++r) {
+      candidates += static_cast<std::uint64_t>(ranges[r].end -
+                                               ranges[r].begin) *
+                    (ranges[r].both != 0 ? 2 : 1);
+    }
+    const GridIndex::CellRange cr = grid.G[cell];
+    // candidates x population can exceed 64 bits for a pathological cell;
+    // saturate so the planner's relative ordering survives instead of
+    // wrapping a heavy cell down to a tiny weight.
+    const unsigned __int128 weight =
+        static_cast<unsigned __int128>(candidates) *
+        (static_cast<std::uint64_t>(cr.max) - cr.min + 1);
+    adj.weights[cell] = static_cast<std::uint64_t>(std::min<unsigned __int128>(
+        weight, std::numeric_limits<std::uint64_t>::max()));
+  }
+
+  adj.ranges = gpu::DeviceBuffer<CandidateRange>(arena, ranges.size());
+  std::copy(ranges.begin(), ranges.end(), adj.ranges.data());
+  adj.offsets = gpu::DeviceBuffer<std::uint64_t>(arena, offsets.size());
+  std::copy(offsets.begin(), offsets.end(), adj.offsets.data());
+  adj.cells_examined = w.cells_examined;
+  adj.cells_nonempty = w.cells_nonempty;
+  return adj;
 }
 
 void brute_force_thread(const gpu::ThreadCtx& ctx,

@@ -8,7 +8,16 @@
 // evaluated in one direction, and for every dimension d whose cell
 // coordinate is odd, the neighbour cells that differ in d (free in
 // dimensions < d, pinned to the home coordinates in dimensions > d) are
-// evaluated emitting BOTH ordered pairs.
+// evaluated emitting BOTH ordered pairs. It works on either data layout
+// (candidates are resolved through GridDeviceView's candidate helpers).
+//
+// self_join_cells_thread() is the CELL-CENTRIC kernel over the cell-major
+// layout: one work unit is a (cell, point-subrange) item, the adjacent-
+// cell range list — including the UNICOMP odd/even pattern — is computed
+// ONCE per item, and all of the item's points then scan those contiguous
+// slot ranges with a blocked, vectorisable inner loop. This amortises the
+// per-point binary searches of Algorithm 1 across the cell and removes
+// the A[] gather from the distance loop.
 //
 // brute_force_thread() is the GPU brute-force nested-loop kernel used as
 // the paper's index-free baseline (Section VI-B).
@@ -16,6 +25,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "common/result.hpp"
 #include "core/device_view.hpp"
@@ -40,6 +50,7 @@ struct SelfJoinKernelParams {
   GridDeviceView grid;
   /// Point ids this launch processes (the batching scheme passes each
   /// batch's ids); nullptr means the identity mapping over all points.
+  /// On a cell-major grid these are point SLOTS, not original ids.
   const std::uint32_t* query_ids = nullptr;
   std::uint64_t num_queries = 0;
   ResultBufferView result;
@@ -50,6 +61,67 @@ struct SelfJoinKernelParams {
 
 void self_join_thread(const gpu::ThreadCtx& ctx,
                       const SelfJoinKernelParams& p);
+
+/// One cell-centric work unit: the points in slots [begin, end) of the
+/// non-empty cell with index `cell` into B/G. Root batches cover whole
+/// cells (begin = G[cell].min, end = G[cell].max + 1); the overflow-split
+/// path may narrow the slot range of a single oversized cell.
+struct CellWorkItem {
+  std::uint32_t cell;
+  std::uint32_t begin;
+  std::uint32_t end;
+};
+
+/// One contiguous slot range of cell-major candidates; `both` (0/1) marks
+/// UNICOMP neighbour ranges whose finds emit both ordered pairs.
+struct CandidateRange {
+  std::uint32_t begin;
+  std::uint32_t end;  // one past the last slot
+  std::uint32_t both;
+};
+
+/// The per-cell adjacency, resolved ONCE per join: cell i's candidate
+/// slot ranges are ranges[offsets[i], offsets[i+1]). Shared by the batch
+/// planner (weights) and every batch kernel launch, so neither the
+/// planning pass nor overflow retries repeat the odometer + binary
+/// searches of B.
+struct CellAdjacency {
+  gpu::DeviceBuffer<CandidateRange> ranges;
+  gpu::DeviceBuffer<std::uint64_t> offsets;  // b_size + 1 entries
+  /// Host-side per-cell candidate-pair counts (cell population x
+  /// candidate population, both-orders ranges twice) for the planner.
+  std::vector<std::uint64_t> weights;
+
+  /// Index-search work the build performed — the cell-mode equivalent of
+  /// the point-centric kernel's cell counters (amortised: once per cell
+  /// instead of once per point). Folded into the join metrics.
+  std::uint64_t cells_examined = 0;
+  std::uint64_t cells_nonempty = 0;
+};
+
+/// Build the adjacency of every non-empty cell of a cell-major grid with
+/// one enumeration pass (odometer or UNICOMP pattern + find_cell each).
+CellAdjacency build_cell_adjacency(gpu::GlobalMemoryArena& arena,
+                                   const GridDeviceView& grid, bool unicomp);
+
+struct CellJoinKernelParams {
+  GridDeviceView grid;  ///< must be cell-major
+  const CellWorkItem* items = nullptr;
+  std::uint64_t num_items = 0;
+  /// Precomputed adjacency (build_cell_adjacency). When null the kernel
+  /// enumerates each item's neighbourhood inline — the standalone mode
+  /// the serial metrics pass uses, which also produces the Table II cell
+  /// counters.
+  const CandidateRange* ranges = nullptr;
+  const std::uint64_t* range_offsets = nullptr;
+  ResultBufferView result;
+  bool unicomp = false;
+  AtomicWork* work = nullptr;
+  gpu::CacheSim* cache = nullptr;  // L1 model; only valid with serial exec
+};
+
+void self_join_cells_thread(const gpu::ThreadCtx& ctx,
+                            const CellJoinKernelParams& p);
 
 struct BruteForceKernelParams {
   const double* points = nullptr;

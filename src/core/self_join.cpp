@@ -49,7 +49,7 @@ SelfJoinResult GpuSelfJoin::run(const Dataset& d, double eps) const {
   // --- Upload dataset + index to the (simulated) device.
   gpu::GlobalMemoryArena arena(opt_.device);
   phase.reset();
-  DeviceGrid dev(arena, d, index);
+  DeviceGrid dev(arena, d, index, opt_.layout);
   st.upload_seconds = phase.seconds();
   const GridDeviceView& grid = dev.view();
 
@@ -60,23 +60,47 @@ SelfJoinResult GpuSelfJoin::run(const Dataset& d, double eps) const {
   st.estimate_seconds = phase.seconds();
   st.estimated_total = est.estimated_total;
 
-  // --- Size the per-stream buffers within the device's free memory.
-  const std::uint64_t buffer_pairs = size_buffer_pairs(
-      arena, d.size(), est.estimated_total, opt_.min_batches,
-      opt_.num_streams, opt_.max_buffer_pairs, opt_.safety);
+  // --- Cell mode: resolve every cell's adjacency ONCE (shared by the
+  // batch planner and all kernel launches, including overflow retries).
+  // Built before buffer sizing so its device memory is accounted for.
+  CellAdjacency adjacency;
+  if (opt_.layout == GridLayout::kCellMajor) {
+    adjacency = build_cell_adjacency(arena, grid, opt_.unicomp);
+  }
 
-  const BatchPlan plan = plan_batches(est.estimated_total, d.size(),
-                                      opt_.min_batches, buffer_pairs,
-                                      opt_.safety);
+  // --- Size the per-stream buffers within the device's free memory.
+  // Cell-mode batches upload 12-byte work items instead of 4-byte query
+  // ids; triple the reservation proxy so the uploads always fit.
+  const std::uint64_t upload_units =
+      grid.cell_major ? d.size() * 3 : d.size();
+  const std::uint64_t buffer_pairs = size_buffer_pairs(
+      arena, upload_units, est.estimated_total, opt_.min_batches,
+      opt_.num_streams, opt_.max_buffer_pairs, opt_.safety);
 
   // --- Batched, stream-pipelined join.
   AtomicWork work;
   phase.reset();
   Batcher batcher(arena, opt_.device, opt_.num_streams, opt_.block_size);
-  result.pairs = batcher.run(grid, opt_.unicomp, plan, &work, &st.batch);
+  if (opt_.layout == GridLayout::kCellMajor) {
+    // Per-cell work estimates -> weighted contiguous cell batches.
+    const CellBatchPlan plan =
+        plan_cell_batches(adjacency.weights, est.estimated_total,
+                          opt_.min_batches, buffer_pairs, opt_.safety);
+    result.pairs = batcher.run_cells(grid, opt_.unicomp, plan, &adjacency,
+                                     &work, &st.batch);
+  } else {
+    const BatchPlan plan = plan_batches(est.estimated_total, d.size(),
+                                        opt_.min_batches, buffer_pairs,
+                                        opt_.safety);
+    result.pairs = batcher.run(grid, opt_.unicomp, plan, &work, &st.batch);
+  }
   st.join_seconds = phase.seconds();
 
   work.add_to(st.metrics);
+  // The adjacency build carries the cell-mode index-search work (resolved
+  // once per cell rather than once per point).
+  st.metrics.cells_examined += adjacency.cells_examined;
+  st.metrics.cells_nonempty += adjacency.cells_nonempty;
   st.metrics.kernel_seconds = st.batch.kernel_seconds;
 
   collect_gpu_stats(grid, opt_, st);
@@ -95,19 +119,43 @@ void collect_gpu_stats(const GridDeviceView& grid,
   st.metrics.occupancy = occ.occupancy;
 
   // --- Optional metrics pass: serial execution with the L1 cache model
-  // (deterministic access order, as a profiler replay would see).
+  // (deterministic access order, as a profiler replay would see). Runs
+  // the kernel matching the grid's layout so the cache counters reflect
+  // the access pattern the join actually used.
   if (opt.collect_metrics) {
     gpu::CacheSim cache(opt.device);
     AtomicWork mwork;
-    SelfJoinKernelParams p;
-    p.grid = grid;
-    p.num_queries = grid.n;
-    p.unicomp = opt.unicomp;
-    p.work = &mwork;
-    p.cache = &cache;
-    gpu::launch(gpu::LaunchConfig::cover(grid.n, opt.block_size),
-                [&p](const gpu::ThreadCtx& ctx) { self_join_thread(ctx, p); },
-                gpu::ExecMode::kSerial);
+    if (grid.cell_major) {
+      std::vector<CellWorkItem> items;
+      items.reserve(static_cast<std::size_t>(grid.b_size));
+      for (std::uint64_t cell = 0; cell < grid.b_size; ++cell) {
+        const GridIndex::CellRange r = grid.G[cell];
+        items.push_back(CellWorkItem{static_cast<std::uint32_t>(cell),
+                                     r.min, r.max + 1});
+      }
+      CellJoinKernelParams p;
+      p.grid = grid;
+      p.items = items.data();
+      p.num_items = items.size();
+      p.unicomp = opt.unicomp;
+      p.work = &mwork;
+      p.cache = &cache;
+      gpu::launch(
+          gpu::LaunchConfig::cover(items.size(), opt.block_size),
+          [&p](const gpu::ThreadCtx& ctx) { self_join_cells_thread(ctx, p); },
+          gpu::ExecMode::kSerial);
+    } else {
+      SelfJoinKernelParams p;
+      p.grid = grid;
+      p.num_queries = grid.n;
+      p.unicomp = opt.unicomp;
+      p.work = &mwork;
+      p.cache = &cache;
+      gpu::launch(
+          gpu::LaunchConfig::cover(grid.n, opt.block_size),
+          [&p](const gpu::ThreadCtx& ctx) { self_join_thread(ctx, p); },
+          gpu::ExecMode::kSerial);
+    }
     st.metrics.cache_hits = cache.hits();
     st.metrics.cache_misses = cache.misses();
     // Modelled unified-cache bandwidth: bytes served over modelled time

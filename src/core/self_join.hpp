@@ -14,6 +14,7 @@
 #include "common/dataset.hpp"
 #include "common/result.hpp"
 #include "core/batcher.hpp"
+#include "core/device_view.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/metrics.hpp"
 
@@ -22,6 +23,13 @@ namespace sj {
 struct GpuSelfJoinOptions {
   /// Enable the UNICOMP uni-directional comparison pattern (Section V-B).
   bool unicomp = true;
+
+  /// Data layout + kernel shape. kCellMajor (the default) reorders the
+  /// dataset cell-by-cell at upload time and runs the cell-centric kernel
+  /// (adjacency resolved once per cell, contiguous candidate scans);
+  /// kLegacy keeps the paper's point-centric kernel over the original
+  /// order, selectable for ablation and parity checks.
+  GridLayout layout = GridLayout::kCellMajor;
 
   /// Threads per block ("configured to run with 256 threads per block",
   /// Section VI-B).

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <string>
 
 #include "api/registry.hpp"
@@ -123,6 +124,64 @@ INSTANTIATE_TEST_SUITE_P(
     AllBackends, BackendParity,
     ::testing::ValuesIn(api::BackendRegistry::instance().names()),
     [](const auto& info) { return info.param; });
+
+// --- Data-layout parity: the cell-major layout must return byte-
+// identical ordered pair sets to the legacy point-centric layout, across
+// every GPU engine and both unicomp modes, edge cases included.
+
+struct LayoutCase {
+  std::string algo;
+  std::map<std::string, std::string> extra;  // on top of layout=
+  std::string label;
+};
+
+class LayoutParity : public ::testing::TestWithParam<LayoutCase> {
+ protected:
+  void expect_layout_parity(const Dataset& d, double eps) {
+    const auto& backend =
+        api::BackendRegistry::instance().at(GetParam().algo);
+    api::RunConfig legacy_cfg, cell_cfg;
+    legacy_cfg.extra = GetParam().extra;
+    cell_cfg.extra = GetParam().extra;
+    legacy_cfg.extra["layout"] = "legacy";
+    cell_cfg.extra["layout"] = "cell";
+    auto legacy = backend.run(d, eps, legacy_cfg).pairs;
+    auto cell = backend.run(d, eps, cell_cfg).pairs;
+    legacy.normalize();
+    cell.normalize();
+    // Byte-identical ordered pair sets, not just equal counts.
+    EXPECT_EQ(legacy.pairs(), cell.pairs())
+        << GetParam().label << " on n=" << d.size() << " eps=" << eps;
+  }
+};
+
+TEST_P(LayoutParity, EdgeCases) {
+  expect_layout_parity(Dataset(2), 1.0);
+  expect_layout_parity(Dataset(3, {1.0, 2.0, 3.0}), 0.5);
+  // eps = 0 and co-located points.
+  expect_layout_parity(Dataset(2, {1.0, 1.0, 1.0, 1.0, 2.0, 2.0}), 0.0);
+  expect_layout_parity(all_duplicates(4, 40), 0.5);
+}
+
+TEST_P(LayoutParity, UniformAndSkewedSweeps) {
+  const auto uni = datagen::uniform(400, 3, 0.0, 20.0, 47);
+  for (double eps : {0.5, 2.0, 50.0}) {
+    expect_layout_parity(uni, eps);
+  }
+  const auto skew = datagen::ippp(800, 2, 32.0, 49);
+  for (double eps : {0.5, 2.0}) {
+    expect_layout_parity(skew, eps);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GpuEngines, LayoutParity,
+    ::testing::Values(
+        LayoutCase{"gpu", {}, "gpu"},
+        LayoutCase{"gpu_unicomp", {}, "gpu_unicomp"},
+        LayoutCase{"gpu_async", {}, "gpu_async"},
+        LayoutCase{"gpu_async", {{"unicomp", "1"}}, "gpu_async_unicomp"}),
+    [](const auto& info) { return info.param.label; });
 
 }  // namespace
 }  // namespace sj

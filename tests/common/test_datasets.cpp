@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <stdexcept>
 
 namespace sj {
@@ -82,6 +85,71 @@ TEST(NamedDatasets, EveryDatasetHasFiveEpsValues) {
     EXPECT_EQ(info.paper_eps.size(), 5u) << info.name;
     EXPECT_EQ(info.bench_eps.size(), 5u) << info.name;
   }
+}
+
+// --- SJ_DATASET_CACHE: generated datasets are persisted and reused,
+// keyed by name / resolved size / seed.
+
+/// Scoped SJ_DATASET_CACHE override (tests in this binary run serially).
+class DatasetCache : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "sj_dataset_cache_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    ::setenv("SJ_DATASET_CACHE", dir_.c_str(), 1);
+  }
+  void TearDown() override {
+    ::unsetenv("SJ_DATASET_CACHE");
+    std::filesystem::remove_all(dir_);
+  }
+  std::string dir_;
+};
+
+TEST_F(DatasetCache, SecondMakeIsServedFromDiskAndIdentical) {
+  const auto first = datasets::make("Syn2D2M", 0.05);
+  // Exactly one cache file appears, keyed by name/size/seed.
+  std::size_t files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    EXPECT_NE(e.path().filename().string().find("Syn2D2M-n1000-seed101-v"),
+              std::string::npos);
+    ++files;
+  }
+  ASSERT_EQ(files, 1u);
+  const auto second = datasets::make("Syn2D2M", 0.05);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(second.name(), "Syn2D2M");
+}
+
+TEST_F(DatasetCache, DifferentScalesGetDifferentEntries) {
+  datasets::make("Syn3D2M", 0.05);
+  datasets::make("Syn3D2M", 0.1);
+  std::size_t files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    (void)e;
+    ++files;
+  }
+  EXPECT_EQ(files, 2u);
+}
+
+TEST_F(DatasetCache, CorruptCacheEntryFallsBackToRegeneration) {
+  const auto want = datasets::make("SW2DA", 0.05);
+  // Truncate the cached file; the next make() must regenerate, not throw
+  // or return garbage.
+  std::string path;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    path = e.path().string();
+  }
+  ASSERT_FALSE(path.empty());
+  std::ofstream(path, std::ios::trunc) << "junk";
+  const auto got = datasets::make("SW2DA", 0.05);
+  EXPECT_EQ(got, want);
+}
+
+TEST_F(DatasetCache, UnwritableCacheDirectoryIsNonFatal) {
+  ::setenv("SJ_DATASET_CACHE", "/proc/definitely/not/writable", 1);
+  const auto d = datasets::make("Syn2D2M", 0.05);
+  EXPECT_EQ(d.size(), 1000u);
 }
 
 }  // namespace

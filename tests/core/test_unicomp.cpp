@@ -92,10 +92,18 @@ TEST_P(UnicompEquivalence, RoughlyHalvesWork) {
   const double eps = std::pow(2.4, dim - 2);
   const auto d = datagen::uniform(4000, dim, 0.0, 100.0, 700 + dim);
 
+  // The paper's ~2x work ratios are stated for the POINT-centric kernel,
+  // where every point re-examines its adjacent cells. The cell-centric
+  // kernel amortises cell examinations across each cell's points, which
+  // reweights the ratio (it still drops well below 1x of base in absolute
+  // terms); pin the legacy layout so the measured property matches the
+  // claim under test.
   GpuSelfJoinOptions base_opt;
   base_opt.unicomp = false;
+  base_opt.layout = GridLayout::kLegacy;
   GpuSelfJoinOptions uni_opt;
   uni_opt.unicomp = true;
+  uni_opt.layout = GridLayout::kLegacy;
 
   const auto base = GpuSelfJoin(base_opt).run(d, eps);
   const auto uni = GpuSelfJoin(uni_opt).run(d, eps);
