@@ -1,0 +1,155 @@
+// Head-to-head for the query/data join: the legacy point-centric search
+// vs the cell-major indexed side + query-group kernel, on the same grid
+// index and batching scheme.
+//
+// Workloads:
+//   * uniform queries over uniform data (the baseline regime),
+//   * strongly skewed IPPP queries over uniform data — the case the
+//     per-group weighted batching is built for (most of the result
+//     volume concentrated in a few query home cells), and
+//   * uniform queries over IPPP data (dense indexed cells, long
+//     contiguous scans).
+//
+// Output: the usual CSV under SJ_RESULTS_DIR plus BENCH_join.json (path
+// overridable via SJ_BENCH_JSON) — the perf-trajectory artefact CI
+// uploads. With SJ_SMOKE_CHECK=1 the process exits non-zero when the
+// geometric-mean speedup of cell over legacy falls below 0.9x (a >10%
+// regression), which is the CI bench-smoke gate.
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "common/csv.hpp"
+#include "common/datagen.hpp"
+#include "common/table.hpp"
+#include "harness/bench_common.hpp"
+
+namespace {
+
+struct Row {
+  std::string workload;
+  std::size_t nq = 0;
+  std::size_t nd = 0;
+  double eps = 0.0;
+  double legacy_seconds = 0.0;
+  double cell_seconds = 0.0;
+  std::uint64_t pairs = 0;
+  double query_groups = 0.0;
+  double speedup = 0.0;
+};
+
+double run_layout(const sj::Dataset& q, const sj::Dataset& d, double eps,
+                  const std::string& layout, std::uint64_t& pairs_out,
+                  double& groups_out) {
+  sj::api::RunConfig config;
+  config.extra["layout"] = layout;
+  const auto& backend = sj::api::BackendRegistry::instance().at(
+      "gpu", sj::api::Operation::kJoin);
+  const auto r = backend.join(q, d, eps, config);
+  pairs_out = r.pairs.size();
+  groups_out = r.stats.native_value("query_groups");
+  return r.stats.seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sj;
+  using namespace sj::bench;
+  std::vector<Row> rows;
+  const int rc = bench_main(argc, argv, [&rows] {
+    const double scale = env_scale();
+
+    struct Workload {
+      std::string name;
+      Dataset queries;
+      Dataset data;
+      double eps;
+    };
+    std::vector<Workload> workloads;
+    {
+      const auto nd = static_cast<std::size_t>(2'000'000 * scale);
+      const auto nq = static_cast<std::size_t>(1'000'000 * scale);
+      workloads.push_back({"UniQ-UniD",
+                           datagen::uniform(nq, 2, 0.0, 1000.0, 5001),
+                           datagen::uniform(nd, 2, 0.0, 1000.0, 5002),
+                           1.0});
+      workloads.push_back({"IpppQ-UniD",
+                           datagen::ippp(nq, 2, 64.0, 5003),
+                           datagen::uniform(nd, 2, 0.0, 64.0, 5004),
+                           0.15});
+      workloads.push_back({"UniQ-IpppD",
+                           datagen::uniform(nq, 2, 0.0, 64.0, 5005),
+                           datagen::ippp(nd, 2, 64.0, 5006),
+                           0.15});
+    }
+
+    TextTable t({"workload", "|Q|", "|D|", "eps", "legacy (s)", "cell (s)",
+                 "speedup", "groups", "pairs"});
+    csv::Table out({"workload", "nq", "nd", "eps", "legacy_seconds",
+                    "cell_seconds", "speedup", "query_groups", "pairs"});
+    for (const auto& w : workloads) {
+      Row row;
+      row.workload = w.name;
+      row.nq = w.queries.size();
+      row.nd = w.data.size();
+      row.eps = w.eps;
+      std::uint64_t legacy_pairs = 0;
+      double unused_groups = 0.0;
+      row.legacy_seconds = run_layout(w.queries, w.data, w.eps, "legacy",
+                                      legacy_pairs, unused_groups);
+      row.cell_seconds = run_layout(w.queries, w.data, w.eps, "cell",
+                                    row.pairs, row.query_groups);
+      if (row.pairs != legacy_pairs) {
+        std::cerr << "FATAL: layouts disagree on " << w.name
+                  << ": legacy=" << legacy_pairs << " cell=" << row.pairs
+                  << "\n";
+        std::exit(1);
+      }
+      row.speedup = row.cell_seconds > 0.0
+                        ? row.legacy_seconds / row.cell_seconds
+                        : 0.0;
+      t.add_row({row.workload, std::to_string(row.nq),
+                 std::to_string(row.nd), csv::fmt(row.eps),
+                 csv::fmt(row.legacy_seconds), csv::fmt(row.cell_seconds),
+                 csv::fmt(row.speedup),
+                 std::to_string(static_cast<std::uint64_t>(row.query_groups)),
+                 std::to_string(row.pairs)});
+      out.add_row({row.workload, std::to_string(row.nq),
+                   std::to_string(row.nd), csv::fmt(row.eps),
+                   csv::fmt(row.legacy_seconds), csv::fmt(row.cell_seconds),
+                   csv::fmt(row.speedup), csv::fmt(row.query_groups),
+                   std::to_string(row.pairs)});
+      rows.push_back(row);
+    }
+    std::cout << "\n== ablation: query/data join, legacy vs cell-major "
+                 "indexed side ==\n";
+    t.print(std::cout);
+    std::cout << "(both layouts return identical pair sets; asserted above "
+                 "and by tests/core/test_join.cpp)\n";
+    out.write(Collector::results_dir() + "/ablation_join.csv");
+  });
+  if (rc != 0) return rc;
+
+  // --- BENCH_join.json + the CI smoke gate (>10% regression fails).
+  std::vector<double> speedups;
+  std::vector<std::string> row_json;
+  for (const Row& r : rows) {
+    speedups.push_back(r.speedup);
+    std::ostringstream js;
+    js << "{\"workload\": \"" << r.workload << "\", \"nq\": " << r.nq
+       << ", \"nd\": " << r.nd << ", \"eps\": " << r.eps
+       << ", \"legacy_seconds\": " << r.legacy_seconds
+       << ", \"cell_seconds\": " << r.cell_seconds
+       << ", \"speedup\": " << r.speedup
+       << ", \"query_groups\": " << r.query_groups
+       << ", \"pairs\": " << r.pairs << "}";
+    row_json.push_back(js.str());
+  }
+  const double g = geomean(speedups);
+  write_bench_json("ablation_join", "BENCH_join.json", g, row_json);
+  return smoke_check("ablation_join", g);
+}

@@ -13,10 +13,9 @@
 // uploads. With SJ_SMOKE_CHECK=1 the process exits non-zero when the
 // geometric-mean speedup of cell over legacy falls below 0.9x (a >10%
 // regression), which is the CI bench-smoke gate.
-#include <cmath>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -124,50 +123,21 @@ int main(int argc, char** argv) {
   });
   if (rc != 0) return rc;
 
-  // --- BENCH_layout.json: the perf-trajectory artefact.
-  double geomean = 0.0;
-  std::size_t counted = 0;
+  // --- BENCH_layout.json + the CI smoke gate (>10% regression fails).
+  std::vector<double> speedups;
+  std::vector<std::string> row_json;
   for (const Row& r : rows) {
-    if (r.speedup > 0.0) {
-      geomean += std::log(r.speedup);
-      ++counted;
-    }
+    speedups.push_back(r.speedup);
+    std::ostringstream js;
+    js << "{\"workload\": \"" << r.workload << "\", \"dim\": " << r.dim
+       << ", \"n\": " << r.n << ", \"eps\": " << r.eps << ", \"algo\": \""
+       << r.algo << "\", \"legacy_seconds\": " << r.legacy_seconds
+       << ", \"cell_seconds\": " << r.cell_seconds
+       << ", \"speedup\": " << r.speedup << ", \"pairs\": " << r.pairs
+       << "}";
+    row_json.push_back(js.str());
   }
-  geomean = counted > 0 ? std::exp(geomean / static_cast<double>(counted))
-                        : 0.0;
-
-  const char* json_path = std::getenv("SJ_BENCH_JSON");
-  const std::string path =
-      json_path != nullptr && *json_path != '\0' ? json_path
-                                                 : "BENCH_layout.json";
-  {
-    std::ofstream js(path);
-    js << "{\n  \"bench\": \"ablation_layout\",\n"
-       << "  \"scale\": " << env_scale() << ",\n"
-       << "  \"geomean_speedup_cell_vs_legacy\": " << geomean << ",\n"
-       << "  \"rows\": [\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      js << "    {\"workload\": \"" << r.workload << "\", \"dim\": " << r.dim
-         << ", \"n\": " << r.n << ", \"eps\": " << r.eps << ", \"algo\": \""
-         << r.algo << "\", \"legacy_seconds\": " << r.legacy_seconds
-         << ", \"cell_seconds\": " << r.cell_seconds
-         << ", \"speedup\": " << r.speedup << ", \"pairs\": " << r.pairs
-         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
-    }
-    js << "  ]\n}\n";
-  }
-  std::cout << "wrote " << path << " (geomean speedup " << geomean << ")\n";
-
-  // --- CI smoke gate: cell-major must not regress >10% vs legacy.
-  const char* smoke = std::getenv("SJ_SMOKE_CHECK");
-  if (smoke != nullptr && *smoke != '\0' && std::string(smoke) != "0") {
-    if (geomean < 0.9) {
-      std::cerr << "SMOKE CHECK FAILED: cell-major geomean speedup "
-                << geomean << " < 0.9 (a >10% regression vs legacy)\n";
-      return 1;
-    }
-    std::cout << "smoke check passed (geomean " << geomean << " >= 0.9)\n";
-  }
-  return 0;
+  const double g = geomean(speedups);
+  write_bench_json("ablation_layout", "BENCH_layout.json", g, row_json);
+  return smoke_check("ablation_layout", g);
 }

@@ -1,16 +1,17 @@
 // Extension bench (paper future work, Section VII): grid-based kNN vs a
 // brute-force kNN scan — candidates examined per query and wall-clock
-// across dimensions and k.
+// across dimensions and k. Dispatches through the unified backend
+// registry's knn facet.
 #include <algorithm>
 #include <iostream>
 #include <vector>
 
+#include "api/registry.hpp"
 #include "common/csv.hpp"
 #include "common/datagen.hpp"
 #include "common/distance.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
-#include "core/knn.hpp"
 #include "harness/bench_common.hpp"
 
 namespace {
@@ -48,24 +49,23 @@ int main(int argc, char** argv) {
                     "candidates_per_query", "rings_per_query"});
     const auto scale = env_scale();
     const auto n = static_cast<std::size_t>(20000 * scale);
+    const auto& backend = api::BackendRegistry::instance().at(
+        "gpu", api::Operation::kKnn);
     for (int dim : {2, 3, 4, 6}) {
       const auto d = datagen::uniform(n, dim, 0.0, 100.0, 800 + dim);
       for (int k : {4, 16}) {
-        KnnOptions opt;
-        opt.k = k;
-        const auto r = gpu_knn(d, opt);
+        const auto r = backend.self_knn(d, k);
         const double brute = brute_knn_seconds(d, k);
         const double cand =
-            static_cast<double>(r.stats.metrics.distance_calcs) /
+            static_cast<double>(r.stats.distance_calcs) /
             static_cast<double>(d.size());
-        const double rings =
-            static_cast<double>(r.stats.rings_expanded) /
-            static_cast<double>(d.size());
+        const double rings = r.stats.native_value("rings_expanded") /
+                             static_cast<double>(d.size());
         t.add_row({std::to_string(dim), std::to_string(k),
-                   csv::fmt(r.stats.total_seconds), csv::fmt(brute),
+                   csv::fmt(r.stats.seconds), csv::fmt(brute),
                    csv::fmt(cand), csv::fmt(rings)});
         out.add_row({std::to_string(dim), std::to_string(k),
-                     csv::fmt(r.stats.total_seconds), csv::fmt(brute),
+                     csv::fmt(r.stats.seconds), csv::fmt(brute),
                      csv::fmt(cand), csv::fmt(rings)});
       }
     }

@@ -2,7 +2,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <stdexcept>
@@ -31,11 +33,11 @@ Measurement run_algo(const std::string& algo, const Dataset& d, double eps) {
   const auto& backend = api::BackendRegistry::instance().at(algo);
   api::RunConfig config;
   if (backend.name() == "ego") {
-    config.extra["use_float"] = "1";  // the paper's Super-EGO runs used
-                                      // 32-bit floats (Section VI-B)
+    // The paper's Super-EGO runs used 32-bit floats (Section VI-B).
+    config.extra.emplace("use_float", "1");
   } else if (backend.name() == "gpu_bf") {
-    config.extra["materialize"] = "0";  // the paper's lower bound counts
-                                        // pairs without storing them
+    // The paper's lower bound counts pairs without storing them.
+    config.extra.emplace("materialize", "0");
   }
   const auto outcome = backend.run(d, eps, config);
   // BackendStats::seconds already follows each engine's paper measurement
@@ -143,6 +145,58 @@ int bench_main(int argc, char** argv, const std::function<void()>& body) {
   })->Iterations(1);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  return 0;
+}
+
+double geomean(const std::vector<double>& values) {
+  double acc = 0.0;
+  std::size_t counted = 0;
+  for (const double v : values) {
+    if (v > 0.0) {
+      acc += std::log(v);
+      ++counted;
+    }
+  }
+  return counted > 0 ? std::exp(acc / static_cast<double>(counted)) : 0.0;
+}
+
+std::string write_bench_json(const std::string& bench_name,
+                             const std::string& default_path,
+                             double geomean_speedup,
+                             const std::vector<std::string>& row_json) {
+  const char* env_path = std::getenv("SJ_BENCH_JSON");
+  const std::string path =
+      env_path != nullptr && *env_path != '\0' ? env_path : default_path;
+  std::ofstream js(path);
+  js << "{\n  \"bench\": \"" << bench_name << "\",\n"
+     << "  \"scale\": " << env_scale() << ",\n"
+     << "  \"geomean_speedup_cell_vs_legacy\": " << geomean_speedup
+     << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < row_json.size(); ++i) {
+    js << "    " << row_json[i] << (i + 1 < row_json.size() ? "," : "")
+       << "\n";
+  }
+  js << "  ]\n}\n";
+  std::cout << "wrote " << path << " (geomean speedup " << geomean_speedup
+            << ")\n";
+  return path;
+}
+
+int smoke_check(const std::string& bench_name, double geomean_speedup,
+                double min_geomean) {
+  const char* smoke = std::getenv("SJ_SMOKE_CHECK");
+  if (smoke == nullptr || *smoke == '\0' || std::string(smoke) == "0") {
+    return 0;
+  }
+  if (geomean_speedup < min_geomean) {
+    std::cerr << "SMOKE CHECK FAILED [" << bench_name
+              << "]: cell-major geomean speedup " << geomean_speedup
+              << " < " << min_geomean << " (a >"
+              << (1.0 - min_geomean) * 100.0 << "% regression vs legacy)\n";
+    return 1;
+  }
+  std::cout << "smoke check passed (geomean " << geomean_speedup
+            << " >= " << min_geomean << ")\n";
   return 0;
 }
 

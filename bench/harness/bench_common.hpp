@@ -83,4 +83,23 @@ class Collector {
 /// benchmarks and return.
 int bench_main(int argc, char** argv, const std::function<void()>& body);
 
+/// Geometric mean of the positive entries; 0.0 when none are positive.
+double geomean(const std::vector<double>& values);
+
+/// Write a BENCH_*.json perf-trajectory artefact — {"bench": name,
+/// "scale": env_scale(), "geomean_speedup_cell_vs_legacy": g, "rows":
+/// [...]} with `row_json` entries verbatim — to $SJ_BENCH_JSON (or
+/// `default_path` when unset). Returns the path written. Shared by the
+/// ablation benches so the schema CI consumes cannot drift.
+std::string write_bench_json(const std::string& bench_name,
+                             const std::string& default_path,
+                             double geomean_speedup,
+                             const std::vector<std::string>& row_json);
+
+/// The $SJ_SMOKE_CHECK regression gate: when enabled and
+/// `geomean_speedup` < `min_geomean`, prints the failure and returns
+/// non-zero (the bench's exit code); otherwise 0.
+int smoke_check(const std::string& bench_name, double geomean_speedup,
+                double min_geomean = 0.9);
+
 }  // namespace sj::bench

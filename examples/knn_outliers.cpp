@@ -3,20 +3,24 @@
 // nearest neighbour is the classic kNN outlier score (Ramaswamy et al.):
 // isolated points score high, points inside dense structure score low.
 //
-//   ./knn_outliers [n] [k] [contamination]
+// Dispatches through the unified backend registry, so any engine with
+// the knn capability can score the points.
+//
+//   ./knn_outliers [n] [k] [contamination] [algo]
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <numeric>
 #include <vector>
 
+#include "api/registry.hpp"
 #include "common/datagen.hpp"
-#include "core/knn.hpp"
 
 int main(int argc, char** argv) {
   const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 30000;
   const int k = argc > 2 ? std::atoi(argv[2]) : 10;
   const double contamination = argc > 3 ? std::atof(argv[3]) : 0.01;
+  const std::string algo = argc > 4 ? argv[4] : "gpu";
 
   // Dense clusters plus a sprinkling of uniform outliers.
   const auto outlier_count = static_cast<std::size_t>(n * contamination);
@@ -29,15 +33,17 @@ int main(int argc, char** argv) {
   const auto noise = sj::datagen::uniform(outlier_count, 2, 0.0, 100.0, 32);
   for (std::size_t i = 0; i < noise.size(); ++i) data.push_back(noise.pt(i));
 
-  sj::KnnOptions opt;
-  opt.k = k;
-  const auto r = sj::gpu_knn(data, opt);
-  std::cout << "kNN done in " << r.stats.total_seconds << " s (cell width "
-            << r.stats.chosen_cell_width << ", "
-            << static_cast<double>(r.stats.rings_expanded) /
+  const auto& backend = sj::api::BackendRegistry::instance().at(
+      algo, sj::api::Operation::kKnn);
+  const auto outcome = backend.self_knn(data, k);
+  const auto& r = outcome.neighbors;
+  std::cout << "kNN done in " << outcome.stats.seconds << " s ["
+            << backend.name() << "] (cell width "
+            << outcome.stats.native_value("chosen_cell_width") << ", "
+            << outcome.stats.native_value("rings_expanded") /
                    static_cast<double>(data.size())
             << " rings/query, "
-            << static_cast<double>(r.stats.metrics.distance_calcs) /
+            << static_cast<double>(outcome.stats.distance_calcs) /
                    static_cast<double>(data.size())
             << " candidates/query)\n";
 

@@ -1,0 +1,71 @@
+// Default implementations of the optional operation facets: every one
+// fails with the single-line capability error that names the offending
+// backend and lists the engines that CAN serve the operation — the error
+// sjtool surfaces when --algo picks an engine without the capability.
+#include "api/backend.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "api/registry.hpp"
+
+namespace sj::api {
+
+std::string unsupported_operation_message(std::string_view backend_name,
+                                          Operation op) {
+  std::ostringstream os;
+  os << "backend '" << backend_name << "' does not support "
+     << operation_name(op) << "; backends with " << operation_name(op)
+     << ": ";
+  const auto capable = BackendRegistry::instance().names_supporting(op);
+  if (capable.empty()) {
+    os << "(none)";
+  } else {
+    for (std::size_t i = 0; i < capable.size(); ++i) {
+      os << (i > 0 ? ", " : "") << capable[i];
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void throw_unsupported(const Backend& backend, Operation op) {
+  throw std::invalid_argument(
+      unsupported_operation_message(backend.name(), op));
+}
+
+}  // namespace
+
+std::string_view operation_name(Operation op) {
+  switch (op) {
+    case Operation::kSelfJoin: return "self-join";
+    case Operation::kJoin: return "join";
+    case Operation::kKnn: return "knn";
+  }
+  return "?";
+}
+
+std::string capability_summary(const Capabilities& caps) {
+  std::string out = "self-join";
+  if (caps.supports_join) out += ", join";
+  if (caps.supports_knn) out += ", knn";
+  if (caps.gpu) out += ", gpu";
+  return out;
+}
+
+JoinOutcome Backend::join(const Dataset&, const Dataset&, double,
+                          const RunConfig&) const {
+  throw_unsupported(*this, Operation::kJoin);
+}
+
+KnnOutcome Backend::knn(const Dataset&, const Dataset&, int,
+                        const RunConfig&) const {
+  throw_unsupported(*this, Operation::kKnn);
+}
+
+KnnOutcome Backend::self_knn(const Dataset&, int, const RunConfig&) const {
+  throw_unsupported(*this, Operation::kKnn);
+}
+
+}  // namespace sj::api

@@ -1,15 +1,28 @@
-// Unified self-join backend interface.
+// Unified, operation-generic backend interface.
 //
 // Every engine in this repo (the paper's GPU-SJ with and without UNICOMP,
 // the Super-EGO and R-tree CPU baselines, and the brute-force references)
 // is exposed through one abstract interface so that callers — sjtool, the
 // bench harness, the examples, DBSCAN — dispatch by registry name instead
-// of hard-coding engine types.
+// of hard-coding engine types. Beyond the mandatory self-join, a backend
+// may implement the two optional operation facets it advertises through
+// Capabilities: the query/data epsilon join and grid-based kNN.
 //
-// Pair convention (uniform across ALL backends, asserted once by the
-// backend-parity test suite): the result is the set of ORDERED pairs
-// (a, b) with dist(a, b) <= eps, INCLUDING self pairs (a, a). Every
+// Self-join pair convention (uniform across ALL backends, asserted once
+// by the backend-parity test suite): the result is the set of ORDERED
+// pairs (a, b) with dist(a, b) <= eps, INCLUDING self pairs (a, a). Every
 // correct result is therefore symmetric and has size >= |D|.
+//
+// Query/data join convention: pairs are (query index into `queries`,
+// data index into `data`) with dist <= eps — NOT symmetric, no implicit
+// self pairs (a query coinciding with a data point matches it like any
+// other point within eps).
+//
+// kNN convention: lists are in query order, ascending by distance, and
+// may be shorter than k when fewer candidates exist. Self-kNN excludes
+// each point from its own list unless the backend's include_self knob is
+// set; two-set kNN never excludes anything (an exact coordinate duplicate
+// is a legitimate neighbour).
 #pragma once
 
 #include <cstdint>
@@ -18,18 +31,44 @@
 #include <string_view>
 
 #include "common/dataset.hpp"
+#include "common/neighbors.hpp"
 #include "common/result.hpp"
 
 namespace sj::api {
 
-/// What a backend can do beyond the mandatory self-join. Callers may use
-/// these to pick engines for workloads the unified API does not cover yet
-/// (e.g. the kNN extension or query/data joins).
+/// The operations a backend may serve. kSelfJoin is mandatory; the other
+/// facets are gated by Capabilities and fail with a one-line error
+/// listing the capable backends when invoked on an engine without them.
+enum class Operation { kSelfJoin, kJoin, kKnn };
+
+/// Lowercase human name of an operation ("self-join", "join", "knn").
+std::string_view operation_name(Operation op);
+
+/// What a backend can do beyond the mandatory self-join.
 struct Capabilities {
   bool supports_join = false;  ///< two-dataset (query vs data) join
   bool supports_knn = false;   ///< grid-based kNN extension
   bool gpu = false;            ///< runs on the (simulated) GPU
+
+  bool supports(Operation op) const {
+    switch (op) {
+      case Operation::kJoin: return supports_join;
+      case Operation::kKnn: return supports_knn;
+      case Operation::kSelfJoin: return true;
+    }
+    return false;
+  }
 };
+
+/// Compact capability tag list for --help style output and error
+/// messages, e.g. "self-join, join, knn, gpu".
+std::string capability_summary(const Capabilities& caps);
+
+/// The one-line "backend 'x' does not support OP; backends with OP: ..."
+/// message — shared by the default facet implementations and
+/// BackendRegistry::at(name, op) so the two gating paths cannot drift.
+std::string unsupported_operation_message(std::string_view backend_name,
+                                          Operation op);
 
 /// Engine-agnostic run configuration. Common knobs are typed; anything
 /// engine-specific travels in `extra` as string key/values (e.g.
@@ -91,18 +130,28 @@ struct BackendStats {
   }
 };
 
-/// What a backend run produces: the pair set (see the convention above)
-/// plus the normalised stats.
+/// What a join-shaped run produces: the pair set (see the conventions
+/// above) plus the normalised stats.
 struct JoinOutcome {
   ResultSet pairs;
   BackendStats stats;
 };
 
-/// Abstract self-join engine. Implementations are stateless adapters over
-/// the concrete engines; register them via BackendRegistry (registry.hpp).
-class SelfJoinBackend {
+/// What a kNN run produces: the neighbour lists plus the normalised
+/// stats (engine-native counters like rings_expanded travel in native).
+struct KnnOutcome {
+  NeighborLists neighbors;
+  BackendStats stats;
+};
+
+/// Abstract engine. Implementations are stateless adapters over the
+/// concrete engines; register them via BackendRegistry (registry.hpp).
+/// The self-join is mandatory; join/knn/self_knn have default
+/// implementations that throw the capability error, so engines override
+/// exactly the facets their Capabilities advertise.
+class Backend {
  public:
-  virtual ~SelfJoinBackend() = default;
+  virtual ~Backend() = default;
 
   /// Registry key, e.g. "gpu_unicomp". Lowercase, stable.
   virtual std::string_view name() const = 0;
@@ -116,9 +165,41 @@ class SelfJoinBackend {
   virtual JoinOutcome run(const Dataset& d, double eps,
                           const RunConfig& config) const = 0;
 
+  /// Query/data epsilon join: every (a, b) with a in `queries`, b in
+  /// `data`, dist <= eps, as (query index, data index) pairs. Gated by
+  /// Capabilities::supports_join; the default throws the one-line
+  /// capability error listing the backends that can serve it.
+  virtual JoinOutcome join(const Dataset& queries, const Dataset& data,
+                           double eps, const RunConfig& config) const;
+
+  /// For every point of `queries`, its k nearest neighbours in `data`.
+  /// Gated by Capabilities::supports_knn.
+  virtual KnnOutcome knn(const Dataset& queries, const Dataset& data, int k,
+                         const RunConfig& config) const;
+
+  /// Self-kNN: neighbours of every point of `d` within `d`, the point
+  /// itself excluded (backends may offer an include_self knob). Gated by
+  /// Capabilities::supports_knn.
+  virtual KnnOutcome self_knn(const Dataset& d, int k,
+                              const RunConfig& config) const;
+
   JoinOutcome run(const Dataset& d, double eps) const {
     return run(d, eps, RunConfig{});
   }
+  JoinOutcome join(const Dataset& queries, const Dataset& data,
+                   double eps) const {
+    return join(queries, data, eps, RunConfig{});
+  }
+  KnnOutcome knn(const Dataset& queries, const Dataset& data, int k) const {
+    return knn(queries, data, k, RunConfig{});
+  }
+  KnnOutcome self_knn(const Dataset& d, int k) const {
+    return self_knn(d, k, RunConfig{});
+  }
 };
+
+/// The pre-facet name, kept so out-of-tree self-join-only backends keep
+/// compiling; new code should say Backend.
+using SelfJoinBackend = Backend;
 
 }  // namespace sj::api

@@ -12,18 +12,6 @@
 
 namespace sj::api {
 
-namespace {
-
-std::string join_names(const std::vector<std::string>& names) {
-  std::ostringstream os;
-  for (std::size_t i = 0; i < names.size(); ++i) {
-    os << (i > 0 ? ", " : "") << names[i];
-  }
-  return os.str();
-}
-
-}  // namespace
-
 bool RunConfig::flag(const std::string& key, bool def) const {
   const auto it = extra.find(key);
   if (it == extra.end()) return def;
@@ -83,7 +71,7 @@ BackendRegistry& BackendRegistry::instance() {
   return *registry;
 }
 
-void BackendRegistry::add(std::unique_ptr<SelfJoinBackend> backend) {
+void BackendRegistry::add(std::unique_ptr<Backend> backend) {
   if (backend == nullptr) {
     throw std::invalid_argument("BackendRegistry::add: null backend");
   }
@@ -118,7 +106,7 @@ void BackendRegistry::add_alias(std::string alias, const std::string& target) {
   target_entry->aliases.push_back(std::move(alias));
 }
 
-const SelfJoinBackend* BackendRegistry::find(std::string_view name) const {
+const Backend* BackendRegistry::find(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& e : entries_) {
     if (name == e.backend->name()) return e.backend.get();
@@ -129,15 +117,31 @@ const SelfJoinBackend* BackendRegistry::find(std::string_view name) const {
   return nullptr;
 }
 
-const SelfJoinBackend& BackendRegistry::at(std::string_view name) const {
-  const SelfJoinBackend* backend = find(name);
+const Backend& BackendRegistry::at(std::string_view name) const {
+  const Backend* backend = find(name);
   if (backend == nullptr) {
-    throw std::invalid_argument("unknown self-join backend '" +
-                                std::string(name) +
-                                "'; registered backends: " +
-                                join_names(names()));
+    // Each name carries its capability tags so a caller picking an engine
+    // for join/knn sees at a glance which ones qualify.
+    std::ostringstream os;
+    os << "unknown backend '" << name << "'; registered backends: ";
+    const auto all = names();
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      const Backend* b = find(all[i]);
+      os << (i > 0 ? ", " : "") << all[i] << " ["
+         << capability_summary(b->capabilities()) << "]";
+    }
+    throw std::invalid_argument(os.str());
   }
   return *backend;
+}
+
+const Backend& BackendRegistry::at(std::string_view name, Operation op) const {
+  const Backend& backend = at(name);
+  if (!backend.capabilities().supports(op)) {
+    throw std::invalid_argument(
+        unsupported_operation_message(backend.name(), op));
+  }
+  return backend;
 }
 
 std::vector<std::string> BackendRegistry::names() const {
@@ -146,6 +150,20 @@ std::vector<std::string> BackendRegistry::names() const {
     std::lock_guard<std::mutex> lock(mu_);
     out.reserve(entries_.size());
     for (const auto& e : entries_) out.emplace_back(e.backend->name());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> BackendRegistry::names_supporting(Operation op) const {
+  std::vector<std::string> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& e : entries_) {
+      if (e.backend->capabilities().supports(op)) {
+        out.emplace_back(e.backend->name());
+      }
+    }
   }
   std::sort(out.begin(), out.end());
   return out;

@@ -1,8 +1,13 @@
-// String-keyed registry of self-join backends — the single dispatch point
-// for every caller in the repo.
+// String-keyed registry of backends — the single dispatch point for every
+// caller in the repo, covering all three operations (self-join, query/data
+// join, kNN).
 //
 //   const auto& b = sj::api::BackendRegistry::instance().at("gpu_unicomp");
 //   auto outcome = b.run(dataset, eps);
+//   // operation-gated lookup (throws a one-line error naming the capable
+//   // backends when `algo` cannot serve the operation):
+//   const auto& j = registry.at(algo, sj::api::Operation::kJoin);
+//   auto join_out = j.join(queries, data, eps);
 //
 // The five built-in engines (gpu, gpu_unicomp, ego, rtree, brute — plus
 // the gpu_bf lower-bound reference) self-register on first access.
@@ -31,30 +36,40 @@ class BackendRegistry {
 
   /// Register `backend` under its name(). Throws std::invalid_argument on
   /// a duplicate name or alias.
-  void add(std::unique_ptr<SelfJoinBackend> backend);
+  void add(std::unique_ptr<Backend> backend);
 
   /// Register an alternative name for an existing backend (e.g.
   /// "superego" -> "ego"). Throws if `alias` is taken or `target` unknown.
   void add_alias(std::string alias, const std::string& target);
 
   /// Lookup by primary name or alias; nullptr when absent.
-  const SelfJoinBackend* find(std::string_view name) const;
+  const Backend* find(std::string_view name) const;
 
   /// Lookup that throws std::invalid_argument with a message listing every
-  /// registered name — the error sjtool surfaces for a bad --algo.
-  const SelfJoinBackend& at(std::string_view name) const;
+  /// registered name and its capabilities — the error sjtool surfaces for
+  /// a bad --algo.
+  const Backend& at(std::string_view name) const;
+
+  /// Operation-gated lookup: like at(name), and additionally throws a
+  /// one-line std::invalid_argument listing the capable backends when the
+  /// named backend does not advertise `op`.
+  const Backend& at(std::string_view name, Operation op) const;
 
   bool contains(std::string_view name) const { return find(name) != nullptr; }
 
   /// Sorted primary names (aliases excluded).
   std::vector<std::string> names() const;
 
+  /// Sorted primary names of the backends whose capabilities advertise
+  /// `op` (every backend, for Operation::kSelfJoin).
+  std::vector<std::string> names_supporting(Operation op) const;
+
   /// Sorted "alias -> target" descriptions.
   std::vector<std::string> aliases() const;
 
  private:
   struct Entry {
-    std::unique_ptr<SelfJoinBackend> backend;
+    std::unique_ptr<Backend> backend;
     std::vector<std::string> aliases;
   };
 
@@ -64,7 +79,7 @@ class BackendRegistry {
 
 /// RAII self-registration helper for out-of-tree backends.
 struct BackendRegistrar {
-  explicit BackendRegistrar(std::unique_ptr<SelfJoinBackend> backend) {
+  explicit BackendRegistrar(std::unique_ptr<Backend> backend) {
     BackendRegistry::instance().add(std::move(backend));
   }
 };

@@ -1,5 +1,6 @@
-// Adapter shim exposing the CPU brute-force reference through the
-// unified backend interface as "brute".
+// Adapter shim exposing the CPU brute-force references through the
+// unified backend interface as "brute" — every operation facet, so the
+// parity suites have one exact oracle per operation.
 #include "bruteforce/brute_backend.hpp"
 
 #include <memory>
@@ -11,27 +12,65 @@ namespace sj::backends {
 
 namespace {
 
-class BruteBackend final : public api::SelfJoinBackend {
+/// RunConfig threads -> brute threads: 0 = engine default (the serial
+/// reference), negative = all hardware threads (brute's 0).
+int resolve_threads(const api::RunConfig& config) {
+  if (config.threads == 0) return 1;
+  return config.threads < 0 ? 0 : config.threads;
+}
+
+api::JoinOutcome adapt(brute::BruteResult r) {
+  api::JoinOutcome out;
+  out.pairs = std::move(r.pairs);
+  out.stats.seconds = r.stats.seconds;
+  out.stats.total_seconds = r.stats.seconds;
+  out.stats.distance_calcs = r.stats.distance_calcs;
+  return out;
+}
+
+class BruteBackend final : public api::Backend {
  public:
   std::string_view name() const override { return "brute"; }
   std::string_view description() const override {
-    return "exact CPU nested-loop self-join, the O(|D|^2) validation "
-           "reference";
+    return "exact CPU nested-loop reference (self-join, join, kNN), the "
+           "O(n^2) validation oracle";
   }
 
-  api::Capabilities capabilities() const override { return {}; }
+  api::Capabilities capabilities() const override {
+    return {.supports_join = true, .supports_knn = true};
+  }
 
   api::JoinOutcome run(const Dataset& d, double eps,
                        const api::RunConfig& config) const override {
     config.check_keys(name(), "");
-    // RunConfig: 0 = engine default (the serial reference), negative =
-    // all hardware threads (brute::self_join's 0).
-    int threads = config.threads;
-    if (threads == 0) threads = 1;
-    if (threads < 0) threads = 0;
-    auto r = brute::self_join(d, eps, threads);
-    api::JoinOutcome out;
-    out.pairs = std::move(r.pairs);
+    return adapt(brute::self_join(d, eps, resolve_threads(config)));
+  }
+
+  api::JoinOutcome join(const Dataset& queries, const Dataset& data,
+                        double eps,
+                        const api::RunConfig& config) const override {
+    config.check_keys(name(), "");
+    return adapt(brute::join(queries, data, eps, resolve_threads(config)));
+  }
+
+  api::KnnOutcome knn(const Dataset& queries, const Dataset& data, int k,
+                      const api::RunConfig& config) const override {
+    config.check_keys(name(), "");
+    return adapt_knn(brute::knn(queries, data, k, resolve_threads(config)));
+  }
+
+  api::KnnOutcome self_knn(const Dataset& d, int k,
+                           const api::RunConfig& config) const override {
+    config.check_keys(name(), "include_self");
+    return adapt_knn(brute::self_knn(d, k,
+                                     config.flag("include_self", false),
+                                     resolve_threads(config)));
+  }
+
+ private:
+  static api::KnnOutcome adapt_knn(brute::BruteKnnResult r) {
+    api::KnnOutcome out;
+    out.neighbors = std::move(r.neighbors);
     out.stats.seconds = r.stats.seconds;
     out.stats.total_seconds = r.stats.seconds;
     out.stats.distance_calcs = r.stats.distance_calcs;

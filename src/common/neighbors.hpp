@@ -1,0 +1,42 @@
+// Fixed-k neighbour lists — the result container shared by every kNN
+// implementation (the GPU grid search, the brute-force reference, and the
+// unified backend facet), so callers consume one shape regardless of the
+// engine that produced it.
+//
+// Lists are in query order; each query's neighbours are sorted by
+// ascending distance and may be shorter than k when the data set (minus
+// the query itself, in self mode) is smaller.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sj {
+
+class NeighborLists {
+ public:
+  NeighborLists() = default;
+  NeighborLists(std::size_t nq, int k)
+      : nq_(nq), k_(k), ids_(nq * k), dists_(nq * k), counts_(nq, 0) {}
+
+  std::size_t num_queries() const { return nq_; }
+  int k() const { return k_; }
+  int count(std::size_t q) const { return counts_[q]; }
+  std::uint32_t neighbor(std::size_t q, int j) const {
+    return ids_[q * k_ + j];
+  }
+  double distance(std::size_t q, int j) const { return dists_[q * k_ + j]; }
+
+  std::uint32_t* ids_row(std::size_t q) { return ids_.data() + q * k_; }
+  double* dists_row(std::size_t q) { return dists_.data() + q * k_; }
+  void set_count(std::size_t q, int c) { counts_[q] = c; }
+
+ private:
+  std::size_t nq_ = 0;
+  int k_ = 0;
+  std::vector<std::uint32_t> ids_;
+  std::vector<double> dists_;
+  std::vector<int> counts_;
+};
+
+}  // namespace sj

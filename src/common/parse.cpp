@@ -68,4 +68,29 @@ int positive_integer(const std::string& what, const std::string& text) {
   return v;
 }
 
+double non_negative(const std::string& what, double value) {
+  if (!std::isfinite(value) || value < 0.0) {
+    throw std::invalid_argument(what + " must be >= 0, got '" +
+                                std::to_string(value) + "'");
+  }
+  return value;
+}
+
+int positive(const std::string& what, int value) {
+  if (value <= 0) {
+    throw std::invalid_argument(what + " must be a positive integer, got '" +
+                                std::to_string(value) + "'");
+  }
+  return value;
+}
+
+void matching_dims(const std::string& what_a, int dim_a,
+                   const std::string& what_b, int dim_b) {
+  if (dim_a != dim_b) {
+    throw std::invalid_argument(
+        what_a + " must match " + what_b + " in dimensionality, got " +
+        std::to_string(dim_a) + "-D vs " + std::to_string(dim_b) + "-D");
+  }
+}
+
 }  // namespace sj::parse

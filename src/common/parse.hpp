@@ -25,4 +25,21 @@ int integer(const std::string& what, const std::string& text);
 /// integer() restricted to values > 0 (e.g. --k).
 int positive_integer(const std::string& what, const std::string& text);
 
+// Validators for values that arrive already parsed (library entry points
+// whose arguments come from code rather than a CLI string). They fail in
+// the SAME style as the parsers above — one std::invalid_argument line
+// naming the flag/argument — so an sjtool user sees "argument 'eps' of
+// gpu_join must be >= 0" instead of a bare engine message.
+
+/// Require `value` to be finite and >= 0 (e.g. an eps threshold).
+double non_negative(const std::string& what, double value);
+
+/// Require `value` > 0 (e.g. a k neighbour count).
+int positive(const std::string& what, int value);
+
+/// Require two datasets' dimensionalities to match; `what_a`/`what_b`
+/// name the arguments (e.g. "argument 'queries' of gpu_join").
+void matching_dims(const std::string& what_a, int dim_a,
+                   const std::string& what_b, int dim_b);
+
 }  // namespace sj::parse

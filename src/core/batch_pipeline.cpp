@@ -40,6 +40,29 @@ struct Completed {
   std::vector<Pair> pairs;
 };
 
+/// Overflow split shared by the cell-shaped modes (CellMode,
+/// JoinGroupMode): halve the item list; for a single oversized item,
+/// halve its [begin, end) subrange instead — so the fatal condition stays
+/// "one POINT's (or query's) neighbourhood exceeds the buffer", exactly
+/// as in the point-centric scheme. False when unsplittable.
+bool split_cell_items(const Task& t, Task& lo, Task& hi) {
+  lo.is_root = hi.is_root = false;
+  if (t.cells.size() > 1) {
+    const std::size_t half = t.cells.size() / 2;
+    lo.cells.assign(t.cells.begin(),
+                    t.cells.begin() + static_cast<std::ptrdiff_t>(half));
+    hi.cells.assign(t.cells.begin() + static_cast<std::ptrdiff_t>(half),
+                    t.cells.end());
+    return true;
+  }
+  const CellWorkItem item = t.cells.front();
+  if (item.end - item.begin <= 1) return false;
+  const std::uint32_t mid = item.begin + (item.end - item.begin) / 2;
+  lo.cells.push_back(CellWorkItem{item.cell, item.begin, mid});
+  hi.cells.push_back(CellWorkItem{item.cell, mid, item.end});
+  return true;
+}
+
 /// Point-centric execution policy: a work unit is one query id, root
 /// batch b is the strided set {i : i % nb == b} (spreads dense regions
 /// evenly across batches), splits halve the id list.
@@ -123,24 +146,7 @@ class CellMode {
   }
 
   bool split(const Task& t, Task& lo, Task& hi) const {
-    lo.is_root = hi.is_root = false;
-    if (t.cells.size() > 1) {
-      const std::size_t half = t.cells.size() / 2;
-      lo.cells.assign(t.cells.begin(),
-                      t.cells.begin() + static_cast<std::ptrdiff_t>(half));
-      hi.cells.assign(t.cells.begin() + static_cast<std::ptrdiff_t>(half),
-                      t.cells.end());
-      return true;
-    }
-    // A single oversized cell: halve its slot range, so the fatal
-    // condition stays "one POINT's neighbourhood exceeds the buffer",
-    // exactly as in the point-centric scheme.
-    const CellWorkItem item = t.cells.front();
-    if (item.end - item.begin <= 1) return false;
-    const std::uint32_t mid = item.begin + (item.end - item.begin) / 2;
-    lo.cells.push_back(CellWorkItem{item.cell, item.begin, mid});
-    hi.cells.push_back(CellWorkItem{item.cell, mid, item.end});
-    return true;
+    return split_cell_items(t, lo, hi);
   }
 
   gpu::KernelStats launch(gpu::GlobalMemoryArena& arena, const Task& t,
@@ -174,6 +180,64 @@ class CellMode {
   bool unicomp_;
   const CellBatchPlan& plan_;
   const CellAdjacency* adjacency_;
+  int block_size_;
+};
+
+/// Query/data-join execution policy: a work unit is a (group, query-
+/// position subrange) item over the adjacency's sorted query order; root
+/// batch b is the plan's contiguous group range, splits mirror CellMode
+/// (halve the item list, then a single oversized group's query range).
+class JoinGroupMode {
+ public:
+  JoinGroupMode(const GridDeviceView& grid, const CellBatchPlan& plan,
+                const JoinAdjacency& adjacency, int block_size)
+      : grid_(grid), plan_(plan), adjacency_(adjacency),
+        block_size_(block_size) {}
+
+  void expand_root(Task& t) const {
+    const std::uint32_t begin = plan_.boundaries[t.root];
+    const std::uint32_t end = plan_.boundaries[t.root + 1];
+    t.cells.reserve(end - begin);
+    for (std::uint32_t group = begin; group < end; ++group) {
+      t.cells.push_back(CellWorkItem{group,
+                                     adjacency_.group_offsets[group],
+                                     adjacency_.group_offsets[group + 1]});
+    }
+  }
+
+  std::uint32_t first_key(const Task& t) const {
+    return t.cells.front().begin;  // first query position of the batch
+  }
+
+  bool split(const Task& t, Task& lo, Task& hi) const {
+    return split_cell_items(t, lo, hi);
+  }
+
+  gpu::KernelStats launch(gpu::GlobalMemoryArena& arena, const Task& t,
+                          const ResultBufferView& result,
+                          AtomicWork* work) const {
+    gpu::DeviceBuffer<CellWorkItem> items(arena, t.cells.size());
+    std::memcpy(items.data(), t.cells.data(),
+                t.cells.size() * sizeof(CellWorkItem));
+    JoinCellsKernelParams p;
+    p.grid = grid_;
+    p.query_order = adjacency_.query_order.data();
+    p.items = items.data();
+    p.num_items = t.cells.size();
+    p.ranges = adjacency_.ranges.data();
+    p.range_offsets = adjacency_.offsets.data();
+    p.result = result;
+    p.work = work;
+    return gpu::launch(
+        gpu::LaunchConfig::cover(t.cells.size(),
+                                 std::min(block_size_, 32)),
+        [&p](const gpu::ThreadCtx& ctx) { join_cells_thread(ctx, p); });
+  }
+
+ private:
+  const GridDeviceView& grid_;
+  const CellBatchPlan& plan_;
+  const JoinAdjacency& adjacency_;
   int block_size_;
 };
 
@@ -229,6 +293,26 @@ ResultSet BatchPipeline::run_cells(const GridDeviceView& grid, bool unicomp,
   const std::uint64_t buffer_pairs =
       std::max<std::uint64_t>(plan.buffer_pairs, 1);
   const CellMode mode(grid, unicomp, plan, adjacency, config_.block_size);
+  return run_impl(mode, plan.num_batches(), buffer_pairs, work, stats);
+}
+
+ResultSet BatchPipeline::run_join_groups(const GridDeviceView& grid,
+                                         const CellBatchPlan& plan,
+                                         const JoinAdjacency& adjacency,
+                                         AtomicWork* work,
+                                         BatchRunStats* stats) {
+  if (grid.n == 0 || grid.qn == 0 || plan.num_batches() == 0) {
+    if (stats != nullptr) *stats = {};
+    return ResultSet{};
+  }
+  if (!grid.cell_major || grid.qpoints == nullptr) {
+    throw std::invalid_argument(
+        "BatchPipeline::run_join_groups: grid must be a cell-major data "
+        "layout with an external query set");
+  }
+  const std::uint64_t buffer_pairs =
+      std::max<std::uint64_t>(plan.buffer_pairs, 1);
+  const JoinGroupMode mode(grid, plan, adjacency, config_.block_size);
   return run_impl(mode, plan.num_batches(), buffer_pairs, work, stats);
 }
 

@@ -36,6 +36,7 @@
 namespace sj {
 
 struct CellAdjacency;  // kernels.hpp
+struct JoinAdjacency;  // kernels.hpp
 
 /// Bounded MPMC queue connecting pipeline stages. push() blocks while the
 /// queue is full — backpressure on the seeding producer. push_overflow()
@@ -136,6 +137,18 @@ class BatchPipeline {
                       const CellBatchPlan& plan,
                       const CellAdjacency* adjacency, AtomicWork* work,
                       BatchRunStats* stats);
+
+  /// Query/data-join variant over a cell-major data grid with an external
+  /// query set (grid.qpoints): batches are the plan's contiguous QUERY
+  /// GROUP ranges (queries sharing a data-grid home cell, see
+  /// build_join_adjacency), executed by the cell-centric join kernel.
+  /// Overflowed batches split by groups, then by query subranges of a
+  /// single oversized group — the fatal condition is one QUERY's
+  /// neighbourhood exceeding the buffer, as in run().
+  ResultSet run_join_groups(const GridDeviceView& grid,
+                            const CellBatchPlan& plan,
+                            const JoinAdjacency& adjacency, AtomicWork* work,
+                            BatchRunStats* stats);
 
  private:
   template <typename Mode>

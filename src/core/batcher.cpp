@@ -118,6 +118,18 @@ ResultSet Batcher::run_cells(const GridDeviceView& grid, bool unicomp,
   return pipeline.run_cells(grid, unicomp, plan, adjacency, work, stats);
 }
 
+ResultSet Batcher::run_join_groups(const GridDeviceView& grid,
+                                   const CellBatchPlan& plan,
+                                   const JoinAdjacency& adjacency,
+                                   AtomicWork* work, BatchRunStats* stats) {
+  PipelineConfig config;
+  config.streams = std::max(1, num_streams_);
+  config.assembly_threads = 1;
+  config.block_size = block_size_;
+  BatchPipeline pipeline(arena_, spec_, config);
+  return pipeline.run_join_groups(grid, plan, adjacency, work, stats);
+}
+
 Batcher::Batcher(gpu::GlobalMemoryArena& arena, const gpu::DeviceSpec& spec,
                  int num_streams, int block_size)
     : arena_(arena),

@@ -26,6 +26,7 @@
 namespace sj {
 
 struct CellAdjacency;  // kernels.hpp
+struct JoinAdjacency;  // kernels.hpp
 
 struct BatchPlan {
   std::size_t num_batches = 0;
@@ -103,6 +104,14 @@ class Batcher {
                       const CellBatchPlan& plan,
                       const CellAdjacency* adjacency, AtomicWork* work,
                       BatchRunStats* stats);
+
+  /// Query/data-join variant over a cell-major data grid: batches are the
+  /// plan's query-group ranges (see build_join_adjacency). Same exactness
+  /// and determinism guarantees as run().
+  ResultSet run_join_groups(const GridDeviceView& grid,
+                            const CellBatchPlan& plan,
+                            const JoinAdjacency& adjacency, AtomicWork* work,
+                            BatchRunStats* stats);
 
  private:
   gpu::GlobalMemoryArena& arena_;

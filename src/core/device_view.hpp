@@ -17,6 +17,7 @@
 //                cell-centric kernel exploits.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/dataset.hpp"
@@ -85,9 +86,27 @@ struct GridDeviceView {
   }
 
   /// Original dataset id of query `pid` (a point id in the legacy layout,
-  /// a point slot in cell-major; external query sets pass through).
+  /// a point slot in cell-major). External query sets always pass
+  /// through: `orig` maps the INDEXED set's slots and must not be applied
+  /// to a query id from a different set.
   std::uint32_t query_id(std::uint64_t pid) const {
+    if (qpoints != nullptr) return static_cast<std::uint32_t>(pid);
     return orig != nullptr ? orig[pid] : static_cast<std::uint32_t>(pid);
+  }
+
+  /// Grid coordinates of the cell containing `pt`, clamped into the grid
+  /// (external query points may lie outside the indexed set's bounds; the
+  /// clamped cell's neighbourhood still covers every in-range candidate
+  /// because the cell width is >= eps).
+  void home_cell(const double* pt, std::uint32_t* c) const {
+    for (int j = 0; j < dim; ++j) {
+      const double rel = (pt[j] - gmin[j]) / width;
+      std::int64_t cj = static_cast<std::int64_t>(rel);  // rel >= 0 in-grid
+      cj = std::min<std::int64_t>(
+          std::max<std::int64_t>(cj, 0),
+          static_cast<std::int64_t>(cells_per_dim[j]) - 1);
+      c[j] = static_cast<std::uint32_t>(cj);
+    }
   }
 
   std::uint64_t linearize(const std::uint32_t* coords) const {

@@ -11,6 +11,8 @@
 #include "api/registry.hpp"
 #include "core/async_self_join.hpp"
 #include "core/brute_force_gpu.hpp"
+#include "core/join.hpp"
+#include "core/knn.hpp"
 #include "core/self_join.hpp"
 
 namespace sj::backends {
@@ -49,6 +51,26 @@ void reject_threads(std::string_view backend, const api::RunConfig& config) {
                                 ": --threads is not supported (the GPU "
                                 "engine's parallelism is the device model)");
   }
+}
+
+/// The batching/estimation knobs every GPU join-shaped engine shares
+/// (GpuSelfJoinOptions, GpuJoinOptions, AsyncSelfJoinOptions all carry
+/// these members) — parsed in ONE place so validation cannot drift
+/// between the self-join, join and async adapters.
+template <typename Options>
+void apply_gpu_batch_knobs(const api::RunConfig& config, Options& opt) {
+  opt.block_size = positive_int(config, "block_size", opt.block_size);
+  opt.min_batches = static_cast<std::size_t>(positive_int(
+      config, "min_batches", static_cast<int>(opt.min_batches)));
+  opt.num_streams = positive_int(config, "num_streams", opt.num_streams);
+  opt.sample_rate = config.number("sample_rate", opt.sample_rate);
+  opt.safety = config.number("safety", opt.safety);
+  const double buffer_pairs = config.number(
+      "max_buffer_pairs", static_cast<double>(opt.max_buffer_pairs));
+  if (buffer_pairs <= 0.0) {
+    throw std::invalid_argument("option 'max_buffer_pairs' must be > 0");
+  }
+  opt.max_buffer_pairs = static_cast<std::uint64_t>(buffer_pairs);
 }
 
 /// The normalised + native stats block shared by the GPU-SJ engines
@@ -107,18 +129,7 @@ class GpuBackend final : public api::SelfJoinBackend {
     opt.unicomp = unicomp_;
     opt.layout = parse_layout(config);
     opt.collect_metrics = config.collect_metrics;
-    opt.block_size = positive_int(config, "block_size", opt.block_size);
-    opt.min_batches = static_cast<std::size_t>(positive_int(
-        config, "min_batches", static_cast<int>(opt.min_batches)));
-    opt.num_streams = positive_int(config, "num_streams", opt.num_streams);
-    opt.sample_rate = config.number("sample_rate", opt.sample_rate);
-    opt.safety = config.number("safety", opt.safety);
-    const double buffer_pairs = config.number(
-        "max_buffer_pairs", static_cast<double>(opt.max_buffer_pairs));
-    if (buffer_pairs <= 0.0) {
-      throw std::invalid_argument("option 'max_buffer_pairs' must be > 0");
-    }
-    opt.max_buffer_pairs = static_cast<std::uint64_t>(buffer_pairs);
+    apply_gpu_batch_knobs(config, opt);
 
     auto out = make_gpu_outcome(GpuSelfJoin(opt).run(d, eps));
     out.stats.native["layout_cell_major"] =
@@ -126,7 +137,84 @@ class GpuBackend final : public api::SelfJoinBackend {
     return out;
   }
 
+  api::JoinOutcome join(const Dataset& queries, const Dataset& data,
+                        double eps,
+                        const api::RunConfig& config) const override {
+    config.check_keys(name_, kGpuKeys);
+    reject_threads(name_, config);
+    GpuJoinOptions opt;
+    opt.layout = parse_layout(config);
+    apply_gpu_batch_knobs(config, opt);
+
+    auto r = gpu_join(queries, data, eps, opt);
+    api::JoinOutcome out;
+    out.pairs = std::move(r.pairs);
+    const GpuJoinStats& s = r.stats;
+    out.stats.seconds = s.total_seconds;
+    out.stats.total_seconds = s.total_seconds;
+    out.stats.build_seconds = s.index_build_seconds;
+    out.stats.distance_calcs = s.metrics.distance_calcs;
+    out.stats.native = {
+        {"index_build_seconds", s.index_build_seconds},
+        {"estimated_total", static_cast<double>(s.estimated_total)},
+        {"query_groups", static_cast<double>(s.query_groups)},
+        {"batches_run", static_cast<double>(s.batch.batches_run)},
+        {"overflow_retries", static_cast<double>(s.batch.overflow_retries)},
+        {"kernel_seconds", s.batch.kernel_seconds},
+        {"cells_examined", static_cast<double>(s.metrics.cells_examined)},
+        {"cells_nonempty", static_cast<double>(s.metrics.cells_nonempty)},
+        {"layout_cell_major",
+         opt.layout == GridLayout::kCellMajor ? 1.0 : 0.0},
+    };
+    return out;
+  }
+
+  api::KnnOutcome knn(const Dataset& queries, const Dataset& data, int k,
+                      const api::RunConfig& config) const override {
+    return run_knn_facet(&queries, data, k, config);
+  }
+
+  api::KnnOutcome self_knn(const Dataset& d, int k,
+                           const api::RunConfig& config) const override {
+    return run_knn_facet(nullptr, d, k, config);
+  }
+
  private:
+  api::KnnOutcome run_knn_facet(const Dataset* queries, const Dataset& data,
+                                int k, const api::RunConfig& config) const {
+    config.check_keys(name_, "block_size,cell_width,include_self");
+    reject_threads(name_, config);
+    KnnOptions opt;
+    opt.k = k;
+    opt.block_size = positive_int(config, "block_size", opt.block_size);
+    opt.cell_width = config.number("cell_width", opt.cell_width);
+    if (opt.cell_width < 0.0) {
+      throw std::invalid_argument(
+          "option 'cell_width' must be >= 0 (0 picks a density-based "
+          "width)");
+    }
+    // include_self only affects the self mode (gpu_knn ignores it for a
+    // distinct query set, see core/knn.hpp).
+    opt.include_self = config.flag("include_self", opt.include_self);
+
+    KnnResult r = queries != nullptr ? gpu_knn(*queries, data, opt)
+                                     : gpu_knn(data, opt);
+    api::KnnOutcome out;
+    const KnnStats& s = r.stats;
+    out.neighbors = std::move(static_cast<NeighborLists&>(r));
+    out.stats.seconds = s.total_seconds;
+    out.stats.total_seconds = s.total_seconds;
+    out.stats.build_seconds = s.index_build_seconds;
+    out.stats.distance_calcs = s.metrics.distance_calcs;
+    out.stats.native = {
+        {"index_build_seconds", s.index_build_seconds},
+        {"chosen_cell_width", s.chosen_cell_width},
+        {"rings_expanded", static_cast<double>(s.rings_expanded)},
+        {"kernel_seconds", s.metrics.kernel_seconds},
+    };
+    return out;
+  }
+
   std::string name_;
   std::string description_;
   bool unicomp_;
@@ -156,25 +244,13 @@ class GpuAsyncBackend final : public api::SelfJoinBackend {
     opt.unicomp = config.flag("unicomp", false);
     opt.layout = parse_layout(config);
     opt.collect_metrics = config.collect_metrics;
-    opt.block_size = positive_int(config, "block_size", opt.block_size);
-    opt.min_batches = static_cast<std::size_t>(positive_int(
-        config, "min_batches", static_cast<int>(opt.min_batches)));
+    apply_gpu_batch_knobs(config, opt);
     // "streams" is this backend's spelling; "num_streams" (the sibling
-    // gpu/gpu_unicomp knob) is accepted too so scripts can switch
-    // --algo without renaming options.
-    opt.num_streams =
-        positive_int(config, "num_streams", opt.num_streams);
+    // gpu/gpu_unicomp knob, applied above) is accepted too so scripts
+    // can switch --algo without renaming options.
     opt.num_streams = positive_int(config, "streams", opt.num_streams);
     opt.assembly_threads =
         positive_int(config, "assembly_threads", opt.assembly_threads);
-    opt.sample_rate = config.number("sample_rate", opt.sample_rate);
-    opt.safety = config.number("safety", opt.safety);
-    const double buffer_pairs = config.number(
-        "max_buffer_pairs", static_cast<double>(opt.max_buffer_pairs));
-    if (buffer_pairs <= 0.0) {
-      throw std::invalid_argument("option 'max_buffer_pairs' must be > 0");
-    }
-    opt.max_buffer_pairs = static_cast<std::uint64_t>(buffer_pairs);
 
     auto out = make_gpu_outcome(AsyncGpuSelfJoin(opt).run(d, eps));
     out.stats.native["streams"] = opt.num_streams;

@@ -5,21 +5,22 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/parse.hpp"
 #include "common/timer.hpp"
 #include "core/batcher.hpp"
 #include "core/device_view.hpp"
 #include "core/estimator.hpp"
 #include "core/grid_index.hpp"
+#include "core/kernels.hpp"
 #include "gpusim/arena.hpp"
 
 namespace sj {
 
 GpuJoinResult gpu_join(const Dataset& queries, const Dataset& data,
                        double eps, GpuJoinOptions opt) {
-  if (eps < 0.0) throw std::invalid_argument("gpu_join: eps must be >= 0");
-  if (queries.dim() != data.dim()) {
-    throw std::invalid_argument("gpu_join: dimensionality mismatch");
-  }
+  parse::non_negative("argument 'eps' of gpu_join", eps);
+  parse::matching_dims("argument 'queries' of gpu_join", queries.dim(),
+                       "argument 'data'", data.dim());
   GpuJoinResult result;
   GpuJoinStats& st = result.stats;
   Timer total;
@@ -33,10 +34,7 @@ GpuJoinResult gpu_join(const Dataset& queries, const Dataset& data,
   }
 
   gpu::GlobalMemoryArena arena(opt.device);
-  // The query/data join batches over the EXTERNAL query set, so the
-  // cell-centric kernel (whose work units are the indexed set's cells)
-  // does not apply; the indexed data keeps the legacy layout.
-  DeviceGrid dev(arena, data, index, GridLayout::kLegacy);
+  DeviceGrid dev(arena, data, index, opt.layout);
 
   // Ship the query set to the device alongside the indexed data.
   gpu::DeviceBuffer<double> qbuf(arena, queries.raw().size());
@@ -50,19 +48,40 @@ GpuJoinResult gpu_join(const Dataset& queries, const Dataset& data,
       grid, /*unicomp=*/false, opt.sample_rate, opt.block_size);
   st.estimated_total = est.estimated_total;
 
-  const std::uint64_t buffer_pairs = size_buffer_pairs(
-      arena, queries.size(), est.estimated_total, opt.min_batches,
-      opt.num_streams, opt.max_buffer_pairs, opt.safety);
-
-  const BatchPlan plan = plan_batches(est.estimated_total, queries.size(),
-                                      opt.min_batches, buffer_pairs,
-                                      opt.safety);
-
   AtomicWork work;
   Batcher batcher(arena, opt.device, opt.num_streams, opt.block_size);
-  result.pairs =
-      batcher.run(grid, /*unicomp=*/false, plan, &work, &st.batch);
-  work.add_to(st.metrics);
+  if (opt.layout == GridLayout::kCellMajor) {
+    // Group the queries by their data-grid home cell and resolve each
+    // group's candidate ranges ONCE; built before buffer sizing so its
+    // device memory is accounted for. Batches upload 12-byte work items
+    // instead of 4-byte query ids; triple the reservation proxy.
+    const JoinAdjacency adjacency = build_join_adjacency(arena, grid);
+    st.query_groups = adjacency.num_groups();
+
+    const std::uint64_t buffer_pairs = size_buffer_pairs(
+        arena, queries.size() * 3, est.estimated_total, opt.min_batches,
+        opt.num_streams, opt.max_buffer_pairs, opt.safety);
+    const CellBatchPlan plan =
+        plan_cell_batches(adjacency.weights, est.estimated_total,
+                          opt.min_batches, buffer_pairs, opt.safety);
+    result.pairs = batcher.run_join_groups(grid, plan, adjacency, &work,
+                                           &st.batch);
+    work.add_to(st.metrics);
+    // The adjacency build carries the index-search work (resolved once
+    // per query group rather than once per query).
+    st.metrics.cells_examined += adjacency.cells_examined;
+    st.metrics.cells_nonempty += adjacency.cells_nonempty;
+  } else {
+    const std::uint64_t buffer_pairs = size_buffer_pairs(
+        arena, queries.size(), est.estimated_total, opt.min_batches,
+        opt.num_streams, opt.max_buffer_pairs, opt.safety);
+    const BatchPlan plan = plan_batches(est.estimated_total, queries.size(),
+                                        opt.min_batches, buffer_pairs,
+                                        opt.safety);
+    result.pairs =
+        batcher.run(grid, /*unicomp=*/false, plan, &work, &st.batch);
+    work.add_to(st.metrics);
+  }
   st.metrics.kernel_seconds = st.batch.kernel_seconds;
   st.total_seconds = total.seconds();
   return result;

@@ -7,6 +7,16 @@
 // UNICOMP does not apply (its parity argument requires query and data
 // cells to be the same set); batching and result-size estimation work
 // exactly as in the self-join.
+//
+// Two layouts for the INDEXED side, mirroring the self-join:
+//   kCellMajor (default) — the data set is reordered cell-major at upload
+//     and the queries are sorted and GROUPED by the data-grid cell they
+//     fall into; each group's candidate slot ranges are resolved once
+//     (build_join_adjacency) and scanned contiguously, and batches are
+//     contiguous group ranges weighted by per-group work estimates.
+//   kLegacy — the paper's point-centric search: every query re-runs the
+//     mask filtering and binary searches of B, candidates gathered
+//     through A[]. Kept for ablation (bench/ablation_join.cpp).
 #pragma once
 
 #include "common/dataset.hpp"
@@ -16,6 +26,7 @@
 namespace sj {
 
 struct GpuJoinOptions {
+  GridLayout layout = GridLayout::kCellMajor;
   int block_size = 256;
   std::size_t min_batches = 3;
   int num_streams = 3;
@@ -29,6 +40,9 @@ struct GpuJoinStats {
   double total_seconds = 0.0;
   double index_build_seconds = 0.0;
   std::uint64_t estimated_total = 0;
+  /// Distinct data-grid home cells over the query set (cell-major layout
+  /// only) — the number of adjacency resolutions the join amortises.
+  std::uint64_t query_groups = 0;
   BatchRunStats batch;
   gpu::KernelMetrics metrics;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "common/distance.hpp"
@@ -215,23 +216,18 @@ inline void eval_cell(const SelfJoinKernelParams& p, LocalWork& w,
 /// the hot path.
 thread_local std::vector<CandidateRange> t_ranges;
 
-/// Build the candidate slot-range list of one non-empty cell — decoding
-/// its coordinates from B, mask-filtering the adjacency, enumerating the
-/// neighbourhood (full or UNICOMP) and binary-searching B ONCE PER CELL
-/// instead of once per point. Contiguous ranges with the same orientation
-/// are merged: adjacent non-empty cells occupy adjacent slot ranges in
-/// the cell-major layout, so the 3^n candidate cells frequently collapse
-/// into a few long scans.
-void collect_cell_ranges(const GridDeviceView& g, std::uint32_t cell_idx,
-                         bool unicomp, LocalWork& w,
-                         std::vector<CandidateRange>& out) {
+/// Build the candidate slot-range list of the cell at coordinates `c` —
+/// mask-filtering the adjacency, enumerating the neighbourhood (full or
+/// UNICOMP) and binary-searching B ONCE PER CELL instead of once per
+/// point. Contiguous ranges with the same orientation are merged:
+/// adjacent non-empty cells occupy adjacent slot ranges in the cell-major
+/// layout, so the 3^n candidate cells frequently collapse into a few long
+/// scans. `c` need not name a non-empty cell itself (a join query group's
+/// home cell may hold no data points).
+void collect_ranges_at(const GridDeviceView& g, const std::uint32_t* c,
+                       bool unicomp, LocalWork& w,
+                       std::vector<CandidateRange>& out) {
   const std::size_t first = out.size();
-  std::uint32_t c[kMaxDims];
-  const std::uint64_t lin = g.B[cell_idx];
-  for (int j = 0; j < g.dim; ++j) {
-    c[j] =
-        static_cast<std::uint32_t>((lin / g.stride[j]) % g.cells_per_dim[j]);
-  }
   std::uint32_t adj[kMaxDims][3];
   int adjn[kMaxDims];
   filter_adjacent(g, c, adj, adjn);
@@ -253,6 +249,20 @@ void collect_cell_ranges(const GridDeviceView& g, std::uint32_t cell_idx,
           out.push_back({r.min, r.max + 1, flag});
         }
       });
+}
+
+/// collect_ranges_at() for a non-empty cell identified by its index into
+/// B (the self-join's work unit), decoding the coordinates first.
+void collect_cell_ranges(const GridDeviceView& g, std::uint32_t cell_idx,
+                         bool unicomp, LocalWork& w,
+                         std::vector<CandidateRange>& out) {
+  std::uint32_t c[kMaxDims];
+  const std::uint64_t lin = g.B[cell_idx];
+  for (int j = 0; j < g.dim; ++j) {
+    c[j] =
+        static_cast<std::uint32_t>((lin / g.stride[j]) % g.cells_per_dim[j]);
+  }
+  collect_ranges_at(g, c, unicomp, w, out);
 }
 
 /// Scan one contiguous candidate range for one query point with blocked
@@ -334,14 +344,7 @@ void self_join_thread(const gpu::ThreadCtx& ctx,
   // Home cell coordinates (register copy of the point, line 5, then
   // adjacent ranges, line 6).
   std::uint32_t c[kMaxDims];
-  for (int j = 0; j < g.dim; ++j) {
-    const double rel = (pt[j] - g.gmin[j]) / g.width;
-    std::int64_t cj = static_cast<std::int64_t>(rel);  // rel >= 0 by padding
-    cj = std::min<std::int64_t>(
-        std::max<std::int64_t>(cj, 0),
-        static_cast<std::int64_t>(g.cells_per_dim[j]) - 1);
-    c[j] = static_cast<std::uint32_t>(cj);
-  }
+  g.home_cell(pt, c);
 
   std::uint32_t adj[kMaxDims][3];
   int adjn[kMaxDims];
@@ -438,6 +441,108 @@ CellAdjacency build_cell_adjacency(gpu::GlobalMemoryArena& arena,
         (static_cast<std::uint64_t>(cr.max) - cr.min + 1);
     adj.weights[cell] = static_cast<std::uint64_t>(std::min<unsigned __int128>(
         weight, std::numeric_limits<std::uint64_t>::max()));
+  }
+
+  adj.ranges = gpu::DeviceBuffer<CandidateRange>(arena, ranges.size());
+  std::copy(ranges.begin(), ranges.end(), adj.ranges.data());
+  adj.offsets = gpu::DeviceBuffer<std::uint64_t>(arena, offsets.size());
+  std::copy(offsets.begin(), offsets.end(), adj.offsets.data());
+  adj.cells_examined = w.cells_examined;
+  adj.cells_nonempty = w.cells_nonempty;
+  return adj;
+}
+
+void join_cells_thread(const gpu::ThreadCtx& ctx,
+                       const JoinCellsKernelParams& p) {
+  const std::uint64_t gid = ctx.global_id();
+  if (gid >= p.num_items) return;
+  const CellWorkItem item = p.items[gid];
+  const GridDeviceView& g = p.grid;
+
+  LocalWork w;
+  Emitter em{p.result, w};
+
+  // The candidate range list is shared by the whole group — every query
+  // in it has the same data-grid home cell.
+  const CandidateRange* ranges = p.ranges + p.range_offsets[item.cell];
+  const std::size_t num_ranges = static_cast<std::size_t>(
+      p.range_offsets[item.cell + 1] - p.range_offsets[item.cell]);
+
+  const double eps2 = g.eps * g.eps;
+  for (std::uint32_t s = item.begin; s < item.end; ++s) {
+    const std::uint32_t qid = p.query_order[s];
+    const double* pt = g.query_point(qid);
+    w.global_loads += static_cast<std::uint64_t>(g.dim) + 1;  // pt + id
+    w.global_load_bytes +=
+        static_cast<std::uint64_t>(g.dim) * sizeof(double) +
+        sizeof(std::uint32_t);
+    if (p.cache != nullptr) {
+      p.cache->access(reinterpret_cast<std::uint64_t>(pt),
+                      static_cast<unsigned>(g.dim) * sizeof(double));
+    }
+    for (std::size_t r = 0; r < num_ranges; ++r) {
+      scan_range(g, w, em, qid, pt, ranges[r], eps2, p.cache);
+    }
+  }
+
+  if (p.work != nullptr) p.work->flush(w);
+}
+
+JoinAdjacency build_join_adjacency(gpu::GlobalMemoryArena& arena,
+                                   const GridDeviceView& grid) {
+  JoinAdjacency adj;
+  const std::uint64_t nq = grid.qn;
+
+  // Sort the queries by (home data-grid cell, id): groups become
+  // contiguous position ranges and the within-group order is
+  // deterministic.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> keyed(
+      static_cast<std::size_t>(nq));
+  std::uint32_t c[kMaxDims];
+  for (std::uint64_t q = 0; q < nq; ++q) {
+    grid.home_cell(grid.query_point(q), c);
+    keyed[static_cast<std::size_t>(q)] = {grid.linearize(c),
+                                          static_cast<std::uint32_t>(q)};
+  }
+  std::sort(keyed.begin(), keyed.end());
+
+  adj.query_order = gpu::DeviceBuffer<std::uint32_t>(
+      arena, static_cast<std::size_t>(nq));
+  for (std::uint64_t q = 0; q < nq; ++q) {
+    adj.query_order[static_cast<std::size_t>(q)] =
+        keyed[static_cast<std::size_t>(q)].second;
+  }
+
+  // One adjacency resolution per DISTINCT home cell, amortised over all
+  // of its queries — the join analogue of the self-join's once-per-cell
+  // enumeration.
+  std::vector<CandidateRange> ranges;
+  std::vector<std::uint64_t> offsets{0};
+  adj.group_offsets.push_back(0);
+  LocalWork w;
+  std::size_t pos = 0;
+  while (pos < keyed.size()) {
+    const std::uint64_t key = keyed[pos].first;
+    std::size_t end = pos + 1;
+    while (end < keyed.size() && keyed[end].first == key) ++end;
+
+    grid.home_cell(grid.query_point(adj.query_order[pos]), c);
+    collect_ranges_at(grid, c, /*unicomp=*/false, w, ranges);
+    offsets.push_back(ranges.size());
+    adj.group_offsets.push_back(static_cast<std::uint32_t>(end));
+
+    std::uint64_t candidates = 0;
+    for (std::size_t r = offsets[offsets.size() - 2]; r < ranges.size();
+         ++r) {
+      candidates += ranges[r].end - ranges[r].begin;
+    }
+    const unsigned __int128 weight =
+        static_cast<unsigned __int128>(candidates) *
+        static_cast<std::uint64_t>(end - pos);
+    adj.weights.push_back(static_cast<std::uint64_t>(
+        std::min<unsigned __int128>(
+            weight, std::numeric_limits<std::uint64_t>::max())));
+    pos = end;
   }
 
   adj.ranges = gpu::DeviceBuffer<CandidateRange>(arena, ranges.size());

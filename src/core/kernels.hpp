@@ -123,6 +123,59 @@ struct CellJoinKernelParams {
 void self_join_cells_thread(const gpu::ThreadCtx& ctx,
                             const CellJoinKernelParams& p);
 
+/// The query/data join analogue of CellAdjacency: queries are sorted by
+/// the DATA grid cell they fall into, queries sharing a home cell form a
+/// group, and each group's candidate slot ranges in the cell-major data
+/// layout are resolved ONCE (the home cell need not be non-empty in the
+/// data grid — groups are keyed by coordinates, not by B entries). Shared
+/// by the batch planner (weights) and every kernel launch.
+struct JoinAdjacency {
+  /// All query ids, sorted by (home cell, id); group g covers
+  /// query_order[group_offsets[g], group_offsets[g+1]).
+  gpu::DeviceBuffer<std::uint32_t> query_order;
+  std::vector<std::uint32_t> group_offsets;  // num_groups + 1 entries
+
+  gpu::DeviceBuffer<CandidateRange> ranges;
+  gpu::DeviceBuffer<std::uint64_t> offsets;  // num_groups + 1 entries
+
+  /// Per-group candidate-pair counts (group population x candidate
+  /// population) for the planner.
+  std::vector<std::uint64_t> weights;
+
+  std::uint64_t cells_examined = 0;
+  std::uint64_t cells_nonempty = 0;
+
+  std::size_t num_groups() const {
+    return group_offsets.empty() ? 0 : group_offsets.size() - 1;
+  }
+};
+
+/// Build the query-group adjacency for a query/data join: `grid` must be
+/// a cell-major view of the indexed data with qpoints/qn describing the
+/// external query set.
+JoinAdjacency build_join_adjacency(gpu::GlobalMemoryArena& arena,
+                                   const GridDeviceView& grid);
+
+struct JoinCellsKernelParams {
+  GridDeviceView grid;  ///< cell-major data side, qpoints/qn set
+  const std::uint32_t* query_order = nullptr;
+  /// Work items: `cell` is a GROUP index into range_offsets, [begin, end)
+  /// a position range of query_order.
+  const CellWorkItem* items = nullptr;
+  std::uint64_t num_items = 0;
+  const CandidateRange* ranges = nullptr;
+  const std::uint64_t* range_offsets = nullptr;
+  ResultBufferView result;
+  AtomicWork* work = nullptr;
+  gpu::CacheSim* cache = nullptr;  // L1 model; only valid with serial exec
+};
+
+/// Cell-centric query/data join kernel: one work unit is a query group
+/// subrange; all of its queries scan the group's precomputed contiguous
+/// candidate ranges with the blocked distance loop.
+void join_cells_thread(const gpu::ThreadCtx& ctx,
+                       const JoinCellsKernelParams& p);
+
 struct BruteForceKernelParams {
   const double* points = nullptr;
   std::uint64_t n = 0;

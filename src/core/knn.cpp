@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "common/distance.hpp"
+#include "common/parse.hpp"
 #include "common/timer.hpp"
 #include "core/device_view.hpp"
 #include "core/grid_index.hpp"
@@ -256,11 +257,10 @@ double auto_cell_width(const Dataset& d, int k) {
 
 KnnResult run_knn(const Dataset* queries, const Dataset& data,
                   KnnOptions opt) {
-  if (opt.k <= 0) throw std::invalid_argument("gpu_knn: k must be positive");
+  parse::positive("argument 'k' of gpu_knn", opt.k);
   const Dataset& qset = queries != nullptr ? *queries : data;
-  if (qset.dim() != data.dim()) {
-    throw std::invalid_argument("gpu_knn: dimensionality mismatch");
-  }
+  parse::matching_dims("argument 'queries' of gpu_knn", qset.dim(),
+                       "argument 'data'", data.dim());
   KnnResult result(qset.size(), opt.k);
   Timer total;
   if (data.empty() || qset.empty()) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/dataset.hpp"
+#include "common/neighbors.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/metrics.hpp"
 
@@ -44,34 +45,14 @@ struct KnnStats {
   gpu::KernelMetrics metrics;
 };
 
-/// Fixed-k neighbour lists in query order; lists are sorted by ascending
-/// distance and may be shorter than k when the data set is smaller.
-class KnnResult {
+/// The shared NeighborLists container (common/neighbors.hpp) plus the
+/// GPU engine's stats block.
+class KnnResult : public NeighborLists {
  public:
   KnnResult() = default;
-  KnnResult(std::size_t nq, int k)
-      : nq_(nq), k_(k), ids_(nq * k), dists_(nq * k), counts_(nq, 0) {}
-
-  std::size_t num_queries() const { return nq_; }
-  int k() const { return k_; }
-  int count(std::size_t q) const { return counts_[q]; }
-  std::uint32_t neighbor(std::size_t q, int j) const {
-    return ids_[q * k_ + j];
-  }
-  double distance(std::size_t q, int j) const { return dists_[q * k_ + j]; }
-
-  std::uint32_t* ids_row(std::size_t q) { return ids_.data() + q * k_; }
-  double* dists_row(std::size_t q) { return dists_.data() + q * k_; }
-  void set_count(std::size_t q, int c) { counts_[q] = c; }
+  KnnResult(std::size_t nq, int k) : NeighborLists(nq, k) {}
 
   KnnStats stats;
-
- private:
-  std::size_t nq_ = 0;
-  int k_ = 0;
-  std::vector<std::uint32_t> ids_;
-  std::vector<double> dists_;
-  std::vector<int> counts_;
 };
 
 /// Self-kNN: neighbours of every point of `d` within `d`.

@@ -20,32 +20,50 @@ rtree::BuildMode parse_build_mode(const std::string& mode) {
       "rtree: unknown build_mode '" + mode + "' (known: binned, str, raw)");
 }
 
-class RtreeBackend final : public api::SelfJoinBackend {
+class RtreeBackend final : public api::Backend {
  public:
   std::string_view name() const override { return "rtree"; }
   std::string_view description() const override {
-    return "sequential CPU R-tree search-and-refine self-join (Section "
-           "VI-B baseline)";
+    return "sequential CPU R-tree search-and-refine (Section VI-B "
+           "baseline); also serves the query/data join";
   }
 
-  api::Capabilities capabilities() const override { return {}; }
+  api::Capabilities capabilities() const override {
+    return {.supports_join = true};
+  }
 
   api::JoinOutcome run(const Dataset& d, double eps,
                        const api::RunConfig& config) const override {
+    return adapt(rtree::self_join(d, eps, parse_mode(config),
+                                  parse_options(config)));
+  }
+
+  api::JoinOutcome join(const Dataset& queries, const Dataset& data,
+                        double eps,
+                        const api::RunConfig& config) const override {
+    return adapt(rtree::join(queries, data, eps, parse_mode(config),
+                             parse_options(config)));
+  }
+
+ private:
+  rtree::BuildMode parse_mode(const api::RunConfig& config) const {
     config.check_keys(name(), "build_mode,max_entries,min_entries");
     if (config.threads != 0) {
       throw std::invalid_argument(
           "rtree: --threads is not supported (the baseline is the paper's "
           "sequential search-and-refine)");
     }
-    const rtree::BuildMode mode =
-        parse_build_mode(config.text("build_mode", "binned"));
+    return parse_build_mode(config.text("build_mode", "binned"));
+  }
+
+  static rtree::Options parse_options(const api::RunConfig& config) {
     rtree::Options opt;
     opt.max_entries = config.integer("max_entries", opt.max_entries);
     opt.min_entries = config.integer("min_entries", opt.min_entries);
+    return opt;
+  }
 
-    auto r = rtree::self_join(d, eps, mode, opt);
-
+  static api::JoinOutcome adapt(rtree::RTreeSelfJoinResult r) {
     api::JoinOutcome out;
     out.pairs = std::move(r.pairs);
     const rtree::RTreeSelfJoinStats& s = r.stats;

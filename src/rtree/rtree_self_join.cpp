@@ -3,9 +3,33 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parse.hpp"
 #include "common/timer.hpp"
 
 namespace sj::rtree {
+
+namespace {
+
+/// Index construction shared by the self-join and the query/data join.
+void build_tree(RTree& tree, const Dataset& d, BuildMode mode) {
+  switch (mode) {
+    case BuildMode::kBinnedInsert: {
+      const auto order = binned_insertion_order(d);
+      for (std::uint32_t id : order) tree.insert(d.pt(id), id);
+      break;
+    }
+    case BuildMode::kStrBulkLoad:
+      tree.bulk_load_str(d);
+      break;
+    case BuildMode::kRawInsert:
+      for (std::size_t i = 0; i < d.size(); ++i) {
+        tree.insert(d.pt(i), static_cast<std::uint32_t>(i));
+      }
+      break;
+  }
+}
+
+}  // namespace
 
 std::vector<std::uint32_t> binned_insertion_order(const Dataset& d) {
   std::vector<std::uint32_t> order(d.size());
@@ -31,21 +55,7 @@ RTreeSelfJoinResult self_join(const Dataset& d, double eps, BuildMode mode,
 
   Timer build_timer;
   RTree tree(d.dim(), opt);
-  switch (mode) {
-    case BuildMode::kBinnedInsert: {
-      const auto order = binned_insertion_order(d);
-      for (std::uint32_t id : order) tree.insert(d.pt(id), id);
-      break;
-    }
-    case BuildMode::kStrBulkLoad:
-      tree.bulk_load_str(d);
-      break;
-    case BuildMode::kRawInsert:
-      for (std::size_t i = 0; i < d.size(); ++i) {
-        tree.insert(d.pt(i), static_cast<std::uint32_t>(i));
-      }
-      break;
-  }
+  build_tree(tree, d, mode);
   result.stats.build_seconds = build_timer.seconds();
   result.stats.tree_height = tree.height();
 
@@ -59,6 +69,40 @@ RTreeSelfJoinResult self_join(const Dataset& d, double eps, BuildMode mode,
     result.stats.distance_calcs += candidates.size();
     for (std::uint32_t q : candidates) {
       if (sq_dist(d.pt(i), d.pt(q), d.dim()) <= eps2) {
+        result.pairs.add(static_cast<std::uint32_t>(i), q);
+      }
+    }
+  }
+  result.stats.query_seconds = query_timer.seconds();
+  result.stats.nodes_visited = qs.nodes_visited;
+  result.stats.candidates = qs.candidates;
+  return result;
+}
+
+RTreeSelfJoinResult join(const Dataset& queries, const Dataset& data,
+                         double eps, BuildMode mode, Options opt) {
+  parse::non_negative("argument 'eps' of rtree::join", eps);
+  parse::matching_dims("argument 'queries' of rtree::join", queries.dim(),
+                       "argument 'data'", data.dim());
+  RTreeSelfJoinResult result;
+  if (queries.empty() || data.empty()) return result;
+
+  Timer build_timer;
+  RTree tree(data.dim(), opt);
+  build_tree(tree, data, mode);
+  result.stats.build_seconds = build_timer.seconds();
+  result.stats.tree_height = tree.height();
+
+  Timer query_timer;
+  QueryStats qs;
+  const double eps2 = eps * eps;
+  std::vector<std::uint32_t> candidates;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    candidates.clear();
+    tree.window_candidates(queries.pt(i), eps, candidates, &qs);
+    result.stats.distance_calcs += candidates.size();
+    for (std::uint32_t q : candidates) {
+      if (sq_dist(queries.pt(i), data.pt(q), data.dim()) <= eps2) {
         result.pairs.add(static_cast<std::uint32_t>(i), q);
       }
     }

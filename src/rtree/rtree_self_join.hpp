@@ -40,6 +40,13 @@ RTreeSelfJoinResult self_join(const Dataset& d, double eps,
                               BuildMode mode = BuildMode::kBinnedInsert,
                               Options opt = {});
 
+/// Query/data epsilon join over the same search-and-refine machinery:
+/// the tree indexes `data`, one window query per query point, pairs are
+/// (query index, data index).
+RTreeSelfJoinResult join(const Dataset& queries, const Dataset& data,
+                         double eps, BuildMode mode = BuildMode::kBinnedInsert,
+                         Options opt = {});
+
 /// The insertion order the paper uses: ids sorted by unit-length bin
 /// (lexicographic over floor(x_j)). Exposed for tests and the ablation.
 std::vector<std::uint32_t> binned_insertion_order(const Dataset& d);

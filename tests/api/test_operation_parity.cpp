@@ -1,0 +1,397 @@
+// Cross-backend parity for the operation facets (query/data join and
+// kNN): one parameterized sweep over every backend advertising each
+// capability, asserted against the brute-force oracle, on the inputs
+// that historically break spatial search implementations — empty sides,
+// single points, eps = 0, duplicate points, queries that are a subset of
+// the data, fully disjoint query sets, queries outside the data bounds,
+// and k >= n.
+//
+// This suite is also where the facet conventions are asserted once:
+// join results are (query index, data index) pairs — NOT symmetric, no
+// implicit self pairs — and kNN lists are ascending by distance, the
+// query excluded from its own self-kNN list. Capability gating (the
+// one-line error listing capable backends) is covered at the bottom.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "api/registry.hpp"
+#include "bruteforce/brute_force.hpp"
+#include "common/datagen.hpp"
+#include "common/distance.hpp"
+
+namespace sj {
+namespace {
+
+Dataset all_duplicates(int dim, std::size_t n, double value) {
+  Dataset d(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    double p[kMaxDims] = {value, value, value, value, value, value};
+    d.push_back(p);
+  }
+  return d;
+}
+
+Dataset shifted(const Dataset& d, double offset) {
+  Dataset out(d.dim());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    double p[kMaxDims];
+    for (int j = 0; j < d.dim(); ++j) p[j] = d.coord(i, j) + offset;
+    out.push_back(p);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------- join parity
+
+class JoinParity : public ::testing::TestWithParam<std::string> {
+ protected:
+  const api::Backend& backend() const {
+    return api::BackendRegistry::instance().at(GetParam(),
+                                               api::Operation::kJoin);
+  }
+
+  void expect_parity(const Dataset& queries, const Dataset& data,
+                     double eps) {
+    auto want = brute::join(queries, data, eps).pairs;
+    want.normalize();
+    auto got = backend().join(queries, data, eps).pairs;
+    got.normalize();
+    EXPECT_TRUE(ResultSet::equal_normalized(got, want))
+        << GetParam() << " on |Q|=" << queries.size()
+        << " |D|=" << data.size() << " eps=" << eps << " (got "
+        << got.size() << " pairs, want " << want.size() << ")";
+  }
+};
+
+TEST_P(JoinParity, EmptySidesProduceEmptyResults) {
+  const auto d = datagen::uniform(60, 2, 0.0, 10.0, 301);
+  EXPECT_TRUE(backend().join(Dataset(2), d, 1.0).pairs.empty());
+  EXPECT_TRUE(backend().join(d, Dataset(2), 1.0).pairs.empty());
+  EXPECT_TRUE(backend().join(Dataset(2), Dataset(2), 1.0).pairs.empty());
+}
+
+TEST_P(JoinParity, SinglePointSidesAndConvention) {
+  Dataset q(2, {0.0, 0.0});
+  Dataset d(2, {0.1, 0.0, 50.0, 50.0});
+  expect_parity(q, d, 1.0);
+  auto got = backend().join(q, d, 1.0).pairs;
+  got.normalize();
+  // Asymmetric convention: the lone pair is (query 0, data 0) — no
+  // mirrored (data, query) entry, no self pairs.
+  ASSERT_EQ(got.size(), 1u) << GetParam();
+  EXPECT_EQ(got.pairs()[0], (Pair{0, 0})) << GetParam();
+}
+
+TEST_P(JoinParity, EpsZeroKeepsCoLocatedPointsOnly) {
+  Dataset q(2, {1.0, 1.0, 2.0, 2.0, 3.0, 3.0});
+  Dataset d(2, {1.0, 1.0, 2.0, 2.0, 9.0, 9.0, 1.0, 1.0});
+  expect_parity(q, d, 0.0);
+  auto got = backend().join(q, d, 0.0).pairs;
+  // q0 matches d0 and d3, q1 matches d1, q2 matches nothing.
+  EXPECT_EQ(got.size(), 3u) << GetParam();
+}
+
+TEST_P(JoinParity, AllDuplicatePoints) {
+  for (int dim : {2, 4}) {
+    const auto q = all_duplicates(dim, 15, 7.0);
+    const auto d = all_duplicates(dim, 25, 7.0);
+    expect_parity(q, d, 0.5);
+    EXPECT_EQ(backend().join(q, d, 0.5).pairs.size(), 15u * 25u)
+        << GetParam() << " dim=" << dim;
+  }
+}
+
+TEST_P(JoinParity, QueriesSubsetOfData) {
+  const auto d = datagen::uniform(400, 2, 0.0, 30.0, 303);
+  Dataset q(2);
+  for (std::size_t i = 0; i < d.size(); i += 5) q.push_back(d.pt(i));
+  expect_parity(q, d, 1.0);
+  // Every query coincides with its source data point, so each has at
+  // least one zero-distance match.
+  auto got = backend().join(q, d, 1.0).pairs;
+  got.normalize();
+  const auto& pairs = got.pairs();
+  for (std::uint32_t i = 0; i < q.size(); ++i) {
+    EXPECT_TRUE(std::binary_search(pairs.begin(), pairs.end(),
+                                   Pair{i, i * 5}))
+        << GetParam() << ": query " << i
+        << " missing its coincident data point";
+  }
+}
+
+TEST_P(JoinParity, DisjointQuerySetFindsNothing) {
+  const auto d = datagen::uniform(300, 3, 0.0, 10.0, 305);
+  const auto q = datagen::uniform(200, 3, 50.0, 60.0, 306);
+  expect_parity(q, d, 1.0);
+  EXPECT_TRUE(backend().join(q, d, 1.0).pairs.empty()) << GetParam();
+}
+
+TEST_P(JoinParity, QueriesOutsideDataBounds) {
+  // Queries straddle the data's bounding box (grid-based engines must
+  // clamp external points into the grid without losing matches near the
+  // boundary).
+  const auto d = datagen::uniform(500, 2, 0.0, 10.0, 307);
+  const auto q = datagen::uniform(300, 2, -5.0, 15.0, 308);
+  for (double eps : {0.5, 2.0}) {
+    expect_parity(q, d, eps);
+  }
+}
+
+TEST_P(JoinParity, UniformSweep) {
+  for (int dim : {1, 2, 3}) {
+    const auto q = datagen::uniform(250, dim, 0.0, 20.0, 310 + dim);
+    const auto d = datagen::gaussian_mixture(350, dim, 4, 3.0, 0.0, 20.0,
+                                             320 + dim);
+    for (double eps : {0.5, 2.0, 40.0}) {
+      expect_parity(q, d, eps);
+    }
+  }
+}
+
+TEST_P(JoinParity, SkewedIpppQueriesOverUniformData) {
+  // The workload the per-group weighted batching exists for: most of the
+  // result volume concentrated in a few query home cells.
+  const auto d = datagen::uniform(600, 2, 0.0, 32.0, 331);
+  const auto q = datagen::ippp(500, 2, 32.0, 332);
+  for (double eps : {0.5, 2.0}) {
+    expect_parity(q, d, eps);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    JoinBackends, JoinParity,
+    ::testing::ValuesIn(api::BackendRegistry::instance().names_supporting(
+        api::Operation::kJoin)),
+    [](const auto& info) { return info.param; });
+
+// ----------------------------------------------------------- kNN parity
+
+class KnnParity : public ::testing::TestWithParam<std::string> {
+ protected:
+  const api::Backend& backend() const {
+    return api::BackendRegistry::instance().at(GetParam(),
+                                               api::Operation::kKnn);
+  }
+
+  /// Count + distance parity per query against the oracle lists, plus id
+  /// consistency: tie-breaking may legitimately differ between engines,
+  /// so ids are checked by re-evaluating their actual distances rather
+  /// than by exact match.
+  void expect_lists_match(const Dataset& queries, const Dataset& data,
+                          const NeighborLists& got,
+                          const NeighborLists& want) {
+    ASSERT_EQ(got.num_queries(), want.num_queries()) << GetParam();
+    for (std::size_t q = 0; q < got.num_queries(); ++q) {
+      ASSERT_EQ(got.count(q), want.count(q))
+          << GetParam() << " query " << q;
+      for (int j = 0; j < got.count(q); ++j) {
+        EXPECT_DOUBLE_EQ(got.distance(q, j), want.distance(q, j))
+            << GetParam() << " query " << q << " rank " << j;
+        const std::uint32_t id = got.neighbor(q, j);
+        ASSERT_LT(id, data.size()) << GetParam();
+        EXPECT_DOUBLE_EQ(
+            std::sqrt(sq_dist(queries.pt(q), data.pt(id), data.dim())),
+            got.distance(q, j))
+            << GetParam() << " query " << q << " rank " << j
+            << ": reported id does not lie at the reported distance";
+      }
+    }
+  }
+
+  void expect_self_parity(const Dataset& d, int k) {
+    const auto want = brute::self_knn(d, k);
+    const auto got = backend().self_knn(d, k);
+    expect_lists_match(d, d, got.neighbors, want.neighbors);
+  }
+
+  void expect_two_set_parity(const Dataset& queries, const Dataset& data,
+                             int k) {
+    const auto want = brute::knn(queries, data, k);
+    const auto got = backend().knn(queries, data, k);
+    expect_lists_match(queries, data, got.neighbors, want.neighbors);
+  }
+};
+
+TEST_P(KnnParity, SelfKnnMatchesOracle) {
+  for (int dim : {2, 3}) {
+    const auto d = datagen::uniform(500, dim, 0.0, 50.0, 340 + dim);
+    for (int k : {1, 4, 16}) {
+      expect_self_parity(d, k);
+    }
+  }
+}
+
+TEST_P(KnnParity, SelfKnnExcludesSelf) {
+  const auto d = datagen::uniform(200, 2, 0.0, 50.0, 350);
+  const auto got = backend().self_knn(d, 3);
+  for (std::size_t q = 0; q < d.size(); ++q) {
+    for (int j = 0; j < got.neighbors.count(q); ++j) {
+      EXPECT_NE(got.neighbors.neighbor(q, j), q)
+          << GetParam() << ": query " << q << " returned itself";
+    }
+  }
+}
+
+TEST_P(KnnParity, IncludeSelfKnobPutsQueryFirst) {
+  const auto d = datagen::uniform(150, 2, 0.0, 50.0, 351);
+  api::RunConfig config;
+  config.extra["include_self"] = "1";
+  const auto got = backend().self_knn(d, 4, config);
+  for (std::size_t q = 0; q < d.size(); q += 10) {
+    EXPECT_DOUBLE_EQ(got.neighbors.distance(q, 0), 0.0) << GetParam();
+  }
+}
+
+TEST_P(KnnParity, KGreaterThanDatasetReturnsEverything) {
+  const auto d = datagen::uniform(9, 2, 0.0, 10.0, 352);
+  expect_self_parity(d, 50);
+  const auto got = backend().self_knn(d, 50);
+  for (std::size_t q = 0; q < d.size(); ++q) {
+    EXPECT_EQ(got.neighbors.count(q), 8) << GetParam();  // all but self
+  }
+  const auto q2 = datagen::uniform(5, 2, 0.0, 10.0, 353);
+  expect_two_set_parity(q2, d, 50);
+  const auto two = backend().knn(q2, d, 50);
+  for (std::size_t q = 0; q < q2.size(); ++q) {
+    EXPECT_EQ(two.neighbors.count(q), 9) << GetParam();  // whole data set
+  }
+}
+
+TEST_P(KnnParity, DuplicatePointsAreValidNeighbors) {
+  const auto d = all_duplicates(2, 20, 5.0);
+  expect_self_parity(d, 4);
+  const auto got = backend().self_knn(d, 4);
+  for (int j = 0; j < got.neighbors.count(0); ++j) {
+    EXPECT_DOUBLE_EQ(got.neighbors.distance(0, j), 0.0) << GetParam();
+  }
+}
+
+TEST_P(KnnParity, QueriesSubsetOfData) {
+  const auto d = datagen::uniform(300, 2, 0.0, 30.0, 354);
+  Dataset q(2);
+  for (std::size_t i = 0; i < d.size(); i += 7) q.push_back(d.pt(i));
+  expect_two_set_parity(q, d, 5);
+  // Two-set mode never excludes coincident points: rank 0 is the query's
+  // own source point at distance zero.
+  const auto got = backend().knn(q, d, 5);
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    ASSERT_GE(got.neighbors.count(i), 1) << GetParam();
+    EXPECT_DOUBLE_EQ(got.neighbors.distance(i, 0), 0.0) << GetParam();
+  }
+}
+
+TEST_P(KnnParity, DisjointQuerySetStillFindsNeighbors) {
+  // kNN has no range cutoff: far-away queries still get k neighbours.
+  const auto d = datagen::uniform(400, 2, 0.0, 10.0, 355);
+  const auto q = datagen::uniform(60, 2, 80.0, 90.0, 356);
+  expect_two_set_parity(q, d, 3);
+}
+
+TEST_P(KnnParity, SkewedIpppData) {
+  const auto d = datagen::ippp(700, 2, 32.0, 357);
+  expect_self_parity(d, 8);
+}
+
+TEST_P(KnnParity, EmptySides) {
+  const auto d = datagen::uniform(50, 2, 0.0, 10.0, 358);
+  const auto no_data = backend().knn(d, Dataset(2), 3);
+  ASSERT_EQ(no_data.neighbors.num_queries(), d.size()) << GetParam();
+  for (std::size_t q = 0; q < d.size(); ++q) {
+    EXPECT_EQ(no_data.neighbors.count(q), 0) << GetParam();
+  }
+  EXPECT_EQ(backend().knn(Dataset(2), d, 3).neighbors.num_queries(), 0u);
+  EXPECT_EQ(backend().self_knn(Dataset(2), 3).neighbors.num_queries(), 0u);
+}
+
+TEST_P(KnnParity, RejectsBadK) {
+  EXPECT_THROW(backend().self_knn(Dataset(2), 0), std::invalid_argument);
+  EXPECT_THROW(backend().knn(Dataset(2), Dataset(2), -3),
+               std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KnnBackends, KnnParity,
+    ::testing::ValuesIn(api::BackendRegistry::instance().names_supporting(
+        api::Operation::kKnn)),
+    [](const auto& info) { return info.param; });
+
+// ---------------------------------------------------- capability gating
+
+TEST(OperationGating, AtLeastTwoBackendsPerFacet) {
+  const auto& registry = api::BackendRegistry::instance();
+  EXPECT_GE(registry.names_supporting(api::Operation::kJoin).size(), 2u);
+  EXPECT_GE(registry.names_supporting(api::Operation::kKnn).size(), 2u);
+  // Self-join is mandatory: everything qualifies.
+  EXPECT_EQ(registry.names_supporting(api::Operation::kSelfJoin),
+            registry.names());
+}
+
+TEST(OperationGating, UnsupportedJoinThrowsOneLinerListingCapable) {
+  const auto& ego = api::BackendRegistry::instance().at("ego");
+  ASSERT_FALSE(ego.capabilities().supports_join);
+  try {
+    ego.join(Dataset(2), Dataset(2), 1.0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'ego' does not support join"), std::string::npos)
+        << msg;
+    for (const auto& name :
+         api::BackendRegistry::instance().names_supporting(
+             api::Operation::kJoin)) {
+      EXPECT_NE(msg.find(name), std::string::npos) << msg;
+    }
+    EXPECT_EQ(msg.find('\n'), std::string::npos) << "not one line: " << msg;
+  }
+}
+
+TEST(OperationGating, UnsupportedKnnThrowsForEveryFacetEntryPoint) {
+  const auto& rtree = api::BackendRegistry::instance().at("rtree");
+  ASSERT_FALSE(rtree.capabilities().supports_knn);
+  EXPECT_THROW(rtree.self_knn(Dataset(2), 3), std::invalid_argument);
+  EXPECT_THROW(rtree.knn(Dataset(2), Dataset(2), 3), std::invalid_argument);
+}
+
+TEST(OperationGating, RegistryOperationLookup) {
+  const auto& registry = api::BackendRegistry::instance();
+  EXPECT_EQ(registry.at("gpu", api::Operation::kJoin).name(), "gpu");
+  EXPECT_EQ(registry.at("superego", api::Operation::kSelfJoin).name(),
+            "ego");
+  EXPECT_THROW(registry.at("ego", api::Operation::kJoin),
+               std::invalid_argument);
+  EXPECT_THROW(registry.at("gpu_async", api::Operation::kKnn),
+               std::invalid_argument);
+  EXPECT_THROW(registry.at("nosuch", api::Operation::kJoin),
+               std::invalid_argument);
+}
+
+TEST(OperationGating, UnknownNameErrorListsCapabilities) {
+  try {
+    api::BackendRegistry::instance().at("nosuch");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown backend 'nosuch'"), std::string::npos);
+    EXPECT_NE(msg.find("gpu [self-join, join, knn, gpu]"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("ego [self-join]"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rtree [self-join, join]"), std::string::npos) << msg;
+  }
+}
+
+TEST(OperationGating, CapabilitySummaryShapes) {
+  EXPECT_EQ(api::capability_summary({}), "self-join");
+  EXPECT_EQ(api::capability_summary({.supports_join = true}),
+            "self-join, join");
+  EXPECT_EQ(api::capability_summary(
+                {.supports_join = true, .supports_knn = true, .gpu = true}),
+            "self-join, join, knn, gpu");
+}
+
+}  // namespace
+}  // namespace sj

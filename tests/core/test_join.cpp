@@ -37,7 +37,70 @@ TEST_P(JoinEquality, MatchesBruteForce) {
       << "dim=" << dim;
 }
 
+TEST_P(JoinEquality, LayoutsReturnIdenticalNormalizedPairs) {
+  // The cell-major indexed side + query-group kernel must agree with the
+  // paper's point-centric path exactly, across dimensionalities.
+  const int dim = GetParam();
+  const double eps = std::pow(2.2, dim - 2);
+  const auto a = datagen::uniform(500, dim, 0.0, 100.0, 160 + dim);
+  const auto b = datagen::gaussian_mixture(700, dim, 6, 4.0, 0.0, 100.0,
+                                           190 + dim);
+  GpuJoinOptions legacy_opt;
+  legacy_opt.layout = GridLayout::kLegacy;
+  GpuJoinOptions cell_opt;
+  cell_opt.layout = GridLayout::kCellMajor;
+  auto legacy = gpu_join(a, b, eps, legacy_opt);
+  auto cell = gpu_join(a, b, eps, cell_opt);
+  legacy.pairs.normalize();
+  cell.pairs.normalize();
+  EXPECT_EQ(legacy.pairs.pairs(), cell.pairs.pairs()) << "dim=" << dim;
+  EXPECT_EQ(legacy.stats.query_groups, 0u);
+  EXPECT_GT(cell.stats.query_groups, 0u);
+  EXPECT_LE(cell.stats.query_groups, a.size());
+}
+
 INSTANTIATE_TEST_SUITE_P(Dims, JoinEquality, ::testing::Values(1, 2, 3, 4, 6));
+
+TEST(GpuJoin, CellLayoutSkewedQueriesManyBatchesStayExact) {
+  // Skewed queries concentrate the result volume into few groups; force
+  // many batches so the weighted group planner and the overflow-split
+  // path are both exercised.
+  const auto a = datagen::ippp(1200, 2, 32.0, 271);
+  const auto b = datagen::uniform(1500, 2, 0.0, 32.0, 272);
+  GpuJoinOptions opt;
+  opt.min_batches = 9;
+  opt.max_buffer_pairs = 512;  // undersized buffers -> overflow splits
+  auto got = gpu_join(a, b, 1.0, opt);
+  EXPECT_TRUE(ResultSet::equal_normalized(got.pairs, brute_join(a, b, 1.0)));
+  EXPECT_GE(got.stats.batch.batches_run, 9u);
+}
+
+TEST(GpuJoin, CellLayoutRunTwiceIsDeterministic) {
+  const auto a = datagen::uniform(800, 2, 0.0, 50.0, 281);
+  const auto b = datagen::uniform(900, 2, 0.0, 50.0, 282);
+  auto r1 = gpu_join(a, b, 2.0);
+  auto r2 = gpu_join(a, b, 2.0);
+  EXPECT_EQ(r1.pairs.pairs(), r2.pairs.pairs());  // raw order, not just set
+}
+
+TEST(GpuJoin, ValidationNamesTheArgument) {
+  try {
+    gpu_join(Dataset(2), Dataset(2), -1.0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("argument 'eps' of gpu_join"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    gpu_join(Dataset(2), Dataset(3), 1.0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("argument 'queries' of gpu_join"),
+              std::string::npos)
+        << e.what();
+  }
+}
 
 TEST(GpuJoin, AsymmetricIndicesAreQueryThenData) {
   Dataset a(2, {0.0, 0.0});

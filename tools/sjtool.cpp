@@ -6,9 +6,13 @@
 //   sjtool info     --in points.sjd
 //   sjtool selfjoin --in points.sjd --eps 2.0 [--algo gpu_unicomp]
 //                   [--pairs-out pairs.csv] [--counts-out counts.csv]
-//   sjtool join     --in queries.sjd --data data.sjd --eps 1.0
-//   sjtool knn      --in points.sjd --k 8 [--out knn.csv]
+//   sjtool join     --in queries.sjd --data data.sjd --eps 1.0 [--algo gpu]
+//   sjtool knn      --in points.sjd --k 8 [--data data.sjd] [--algo gpu]
+//                   [--out knn.csv]
 //
+// Every operation dispatches through sj::api::BackendRegistry: --algo
+// accepts any registered backend; picking one without the operation's
+// capability fails with a one-line error listing the capable backends.
 // Formats are chosen by extension: .sjd binary, anything else CSV.
 #include <cstring>
 #include <fstream>
@@ -21,8 +25,6 @@
 #include "common/datasets.hpp"
 #include "common/io.hpp"
 #include "common/parse.hpp"
-#include "core/join.hpp"
-#include "core/knn.hpp"
 
 namespace {
 
@@ -37,9 +39,12 @@ using sj::Dataset;
       "  sjtool selfjoin --in FILE --eps E [--algo A] [--threads N]\n"
       "                  [--opt k=v[,k=v...]] [--stats 1] [--pairs-out F]\n"
       "                  [--counts-out F]\n"
-      "  sjtool join     --in FILE --data FILE --eps E [--pairs-out F]\n"
-      "  sjtool knn      --in FILE --k K [--out F]\n"
-      "algorithms (gpu_unicomp is the default): ";
+      "  sjtool join     --in QUERIES --data DATA --eps E [--algo A]\n"
+      "                  [--threads N] [--opt ...] [--stats 1]\n"
+      "                  [--pairs-out F]\n"
+      "  sjtool knn      --in FILE --k K [--data DATA] [--algo A]\n"
+      "                  [--threads N] [--opt ...] [--stats 1] [--out F]\n"
+      "algorithms (selfjoin defaults to gpu_unicomp, join/knn to gpu): ";
   for (const auto& name : sj::api::BackendRegistry::instance().names()) {
     std::cerr << name << " ";
   }
@@ -47,6 +52,23 @@ using sj::Dataset;
   for (const auto& i : sj::datasets::all()) std::cerr << i.name << " ";
   std::cerr << "\n";
   std::exit(2);
+}
+
+/// The multi-line backend listing printed for an unknown --algo: every
+/// registered name with its capability tags, so the user can see at a
+/// glance which engines serve selfjoin/join/knn (and which are GPU).
+void print_backends(std::ostream& os) {
+  const auto& registry = sj::api::BackendRegistry::instance();
+  os << "registered backends:\n";
+  for (const auto& name : registry.names()) {
+    const auto& backend = registry.at(name);
+    os << "  " << name << "  ["
+       << sj::api::capability_summary(backend.capabilities()) << "]  — "
+       << backend.description() << "\n";
+  }
+  for (const auto& alias : registry.aliases()) {
+    os << "  " << alias << " (alias)\n";
+  }
 }
 
 std::map<std::string, std::string> parse_flags(int argc, char** argv,
@@ -134,34 +156,54 @@ void parse_opts(const std::string& spec, sj::api::RunConfig& config) {
   }
 }
 
-int cmd_selfjoin(const std::map<std::string, std::string>& flags) {
-  const Dataset d = load_any(require(flags, "in"));
-  const double eps = sj::parse::positive_number("--eps", require(flags, "eps"));
+/// Resolve --algo against the registry; prints the capability listing and
+/// returns nullptr for an unknown name (the caller exits 2).
+const sj::api::Backend* resolve_algo(
+    const std::map<std::string, std::string>& flags,
+    const std::string& default_algo) {
   const std::string algo =
-      flags.count("algo") ? flags.at("algo") : "gpu_unicomp";
-
-  const auto& registry = sj::api::BackendRegistry::instance();
-  const sj::api::SelfJoinBackend* backend = registry.find(algo);
+      flags.count("algo") ? flags.at("algo") : default_algo;
+  const sj::api::Backend* backend =
+      sj::api::BackendRegistry::instance().find(algo);
   if (backend == nullptr) {
-    std::cerr << "error: unknown algorithm '" << algo
-              << "'\nregistered backends:\n";
-    for (const auto& name : registry.names()) {
-      std::cerr << "  " << name << "  — "
-                << registry.at(name).description() << "\n";
-    }
-    for (const auto& alias : registry.aliases()) {
-      std::cerr << "  " << alias << " (alias)\n";
-    }
-    return 2;
+    std::cerr << "error: unknown algorithm '" << algo << "'\n";
+    print_backends(std::cerr);
   }
+  return backend;
+}
 
+/// The --threads/--opt/--stats plumbing shared by selfjoin, join and knn.
+sj::api::RunConfig make_config(const std::map<std::string, std::string>& flags,
+                               const sj::api::Backend& backend,
+                               bool& show_stats) {
   sj::api::RunConfig config;
   if (flags.count("threads")) {
     config.threads = sj::parse::integer("--threads", flags.at("threads"));
   }
   if (flags.count("opt")) parse_opts(flags.at("opt"), config);
-  const bool show_stats = flags.count("stats") && flags.at("stats") != "0";
-  config.collect_metrics = show_stats && backend->capabilities().gpu;
+  show_stats = flags.count("stats") && flags.at("stats") != "0";
+  config.collect_metrics = show_stats && backend.capabilities().gpu;
+  return config;
+}
+
+void print_native_stats(const sj::api::Backend& backend,
+                        const sj::api::BackendStats& stats) {
+  if (stats.native.empty()) return;
+  std::cout << "native stats [" << backend.name() << "]:\n";
+  for (const auto& [key, value] : stats.native) {
+    std::cout << "  " << key << ": " << value << "\n";
+  }
+}
+
+int cmd_selfjoin(const std::map<std::string, std::string>& flags) {
+  const Dataset d = load_any(require(flags, "in"));
+  const double eps = sj::parse::positive_number("--eps", require(flags, "eps"));
+  const sj::api::Backend* backend = resolve_algo(flags, "gpu_unicomp");
+  if (backend == nullptr) return 2;
+  const std::string algo(backend->name());
+
+  bool show_stats = false;
+  sj::api::RunConfig config = make_config(flags, *backend, show_stats);
 
   auto outcome = backend->run(d, eps, config);
   sj::ResultSet pairs = std::move(outcome.pairs);
@@ -172,12 +214,7 @@ int cmd_selfjoin(const std::map<std::string, std::string>& flags) {
     std::cout << "  build/sort: " << outcome.stats.build_seconds << " s";
   }
   std::cout << "\n";
-  if (show_stats && !outcome.stats.native.empty()) {
-    std::cout << "native stats [" << backend->name() << "]:\n";
-    for (const auto& [key, value] : outcome.stats.native) {
-      std::cout << "  " << key << ": " << value << "\n";
-    }
-  }
+  if (show_stats) print_native_stats(*backend, outcome.stats);
 
   std::cout << "pairs:   " << pairs.size() << " (incl. self pairs)\n"
             << "avg nbr: " << pairs.avg_neighbors(d.size()) << "\n"
@@ -203,27 +240,54 @@ int cmd_join(const std::map<std::string, std::string>& flags) {
   const Dataset a = load_any(require(flags, "in"));
   const Dataset b = load_any(require(flags, "data"));
   const double eps = sj::parse::positive_number("--eps", require(flags, "eps"));
-  auto r = sj::gpu_join(a, b, eps);
-  std::cout << "pairs: " << r.pairs.size() << "\ntime:  "
-            << r.stats.total_seconds << " s\n";
+  const sj::api::Backend* backend = resolve_algo(flags, "gpu");
+  if (backend == nullptr) return 2;
+
+  bool show_stats = false;
+  const sj::api::RunConfig config = make_config(flags, *backend, show_stats);
+  // Throws the one-line capability error when the backend lacks join.
+  auto outcome = backend->join(a, b, eps, config);
+
+  std::cout << "pairs: " << outcome.pairs.size()
+            << "  (query, data index pairs)\n"
+            << "distance calcs: " << outcome.stats.distance_calcs << "\n"
+            << "time:  " << outcome.stats.seconds << " s  ["
+            << backend->name() << "]\n";
+  if (show_stats) print_native_stats(*backend, outcome.stats);
   if (flags.count("pairs-out")) {
-    r.pairs.normalize();
-    write_pairs_csv(r.pairs, flags.at("pairs-out"));
+    outcome.pairs.normalize();
+    write_pairs_csv(outcome.pairs, flags.at("pairs-out"));
+    std::cout << "pairs written to " << flags.at("pairs-out") << "\n";
   }
   return 0;
 }
 
 int cmd_knn(const std::map<std::string, std::string>& flags) {
   const Dataset d = load_any(require(flags, "in"));
-  sj::KnnOptions opt;
-  opt.k = sj::parse::positive_integer("--k", require(flags, "k"));
-  const auto r = sj::gpu_knn(d, opt);
-  std::cout << "queries: " << r.num_queries() << "  k: " << r.k()
-            << "\ncell width: " << r.stats.chosen_cell_width
-            << "\ntime: " << r.stats.total_seconds << " s ("
-            << static_cast<double>(r.stats.metrics.distance_calcs) /
-                   static_cast<double>(std::max<std::size_t>(d.size(), 1))
-            << " candidates/query)\n";
+  const int k = sj::parse::positive_integer("--k", require(flags, "k"));
+  const sj::api::Backend* backend = resolve_algo(flags, "gpu");
+  if (backend == nullptr) return 2;
+
+  bool show_stats = false;
+  const sj::api::RunConfig config = make_config(flags, *backend, show_stats);
+  // --data switches to the two-set mode: neighbours of --in's points
+  // within --data. Throws the capability error when the backend lacks knn.
+  sj::api::KnnOutcome outcome;
+  if (flags.count("data")) {
+    const Dataset data = load_any(flags.at("data"));
+    outcome = backend->knn(d, data, k, config);
+  } else {
+    outcome = backend->self_knn(d, k, config);
+  }
+
+  const auto& r = outcome.neighbors;
+  std::cout << "queries: " << r.num_queries() << "  k: " << r.k() << "\n"
+            << "time: " << outcome.stats.seconds << " s ("
+            << static_cast<double>(outcome.stats.distance_calcs) /
+                   static_cast<double>(
+                       std::max<std::size_t>(r.num_queries(), 1))
+            << " candidates/query)  [" << backend->name() << "]\n";
+  if (show_stats) print_native_stats(*backend, outcome.stats);
   if (flags.count("out")) {
     sj::csv::Table t({"query", "rank", "neighbor", "distance"});
     for (std::size_t q = 0; q < r.num_queries(); ++q) {
