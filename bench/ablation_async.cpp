@@ -10,7 +10,15 @@
 //     scheme cannot.
 // gpu_async sweeps streams x assembly_threads; streams=1/assembly=1
 // degenerates to the serial schedule. SJ_SCALE scales |D| as usual.
+//
+// Output: the usual CSV under SJ_RESULTS_DIR plus BENCH_async.json (path
+// overridable via SJ_BENCH_JSON) — the perf-trajectory artefact tracking
+// the pipeline overlap AND the host assembly path (the pooled segment
+// staging buffers show up here: every configuration's transfer/assembly
+// tail crosses them).
+#include <algorithm>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -21,10 +29,26 @@
 #include "common/table.hpp"
 #include "harness/bench_common.hpp"
 
+namespace {
+
+struct Row {
+  std::string workload;
+  std::string algo;
+  int streams = 0;
+  int assembly = 0;
+  double seconds = 0.0;
+  std::uint64_t pairs = 0;
+  std::uint64_t retries = 0;
+  double speedup = 0.0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace sj;
   using namespace sj::bench;
-  return bench_main(argc, argv, [] {
+  std::vector<Row> rows;
+  const int rc = bench_main(argc, argv, [&rows] {
     const double scale = env_scale();
 
     struct Workload {
@@ -53,6 +77,11 @@ int main(int argc, char** argv) {
                     "seconds", "pairs", "overflow_retries", "speedup"});
     for (const auto& w : workloads) {
       const auto gpu = registry.at("gpu").run(w.data, w.eps);
+      rows.push_back({w.name, "gpu", 3, 0, gpu.stats.seconds,
+                      gpu.pairs.size(),
+                      static_cast<std::uint64_t>(
+                          gpu.stats.native_value("overflow_retries")),
+                      1.0});
       t.add_row({w.name, "gpu", "3", "-", csv::fmt(gpu.stats.seconds),
                  std::to_string(gpu.pairs.size()),
                  std::to_string(static_cast<std::uint64_t>(
@@ -73,6 +102,11 @@ int main(int argc, char** argv) {
           const double speedup = r.stats.seconds > 0.0
                                      ? gpu.stats.seconds / r.stats.seconds
                                      : 0.0;
+          rows.push_back({w.name, "gpu_async", streams, assembly,
+                          r.stats.seconds, r.pairs.size(),
+                          static_cast<std::uint64_t>(
+                              r.stats.native_value("overflow_retries")),
+                          speedup});
           t.add_row({w.name, "gpu_async", std::to_string(streams),
                      std::to_string(assembly), csv::fmt(r.stats.seconds),
                      std::to_string(r.pairs.size()),
@@ -94,4 +128,30 @@ int main(int argc, char** argv) {
                  "returns the identical pair set)\n";
     out.write(Collector::results_dir() + "/ablation_async.csv");
   });
+  if (rc != 0) return rc;
+
+  // --- BENCH_async.json: the trajectory metric is the geomean over
+  // workloads of the BEST gpu_async configuration's speedup vs gpu.
+  std::map<std::string, double> best;
+  std::vector<std::string> row_json;
+  for (const Row& r : rows) {
+    if (r.algo == "gpu_async") {
+      best[r.workload] = std::max(best[r.workload], r.speedup);
+    }
+    row_json.push_back(JsonRow()
+                           .field("workload", r.workload)
+                           .field("algo", r.algo)
+                           .field("streams", r.streams)
+                           .field("assembly_threads", r.assembly)
+                           .field("seconds", r.seconds)
+                           .field("pairs", r.pairs)
+                           .field("overflow_retries", r.retries)
+                           .field("speedup", r.speedup)
+                           .str());
+  }
+  std::vector<double> speedups;
+  for (const auto& [workload, s] : best) speedups.push_back(s);
+  write_bench_json("ablation_async", "BENCH_async.json", geomean(speedups),
+                   row_json, "geomean_best_async_speedup_vs_gpu");
+  return 0;
 }

@@ -17,7 +17,6 @@
 // regression), which is the CI bench-smoke gate.
 #include <cstdlib>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -139,15 +138,17 @@ int main(int argc, char** argv) {
   std::vector<std::string> row_json;
   for (const Row& r : rows) {
     speedups.push_back(r.speedup);
-    std::ostringstream js;
-    js << "{\"workload\": \"" << r.workload << "\", \"nq\": " << r.nq
-       << ", \"nd\": " << r.nd << ", \"eps\": " << r.eps
-       << ", \"legacy_seconds\": " << r.legacy_seconds
-       << ", \"cell_seconds\": " << r.cell_seconds
-       << ", \"speedup\": " << r.speedup
-       << ", \"query_groups\": " << r.query_groups
-       << ", \"pairs\": " << r.pairs << "}";
-    row_json.push_back(js.str());
+    row_json.push_back(JsonRow()
+                           .field("workload", r.workload)
+                           .field("nq", static_cast<std::uint64_t>(r.nq))
+                           .field("nd", static_cast<std::uint64_t>(r.nd))
+                           .field("eps", r.eps)
+                           .field("legacy_seconds", r.legacy_seconds)
+                           .field("cell_seconds", r.cell_seconds)
+                           .field("speedup", r.speedup)
+                           .field("query_groups", r.query_groups)
+                           .field("pairs", r.pairs)
+                           .str());
   }
   const double g = geomean(speedups);
   write_bench_json("ablation_join", "BENCH_join.json", g, row_json);

@@ -15,7 +15,6 @@
 // regression), which is the CI bench-smoke gate.
 #include <cstdlib>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -128,14 +127,17 @@ int main(int argc, char** argv) {
   std::vector<std::string> row_json;
   for (const Row& r : rows) {
     speedups.push_back(r.speedup);
-    std::ostringstream js;
-    js << "{\"workload\": \"" << r.workload << "\", \"dim\": " << r.dim
-       << ", \"n\": " << r.n << ", \"eps\": " << r.eps << ", \"algo\": \""
-       << r.algo << "\", \"legacy_seconds\": " << r.legacy_seconds
-       << ", \"cell_seconds\": " << r.cell_seconds
-       << ", \"speedup\": " << r.speedup << ", \"pairs\": " << r.pairs
-       << "}";
-    row_json.push_back(js.str());
+    row_json.push_back(JsonRow()
+                           .field("workload", r.workload)
+                           .field("dim", r.dim)
+                           .field("n", static_cast<std::uint64_t>(r.n))
+                           .field("eps", r.eps)
+                           .field("algo", r.algo)
+                           .field("legacy_seconds", r.legacy_seconds)
+                           .field("cell_seconds", r.cell_seconds)
+                           .field("speedup", r.speedup)
+                           .field("pairs", r.pairs)
+                           .str());
   }
   const double g = geomean(speedups);
   write_bench_json("ablation_layout", "BENCH_layout.json", g, row_json);

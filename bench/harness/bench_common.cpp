@@ -3,10 +3,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <stdexcept>
 
 #include "api/registry.hpp"
@@ -160,17 +162,81 @@ double geomean(const std::vector<double>& values) {
   return counted > 0 ? std::exp(acc / static_cast<double>(counted)) : 0.0;
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonRow::key_prefix(const std::string& key) {
+  if (!body_.empty()) body_.append(", ");
+  body_.push_back('"');
+  body_.append(json_escape(key));
+  body_.append("\": ");
+}
+
+JsonRow& JsonRow::field(const std::string& key, const std::string& value) {
+  key_prefix(key);
+  body_.push_back('"');
+  body_.append(json_escape(value));
+  body_.push_back('"');
+  return *this;
+}
+
+JsonRow& JsonRow::field(const std::string& key, const char* value) {
+  return field(key, std::string(value));
+}
+
+JsonRow& JsonRow::field(const std::string& key, double value) {
+  key_prefix(key);
+  std::ostringstream os;
+  os << value;  // default 6-significant-digit format, as the tables print
+  body_ += os.str();
+  return *this;
+}
+
+JsonRow& JsonRow::field(const std::string& key, std::uint64_t value) {
+  key_prefix(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonRow& JsonRow::field(const std::string& key, int value) {
+  key_prefix(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
 std::string write_bench_json(const std::string& bench_name,
                              const std::string& default_path,
                              double geomean_speedup,
-                             const std::vector<std::string>& row_json) {
+                             const std::vector<std::string>& row_json,
+                             const std::string& metric_key) {
   const char* env_path = std::getenv("SJ_BENCH_JSON");
   const std::string path =
       env_path != nullptr && *env_path != '\0' ? env_path : default_path;
   std::ofstream js(path);
-  js << "{\n  \"bench\": \"" << bench_name << "\",\n"
+  js << "{\n  \"bench\": \"" << json_escape(bench_name) << "\",\n"
      << "  \"scale\": " << env_scale() << ",\n"
-     << "  \"geomean_speedup_cell_vs_legacy\": " << geomean_speedup
+     << "  \"" << json_escape(metric_key) << "\": " << geomean_speedup
      << ",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < row_json.size(); ++i) {
     js << "    " << row_json[i] << (i + 1 < row_json.size() ? "," : "")
@@ -183,16 +249,15 @@ std::string write_bench_json(const std::string& bench_name,
 }
 
 int smoke_check(const std::string& bench_name, double geomean_speedup,
-                double min_geomean) {
+                double min_geomean, const std::string& metric_desc) {
   const char* smoke = std::getenv("SJ_SMOKE_CHECK");
   if (smoke == nullptr || *smoke == '\0' || std::string(smoke) == "0") {
     return 0;
   }
   if (geomean_speedup < min_geomean) {
-    std::cerr << "SMOKE CHECK FAILED [" << bench_name
-              << "]: cell-major geomean speedup " << geomean_speedup
-              << " < " << min_geomean << " (a >"
-              << (1.0 - min_geomean) * 100.0 << "% regression vs legacy)\n";
+    std::cerr << "SMOKE CHECK FAILED [" << bench_name << "]: "
+              << metric_desc << " " << geomean_speedup << " < " << min_geomean
+              << " (a >10% regression against the gated target)\n";
     return 1;
   }
   std::cout << "smoke check passed (geomean " << geomean_speedup

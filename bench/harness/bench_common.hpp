@@ -86,20 +86,49 @@ int bench_main(int argc, char** argv, const std::function<void()>& body);
 /// Geometric mean of the positive entries; 0.0 when none are positive.
 double geomean(const std::vector<double>& values);
 
+/// JSON string escaping for the BENCH_*.json artefacts (quotes,
+/// backslashes and control characters), in ONE place instead of
+/// hand-rolled per ablation.
+std::string json_escape(const std::string& s);
+
+/// One BENCH_*.json row: ordered key/value emission with the escaping and
+/// number formatting the ablation benches previously copy-pasted.
+///
+///   JsonRow row;
+///   row.field("workload", w.name).field("n", r.n).field("speedup", s);
+///   row_json.push_back(row.str());   // {"workload": "Syn2D2M", ...}
+class JsonRow {
+ public:
+  JsonRow& field(const std::string& key, const std::string& value);
+  JsonRow& field(const std::string& key, const char* value);
+  JsonRow& field(const std::string& key, double value);
+  JsonRow& field(const std::string& key, std::uint64_t value);
+  JsonRow& field(const std::string& key, int value);
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  void key_prefix(const std::string& key);
+  std::string body_;
+};
+
 /// Write a BENCH_*.json perf-trajectory artefact — {"bench": name,
-/// "scale": env_scale(), "geomean_speedup_cell_vs_legacy": g, "rows":
-/// [...]} with `row_json` entries verbatim — to $SJ_BENCH_JSON (or
-/// `default_path` when unset). Returns the path written. Shared by the
-/// ablation benches so the schema CI consumes cannot drift.
-std::string write_bench_json(const std::string& bench_name,
-                             const std::string& default_path,
-                             double geomean_speedup,
-                             const std::vector<std::string>& row_json);
+/// "scale": env_scale(), metric_key: g, "rows": [...]} with `row_json`
+/// entries verbatim — to $SJ_BENCH_JSON (or `default_path` when unset).
+/// Returns the path written. Shared by the ablation benches so the schema
+/// CI consumes cannot drift. `metric_key` defaults to the layout/join
+/// ablations' cell-vs-legacy geomean; the shard ablation passes its
+/// strong-scaling key.
+std::string write_bench_json(
+    const std::string& bench_name, const std::string& default_path,
+    double geomean_speedup, const std::vector<std::string>& row_json,
+    const std::string& metric_key = "geomean_speedup_cell_vs_legacy");
 
 /// The $SJ_SMOKE_CHECK regression gate: when enabled and
 /// `geomean_speedup` < `min_geomean`, prints the failure and returns
-/// non-zero (the bench's exit code); otherwise 0.
+/// non-zero (the bench's exit code); otherwise 0. `metric_desc` names the
+/// gated quantity in the failure message.
 int smoke_check(const std::string& bench_name, double geomean_speedup,
-                double min_geomean = 0.9);
+                double min_geomean = 0.9,
+                const std::string& metric_desc = "cell-major geomean speedup");
 
 }  // namespace sj::bench

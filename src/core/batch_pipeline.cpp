@@ -34,10 +34,11 @@ struct Task {
 
 // A batch result handed from the stream pool to the assembly stage.
 // `first_key` is the batch's smallest query slot — batches partition the
-// query slots, so it is a unique, deterministic merge key.
+// query slots, so it is a unique, deterministic merge key. The pairs live
+// in a pooled staging buffer recycled across batches.
 struct Completed {
   std::uint32_t first_key = 0;
-  std::vector<Pair> pairs;
+  SegmentPool::Buffer pairs;
 };
 
 /// Overflow split shared by the cell-shaped modes (CellMode,
@@ -243,6 +244,43 @@ class JoinGroupMode {
 
 }  // namespace
 
+SegmentPool::Buffer SegmentPool::acquire(std::uint64_t count) {
+  if (count == 0) return {};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Best fit: the smallest pooled buffer that holds `count`.
+    std::size_t best = free_.size();
+    for (std::size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].capacity >= count &&
+          (best == free_.size() || free_[i].capacity < free_[best].capacity)) {
+        best = i;
+      }
+    }
+    if (best != free_.size()) {
+      Buffer b = std::move(free_[best]);
+      free_[best] = std::move(free_.back());
+      free_.pop_back();
+      b.count = count;
+      return b;
+    }
+  }
+  Buffer b;
+  // Intentionally not value-initialised: the device->host transfer
+  // overwrites exactly `count` pairs.
+  b.data = std::make_unique_for_overwrite<Pair[]>(
+      static_cast<std::size_t>(count));
+  b.capacity = count;
+  b.count = count;
+  return b;
+}
+
+void SegmentPool::release(Buffer b) {
+  if (b.capacity == 0) return;
+  b.count = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(b));
+}
+
 BatchPipeline::BatchPipeline(gpu::GlobalMemoryArena& arena,
                              const gpu::DeviceSpec& spec,
                              const PipelineConfig& config)
@@ -354,7 +392,7 @@ ResultSet BatchPipeline::run_impl(const Mode& mode, std::size_t num_roots,
 
   std::mutex mu;  // protects acc, segments and first_error
   BatchRunStats acc;
-  std::map<std::uint32_t, std::vector<Pair>> segments;
+  std::map<std::uint32_t, SegmentPool::Buffer> segments;
   std::exception_ptr first_error;
 
   auto complete_one = [&outstanding, &tasks] {
@@ -454,11 +492,14 @@ ResultSet BatchPipeline::run_impl(const Mode& mode, std::size_t num_roots,
 
           // Async transfer + hand-off: enqueued on the stream so this
           // worker immediately starts the next kernel in the other slot.
-          auto host = std::make_shared<std::vector<Pair>>(
-              static_cast<std::size_t>(nres));
+          // The destination is a pooled staging buffer (uninitialised,
+          // recycled) — see SegmentPool. shared_ptr because the stream's
+          // std::function queue needs a copyable closure.
+          auto host = std::make_shared<SegmentPool::Buffer>(
+              pool_.acquire(nres));
           const std::uint32_t first_key = mode.first_key(task);
           if (nres > 0) {
-            stream.memcpy_async(host->data(), slot.buffer.data(),
+            stream.memcpy_async(host->data.get(), slot.buffer.data(),
                                 static_cast<std::size_t>(nres) * sizeof(Pair));
           }
           stream.enqueue([host, first_key, &done, &complete_one] {
@@ -514,15 +555,15 @@ ResultSet BatchPipeline::run_impl(const Mode& mode, std::size_t num_roots,
   // which is where a multi-thread assembly config pays off on large
   // result sets.
   struct Placement {
-    const std::vector<Pair>* segment;
+    const SegmentPool::Buffer* segment;
     std::size_t offset;
   };
   std::vector<Placement> layout;
   layout.reserve(segments.size());
   std::size_t total = 0;
-  for (const auto& [key, pairs] : segments) {
-    layout.push_back({&pairs, total});
-    total += pairs.size();
+  for (const auto& [key, buffer] : segments) {
+    layout.push_back({&buffer, total});
+    total += static_cast<std::size_t>(buffer.count);
   }
   auto& out = final_result.pairs();
   const std::size_t copiers = std::min<std::size_t>(
@@ -531,7 +572,8 @@ ResultSet BatchPipeline::run_impl(const Mode& mode, std::size_t num_roots,
   if (copiers <= 1) {
     out.reserve(total);
     for (const auto& p : layout) {
-      out.insert(out.end(), p.segment->begin(), p.segment->end());
+      out.insert(out.end(), p.segment->data.get(),
+                 p.segment->data.get() + p.segment->count);
     }
   } else {
     out.resize(total);
@@ -540,7 +582,8 @@ ResultSet BatchPipeline::run_impl(const Mode& mode, std::size_t num_roots,
     for (std::size_t t = 0; t < copiers; ++t) {
       concat.emplace_back([&layout, &out, t, copiers] {
         for (std::size_t i = t; i < layout.size(); i += copiers) {
-          std::copy(layout[i].segment->begin(), layout[i].segment->end(),
+          std::copy(layout[i].segment->data.get(),
+                    layout[i].segment->data.get() + layout[i].segment->count,
                     out.begin() + static_cast<std::ptrdiff_t>(
                                       layout[i].offset));
         }
@@ -548,6 +591,9 @@ ResultSet BatchPipeline::run_impl(const Mode& mode, std::size_t num_roots,
     }
     for (auto& c : concat) c.join();
   }
+  // The staged segments go back to the pool: the next run on this
+  // pipeline (or the next overflow-heavy round) reuses the allocations.
+  for (auto& [key, buffer] : segments) pool_.release(std::move(buffer));
   acc.assembly_seconds += concat_timer.seconds();
 
   if (stats != nullptr) *stats = acc;

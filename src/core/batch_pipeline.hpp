@@ -23,6 +23,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -104,6 +105,33 @@ class BoundedQueue {
 /// size_buffer_pairs() (batcher.hpp) divides free device memory by this.
 inline constexpr std::uint64_t kDeviceBuffersPerStream = 4;
 
+/// Recycled host-side staging buffers for completed batch segments.
+/// Allocating a fresh std::vector<Pair> per segment value-initialises it —
+/// a full O(result) zero-fill immediately overwritten by the device->host
+/// transfer — and churns the allocator on every batch. The pool hands out
+/// UNINITIALISED storage (cudaMallocHost semantics) and takes segments
+/// back after the final concatenation, so repeated runs on the same
+/// pipeline (and overflow-heavy runs) reuse the same allocations.
+class SegmentPool {
+ public:
+  struct Buffer {
+    std::unique_ptr<Pair[]> data;
+    std::uint64_t capacity = 0;
+    std::uint64_t count = 0;  ///< pairs actually staged (<= capacity)
+  };
+
+  /// A buffer with capacity >= `count` and undefined contents; `count` of
+  /// 0 returns an empty buffer without touching the pool.
+  Buffer acquire(std::uint64_t count);
+
+  /// Return a buffer for reuse (empty buffers are dropped).
+  void release(Buffer b);
+
+ private:
+  std::mutex mu_;
+  std::vector<Buffer> free_;
+};
+
 struct PipelineConfig {
   int streams = 3;           ///< kernel-stage workers, one gpu::Stream each
   int assembly_threads = 1;  ///< host-side merge workers
@@ -159,6 +187,7 @@ class BatchPipeline {
   gpu::GlobalMemoryArena& arena_;
   gpu::DeviceSpec spec_;
   PipelineConfig config_;
+  SegmentPool pool_;
 };
 
 }  // namespace sj

@@ -25,6 +25,35 @@ BatchPlan plan_batches(std::uint64_t estimated_total, std::uint64_t n_queries,
   return plan;
 }
 
+std::vector<std::uint32_t> weighted_partition(
+    const std::vector<std::uint64_t>& weights, std::size_t parts) {
+  const std::size_t num_units = weights.size();
+  // Weights are per-cell candidate-pair counts and can sum past 64 bits
+  // in adversarial cases; accumulate in 128 bits.
+  unsigned __int128 total = 0;
+  for (const std::uint64_t w : weights) total += w;
+
+  std::vector<std::uint32_t> boundaries;
+  boundaries.reserve(parts + 1);
+  boundaries.push_back(0);
+  std::size_t pos = 0;
+  unsigned __int128 cum = 0;
+  for (std::size_t b = 0; b + 1 < parts; ++b) {
+    // Close part b where the cumulative weight reaches its equal share,
+    // taking at least one unit and leaving one for every later part.
+    const unsigned __int128 target =
+        total * static_cast<unsigned __int128>(b + 1) / parts;
+    const std::size_t max_end = num_units - (parts - 1 - b);
+    do {
+      cum += weights[pos];
+      ++pos;
+    } while (pos < max_end && cum < target);
+    boundaries.push_back(static_cast<std::uint32_t>(pos));
+  }
+  boundaries.push_back(static_cast<std::uint32_t>(num_units));
+  return boundaries;
+}
+
 CellBatchPlan plan_cell_batches(const std::vector<std::uint64_t>& cell_weights,
                                 std::uint64_t estimated_total,
                                 std::size_t min_batches,
@@ -42,28 +71,7 @@ CellBatchPlan plan_cell_batches(const std::vector<std::uint64_t>& cell_weights,
   // Never more batches than cells (each batch needs at least one cell).
   nb = std::min(nb, num_cells);
 
-  // Weights are per-cell candidate-pair counts and can sum past 64 bits
-  // in adversarial cases; accumulate in 128 bits.
-  unsigned __int128 total = 0;
-  for (const std::uint64_t w : cell_weights) total += w;
-
-  plan.boundaries.reserve(nb + 1);
-  plan.boundaries.push_back(0);
-  std::size_t pos = 0;
-  unsigned __int128 cum = 0;
-  for (std::size_t b = 0; b + 1 < nb; ++b) {
-    // Close batch b where the cumulative weight reaches its equal share,
-    // taking at least one cell and leaving one for every later batch.
-    const unsigned __int128 target =
-        total * static_cast<unsigned __int128>(b + 1) / nb;
-    const std::size_t max_end = num_cells - (nb - 1 - b);
-    do {
-      cum += cell_weights[pos];
-      ++pos;
-    } while (pos < max_end && cum < target);
-    plan.boundaries.push_back(static_cast<std::uint32_t>(pos));
-  }
-  plan.boundaries.push_back(static_cast<std::uint32_t>(num_cells));
+  plan.boundaries = weighted_partition(cell_weights, nb);
   return plan;
 }
 

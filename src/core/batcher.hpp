@@ -52,6 +52,15 @@ struct CellBatchPlan {
   }
 };
 
+/// Place `parts` contiguous boundaries over `weights` so each part takes
+/// at least one entry and carries an approximately equal share of the
+/// total weight. Returns parts + 1 boundaries (boundaries[p] ..
+/// boundaries[p+1] is part p); `parts` must be in [1, weights.size()].
+/// The balance rule shared by plan_cell_batches (batch volume balance)
+/// and the gpu_shard planner (per-device work balance).
+std::vector<std::uint32_t> weighted_partition(
+    const std::vector<std::uint64_t>& weights, std::size_t parts);
+
 /// Partition the non-empty cells into contiguous, WORK-BALANCED batches:
 /// the batch count follows the plan_batches() volume rule (capped by the
 /// cell count), and boundaries are placed so each batch carries an

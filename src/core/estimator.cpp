@@ -17,9 +17,19 @@ namespace sj {
 EstimateResult estimate_result_size(const GridDeviceView& grid, bool unicomp,
                                     double sample_rate, int block_size,
                                     std::uint64_t min_sample) {
+  return estimate_query_span(grid, unicomp, sample_rate, block_size,
+                             /*order=*/nullptr, 0, grid.num_queries(),
+                             min_sample);
+}
+
+EstimateResult estimate_query_span(const GridDeviceView& grid, bool unicomp,
+                                   double sample_rate, int block_size,
+                                   const std::uint32_t* order,
+                                   std::uint64_t first, std::uint64_t count,
+                                   std::uint64_t min_sample) {
   Timer t;
   EstimateResult r;
-  const std::uint64_t nq = grid.num_queries();
+  const std::uint64_t nq = count;
   if (nq == 0 || grid.n == 0) return r;
 
   std::uint64_t sample = static_cast<std::uint64_t>(
@@ -32,9 +42,11 @@ EstimateResult estimate_result_size(const GridDeviceView& grid, bool unicomp,
   std::vector<std::uint32_t> ids(sample);
   const double stride = static_cast<double>(nq) / static_cast<double>(sample);
   for (std::uint64_t i = 0; i < sample; ++i) {
-    ids[i] = static_cast<std::uint32_t>(
-        std::min<std::uint64_t>(static_cast<std::uint64_t>(i * stride),
-                                nq - 1));
+    const std::uint64_t pos =
+        first + std::min<std::uint64_t>(static_cast<std::uint64_t>(i * stride),
+                                        nq - 1);
+    ids[i] = order != nullptr ? order[pos]
+                              : static_cast<std::uint32_t>(pos);
   }
 
   AtomicWork work;

@@ -29,6 +29,20 @@ EstimateResult estimate_result_size(const GridDeviceView& grid, bool unicomp,
                                     double sample_rate, int block_size,
                                     std::uint64_t min_sample = 1024);
 
+/// estimate_result_size restricted to the `count` queries starting at
+/// position `first` — of the identity id sequence when `order` is null,
+/// or of the given query-id array otherwise. The estimate is scaled to
+/// those `count` queries' emission only. This is gpu_shard's per-device
+/// estimator: each shard sizes its buffers from a sample of its OWN
+/// queries (owned slots, or its query groups' sorted order), so the
+/// sampling pass distributes across devices instead of running as one
+/// unsharded prefix.
+EstimateResult estimate_query_span(const GridDeviceView& grid, bool unicomp,
+                                   double sample_rate, int block_size,
+                                   const std::uint32_t* order,
+                                   std::uint64_t first, std::uint64_t count,
+                                   std::uint64_t min_sample = 1024);
+
 /// Per-cell work estimates for the cell-centric batch planner: for every
 /// non-empty cell, the number of candidate pairs the cell-centric kernel
 /// will evaluate (cell population x adjacent population, UNICOMP

@@ -1,7 +1,8 @@
 // Adapter shims exposing the GPU engines through the unified backend
 // interface: "gpu" (GPU-SJ, Algorithm 1), "gpu_unicomp" (GPU-SJ with the
 // Section V-B duplicate-search removal), "gpu_async" (GPU-SJ with the
-// estimate/kernel/assembly stages overlapped on a stream pool) and
+// estimate/kernel/assembly stages overlapped on a stream pool),
+// "gpu_shard" (GPU-SJ partitioned across K simulated devices) and
 // "gpu_bf" (the Section VI-B brute-force kernel lower bound).
 #include "core/gpu_backend.hpp"
 
@@ -14,6 +15,7 @@
 #include "core/join.hpp"
 #include "core/knn.hpp"
 #include "core/self_join.hpp"
+#include "core/shard_engine.hpp"
 
 namespace sj::backends {
 
@@ -261,6 +263,117 @@ class GpuAsyncBackend final : public api::SelfJoinBackend {
   }
 };
 
+class GpuShardBackend final : public api::SelfJoinBackend {
+ public:
+  std::string_view name() const override { return "gpu_shard"; }
+  std::string_view description() const override {
+    return "GPU-SJ sharded across K simulated devices (contiguous "
+           "cell-range shards with a one-cell halo, per-device stream "
+           "pools, work-weighted shard balance)";
+  }
+
+  api::Capabilities capabilities() const override {
+    // kNN stays gated off until the shard engine grows a kNN facet.
+    return {.supports_join = true, .gpu = true};
+  }
+
+  api::JoinOutcome run(const Dataset& d, double eps,
+                       const api::RunConfig& config) const override {
+    config.check_keys(name(), kShardKeys);
+    reject_threads(name(), config);
+    ShardedSelfJoinOptions opt = parse_shard_options(config);
+    opt.collect_metrics = config.collect_metrics;
+
+    auto r = ShardedGpuSelfJoin(opt).run(d, eps);
+    auto out = make_gpu_outcome({std::move(r.pairs), r.stats});
+    append_shard_stats(out.stats.native, r.shard, opt);
+    return out;
+  }
+
+  api::JoinOutcome join(const Dataset& queries, const Dataset& data,
+                        double eps,
+                        const api::RunConfig& config) const override {
+    config.check_keys(name(), kShardKeys);
+    reject_threads(name(), config);
+    const ShardedSelfJoinOptions opt = parse_shard_options(config);
+
+    auto r = sharded_join(queries, data, eps, opt);
+    api::JoinOutcome out;
+    out.pairs = std::move(r.pairs);
+    const GpuJoinStats& s = r.stats;
+    out.stats.seconds = s.total_seconds;
+    out.stats.total_seconds = s.total_seconds;
+    out.stats.build_seconds = s.index_build_seconds;
+    out.stats.distance_calcs = s.metrics.distance_calcs;
+    out.stats.native = {
+        {"index_build_seconds", s.index_build_seconds},
+        {"estimated_total", static_cast<double>(s.estimated_total)},
+        {"query_groups", static_cast<double>(s.query_groups)},
+        {"batches_run", static_cast<double>(s.batch.batches_run)},
+        {"overflow_retries", static_cast<double>(s.batch.overflow_retries)},
+        {"kernel_seconds", s.batch.kernel_seconds},
+        {"cells_examined", static_cast<double>(s.metrics.cells_examined)},
+        {"cells_nonempty", static_cast<double>(s.metrics.cells_nonempty)},
+    };
+    append_shard_stats(out.stats.native, r.shard, opt);
+    return out;
+  }
+
+ private:
+  static constexpr std::string_view kShardKeys =
+      "shards,schedule,streams,num_streams,assembly_threads,unicomp,"
+      "block_size,min_batches,sample_rate,safety,max_buffer_pairs,layout";
+
+  static ShardedSelfJoinOptions parse_shard_options(
+      const api::RunConfig& config) {
+    ShardedSelfJoinOptions opt;
+    opt.unicomp = config.flag("unicomp", false);
+    // parse_layout rejects unknown values; the engine itself rejects
+    // layout=legacy with an error explaining why sharding needs cell.
+    opt.layout = parse_layout(config);
+    apply_gpu_batch_knobs(config, opt);
+    opt.shards = positive_int(config, "shards", opt.shards);
+    // "streams" is the per-shard stream-pool spelling (as in gpu_async);
+    // "num_streams" is accepted too so scripts can switch --algo.
+    opt.num_streams = positive_int(config, "streams", opt.num_streams);
+    opt.assembly_threads =
+        positive_int(config, "assembly_threads", opt.assembly_threads);
+    const std::string schedule = config.text("schedule", "concurrent");
+    if (schedule == "concurrent") {
+      opt.schedule = ShardSchedule::kConcurrent;
+    } else if (schedule == "serial") {
+      opt.schedule = ShardSchedule::kSerial;
+    } else {
+      throw std::invalid_argument(
+          "option 'schedule' must be 'concurrent' or 'serial'");
+    }
+    return opt;
+  }
+
+  /// The per-device balance block (what sjtool --stats renders as the
+  /// shard balance table) plus the modelled multi-device timings.
+  static void append_shard_stats(std::map<std::string, double>& native,
+                                 const ShardedRunStats& shard,
+                                 const ShardedSelfJoinOptions& opt) {
+    native["shards"] = static_cast<double>(shard.shards);
+    native["schedule_concurrent"] =
+        opt.schedule == ShardSchedule::kConcurrent ? 1.0 : 0.0;
+    native["common_seconds"] = shard.common_seconds;
+    native["makespan_seconds"] = shard.makespan_seconds;
+    native["busy_sum_seconds"] = shard.busy_sum_seconds;
+    for (std::size_t s = 0; s < shard.per_shard.size(); ++s) {
+      const ShardStats& ss = shard.per_shard[s];
+      const std::string p = "shard" + std::to_string(s) + "_";
+      native[p + "cells"] = static_cast<double>(ss.units);
+      native[p + "weight"] = static_cast<double>(ss.weight);
+      native[p + "points"] = static_cast<double>(ss.owned_points);
+      native[p + "halo_points"] = static_cast<double>(ss.halo_points);
+      native[p + "pairs"] = static_cast<double>(ss.pairs);
+      native[p + "seconds"] = ss.seconds;
+    }
+  }
+};
+
 class GpuBruteForceBackend final : public api::SelfJoinBackend {
  public:
   std::string_view name() const override { return "gpu_bf"; }
@@ -305,6 +418,7 @@ void register_gpu(api::BackendRegistry& registry) {
       "GPU-SJ with the UNICOMP duplicate-search removal (Section V-B)",
       /*unicomp=*/true));
   registry.add(std::make_unique<GpuAsyncBackend>());
+  registry.add(std::make_unique<GpuShardBackend>());
   registry.add(std::make_unique<GpuBruteForceBackend>());
 }
 

@@ -403,36 +403,40 @@ void self_join_cells_thread(const gpu::ThreadCtx& ctx,
   if (p.work != nullptr) p.work->flush(w);
 }
 
-CellAdjacency build_cell_adjacency(gpu::GlobalMemoryArena& arena,
-                                   const GridDeviceView& grid, bool unicomp) {
-  CellAdjacency adj;
-  const std::size_t num_cells = static_cast<std::size_t>(grid.b_size);
-  adj.weights.assign(num_cells, 0);
-  if (num_cells == 0) {
-    adj.offsets = gpu::DeviceBuffer<std::uint64_t>(arena, 1);
-    adj.offsets[0] = 0;
-    return adj;
-  }
+CellAdjacencyHost build_cell_adjacency_host(const GridDeviceView& grid,
+                                            bool unicomp) {
+  return build_cell_adjacency_span(grid, unicomp, 0,
+                                   static_cast<std::uint32_t>(grid.b_size));
+}
 
-  // One enumeration pass over the cells, accumulated on the host, then
-  // uploaded as a CSR-style (offsets, ranges) pair. The pass is the same
-  // work one point-centric query performs per POINT, so it amortises to a
-  // small fraction of the legacy kernel's search overhead.
-  std::vector<CandidateRange> ranges;
-  ranges.reserve(num_cells * 4);
-  std::vector<std::uint64_t> offsets(num_cells + 1, 0);
+CellAdjacencyHost build_cell_adjacency_span(const GridDeviceView& grid,
+                                            bool unicomp,
+                                            std::uint32_t cell_begin,
+                                            std::uint32_t cell_end) {
+  CellAdjacencyHost adj;
+  const std::size_t num_cells = cell_end - cell_begin;
+  adj.weights.assign(num_cells, 0);
+  adj.offsets.assign(num_cells + 1, 0);
+  if (num_cells == 0) return adj;
+
+  // One enumeration pass over the cells, accumulated on the host as a
+  // CSR-style (offsets, ranges) pair. The pass is the same work one
+  // point-centric query performs per POINT, so it amortises to a small
+  // fraction of the legacy kernel's search overhead.
+  adj.ranges.reserve(num_cells * 4);
   LocalWork w;  // planning work, not flushed into join counters
   for (std::size_t cell = 0; cell < num_cells; ++cell) {
-    collect_cell_ranges(grid, static_cast<std::uint32_t>(cell), unicomp, w,
-                        ranges);
-    offsets[cell + 1] = ranges.size();
+    collect_cell_ranges(grid,
+                        static_cast<std::uint32_t>(cell_begin + cell),
+                        unicomp, w, adj.ranges);
+    adj.offsets[cell + 1] = adj.ranges.size();
     std::uint64_t candidates = 0;
-    for (std::size_t r = offsets[cell]; r < offsets[cell + 1]; ++r) {
-      candidates += static_cast<std::uint64_t>(ranges[r].end -
-                                               ranges[r].begin) *
-                    (ranges[r].both != 0 ? 2 : 1);
+    for (std::size_t r = adj.offsets[cell]; r < adj.offsets[cell + 1]; ++r) {
+      candidates += static_cast<std::uint64_t>(adj.ranges[r].end -
+                                               adj.ranges[r].begin) *
+                    (adj.ranges[r].both != 0 ? 2 : 1);
     }
-    const GridIndex::CellRange cr = grid.G[cell];
+    const GridIndex::CellRange cr = grid.G[cell_begin + cell];
     // candidates x population can exceed 64 bits for a pathological cell;
     // saturate so the planner's relative ordering survives instead of
     // wrapping a heavy cell down to a tiny weight.
@@ -442,13 +446,22 @@ CellAdjacency build_cell_adjacency(gpu::GlobalMemoryArena& arena,
     adj.weights[cell] = static_cast<std::uint64_t>(std::min<unsigned __int128>(
         weight, std::numeric_limits<std::uint64_t>::max()));
   }
-
-  adj.ranges = gpu::DeviceBuffer<CandidateRange>(arena, ranges.size());
-  std::copy(ranges.begin(), ranges.end(), adj.ranges.data());
-  adj.offsets = gpu::DeviceBuffer<std::uint64_t>(arena, offsets.size());
-  std::copy(offsets.begin(), offsets.end(), adj.offsets.data());
   adj.cells_examined = w.cells_examined;
   adj.cells_nonempty = w.cells_nonempty;
+  return adj;
+}
+
+CellAdjacency build_cell_adjacency(gpu::GlobalMemoryArena& arena,
+                                   const GridDeviceView& grid, bool unicomp) {
+  CellAdjacencyHost host = build_cell_adjacency_host(grid, unicomp);
+  CellAdjacency adj;
+  adj.ranges = gpu::DeviceBuffer<CandidateRange>(arena, host.ranges.size());
+  std::copy(host.ranges.begin(), host.ranges.end(), adj.ranges.data());
+  adj.offsets = gpu::DeviceBuffer<std::uint64_t>(arena, host.offsets.size());
+  std::copy(host.offsets.begin(), host.offsets.end(), adj.offsets.data());
+  adj.weights = std::move(host.weights);
+  adj.cells_examined = host.cells_examined;
+  adj.cells_nonempty = host.cells_nonempty;
   return adj;
 }
 
@@ -488,9 +501,8 @@ void join_cells_thread(const gpu::ThreadCtx& ctx,
   if (p.work != nullptr) p.work->flush(w);
 }
 
-JoinAdjacency build_join_adjacency(gpu::GlobalMemoryArena& arena,
-                                   const GridDeviceView& grid) {
-  JoinAdjacency adj;
+JoinAdjacencyHost build_join_adjacency_host(const GridDeviceView& grid) {
+  JoinAdjacencyHost adj;
   const std::uint64_t nq = grid.qn;
 
   // Sort the queries by (home data-grid cell, id): groups become
@@ -506,8 +518,7 @@ JoinAdjacency build_join_adjacency(gpu::GlobalMemoryArena& arena,
   }
   std::sort(keyed.begin(), keyed.end());
 
-  adj.query_order = gpu::DeviceBuffer<std::uint32_t>(
-      arena, static_cast<std::size_t>(nq));
+  adj.query_order.resize(static_cast<std::size_t>(nq));
   for (std::uint64_t q = 0; q < nq; ++q) {
     adj.query_order[static_cast<std::size_t>(q)] =
         keyed[static_cast<std::size_t>(q)].second;
@@ -516,8 +527,7 @@ JoinAdjacency build_join_adjacency(gpu::GlobalMemoryArena& arena,
   // One adjacency resolution per DISTINCT home cell, amortised over all
   // of its queries — the join analogue of the self-join's once-per-cell
   // enumeration.
-  std::vector<CandidateRange> ranges;
-  std::vector<std::uint64_t> offsets{0};
+  adj.offsets.push_back(0);
   adj.group_offsets.push_back(0);
   LocalWork w;
   std::size_t pos = 0;
@@ -527,14 +537,14 @@ JoinAdjacency build_join_adjacency(gpu::GlobalMemoryArena& arena,
     while (end < keyed.size() && keyed[end].first == key) ++end;
 
     grid.home_cell(grid.query_point(adj.query_order[pos]), c);
-    collect_ranges_at(grid, c, /*unicomp=*/false, w, ranges);
-    offsets.push_back(ranges.size());
+    collect_ranges_at(grid, c, /*unicomp=*/false, w, adj.ranges);
+    adj.offsets.push_back(adj.ranges.size());
     adj.group_offsets.push_back(static_cast<std::uint32_t>(end));
 
     std::uint64_t candidates = 0;
-    for (std::size_t r = offsets[offsets.size() - 2]; r < ranges.size();
-         ++r) {
-      candidates += ranges[r].end - ranges[r].begin;
+    for (std::size_t r = adj.offsets[adj.offsets.size() - 2];
+         r < adj.ranges.size(); ++r) {
+      candidates += adj.ranges[r].end - adj.ranges[r].begin;
     }
     const unsigned __int128 weight =
         static_cast<unsigned __int128>(candidates) *
@@ -544,13 +554,27 @@ JoinAdjacency build_join_adjacency(gpu::GlobalMemoryArena& arena,
             weight, std::numeric_limits<std::uint64_t>::max())));
     pos = end;
   }
-
-  adj.ranges = gpu::DeviceBuffer<CandidateRange>(arena, ranges.size());
-  std::copy(ranges.begin(), ranges.end(), adj.ranges.data());
-  adj.offsets = gpu::DeviceBuffer<std::uint64_t>(arena, offsets.size());
-  std::copy(offsets.begin(), offsets.end(), adj.offsets.data());
   adj.cells_examined = w.cells_examined;
   adj.cells_nonempty = w.cells_nonempty;
+  return adj;
+}
+
+JoinAdjacency build_join_adjacency(gpu::GlobalMemoryArena& arena,
+                                   const GridDeviceView& grid) {
+  JoinAdjacencyHost host = build_join_adjacency_host(grid);
+  JoinAdjacency adj;
+  adj.query_order =
+      gpu::DeviceBuffer<std::uint32_t>(arena, host.query_order.size());
+  std::copy(host.query_order.begin(), host.query_order.end(),
+            adj.query_order.data());
+  adj.ranges = gpu::DeviceBuffer<CandidateRange>(arena, host.ranges.size());
+  std::copy(host.ranges.begin(), host.ranges.end(), adj.ranges.data());
+  adj.offsets = gpu::DeviceBuffer<std::uint64_t>(arena, host.offsets.size());
+  std::copy(host.offsets.begin(), host.offsets.end(), adj.offsets.data());
+  adj.group_offsets = std::move(host.group_offsets);
+  adj.weights = std::move(host.weights);
+  adj.cells_examined = host.cells_examined;
+  adj.cells_nonempty = host.cells_nonempty;
   return adj;
 }
 

@@ -99,8 +99,37 @@ struct CellAdjacency {
   std::uint64_t cells_nonempty = 0;
 };
 
-/// Build the adjacency of every non-empty cell of a cell-major grid with
-/// one enumeration pass (odometer or UNICOMP pattern + find_cell each).
+/// Host-resident form of CellAdjacency: the same CSR, weights and work
+/// counters as plain vectors, with no device allocation. This is what the
+/// shard planner slices per device — each shard uploads only its own
+/// cells' remapped ranges — and what build_cell_adjacency uploads whole.
+struct CellAdjacencyHost {
+  std::vector<CandidateRange> ranges;
+  std::vector<std::uint64_t> offsets;  // b_size + 1 entries
+  std::vector<std::uint64_t> weights;
+  std::uint64_t cells_examined = 0;
+  std::uint64_t cells_nonempty = 0;
+};
+
+/// Build the adjacency of every non-empty cell of a cell-major grid on
+/// the host with one enumeration pass (odometer or UNICOMP pattern +
+/// find_cell each).
+CellAdjacencyHost build_cell_adjacency_host(const GridDeviceView& grid,
+                                            bool unicomp);
+
+/// build_cell_adjacency_host restricted to cells [cell_begin, cell_end):
+/// offsets/weights are indexed relative to cell_begin (offsets[0] == 0);
+/// candidate ranges stay in GLOBAL slot coordinates. This is the
+/// per-device form: each gpu_shard device resolves only its own cells'
+/// adjacency, so the build parallelises across shards instead of sitting
+/// in the unsharded common phase.
+CellAdjacencyHost build_cell_adjacency_span(const GridDeviceView& grid,
+                                            bool unicomp,
+                                            std::uint32_t cell_begin,
+                                            std::uint32_t cell_end);
+
+/// build_cell_adjacency_host() + upload into `arena` — the single-device
+/// form the gpu/gpu_unicomp/gpu_async engines consume.
 CellAdjacency build_cell_adjacency(gpu::GlobalMemoryArena& arena,
                                    const GridDeviceView& grid, bool unicomp);
 
@@ -150,9 +179,29 @@ struct JoinAdjacency {
   }
 };
 
-/// Build the query-group adjacency for a query/data join: `grid` must be
-/// a cell-major view of the indexed data with qpoints/qn describing the
-/// external query set.
+/// Host-resident form of JoinAdjacency (see CellAdjacencyHost): what the
+/// shard planner partitions into contiguous group ranges.
+struct JoinAdjacencyHost {
+  std::vector<std::uint32_t> query_order;
+  std::vector<std::uint32_t> group_offsets;  // num_groups + 1 entries
+  std::vector<CandidateRange> ranges;
+  std::vector<std::uint64_t> offsets;  // num_groups + 1 entries
+  std::vector<std::uint64_t> weights;
+  std::uint64_t cells_examined = 0;
+  std::uint64_t cells_nonempty = 0;
+
+  std::size_t num_groups() const {
+    return group_offsets.empty() ? 0 : group_offsets.size() - 1;
+  }
+};
+
+/// Build the query-group adjacency for a query/data join on the host:
+/// `grid` must be a cell-major view of the indexed data with qpoints/qn
+/// describing the external query set.
+JoinAdjacencyHost build_join_adjacency_host(const GridDeviceView& grid);
+
+/// build_join_adjacency_host() + upload into `arena` — the single-device
+/// form gpu_join consumes.
 JoinAdjacency build_join_adjacency(gpu::GlobalMemoryArena& arena,
                                    const GridDeviceView& grid);
 

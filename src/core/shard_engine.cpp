@@ -1,0 +1,465 @@
+#include "core/shard_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/parse.hpp"
+#include "common/timer.hpp"
+#include "core/batch_pipeline.hpp"
+#include "core/batcher.hpp"
+#include "core/estimator.hpp"
+#include "core/grid_index.hpp"
+#include "core/kernels.hpp"
+#include "core/shard_plan.hpp"
+#include "gpusim/arena.hpp"
+
+namespace sj {
+
+namespace {
+
+void validate_shard_options(const ShardedSelfJoinOptions& opt,
+                            const char* who) {
+  const std::string name(who);
+  if (opt.shards <= 0) {
+    throw std::invalid_argument(name + ": shards must be positive");
+  }
+  if (opt.block_size <= 0) {
+    throw std::invalid_argument(name + ": block_size must be positive");
+  }
+  if (opt.num_streams <= 0) {
+    throw std::invalid_argument(name + ": num_streams must be positive");
+  }
+  if (opt.assembly_threads <= 0) {
+    throw std::invalid_argument(name + ": assembly_threads must be positive");
+  }
+  if (opt.sample_rate <= 0.0 || opt.sample_rate > 1.0) {
+    throw std::invalid_argument(name + ": sample_rate must be in (0, 1]");
+  }
+  if (opt.layout != GridLayout::kCellMajor) {
+    throw std::invalid_argument(
+        name + ": sharding requires the cell-major layout (the shard "
+               "partition is a contiguous cell range; layout=legacy has no "
+               "such structure)");
+  }
+}
+
+/// Host-resident cell-major image of the indexed dataset plus a kernel
+/// view over it. No device memory is charged: the adjacency build, the
+/// global estimate and the metrics replay run here ONCE, and each shard
+/// then uploads only its slice of this staging into its own device arena.
+struct HostStage {
+  std::vector<double> points;
+  GridDeviceView view;
+
+  HostStage(const Dataset& d, const GridIndex& index) {
+    const int dim = d.dim();
+    points.resize(d.raw().size());
+    for (std::size_t k = 0; k < index.A().size(); ++k) {
+      std::memcpy(points.data() + k * static_cast<std::size_t>(dim),
+                  d.pt(index.A()[k]),
+                  static_cast<std::size_t>(dim) * sizeof(double));
+    }
+    view.points = points.data();
+    view.n = d.size();
+    view.dim = dim;
+    view.B = index.B().data();
+    view.b_size = index.B().size();
+    view.G = index.G().data();
+    view.orig = index.A().data();
+    view.cell_major = true;
+    view.width = index.cell_width();
+    view.eps = index.eps();
+    for (int j = 0; j < dim; ++j) {
+      view.M[j] = index.mask(j).data();
+      view.m_size[j] = index.mask(j).size();
+      view.gmin[j] = index.gmin(j);
+      view.cells_per_dim[j] = index.cells_in_dim(j);
+      view.stride[j] = index.stride(j);
+    }
+  }
+};
+
+/// Copy the shard's owned slot span and halo intervals from the host
+/// staging into the shard-local point/orig buffers (owned slots first,
+/// halo intervals after, matching ShardSlice's local numbering).
+void upload_slice(const GridDeviceView& hv, const ShardSlice& slice,
+                  double* points, std::uint32_t* orig) {
+  const std::size_t dim = static_cast<std::size_t>(hv.dim);
+  auto copy_span = [&](std::uint32_t gbegin, std::uint32_t gend,
+                       std::uint32_t lbegin) {
+    const std::size_t count = gend - gbegin;
+    std::memcpy(points + static_cast<std::size_t>(lbegin) * dim,
+                hv.points + static_cast<std::size_t>(gbegin) * dim,
+                count * dim * sizeof(double));
+    std::memcpy(orig + lbegin, hv.orig + gbegin,
+                count * sizeof(std::uint32_t));
+  };
+  if (slice.owned_points() > 0) {
+    copy_span(slice.owned_begin, slice.owned_end, 0);
+  }
+  for (const HaloInterval& h : slice.halo) {
+    copy_span(h.begin, h.end, h.local_begin);
+  }
+}
+
+/// Drive the K shard jobs according to the schedule, collecting the first
+/// exception (a shard failure must not leak threads).
+void run_shards(std::size_t k, ShardSchedule schedule,
+                const std::function<void(std::size_t)>& job) {
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  auto guarded = [&](std::size_t s) {
+    try {
+      job(s);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  };
+  if (schedule == ShardSchedule::kSerial || k == 1) {
+    for (std::size_t s = 0; s < k; ++s) guarded(s);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(k);
+    for (std::size_t s = 0; s < k; ++s) {
+      threads.emplace_back([&guarded, s] { guarded(s); });
+    }
+    for (auto& t : threads) t.join();
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+struct ShardOutput {
+  ResultSet pairs;
+  ShardStats stats;
+};
+
+/// Concatenate the per-shard results in shard order (deterministic: each
+/// shard's output is already batch-key ordered) and fold the per-shard
+/// stats into the aggregate + the ShardedRunStats record.
+ResultSet merge_shards(std::vector<ShardOutput>& outs,
+                       std::vector<AtomicWork>& works,
+                       gpu::KernelMetrics& metrics, BatchRunStats& batch,
+                       ShardedRunStats& shard) {
+  std::size_t total_pairs = 0;
+  for (const ShardOutput& o : outs) total_pairs += o.pairs.size();
+  ResultSet merged;
+  // One shard's output IS the result — steal it instead of copying. For
+  // K > 1, release each shard's storage as it is appended so the peak is
+  // total + one shard, not 2x total.
+  if (outs.size() == 1) {
+    merged = std::move(outs[0].pairs);
+  } else {
+    merged.pairs().reserve(total_pairs);
+  }
+  double max_busy = 0.0;
+  for (std::size_t s = 0; s < outs.size(); ++s) {
+    if (outs.size() > 1) {
+      merged.append(outs[s].pairs);
+      outs[s].pairs = ResultSet{};
+    }
+    works[s].add_to(metrics);
+    const BatchRunStats& b = outs[s].stats.batch;
+    batch.batches_run += b.batches_run;
+    batch.overflow_retries += b.overflow_retries;
+    batch.kernel_seconds += b.kernel_seconds;
+    batch.sort_seconds += b.sort_seconds;
+    batch.assembly_seconds += b.assembly_seconds;
+    batch.bytes_to_host += b.bytes_to_host;
+    batch.modeled_transfer_seconds += b.modeled_transfer_seconds;
+    max_busy = std::max(max_busy, outs[s].stats.seconds);
+    shard.busy_sum_seconds += outs[s].stats.seconds;
+    shard.per_shard.push_back(outs[s].stats);
+  }
+  shard.makespan_seconds = shard.common_seconds + max_busy;
+  return merged;
+}
+
+}  // namespace
+
+ShardedGpuSelfJoin::ShardedGpuSelfJoin(ShardedSelfJoinOptions opt)
+    : opt_(opt) {
+  validate_shard_options(opt_, "ShardedGpuSelfJoin");
+}
+
+ShardedSelfJoinResult ShardedGpuSelfJoin::run(const Dataset& d,
+                                              double eps) const {
+  if (eps < 0.0) {
+    throw std::invalid_argument("ShardedGpuSelfJoin: eps must be >= 0");
+  }
+  ShardedSelfJoinResult result;
+  SelfJoinStats& st = result.stats;
+  Timer total;
+
+  // --- Common host phases (done once, unsharded): grid index, cell-major
+  // staging, per-cell adjacency + weights, global estimate, partition.
+  Timer phase;
+  GridIndex index(d, eps);
+  st.index_build_seconds = phase.seconds();
+  st.grid_nonempty_cells = index.num_nonempty_cells();
+  st.grid_total_cells = index.total_cells();
+  if (d.empty()) {
+    st.total_seconds = total.seconds();
+    return result;
+  }
+
+  phase.reset();
+  const HostStage stage(d, index);
+  st.upload_seconds = phase.seconds();
+  const GridDeviceView& hv = stage.view;
+
+  // Shard boundaries from the cheap population-window proxy: the exact
+  // adjacency weights would cost a global enumeration — the very pass
+  // each device resolves for ITS OWN cells below, in parallel.
+  const std::vector<std::uint32_t> bounds = plan_shard_boundaries(
+      proxy_cell_weights(hv), static_cast<std::size_t>(opt_.shards));
+  const std::size_t k = bounds.size() - 1;
+
+  result.shard.shards = k;
+  result.shard.common_seconds = total.seconds();
+
+  // --- Per-device execution: each shard resolves its own cells'
+  // adjacency, estimates its own slice of the result, uploads its owned
+  // span + halo into its OWN arena, and runs its own pipeline.
+  std::vector<ShardOutput> outs(k);
+  std::vector<AtomicWork> works(k);
+  std::vector<EstimateResult> ests(k);
+  phase.reset();
+  run_shards(k, opt_.schedule, [&](std::size_t s) {
+    Timer shard_t;
+    const std::uint32_t c0 = bounds[s];
+    const std::uint32_t c1 = bounds[s + 1];
+    CellAdjacencyHost adj =
+        build_cell_adjacency_span(hv, opt_.unicomp, c0, c1);
+    const ShardSlice slice =
+        make_shard_slice(adj.ranges, adj.offsets, adj.weights, 0, c1 - c0,
+                         hv.G[c0].min, hv.G[c1 - 1].max + 1);
+    // The adjacency build carries the shard's index-search work (resolved
+    // once per owned cell).
+    LocalWork planning;
+    planning.cells_examined = adj.cells_examined;
+    planning.cells_nonempty = adj.cells_nonempty;
+    works[s].flush(planning);
+
+    const EstimateResult est = estimate_query_span(
+        hv, opt_.unicomp, opt_.sample_rate, opt_.block_size,
+        /*order=*/nullptr, slice.owned_begin, slice.owned_points());
+    ests[s] = est;
+
+    gpu::GlobalMemoryArena arena(opt_.device);
+    const std::uint32_t nlocal = slice.local_points();
+    gpu::DeviceBuffer<double> points(
+        arena, static_cast<std::size_t>(nlocal) * hv.dim);
+    gpu::DeviceBuffer<std::uint32_t> orig(arena, nlocal);
+    upload_slice(hv, slice, points.data(), orig.data());
+
+    gpu::DeviceBuffer<GridIndex::CellRange> cells(arena, c1 - c0);
+    for (std::uint32_t j = 0; j < c1 - c0; ++j) {
+      cells[j] = {hv.G[c0 + j].min - slice.owned_begin,
+                  hv.G[c0 + j].max - slice.owned_begin};
+    }
+
+    CellAdjacency local;
+    local.ranges = gpu::DeviceBuffer<CandidateRange>(arena,
+                                                     slice.ranges.size());
+    std::copy(slice.ranges.begin(), slice.ranges.end(), local.ranges.data());
+    local.offsets =
+        gpu::DeviceBuffer<std::uint64_t>(arena, slice.offsets.size());
+    std::copy(slice.offsets.begin(), slice.offsets.end(),
+              local.offsets.data());
+    local.weights = std::move(adj.weights);  // adj is dead past this point
+
+    GridDeviceView grid;
+    grid.points = points.data();
+    grid.n = nlocal;
+    grid.dim = hv.dim;
+    grid.G = cells.data();
+    grid.b_size = c1 - c0;
+    grid.orig = orig.data();
+    grid.cell_major = true;
+    grid.width = hv.width;
+    grid.eps = hv.eps;
+
+    // The shard sized its own estimate, so no share apportioning: the
+    // sampled slots are exactly the ones this device will run.
+    const std::uint64_t est_k = est.estimated_total;
+    const std::uint64_t buffer_pairs = size_buffer_pairs(
+        arena, static_cast<std::uint64_t>(nlocal) * 3, est_k,
+        opt_.min_batches, opt_.num_streams, opt_.max_buffer_pairs,
+        opt_.safety);
+    const CellBatchPlan plan = plan_cell_batches(
+        local.weights, est_k, opt_.min_batches, buffer_pairs, opt_.safety);
+
+    PipelineConfig config;
+    config.streams = opt_.num_streams;
+    config.assembly_threads = opt_.assembly_threads;
+    config.block_size = opt_.block_size;
+    BatchPipeline pipeline(arena, opt_.device, config);
+    outs[s].pairs = pipeline.run_cells(grid, opt_.unicomp, plan, &local,
+                                       &works[s], &outs[s].stats.batch);
+
+    ShardStats& ss = outs[s].stats;
+    ss.units = c1 - c0;
+    ss.weight = slice.weight;
+    ss.owned_points = slice.owned_points();
+    ss.halo_points = slice.halo_points();
+    ss.pairs = outs[s].pairs.size();
+    ss.seconds = shard_t.seconds();
+  });
+  st.join_seconds = phase.seconds();
+  for (const EstimateResult& e : ests) {
+    st.estimate_seconds += e.seconds;
+    st.estimated_total += e.estimated_total;
+  }
+
+  result.pairs = merge_shards(outs, works, st.metrics, st.batch,
+                              result.shard);
+  st.metrics.kernel_seconds = st.batch.kernel_seconds;
+
+  collect_gpu_stats(hv, opt_, st);
+  st.total_seconds = total.seconds();
+  return result;
+}
+
+ShardedJoinResult sharded_join(const Dataset& queries, const Dataset& data,
+                               double eps,
+                               const ShardedSelfJoinOptions& opt) {
+  validate_shard_options(opt, "sharded_join");
+  parse::non_negative("argument 'eps' of sharded_join", eps);
+  parse::matching_dims("argument 'queries' of sharded_join", queries.dim(),
+                       "argument 'data'", data.dim());
+  ShardedJoinResult result;
+  GpuJoinStats& st = result.stats;
+  Timer total;
+
+  Timer phase;
+  GridIndex index(data, eps);
+  st.index_build_seconds = phase.seconds();
+  if (queries.empty() || data.empty()) {
+    st.total_seconds = total.seconds();
+    return result;
+  }
+
+  const HostStage stage(data, index);
+  GridDeviceView hv = stage.view;
+  hv.qpoints = queries.raw().data();
+  hv.qn = queries.size();
+
+  const JoinAdjacencyHost adj = build_join_adjacency_host(hv);
+  st.query_groups = adj.num_groups();
+
+  const std::vector<std::uint32_t> bounds = plan_shard_boundaries(
+      adj.weights, static_cast<std::size_t>(opt.shards));
+  const std::size_t k = bounds.size() - 1;
+
+  result.shard.shards = k;
+  result.shard.common_seconds = total.seconds();
+
+  std::vector<ShardOutput> outs(k);
+  std::vector<AtomicWork> works(k);
+  std::vector<EstimateResult> ests(k);
+  phase.reset();
+  run_shards(k, opt.schedule, [&](std::size_t s) {
+    Timer shard_t;
+    const std::uint32_t g0 = bounds[s];
+    const std::uint32_t g1 = bounds[s + 1];
+    // Query groups own no data slots — the shard's data slice is exactly
+    // the slots its groups' candidate ranges reference (all "halo").
+    const ShardSlice slice = make_shard_slice(adj.ranges, adj.offsets,
+                                              adj.weights, g0, g1, 0, 0);
+
+    gpu::GlobalMemoryArena arena(opt.device);
+    const std::uint32_t nlocal = slice.local_points();
+    gpu::DeviceBuffer<double> points(
+        arena, static_cast<std::size_t>(nlocal) * hv.dim);
+    gpu::DeviceBuffer<std::uint32_t> orig(arena, nlocal);
+    upload_slice(hv, slice, points.data(), orig.data());
+
+    // The query set is broadcast whole: the kernel reads queries by their
+    // GLOBAL index (which is also the emitted pair key), so the shard's
+    // query_order slice indexes into the full buffer.
+    gpu::DeviceBuffer<double> qbuf(arena, queries.raw().size());
+    std::memcpy(qbuf.data(), queries.raw().data(),
+                queries.raw().size() * sizeof(double));
+
+    const std::uint32_t q0 = adj.group_offsets[g0];
+    const std::uint32_t q1 = adj.group_offsets[g1];
+    JoinAdjacency local;
+    local.query_order = gpu::DeviceBuffer<std::uint32_t>(arena, q1 - q0);
+    std::copy(adj.query_order.begin() + q0, adj.query_order.begin() + q1,
+              local.query_order.data());
+    local.group_offsets.reserve(static_cast<std::size_t>(g1 - g0) + 1);
+    for (std::uint32_t g = g0; g <= g1; ++g) {
+      local.group_offsets.push_back(adj.group_offsets[g] - q0);
+    }
+    local.ranges = gpu::DeviceBuffer<CandidateRange>(arena,
+                                                     slice.ranges.size());
+    std::copy(slice.ranges.begin(), slice.ranges.end(), local.ranges.data());
+    local.offsets =
+        gpu::DeviceBuffer<std::uint64_t>(arena, slice.offsets.size());
+    std::copy(slice.offsets.begin(), slice.offsets.end(),
+              local.offsets.data());
+    local.weights.assign(adj.weights.begin() + g0, adj.weights.begin() + g1);
+
+    GridDeviceView grid;
+    grid.points = points.data();
+    grid.n = nlocal;
+    grid.dim = hv.dim;
+    grid.orig = orig.data();
+    grid.cell_major = true;
+    grid.qpoints = qbuf.data();
+    grid.qn = queries.size();
+    grid.width = hv.width;
+    grid.eps = hv.eps;
+
+    ShardStats& ss = outs[s].stats;
+    ss.units = g1 - g0;
+    ss.weight = slice.weight;
+    ss.owned_points = q1 - q0;     // queries assigned to this shard
+    ss.halo_points = nlocal;       // data slots replicated to this shard
+    if (nlocal > 0) {
+      // Per-device estimate over this shard's own queries (the sorted
+      // group order), exactly like the self-join's owned-slot sampling.
+      const EstimateResult est = estimate_query_span(
+          hv, /*unicomp=*/false, opt.sample_rate, opt.block_size,
+          adj.query_order.data(), q0, q1 - q0);
+      ests[s] = est;
+      const std::uint64_t est_k = est.estimated_total;
+      const std::uint64_t buffer_pairs = size_buffer_pairs(
+          arena, static_cast<std::uint64_t>(q1 - q0) * 3, est_k,
+          opt.min_batches, opt.num_streams, opt.max_buffer_pairs,
+          opt.safety);
+      const CellBatchPlan plan = plan_cell_batches(
+          local.weights, est_k, opt.min_batches, buffer_pairs, opt.safety);
+
+      PipelineConfig config;
+      config.streams = opt.num_streams;
+      config.assembly_threads = opt.assembly_threads;
+      config.block_size = opt.block_size;
+      BatchPipeline pipeline(arena, opt.device, config);
+      outs[s].pairs = pipeline.run_join_groups(grid, plan, local, &works[s],
+                                               &outs[s].stats.batch);
+    }
+    ss.pairs = outs[s].pairs.size();
+    ss.seconds = shard_t.seconds();
+  });
+  for (const EstimateResult& e : ests) st.estimated_total += e.estimated_total;
+
+  result.pairs = merge_shards(outs, works, st.metrics, st.batch,
+                              result.shard);
+  st.metrics.cells_examined += adj.cells_examined;
+  st.metrics.cells_nonempty += adj.cells_nonempty;
+  st.metrics.kernel_seconds = st.batch.kernel_seconds;
+  st.total_seconds = total.seconds();
+  return result;
+}
+
+}  // namespace sj

@@ -1,0 +1,115 @@
+// gpu_shard: the paper's grid join scaled out across K simulated devices.
+//
+// The single-GPU engines are saturated by the cell-major layout; the next
+// hardware axis is scale-out. ShardedGpuSelfJoin partitions the non-empty
+// cells of the cell-major grid into K contiguous cell ranges (shard
+// boundaries placed by the plan_cell_batches work weights, so skewed
+// IPPP-style data balances), gives each shard its OWN simulated device —
+// a gpu::GlobalMemoryArena of the full DeviceSpec plus a BatchPipeline
+// with its own stream pool — and uploads to each device only its owned
+// slots plus the one-cell halo of neighbour data its kernels read
+// (derived from the precomputed adjacency, see shard_plan.hpp).
+//
+// Ownership rule: the cell-centric kernel emits a pair only from the scan
+// of the pair's home cell, and every cell is owned by exactly one shard —
+// so shard results are disjoint by construction, need no dedup pass, and
+// concatenate in deterministic shard-key order (each shard's own output
+// is already deterministic through the pipeline's batch-keyed merge).
+// The result is byte-identical to the single-device engines'.
+//
+// sharded_join() runs the query/data join through the same machinery:
+// the sharded units are the query GROUPS of build_join_adjacency (each
+// group owned by one shard), and a shard's data slice is exactly the
+// slots its groups' candidate ranges reference.
+//
+// One host core serialises the simulated devices, so wall-clock alone
+// cannot show scale-out. Each shard therefore measures its own device
+// busy time, and the stats report the modelled multi-device MAKESPAN
+// (common host phases + the slowest shard) next to the true wall time —
+// the same modelling stance as the PCIe transfer model. schedule=serial
+// runs the shards back to back for clean per-device timings (what the
+// ablation uses); schedule=concurrent (the default) overlaps them on
+// host threads, which is also what the ThreadSanitizer job exercises.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/join.hpp"
+#include "core/self_join.hpp"
+
+namespace sj {
+
+/// How the K shard pipelines are driven on the host.
+enum class ShardSchedule {
+  kConcurrent,  ///< one host thread per shard (overlapped pipelines)
+  kSerial       ///< back to back (clean per-device busy timings)
+};
+
+struct ShardedSelfJoinOptions : GpuSelfJoinOptions {
+  /// Simulated devices; clamped to the number of non-empty cells (query
+  /// groups for the join facet).
+  int shards = 4;
+  /// Host assembly workers per shard pipeline.
+  int assembly_threads = 1;
+  ShardSchedule schedule = ShardSchedule::kConcurrent;
+};
+
+/// Per-device execution record — the balance data sjtool --stats prints.
+struct ShardStats {
+  std::uint32_t units = 0;          ///< owned cells (or query groups)
+  std::uint64_t weight = 0;         ///< summed planner work weight
+  std::uint64_t owned_points = 0;   ///< slots owned by this shard
+  std::uint64_t halo_points = 0;    ///< neighbour slots replicated here
+  std::uint64_t pairs = 0;          ///< pairs this shard emitted
+  double seconds = 0.0;             ///< device busy time (slice, upload,
+                                    ///< plan, pipeline)
+  BatchRunStats batch;
+};
+
+struct ShardedRunStats {
+  std::size_t shards = 0;  ///< effective device count after clamping
+  /// Unsharded host work: index build, cell-major staging, adjacency
+  /// resolution, global estimate, shard boundary planning.
+  double common_seconds = 0.0;
+  /// Modelled K-device response time: common_seconds + the slowest
+  /// shard's busy time. Meaningful under ShardSchedule::kSerial, where
+  /// shard busy times do not contend for the host core.
+  double makespan_seconds = 0.0;
+  double busy_sum_seconds = 0.0;  ///< total device busy time
+  std::vector<ShardStats> per_shard;
+};
+
+struct ShardedSelfJoinResult {
+  ResultSet pairs;
+  SelfJoinStats stats;  ///< aggregate, same shape as the other engines
+  ShardedRunStats shard;
+};
+
+class ShardedGpuSelfJoin {
+ public:
+  explicit ShardedGpuSelfJoin(ShardedSelfJoinOptions opt = {});
+
+  /// Compute the full self-join of `d` with distance threshold eps >= 0.
+  ShardedSelfJoinResult run(const Dataset& d, double eps) const;
+
+  const ShardedSelfJoinOptions& options() const { return opt_; }
+
+ private:
+  ShardedSelfJoinOptions opt_;
+};
+
+struct ShardedJoinResult {
+  /// Pairs are (query index, data index), as in gpu_join.
+  ResultSet pairs;
+  GpuJoinStats stats;
+  ShardedRunStats shard;
+};
+
+/// Epsilon join of `queries` against grid-indexed `data` across K
+/// simulated devices (query groups sharded; each shard's data slice is
+/// the slots its groups reference).
+ShardedJoinResult sharded_join(const Dataset& queries, const Dataset& data,
+                               double eps, const ShardedSelfJoinOptions& opt);
+
+}  // namespace sj

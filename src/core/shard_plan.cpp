@@ -1,0 +1,128 @@
+#include "core/shard_plan.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "core/batcher.hpp"
+
+namespace sj {
+
+std::uint32_t ShardSlice::to_local(std::uint32_t global_slot) const {
+  if (global_slot >= owned_begin && global_slot < owned_end) {
+    return global_slot - owned_begin;
+  }
+  // Last interval with begin <= global_slot.
+  const auto it = std::upper_bound(
+      halo.begin(), halo.end(), global_slot,
+      [](std::uint32_t slot, const HaloInterval& h) { return slot < h.begin; });
+  if (it == halo.begin() || global_slot >= (it - 1)->end) {
+    throw std::out_of_range("ShardSlice::to_local: slot " +
+                            std::to_string(global_slot) +
+                            " is neither owned nor halo");
+  }
+  return (it - 1)->local_begin + (global_slot - (it - 1)->begin);
+}
+
+std::vector<std::uint64_t> proxy_cell_weights(const GridDeviceView& grid) {
+  const std::size_t num_cells = static_cast<std::size_t>(grid.b_size);
+  std::vector<std::uint64_t> weights(num_cells, 0);
+  auto pop = [&](std::size_t cell) -> std::uint64_t {
+    return static_cast<std::uint64_t>(grid.G[cell].max) - grid.G[cell].min +
+           1;
+  };
+  for (std::size_t cell = 0; cell < num_cells; ++cell) {
+    std::uint64_t window = pop(cell);
+    if (cell > 0) window += pop(cell - 1);
+    if (cell + 1 < num_cells) window += pop(cell + 1);
+    const unsigned __int128 w =
+        static_cast<unsigned __int128>(pop(cell)) * window;
+    weights[cell] = static_cast<std::uint64_t>(std::min<unsigned __int128>(
+        w, std::numeric_limits<std::uint64_t>::max()));
+  }
+  return weights;
+}
+
+std::vector<std::uint32_t> plan_shard_boundaries(
+    const std::vector<std::uint64_t>& weights, std::size_t shards) {
+  const std::size_t k =
+      std::clamp<std::size_t>(shards, 1, std::max<std::size_t>(weights.size(), 1));
+  if (weights.empty()) return {0, 0};
+  return weighted_partition(weights, k);
+}
+
+ShardSlice make_shard_slice(const std::vector<CandidateRange>& ranges,
+                            const std::vector<std::uint64_t>& offsets,
+                            const std::vector<std::uint64_t>& weights,
+                            std::uint32_t unit_begin, std::uint32_t unit_end,
+                            std::uint32_t owned_begin,
+                            std::uint32_t owned_end) {
+  ShardSlice s;
+  s.unit_begin = unit_begin;
+  s.unit_end = unit_end;
+  s.owned_begin = owned_begin;
+  s.owned_end = owned_end;
+
+  const std::size_t r0 = static_cast<std::size_t>(offsets[unit_begin]);
+  const std::size_t r1 = static_cast<std::size_t>(offsets[unit_end]);
+
+  // --- Pass 1: every piece of a candidate range outside the owned span
+  // is halo; merge the pieces into maximal disjoint intervals. Adjacent
+  // cells occupy adjacent slots in the cell-major layout, so the 3^n
+  // neighbourhoods of a contiguous cell range collapse into few intervals.
+  std::vector<HaloInterval> pieces;
+  for (std::size_t r = r0; r < r1; ++r) {
+    const std::uint32_t b = ranges[r].begin;
+    const std::uint32_t e = ranges[r].end;
+    if (b < owned_begin) {
+      pieces.push_back({b, std::min(e, owned_begin), 0});
+    }
+    if (e > owned_end) {
+      pieces.push_back({std::max(b, owned_end), e, 0});
+    }
+  }
+  std::sort(pieces.begin(), pieces.end(),
+            [](const HaloInterval& a, const HaloInterval& b) {
+              return a.begin != b.begin ? a.begin < b.begin : a.end < b.end;
+            });
+  std::uint32_t local = owned_end - owned_begin;  // halo follows owned slots
+  for (const HaloInterval& p : pieces) {
+    if (!s.halo.empty() && p.begin <= s.halo.back().end) {
+      if (p.end > s.halo.back().end) {
+        local += p.end - s.halo.back().end;
+        s.halo.back().end = p.end;
+      }
+    } else {
+      s.halo.push_back({p.begin, p.end, local});
+      local += p.end - p.begin;
+    }
+  }
+
+  // --- Pass 2: remap every candidate range into local slots. A range
+  // straddling the owned boundary splits into up to three local ranges
+  // (each outside piece lies wholly inside one merged halo interval, by
+  // construction). The split preserves scan order and the UNICOMP
+  // both-orders flag.
+  s.offsets.reserve(static_cast<std::size_t>(unit_end - unit_begin) + 1);
+  s.offsets.push_back(0);
+  for (std::uint32_t unit = unit_begin; unit < unit_end; ++unit) {
+    for (std::size_t r = static_cast<std::size_t>(offsets[unit]);
+         r < static_cast<std::size_t>(offsets[unit + 1]); ++r) {
+      const CandidateRange cr = ranges[r];
+      auto emit = [&](std::uint32_t b, std::uint32_t e) {
+        if (b >= e) return;
+        const std::uint32_t lb = s.to_local(b);
+        s.ranges.push_back({lb, lb + (e - b), cr.both});
+      };
+      emit(cr.begin, std::min(cr.end, owned_begin));
+      emit(std::max(cr.begin, owned_begin), std::min(cr.end, owned_end));
+      emit(std::max(cr.begin, owned_end), cr.end);
+    }
+    s.offsets.push_back(s.ranges.size());
+    s.weight += weights[unit];
+  }
+  return s;
+}
+
+}  // namespace sj

@@ -319,6 +319,48 @@ INSTANTIATE_TEST_SUITE_P(
         api::Operation::kKnn)),
     [](const auto& info) { return info.param; });
 
+// ------------------------------------------------ sharded parity sweep
+// gpu_shard already rides the JoinParity sweep above (it advertises the
+// join capability); this battery additionally pins BYTE-IDENTICAL
+// normalized pair sets against the single-device gpu backend across
+// shard counts, for both operations.
+
+class ShardCountParity : public ::testing::TestWithParam<int> {
+ protected:
+  api::RunConfig shard_config() const {
+    api::RunConfig config;
+    config.extra["shards"] = std::to_string(GetParam());
+    return config;
+  }
+};
+
+TEST_P(ShardCountParity, SelfJoinIsByteIdenticalToGpu) {
+  const auto& registry = api::BackendRegistry::instance();
+  const auto d = datagen::uniform(700, 2, 0.0, 25.0, 601);
+  auto want = registry.at("gpu").run(d, 1.2).pairs;
+  want.normalize();
+  auto got = registry.at("gpu_shard").run(d, 1.2, shard_config()).pairs;
+  got.normalize();
+  ASSERT_EQ(got.size(), want.size()) << "shards=" << GetParam();
+  EXPECT_TRUE(got.pairs() == want.pairs()) << "shards=" << GetParam();
+}
+
+TEST_P(ShardCountParity, JoinIsByteIdenticalToGpu) {
+  const auto& registry = api::BackendRegistry::instance();
+  const auto q = datagen::uniform(300, 2, -2.0, 12.0, 607);  // overhangs d
+  const auto d = datagen::uniform(500, 2, 0.0, 10.0, 613);
+  auto want = registry.at("gpu").join(q, d, 0.8).pairs;
+  want.normalize();
+  auto got =
+      registry.at("gpu_shard").join(q, d, 0.8, shard_config()).pairs;
+  got.normalize();
+  ASSERT_EQ(got.size(), want.size()) << "shards=" << GetParam();
+  EXPECT_TRUE(got.pairs() == want.pairs()) << "shards=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardCountParity,
+                         ::testing::Values(1, 2, 3, 7));
+
 // ---------------------------------------------------- capability gating
 
 TEST(OperationGating, AtLeastTwoBackendsPerFacet) {

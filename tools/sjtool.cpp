@@ -14,6 +14,7 @@
 // accepts any registered backend; picking one without the operation's
 // capability fails with a one-line error listing the capable backends.
 // Formats are chosen by extension: .sjd binary, anything else CSV.
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -186,11 +187,54 @@ sj::api::RunConfig make_config(const std::map<std::string, std::string>& flags,
   return config;
 }
 
+/// The per-device balance table for --algo gpu_shard: one row per shard
+/// (cells/groups, weighted work share, points incl. halo, pairs, device
+/// busy seconds), so load skew is diagnosable straight from the CLI.
+void print_shard_balance(const sj::api::BackendStats& stats) {
+  const auto shards =
+      static_cast<std::size_t>(stats.native_value("shards"));
+  if (shards == 0) return;
+  double total_weight = 0.0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    total_weight +=
+        stats.native_value("shard" + std::to_string(s) + "_weight");
+  }
+  std::cout << "shard balance (" << shards << " devices, "
+            << (stats.native_value("schedule_concurrent") != 0.0
+                    ? "concurrent"
+                    : "serial")
+            << " schedule):\n"
+            << "  shard      cells    weight%     points       halo"
+               "      pairs    seconds\n";
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::string p = "shard" + std::to_string(s) + "_";
+    const double weight = stats.native_value(p + "weight");
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  %5zu %10.0f %9.1f%% %10.0f %10.0f %10.0f %10.6f\n", s,
+                  stats.native_value(p + "cells"),
+                  total_weight > 0.0 ? 100.0 * weight / total_weight : 0.0,
+                  stats.native_value(p + "points"),
+                  stats.native_value(p + "halo_points"),
+                  stats.native_value(p + "pairs"),
+                  stats.native_value(p + "seconds"));
+    std::cout << line;
+  }
+  std::cout << "  makespan: " << stats.native_value("makespan_seconds")
+            << " s (common " << stats.native_value("common_seconds")
+            << " s + slowest device; device busy total "
+            << stats.native_value("busy_sum_seconds") << " s)\n";
+}
+
 void print_native_stats(const sj::api::Backend& backend,
                         const sj::api::BackendStats& stats) {
+  const bool shard_table = stats.native.count("shards") != 0;
+  if (shard_table) print_shard_balance(stats);
   if (stats.native.empty()) return;
   std::cout << "native stats [" << backend.name() << "]:\n";
   for (const auto& [key, value] : stats.native) {
+    // The per-shard counters are already rendered as the balance table.
+    if (shard_table && key.rfind("shard", 0) == 0) continue;
     std::cout << "  " << key << ": " << value << "\n";
   }
 }
