@@ -54,6 +54,45 @@ std::string capability_summary(const Capabilities& caps) {
   return out;
 }
 
+void check_result_mode(std::string_view backend, const RunConfig& config,
+                       bool supports_sink) {
+  if (config.mode == ResultMode::kSink) {
+    if (!supports_sink) {
+      std::ostringstream os;
+      os << "backend '" << backend
+         << "' does not support result mode 'sink'; use pairs, count, or "
+            "histogram";
+      throw std::invalid_argument(os.str());
+    }
+    if (!config.sink) {
+      throw std::invalid_argument(std::string("backend '") +
+                                  std::string(backend) +
+                                  "': result mode 'sink' needs a sink "
+                                  "callback in RunConfig::sink");
+    }
+  }
+}
+
+void finalize_outcome(JoinOutcome& out, ResultSet pairs,
+                      const RunConfig& config, std::size_t n_keys) {
+  out.total_pairs = pairs.size();
+  switch (config.mode) {
+    case ResultMode::kPairs:
+      out.pairs = std::move(pairs);
+      break;
+    case ResultMode::kCountOnly:
+      break;
+    case ResultMode::kHistogram:
+      out.histogram = pairs.counts_per_key(n_keys);
+      break;
+    case ResultMode::kSink:
+      if (!pairs.empty()) {
+        config.sink(pairs.pairs().data(), pairs.size());
+      }
+      break;
+  }
+}
+
 JoinOutcome Backend::join(const Dataset&, const Dataset&, double,
                           const RunConfig&) const {
   throw_unsupported(*this, Operation::kJoin);

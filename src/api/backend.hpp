@@ -85,6 +85,16 @@ struct RunConfig {
   /// Collect the expensive Table II-style kernel metrics (GPU engines).
   bool collect_metrics = false;
 
+  /// What to materialise (see ResultMode). kPairs fills JoinOutcome::pairs
+  /// as before; kCountOnly/kHistogram skip pair buffers entirely and fill
+  /// only total_pairs / histogram; kSink streams sorted batches through
+  /// `sink`. Every backend honors kPairs/kCountOnly/kHistogram; kSink is
+  /// gated per backend and throws a one-line error where unsupported.
+  ResultMode mode = ResultMode::kPairs;
+
+  /// Batch consumer for ResultMode::kSink (required in that mode).
+  PairSink sink;
+
   /// Engine-specific knobs; see each backend's adapter for its key set.
   std::map<std::string, std::string> extra;
 
@@ -130,12 +140,32 @@ struct BackendStats {
   }
 };
 
-/// What a join-shaped run produces: the pair set (see the conventions
-/// above) plus the normalised stats.
+/// What a join-shaped run produces. `pairs` is filled only in
+/// ResultMode::kPairs; `total_pairs` is the exact pair count in EVERY
+/// mode; `histogram` (per-point neighbour counts, self pairs included) is
+/// filled only in kHistogram. In kSink the pairs travel through
+/// RunConfig::sink instead.
 struct JoinOutcome {
   ResultSet pairs;
+  std::uint64_t total_pairs = 0;
+  std::vector<std::uint32_t> histogram;
   BackendStats stats;
 };
+
+/// Validates RunConfig::mode for a backend: rejects kSink when the
+/// backend does not stream (one-line error naming the backend, mirroring
+/// the operation-gating style) and rejects kSink without a sink callback.
+void check_result_mode(std::string_view backend, const RunConfig& config,
+                       bool supports_sink);
+
+/// Reduces a fully materialised pair set into the requested mode: sets
+/// total_pairs in every mode, moves the pairs in only in kPairs, builds
+/// the per-point histogram (ids < n_keys) in kHistogram, and streams the
+/// whole set as one batch in kSink. The CPU baselines use this — they
+/// compute the pairs anyway, so non-pairs modes save interface memory,
+/// not work.
+void finalize_outcome(JoinOutcome& out, ResultSet pairs,
+                      const RunConfig& config, std::size_t n_keys);
 
 /// What a kNN run produces: the neighbour lists plus the normalised
 /// stats (engine-native counters like rings_expanded travel in native).

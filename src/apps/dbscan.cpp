@@ -1,11 +1,44 @@
 #include "apps/dbscan.hpp"
 
 #include <algorithm>
+#include <numeric>
+#include <stdexcept>
 
 #include "api/registry.hpp"
 #include "common/timer.hpp"
 
 namespace sj::apps {
+
+namespace {
+
+constexpr std::uint32_t kUnset = 0xffffffffu;
+
+/// Union-find over point ids with path halving. Union order does not
+/// matter for the final partition, and clusters are numbered afterwards
+/// by their minimal core point, so the labelling is deterministic.
+struct UnionFind {
+  std::vector<std::uint32_t> parent;
+
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0u);
+  }
+
+  std::uint32_t find(std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  }
+};
+
+}  // namespace
 
 std::vector<std::size_t> DbscanResult::cluster_sizes() const {
   std::vector<std::size_t> sizes(static_cast<std::size_t>(num_clusters), 0);
@@ -19,53 +52,91 @@ DbscanResult dbscan(const Dataset& d, const DbscanOptions& opt) {
   DbscanResult result;
   result.labels.assign(d.size(), DbscanResult::kNoise);
   if (d.empty()) return result;
+  const std::size_t n = d.size();
 
-  Timer join_timer;
   const auto& backend = api::BackendRegistry::instance().at(opt.algo);
-  auto sj_result = backend.run(d, opt.eps, opt.join_config);
-  const NeighborTable nt(std::move(sj_result.pairs), d.size());
+
+  // --- Pass 1: per-point eps-neighbourhood sizes, no pairs materialised.
+  Timer join_timer;
+  api::RunConfig config = opt.join_config;
+  config.mode = ResultMode::kHistogram;
+  const auto hist = backend.run(d, opt.eps, config);
   result.join_seconds = join_timer.seconds();
+  result.total_pairs = hist.total_pairs;
 
   Timer traversal;
-  constexpr int kUnvisited = -2;
-  std::vector<int>& label = result.labels;
-  std::fill(label.begin(), label.end(), kUnvisited);
-
-  auto is_core = [&](std::size_t i) { return nt.degree(i) >= opt.min_pts; };
-  for (std::size_t i = 0; i < d.size(); ++i) {
-    if (is_core(i)) ++result.num_core;
-  }
-
-  int cluster = 0;
-  std::vector<std::uint32_t> frontier;
-  for (std::size_t i = 0; i < d.size(); ++i) {
-    if (label[i] != kUnvisited) continue;
-    if (!is_core(i)) {
-      label[i] = DbscanResult::kNoise;  // may later become a border point
-      continue;
+  std::vector<bool> core(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Degrees include the self pair, matching min_pts' "self included".
+    if (hist.histogram[i] >= opt.min_pts) {
+      core[i] = true;
+      ++result.num_core;
     }
-    label[i] = cluster;
-    frontier.assign(nt.begin(i), nt.end(i));
-    while (!frontier.empty()) {
-      const std::uint32_t q = frontier.back();
-      frontier.pop_back();
-      if (label[q] == DbscanResult::kNoise) {
-        label[q] = cluster;  // border point adopted by this cluster
-        continue;
-      }
-      if (label[q] != kUnvisited) continue;
-      label[q] = cluster;
-      if (is_core(q)) {
-        frontier.insert(frontier.end(), nt.begin(q), nt.end(q));
-      }
-    }
-    ++cluster;
-  }
-  result.num_clusters = cluster;
-  for (int l : label) {
-    if (l == DbscanResult::kNoise) ++result.num_noise;
   }
   result.traversal_seconds = traversal.seconds();
+
+  // --- Pass 2: stream the sorted pair batches through the clustering
+  // reducer. Core-core pairs merge clusters; a core-border pair records
+  // the border point's adopting core (first one in stream order, mirroring
+  // the classic traversal's "first cluster that reaches it").
+  UnionFind uf(n);
+  std::vector<std::uint32_t> border_parent(n, kUnset);
+  auto reduce = [&](const Pair* pairs, std::size_t count) {
+    result.peak_batch_pairs =
+        std::max<std::uint64_t>(result.peak_batch_pairs, count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint32_t a = pairs[i].key;
+      const std::uint32_t b = pairs[i].value;
+      if (!core[a]) continue;  // the symmetric twin handles (border, core)
+      if (core[b]) {
+        uf.unite(a, b);
+      } else if (border_parent[b] == kUnset) {
+        border_parent[b] = a;
+      }
+    }
+  };
+
+  join_timer.reset();
+  config.mode = ResultMode::kSink;
+  config.sink = reduce;
+  try {
+    backend.run(d, opt.eps, config);
+  } catch (const std::invalid_argument&) {
+    // Pass 1 already validated every config key, so the only rejection
+    // left is a backend without sink support (e.g. gpu_shard, whose shard
+    // pipelines cannot stream in global order): materialise once and feed
+    // the same reducer.
+    config.mode = ResultMode::kPairs;
+    config.sink = nullptr;
+    const auto full = backend.run(d, opt.eps, config);
+    reduce(full.pairs.pairs().data(), full.pairs.size());
+  }
+  result.join_seconds += join_timer.seconds();
+
+  // --- Label: clusters numbered by their minimal core point (the same
+  // ids the seed-order traversal produces), border points adopting their
+  // recorded core's cluster, everything else noise.
+  traversal.reset();
+  std::vector<int>& label = result.labels;
+  std::vector<int> root_cluster(n, -1);
+  int cluster = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!core[i]) continue;
+    const std::uint32_t r = uf.find(static_cast<std::uint32_t>(i));
+    if (root_cluster[r] < 0) root_cluster[r] = cluster++;
+    label[i] = root_cluster[r];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (core[i]) continue;
+    if (border_parent[i] != kUnset) {
+      label[i] = root_cluster[uf.find(border_parent[i])];
+    } else {
+      label[i] = DbscanResult::kNoise;
+      ++result.num_noise;
+    }
+  }
+  result.num_clusters = cluster;
+  result.traversal_seconds += traversal.seconds();
   return result;
 }
 

@@ -4,10 +4,14 @@
 // DBSCAN [29]; [6] shows clustering on a precomputed self-join beats
 // iterative range queries).
 //
-// The eps-neighbourhood of every point comes from one self-join through
-// the unified backend registry (default: the batched GPU engine); the
-// clustering itself is a host-side traversal of the resulting neighbour
-// table.
+// Uses the result modes instead of a materialised pair set: a histogram
+// self-join yields every point's eps-neighbourhood SIZE (core flags), and
+// a second, sink-mode join streams the sorted pair batches through a
+// union-find that connects core points and adopts border points — so the
+// peak host-side result memory is O(n) + one in-flight batch, never the
+// O(|result|) neighbour table (the full self-join result of Syn2D2M at
+// the bench eps is ~100x the dataset itself). Backends without sink
+// support fall back to one materialised pass through the same reducer.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +40,14 @@ struct DbscanResult {
 
   double join_seconds = 0.0;      // neighbourhood computation (GPU-SJ)
   double traversal_seconds = 0.0; // host-side expansion
+
+  /// Exact pair count of the underlying self-join.
+  std::uint64_t total_pairs = 0;
+  /// Largest single result batch the clustering pass held at once — the
+  /// peak host-side pair residency. Streaming (sink) backends keep this
+  /// at one pipeline buffer; the materialised fallback reports the full
+  /// result size.
+  std::uint64_t peak_batch_pairs = 0;
 
   static constexpr int kNoise = -1;
 

@@ -19,9 +19,13 @@ int resolve_threads(const api::RunConfig& config) {
   return config.threads < 0 ? 0 : config.threads;
 }
 
-api::JoinOutcome adapt(brute::BruteResult r) {
+/// The oracle computes the full pair set regardless of mode;
+/// finalize_outcome reduces it (count / histogram over `n_keys` keys /
+/// one sink batch), so non-pairs modes save interface memory, not work.
+api::JoinOutcome adapt(brute::BruteResult r, const api::RunConfig& config,
+                       std::size_t n_keys) {
   api::JoinOutcome out;
-  out.pairs = std::move(r.pairs);
+  api::finalize_outcome(out, std::move(r.pairs), config, n_keys);
   out.stats.seconds = r.stats.seconds;
   out.stats.total_seconds = r.stats.seconds;
   out.stats.distance_calcs = r.stats.distance_calcs;
@@ -43,14 +47,18 @@ class BruteBackend final : public api::Backend {
   api::JoinOutcome run(const Dataset& d, double eps,
                        const api::RunConfig& config) const override {
     config.check_keys(name(), "");
-    return adapt(brute::self_join(d, eps, resolve_threads(config)));
+    api::check_result_mode(name(), config, /*supports_sink=*/true);
+    return adapt(brute::self_join(d, eps, resolve_threads(config)), config,
+                 d.size());
   }
 
   api::JoinOutcome join(const Dataset& queries, const Dataset& data,
                         double eps,
                         const api::RunConfig& config) const override {
     config.check_keys(name(), "");
-    return adapt(brute::join(queries, data, eps, resolve_threads(config)));
+    api::check_result_mode(name(), config, /*supports_sink=*/true);
+    return adapt(brute::join(queries, data, eps, resolve_threads(config)),
+                 config, queries.size());
   }
 
   api::KnnOutcome knn(const Dataset& queries, const Dataset& data, int k,

@@ -9,9 +9,54 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace sj {
+
+struct Pair;
+
+/// What a join/self-join call materialises for the caller. The expensive
+/// part of a large join is the output path — writing, sorting, and
+/// transferring Pair records — so callers that only need aggregate
+/// information can opt out of it entirely.
+enum class ResultMode {
+  kPairs,      ///< materialise the flat (key, value) pair vector (default)
+  kCountOnly,  ///< total pair count only; no result buffers at all
+  kHistogram,  ///< per-point neighbour counts (includes self pairs)
+  kSink,       ///< stream sorted batches through a callback, O(batch) memory
+};
+
+/// Consumer for ResultMode::kSink. Invoked with sorted-by-key batches in
+/// ascending key order; the concatenation of all batches equals the
+/// pairs-mode output byte for byte. The pointer is only valid during the
+/// call.
+using PairSink = std::function<void(const Pair* pairs, std::size_t count)>;
+
+/// Strict parser for the user-facing mode names ("pairs", "count",
+/// "histogram", "sink"). Throws std::invalid_argument listing the known
+/// modes on anything else.
+inline ResultMode parse_result_mode(const std::string& s) {
+  if (s == "pairs") return ResultMode::kPairs;
+  if (s == "count") return ResultMode::kCountOnly;
+  if (s == "histogram") return ResultMode::kHistogram;
+  if (s == "sink") return ResultMode::kSink;
+  throw std::invalid_argument("unknown result mode '" + s +
+                              "' (known: pairs, count, histogram, sink)");
+}
+
+/// Inverse of parse_result_mode, for error messages and stats output.
+inline const char* result_mode_name(ResultMode m) {
+  switch (m) {
+    case ResultMode::kPairs: return "pairs";
+    case ResultMode::kCountOnly: return "count";
+    case ResultMode::kHistogram: return "histogram";
+    case ResultMode::kSink: return "sink";
+  }
+  return "?";
+}
 
 /// One ordered result pair: point `key` has neighbour `value`
 /// (dist(key, value) <= eps). Self pairs (key == value) are included by

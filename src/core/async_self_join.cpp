@@ -37,6 +37,10 @@ SelfJoinResult AsyncGpuSelfJoin::run(const Dataset& d, double eps) const {
   if (eps < 0.0) {
     throw std::invalid_argument("AsyncGpuSelfJoin: eps must be >= 0");
   }
+  if (opt_.mode == ResultMode::kSink && !opt_.sink) {
+    throw std::invalid_argument(
+        "AsyncGpuSelfJoin: result mode 'sink' needs a sink callback");
+  }
   SelfJoinResult result;
   SelfJoinStats& st = result.stats;
   Timer total;
@@ -58,7 +62,16 @@ SelfJoinResult AsyncGpuSelfJoin::run(const Dataset& d, double eps) const {
   phase.reset();
   DeviceGrid dev(arena, d, index, opt_.layout);
   st.upload_seconds = phase.seconds();
-  const GridDeviceView& grid = dev.view();
+  GridDeviceView grid = dev.view();
+  if (!opt_.soa) {
+    // AoS ablation: drop the SoA planes from the kernels' view.
+    for (int j = 0; j < grid.dim; ++j) grid.coord[j] = nullptr;
+  }
+
+  // Non-materialising modes never allocate pair buffers, so the sizing
+  // estimate is dead weight — skip stage 0 entirely.
+  const bool pairs_path = opt_.mode == ResultMode::kPairs ||
+                          opt_.mode == ResultMode::kSink;
 
   // --- Stage 0: the sampling estimator kicks off immediately on its own
   // stream. Batch sizing depends on its result, so with default options
@@ -69,10 +82,12 @@ SelfJoinResult AsyncGpuSelfJoin::run(const Dataset& d, double eps) const {
   EstimateResult est;
   gpu::Stream estimate_stream(opt_.device);
   gpu::Event estimate_done;
-  estimate_stream.enqueue([&] {
-    est = estimate_result_size(grid, opt_.unicomp, opt_.sample_rate,
-                               opt_.block_size);
-  });
+  if (pairs_path) {
+    estimate_stream.enqueue([&] {
+      est = estimate_result_size(grid, opt_.unicomp, opt_.sample_rate,
+                                 opt_.block_size);
+    });
+  }
   estimate_done.record(estimate_stream);
 
   std::thread metrics_thread;
@@ -100,34 +115,44 @@ SelfJoinResult AsyncGpuSelfJoin::run(const Dataset& d, double eps) const {
   st.estimate_seconds = est.seconds;
   st.estimated_total = est.estimated_total;
 
-  const std::uint64_t upload_units =
-      grid.cell_major ? d.size() * 3 : d.size();
-  const std::uint64_t buffer_pairs = size_buffer_pairs(
-      arena, upload_units, est.estimated_total, opt_.min_batches,
-      opt_.num_streams, opt_.max_buffer_pairs, opt_.safety);
+  std::uint64_t buffer_pairs = 1;
+  if (pairs_path) {
+    const std::uint64_t upload_units =
+        grid.cell_major ? d.size() * 3 : d.size();
+    buffer_pairs = size_buffer_pairs(
+        arena, upload_units, est.estimated_total, opt_.min_batches,
+        opt_.num_streams, opt_.max_buffer_pairs, opt_.safety);
+  }
+
+  ResultRequest req;
+  req.mode = opt_.mode;
+  req.sink = opt_.sink;
+  req.histogram_keys = d.size();
 
   // --- Stages 1-3: the overlapped batch pipeline.
   AtomicWork work;
   phase.reset();
-  ResultSet pairs;
+  PipelineOutput out;
   try {
     if (opt_.layout == GridLayout::kCellMajor) {
       const CellBatchPlan plan =
           plan_cell_batches(adjacency.weights, est.estimated_total,
                             opt_.min_batches, buffer_pairs, opt_.safety);
-      pairs = pipeline.run_cells(grid, opt_.unicomp, plan, &adjacency,
-                                 &work, &st.batch);
+      out = pipeline.run_cells(req, grid, opt_.unicomp, plan, &adjacency,
+                               &work, &st.batch);
     } else {
       const BatchPlan plan = plan_batches(est.estimated_total, d.size(),
                                           opt_.min_batches, buffer_pairs,
                                           opt_.safety);
-      pairs = pipeline.run(grid, opt_.unicomp, plan, &work, &st.batch);
+      out = pipeline.run(req, grid, opt_.unicomp, plan, &work, &st.batch);
     }
   } catch (...) {
     if (metrics_thread.joinable()) metrics_thread.join();
     throw;
   }
-  result.pairs = std::move(pairs);
+  result.pairs = std::move(out.pairs);
+  result.total_pairs = out.total_pairs;
+  result.histogram = std::move(out.histogram);
   st.join_seconds = phase.seconds();
 
   work.add_to(st.metrics);

@@ -7,6 +7,8 @@
 #include <exception>
 #include <map>
 #include <memory>
+#include <numeric>
+#include <set>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -83,6 +85,12 @@ class PointMode {
 
   std::uint32_t first_key(const Task& t) const { return t.ids.front(); }
 
+  /// first_key of root batch `root` without expanding it (the sink-mode
+  /// watermark registers every root before any kernel runs).
+  std::uint32_t root_first_key(std::size_t root) const {
+    return static_cast<std::uint32_t>(root);  // ids start at the root index
+  }
+
   /// Split in two; false when the task is a single point (unsplittable).
   bool split(const Task& t, Task& lo, Task& hi) const {
     if (t.ids.size() <= 1) return false;
@@ -144,6 +152,10 @@ class CellMode {
 
   std::uint32_t first_key(const Task& t) const {
     return t.cells.front().begin;  // first point slot of the batch
+  }
+
+  std::uint32_t root_first_key(std::size_t root) const {
+    return grid_.G[plan_.boundaries[root]].min;
   }
 
   bool split(const Task& t, Task& lo, Task& hi) const {
@@ -208,6 +220,10 @@ class JoinGroupMode {
 
   std::uint32_t first_key(const Task& t) const {
     return t.cells.front().begin;  // first query position of the batch
+  }
+
+  std::uint32_t root_first_key(std::size_t root) const {
+    return adjacency_.group_offsets[plan_.boundaries[root]];
   }
 
   bool split(const Task& t, Task& lo, Task& hi) const {
@@ -297,14 +313,33 @@ BatchPipeline::BatchPipeline(gpu::GlobalMemoryArena& arena,
   }
 }
 
+namespace {
+
+/// The empty-input result: histogram mode still owes a zero-filled
+/// per-key vector.
+PipelineOutput empty_output(const ResultRequest& req, BatchRunStats* stats) {
+  PipelineOutput out;
+  if (req.mode == ResultMode::kHistogram) {
+    out.histogram.assign(static_cast<std::size_t>(req.histogram_keys), 0);
+  }
+  if (stats != nullptr) *stats = {};
+  return out;
+}
+
+}  // namespace
+
 ResultSet BatchPipeline::run(const GridDeviceView& grid, bool unicomp,
                              const BatchPlan& plan, AtomicWork* work,
                              BatchRunStats* stats) {
+  return run(ResultRequest{}, grid, unicomp, plan, work, stats).pairs;
+}
+
+PipelineOutput BatchPipeline::run(const ResultRequest& req,
+                                  const GridDeviceView& grid, bool unicomp,
+                                  const BatchPlan& plan, AtomicWork* work,
+                                  BatchRunStats* stats) {
   const std::uint64_t nq = grid.num_queries();
-  if (nq == 0 || grid.n == 0) {
-    if (stats != nullptr) *stats = {};
-    return ResultSet{};
-  }
+  if (nq == 0 || grid.n == 0) return empty_output(req, stats);
   // Clamp like plan_batches does: a batch needs at least one point, and a
   // root past nq would produce an empty id list.
   const std::size_t nb = std::min<std::size_t>(
@@ -313,16 +348,27 @@ ResultSet BatchPipeline::run(const GridDeviceView& grid, bool unicomp,
   const std::uint64_t buffer_pairs =
       std::max<std::uint64_t>(plan.buffer_pairs, 1);
   const PointMode mode(grid, unicomp, nb, config_.block_size);
-  return run_impl(mode, nb, buffer_pairs, work, stats);
+  return run_impl(mode, nb, buffer_pairs, req, work, stats);
 }
 
 ResultSet BatchPipeline::run_cells(const GridDeviceView& grid, bool unicomp,
                                    const CellBatchPlan& plan,
                                    const CellAdjacency* adjacency,
                                    AtomicWork* work, BatchRunStats* stats) {
+  return run_cells(ResultRequest{}, grid, unicomp, plan, adjacency, work,
+                   stats)
+      .pairs;
+}
+
+PipelineOutput BatchPipeline::run_cells(const ResultRequest& req,
+                                        const GridDeviceView& grid,
+                                        bool unicomp,
+                                        const CellBatchPlan& plan,
+                                        const CellAdjacency* adjacency,
+                                        AtomicWork* work,
+                                        BatchRunStats* stats) {
   if (grid.n == 0 || plan.num_batches() == 0) {
-    if (stats != nullptr) *stats = {};
-    return ResultSet{};
+    return empty_output(req, stats);
   }
   if (!grid.cell_major) {
     throw std::invalid_argument(
@@ -331,7 +377,7 @@ ResultSet BatchPipeline::run_cells(const GridDeviceView& grid, bool unicomp,
   const std::uint64_t buffer_pairs =
       std::max<std::uint64_t>(plan.buffer_pairs, 1);
   const CellMode mode(grid, unicomp, plan, adjacency, config_.block_size);
-  return run_impl(mode, plan.num_batches(), buffer_pairs, work, stats);
+  return run_impl(mode, plan.num_batches(), buffer_pairs, req, work, stats);
 }
 
 ResultSet BatchPipeline::run_join_groups(const GridDeviceView& grid,
@@ -339,9 +385,18 @@ ResultSet BatchPipeline::run_join_groups(const GridDeviceView& grid,
                                          const JoinAdjacency& adjacency,
                                          AtomicWork* work,
                                          BatchRunStats* stats) {
+  return run_join_groups(ResultRequest{}, grid, plan, adjacency, work, stats)
+      .pairs;
+}
+
+PipelineOutput BatchPipeline::run_join_groups(const ResultRequest& req,
+                                              const GridDeviceView& grid,
+                                              const CellBatchPlan& plan,
+                                              const JoinAdjacency& adjacency,
+                                              AtomicWork* work,
+                                              BatchRunStats* stats) {
   if (grid.n == 0 || grid.qn == 0 || plan.num_batches() == 0) {
-    if (stats != nullptr) *stats = {};
-    return ResultSet{};
+    return empty_output(req, stats);
   }
   if (!grid.cell_major || grid.qpoints == nullptr) {
     throw std::invalid_argument(
@@ -351,14 +406,24 @@ ResultSet BatchPipeline::run_join_groups(const GridDeviceView& grid,
   const std::uint64_t buffer_pairs =
       std::max<std::uint64_t>(plan.buffer_pairs, 1);
   const JoinGroupMode mode(grid, plan, adjacency, config_.block_size);
-  return run_impl(mode, plan.num_batches(), buffer_pairs, work, stats);
+  return run_impl(mode, plan.num_batches(), buffer_pairs, req, work, stats);
 }
 
 template <typename Mode>
-ResultSet BatchPipeline::run_impl(const Mode& mode, std::size_t num_roots,
-                                  std::uint64_t buffer_pairs,
-                                  AtomicWork* work, BatchRunStats* stats) {
-  ResultSet final_result;
+PipelineOutput BatchPipeline::run_impl(const Mode& mode,
+                                       std::size_t num_roots,
+                                       std::uint64_t buffer_pairs,
+                                       const ResultRequest& req,
+                                       AtomicWork* work,
+                                       BatchRunStats* stats) {
+  PipelineOutput output;
+
+  // Count-only and histogram runs touch no pair buffers at all: no slot
+  // allocations, no device sort, no transfers, no assembly stage — the
+  // kernels write through an atomic counter / the O(n) count plane.
+  const bool materialise =
+      req.mode == ResultMode::kPairs || req.mode == ResultMode::kSink;
+  const bool sinking = req.mode == ResultMode::kSink;
 
   // Double-buffered device allocations, owned by the caller thread so a
   // DeviceOutOfMemory propagates here instead of killing a worker.
@@ -368,13 +433,22 @@ ResultSet BatchPipeline::run_impl(const Mode& mode, std::size_t num_roots,
     gpu::Event transferred;           // signals this slot's buffer is free
   };
   std::vector<std::array<Slot, 2>> slots(
-      static_cast<std::size_t>(config_.streams));
+      materialise ? static_cast<std::size_t>(config_.streams) : 0);
   for (auto& pair_of_slots : slots) {
     for (Slot& s : pair_of_slots) {
       s.buffer = gpu::DeviceBuffer<Pair>(arena_, buffer_pairs);
       s.scratch = gpu::DeviceBuffer<Pair>(arena_, buffer_pairs);
     }
   }
+
+  // Histogram mode: one zero-filled per-key count plane shared by every
+  // batch (the kernels bump it with relaxed atomics).
+  gpu::DeviceBuffer<std::uint32_t> counts;
+  if (req.mode == ResultMode::kHistogram) {
+    counts = gpu::DeviceBuffer<std::uint32_t>(arena_, req.histogram_keys);
+    std::fill_n(counts.data(), counts.size(), 0u);
+  }
+  std::atomic<std::uint64_t> counted{0};  // count-only total
 
   const std::size_t task_cap =
       config_.task_queue_capacity != 0
@@ -390,26 +464,59 @@ ResultSet BatchPipeline::run_impl(const Mode& mode, std::size_t num_roots,
   std::atomic<bool> fatal_overflow{false};
   std::atomic<bool> failed{false};
 
-  std::mutex mu;  // protects acc, segments and first_error
+  std::mutex mu;  // protects acc, segments, the watermark and first_error
   BatchRunStats acc;
   std::map<std::uint32_t, SegmentPool::Buffer> segments;
   std::exception_ptr first_error;
+
+  // Sink-mode watermark: the batch keys not yet streamed (registered for
+  // every root up front, extended on splits BEFORE the halves run). A
+  // completed segment flushes once it owns the smallest outstanding key,
+  // so batches stream to the callback in exactly the order the kPairs
+  // concatenation would emit them — and the staged memory stays bounded
+  // by the pipeline's in-flight batch count instead of the result size.
+  std::multiset<std::uint32_t> pending;
+  if (sinking) {
+    for (std::size_t b = 0; b < num_roots; ++b) {
+      pending.insert(mode.root_first_key(b));
+    }
+  }
+  std::uint64_t sink_flushed = 0;
+
+  // Flush every segment whose turn has come (callers hold `mu`). The
+  // callback runs serially under the lock — sink consumers see ordered,
+  // non-overlapping calls.
+  auto flush_ready = [this, &req, &segments, &pending, &sink_flushed] {
+    while (!segments.empty() && !pending.empty() &&
+           segments.begin()->first == *pending.begin()) {
+      SegmentPool::Buffer buf = std::move(segments.begin()->second);
+      segments.erase(segments.begin());
+      pending.erase(pending.begin());
+      if (buf.count > 0) req.sink(buf.data.get(), buf.count);
+      sink_flushed += buf.count;
+      pool_.release(std::move(buf));
+    }
+  };
 
   auto complete_one = [&outstanding, &tasks] {
     if (outstanding.fetch_sub(1) == 1) tasks.close();
   };
 
   // --- Stage 3: host assembly. Completed segments are merged into the
-  // deterministic batch-key order while further kernels run.
+  // deterministic batch-key order while further kernels run; in sink mode
+  // each insert also advances the watermark.
   std::vector<std::thread> assemblers;
-  assemblers.reserve(static_cast<std::size_t>(config_.assembly_threads));
-  for (int a = 0; a < config_.assembly_threads; ++a) {
-    assemblers.emplace_back([&done, &mu, &segments, &acc] {
+  const int n_assemblers = materialise ? config_.assembly_threads : 0;
+  assemblers.reserve(static_cast<std::size_t>(n_assemblers));
+  for (int a = 0; a < n_assemblers; ++a) {
+    assemblers.emplace_back([&done, &mu, &segments, &acc, &flush_ready,
+                             sinking] {
       Completed c;
       while (done.pop(c)) {
         Timer merge_timer;
         std::lock_guard<std::mutex> lock(mu);
         segments[c.first_key] = std::move(c.pairs);
+        if (sinking) flush_ready();
         acc.assembly_seconds += merge_timer.seconds();
       }
     });
@@ -425,7 +532,10 @@ ResultSet BatchPipeline::run_impl(const Mode& mode, std::size_t num_roots,
   for (int w = 0; w < config_.streams; ++w) {
     workers.emplace_back([&, w] {
       gpu::Stream stream(spec_);
-      auto& my_slots = slots[static_cast<std::size_t>(w)];
+      // Slot array is empty in the non-materialising modes.
+      Slot* my_slots = materialise
+                           ? slots[static_cast<std::size_t>(w)].data()
+                           : nullptr;
       int flip = 0;
       Task task;
       while (tasks.pop(task)) {
@@ -435,15 +545,37 @@ ResultSet BatchPipeline::run_impl(const Mode& mode, std::size_t num_roots,
           continue;
         }
         try {
-          Slot& slot = my_slots[static_cast<std::size_t>(flip)];
-          flip ^= 1;
-          slot.transferred.wait();  // slot's previous transfer has drained
-
           if (task.is_root) {
             // Root batches expand here, off the seeding thread's
             // critical path.
             mode.expand_root(task);
           }
+
+          if (!materialise) {
+            // Count-only / histogram: launch, fold the count, done — no
+            // buffer, no overflow, no sort, no transfer.
+            gpu::DeviceCounter cursor;
+            ResultBufferView result;
+            if (req.mode == ResultMode::kHistogram) {
+              result.counts = counts.data();
+            } else {
+              result.cursor = &cursor;
+            }
+            const gpu::KernelStats ks =
+                mode.launch(arena_, task, result, work);
+            counted.fetch_add(cursor.load(), std::memory_order_relaxed);
+            {
+              std::lock_guard<std::mutex> lock(mu);
+              acc.kernel_seconds += ks.seconds;
+              ++acc.batches_run;
+            }
+            complete_one();
+            continue;
+          }
+
+          Slot& slot = my_slots[static_cast<std::size_t>(flip)];
+          flip ^= 1;
+          slot.transferred.wait();  // slot's previous transfer has drained
 
           gpu::DeviceCounter cursor;
           std::atomic<bool> overflow{false};
@@ -474,6 +606,12 @@ ResultSet BatchPipeline::run_impl(const Mode& mode, std::size_t num_roots,
               fatal_overflow.store(true);
               complete_one();
               continue;
+            }
+            if (sinking) {
+              // Register the new half's key before either half can run:
+              // lo inherits the parent's first key, hi adds one.
+              std::lock_guard<std::mutex> lock(mu);
+              pending.insert(mode.first_key(hi));
             }
             outstanding.fetch_add(1);  // net effect of the split: 1 -> 2
             tasks.push_overflow(std::move(lo));
@@ -547,6 +685,27 @@ ResultSet BatchPipeline::run_impl(const Mode& mode, std::size_t num_roots,
                                  buffer_pairs * sizeof(Pair));
   }
 
+  if (req.mode == ResultMode::kCountOnly) {
+    output.total_pairs = counted.load();
+    if (stats != nullptr) *stats = acc;
+    return output;
+  }
+  if (req.mode == ResultMode::kHistogram) {
+    output.histogram.assign(counts.data(), counts.data() + counts.size());
+    output.total_pairs =
+        std::accumulate(output.histogram.begin(), output.histogram.end(),
+                        std::uint64_t{0});
+    if (stats != nullptr) *stats = acc;
+    return output;
+  }
+  if (sinking) {
+    // Every batch completed, so the watermark has streamed everything.
+    flush_ready();
+    output.total_pairs = sink_flushed;
+    if (stats != nullptr) *stats = acc;
+    return output;
+  }
+
   // Deterministic final assembly: segments in ascending first-key order,
   // each internally sorted by the device sort. Final offsets are only
   // known once every segment has landed, so this concatenation is the
@@ -565,7 +724,7 @@ ResultSet BatchPipeline::run_impl(const Mode& mode, std::size_t num_roots,
     layout.push_back({&buffer, total});
     total += static_cast<std::size_t>(buffer.count);
   }
-  auto& out = final_result.pairs();
+  auto& out = output.pairs.pairs();
   const std::size_t copiers = std::min<std::size_t>(
       static_cast<std::size_t>(config_.assembly_threads), layout.size());
   Timer concat_timer;
@@ -596,8 +755,9 @@ ResultSet BatchPipeline::run_impl(const Mode& mode, std::size_t num_roots,
   for (auto& [key, buffer] : segments) pool_.release(std::move(buffer));
   acc.assembly_seconds += concat_timer.seconds();
 
+  output.total_pairs = out.size();
   if (stats != nullptr) *stats = acc;
-  return final_result;
+  return output;
 }
 
 }  // namespace sj

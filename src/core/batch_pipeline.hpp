@@ -153,6 +153,22 @@ class BatchPipeline {
   ResultSet run(const GridDeviceView& grid, bool unicomp,
                 const BatchPlan& plan, AtomicWork* work, BatchRunStats* stats);
 
+  /// Mode-aware variants (see ResultRequest); the ResultSet-returning
+  /// overloads above and below are the kPairs special case.
+  PipelineOutput run(const ResultRequest& req, const GridDeviceView& grid,
+                     bool unicomp, const BatchPlan& plan, AtomicWork* work,
+                     BatchRunStats* stats);
+  PipelineOutput run_cells(const ResultRequest& req,
+                           const GridDeviceView& grid, bool unicomp,
+                           const CellBatchPlan& plan,
+                           const CellAdjacency* adjacency, AtomicWork* work,
+                           BatchRunStats* stats);
+  PipelineOutput run_join_groups(const ResultRequest& req,
+                                 const GridDeviceView& grid,
+                                 const CellBatchPlan& plan,
+                                 const JoinAdjacency& adjacency,
+                                 AtomicWork* work, BatchRunStats* stats);
+
   /// Cell-centric variant: `grid` must be cell-major and batches are the
   /// plan's contiguous cell ranges, executed by the cell-centric kernel
   /// through the same three-stage machinery. `adjacency` (from
@@ -180,9 +196,10 @@ class BatchPipeline {
 
  private:
   template <typename Mode>
-  ResultSet run_impl(const Mode& mode, std::size_t num_roots,
-                     std::uint64_t buffer_pairs, AtomicWork* work,
-                     BatchRunStats* stats);
+  PipelineOutput run_impl(const Mode& mode, std::size_t num_roots,
+                          std::uint64_t buffer_pairs,
+                          const ResultRequest& req, AtomicWork* work,
+                          BatchRunStats* stats);
 
   gpu::GlobalMemoryArena& arena_;
   gpu::DeviceSpec spec_;

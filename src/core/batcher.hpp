@@ -83,6 +83,39 @@ std::uint64_t size_buffer_pairs(const gpu::GlobalMemoryArena& arena,
                                 std::size_t min_batches, int num_streams,
                                 std::uint64_t max_buffer_pairs, double safety);
 
+/// What a pipeline/batcher run should materialise (ResultMode,
+/// common/result.hpp).
+///
+///   kPairs     — the full ResultSet, as before.
+///   kCountOnly — total pair count only: no result buffers, no device
+///                sort, no transfers, no assembly stage.
+///   kHistogram — per-key neighbour counts into one O(n) device array
+///                (`histogram_keys` entries, keys as emitted by the
+///                kernel: original ids for the self-join, query indices
+///                for the join); same short-circuits as kCountOnly.
+///   kSink      — identical kernel/sort/transfer path to kPairs, but
+///                completed segments are streamed through `sink` in
+///                ascending batch order AS SOON AS the order is settled
+///                (a watermark over the outstanding batch keys) instead
+///                of being concatenated — peak host memory drops from
+///                O(pairs) to O(in-flight batches). The callback is
+///                invoked serially; the concatenation of its batches is
+///                byte-identical to the kPairs output.
+struct ResultRequest {
+  ResultMode mode = ResultMode::kPairs;
+  PairSink sink;                     ///< consumer for kSink
+  std::uint64_t histogram_keys = 0;  ///< key-space size for kHistogram
+};
+
+/// What a pipeline/batcher run produced: `total_pairs` is exact in every
+/// mode; `pairs` is non-empty only for kPairs, `histogram` only for
+/// kHistogram.
+struct PipelineOutput {
+  ResultSet pairs;
+  std::uint64_t total_pairs = 0;
+  std::vector<std::uint32_t> histogram;
+};
+
 struct BatchRunStats {
   std::size_t batches_run = 0;       // including overflow retries
   std::size_t overflow_retries = 0;  // batches that had to be split
@@ -121,6 +154,22 @@ class Batcher {
                             const CellBatchPlan& plan,
                             const JoinAdjacency& adjacency, AtomicWork* work,
                             BatchRunStats* stats);
+
+  /// Mode-aware variants (see ResultRequest); the ResultSet-returning
+  /// entry points above are the kPairs special case.
+  PipelineOutput run(const ResultRequest& req, const GridDeviceView& grid,
+                     bool unicomp, const BatchPlan& plan, AtomicWork* work,
+                     BatchRunStats* stats);
+  PipelineOutput run_cells(const ResultRequest& req,
+                           const GridDeviceView& grid, bool unicomp,
+                           const CellBatchPlan& plan,
+                           const CellAdjacency* adjacency, AtomicWork* work,
+                           BatchRunStats* stats);
+  PipelineOutput run_join_groups(const ResultRequest& req,
+                                 const GridDeviceView& grid,
+                                 const CellBatchPlan& plan,
+                                 const JoinAdjacency& adjacency,
+                                 AtomicWork* work, BatchRunStats* stats);
 
  private:
   gpu::GlobalMemoryArena& arena_;

@@ -15,10 +15,17 @@ DeviceGrid::DeviceGrid(gpu::GlobalMemoryArena& arena, const Dataset& d,
     // Reorder the dataset into cell-major order: slot k holds the
     // coordinates of point A[k], so every cell's points are contiguous
     // and A becomes the identity. a_ holds the slot -> original-id map.
-    for (std::size_t k = 0; k < index.A().size(); ++k) {
-      std::memcpy(points_.data() + k * dim,
-                  d.pt(index.A()[k]), dim * sizeof(double));
+    // Alongside the AoS image (still consumed by the point-centric
+    // kernel and query_point) stage a per-dimension SoA twin: plane j is
+    // the contiguous stream coord[j][0..n) the vectorised scan reads.
+    coords_ = gpu::DeviceBuffer<double>(arena, d.raw().size());
+    const std::size_t slots = index.A().size();
+    for (std::size_t k = 0; k < slots; ++k) {
+      const double* src = d.pt(index.A()[k]);
+      std::memcpy(points_.data() + k * dim, src, dim * sizeof(double));
+      for (int j = 0; j < dim; ++j) coords_.data()[j * slots + k] = src[j];
     }
+    for (int j = 0; j < dim; ++j) view_.coord[j] = coords_.data() + j * slots;
   } else {
     std::memcpy(points_.data(), d.raw().data(),
                 d.raw().size() * sizeof(double));

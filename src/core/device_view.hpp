@@ -54,6 +54,13 @@ struct GridDeviceView {
   std::uint64_t b_size = 0;
   const GridIndex::CellRange* G = nullptr;
 
+  /// Cell-major layout only: per-dimension coordinate planes, coord[j][k]
+  /// = j-th coordinate of the point in slot k (structure-of-arrays twin of
+  /// `points`). Contiguous per dimension so the blocked candidate scan
+  /// reads unit-stride streams the compiler can vectorise. Null in the
+  /// legacy layout.
+  const double* coord[kMaxDims] = {};
+
   /// Legacy layout: slot -> point id (the paper's A). Null in cell-major
   /// layout, where the mapping is the identity.
   const std::uint32_t* A = nullptr;
@@ -125,6 +132,7 @@ class DeviceGrid {
 
  private:
   gpu::DeviceBuffer<double> points_;
+  gpu::DeviceBuffer<double> coords_;  // cell-major only: dim planes of n
   gpu::DeviceBuffer<std::uint64_t> b_;
   gpu::DeviceBuffer<GridIndex::CellRange> g_;
   gpu::DeviceBuffer<std::uint32_t> a_;  // legacy: A; cell-major: orig map

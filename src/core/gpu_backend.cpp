@@ -23,7 +23,7 @@ namespace {
 
 constexpr std::string_view kGpuKeys =
     "block_size,min_batches,num_streams,sample_rate,safety,max_buffer_pairs,"
-    "layout";
+    "layout,soa";
 
 /// The "layout" knob shared by the GPU-SJ engines: cell (default) runs
 /// the cell-major reorder + cell-centric kernel, legacy the paper's
@@ -80,6 +80,8 @@ void apply_gpu_batch_knobs(const api::RunConfig& config, Options& opt) {
 api::JoinOutcome make_gpu_outcome(SelfJoinResult r) {
   api::JoinOutcome out;
   out.pairs = std::move(r.pairs);
+  out.total_pairs = r.total_pairs;
+  out.histogram = std::move(r.histogram);
   const SelfJoinStats& s = r.stats;
   out.stats.seconds = s.total_seconds;
   out.stats.total_seconds = s.total_seconds;
@@ -127,10 +129,14 @@ class GpuBackend final : public api::SelfJoinBackend {
                        const api::RunConfig& config) const override {
     config.check_keys(name_, kGpuKeys);
     reject_threads(name_, config);
+    api::check_result_mode(name_, config, /*supports_sink=*/true);
     GpuSelfJoinOptions opt;
     opt.unicomp = unicomp_;
     opt.layout = parse_layout(config);
     opt.collect_metrics = config.collect_metrics;
+    opt.mode = config.mode;
+    opt.sink = config.sink;
+    opt.soa = config.flag("soa", true);
     apply_gpu_batch_knobs(config, opt);
 
     auto out = make_gpu_outcome(GpuSelfJoin(opt).run(d, eps));
@@ -144,13 +150,19 @@ class GpuBackend final : public api::SelfJoinBackend {
                         const api::RunConfig& config) const override {
     config.check_keys(name_, kGpuKeys);
     reject_threads(name_, config);
+    api::check_result_mode(name_, config, /*supports_sink=*/true);
     GpuJoinOptions opt;
     opt.layout = parse_layout(config);
+    opt.mode = config.mode;
+    opt.sink = config.sink;
+    opt.soa = config.flag("soa", true);
     apply_gpu_batch_knobs(config, opt);
 
     auto r = gpu_join(queries, data, eps, opt);
     api::JoinOutcome out;
     out.pairs = std::move(r.pairs);
+    out.total_pairs = r.total_pairs;
+    out.histogram = std::move(r.histogram);
     const GpuJoinStats& s = r.stats;
     out.stats.seconds = s.total_seconds;
     out.stats.total_seconds = s.total_seconds;
@@ -238,14 +250,18 @@ class GpuAsyncBackend final : public api::SelfJoinBackend {
     config.check_keys(name(),
                       "block_size,min_batches,streams,num_streams,"
                       "assembly_threads,sample_rate,safety,max_buffer_pairs,"
-                      "unicomp,layout");
+                      "unicomp,layout,soa");
     reject_threads(name(), config);
+    api::check_result_mode(name(), config, /*supports_sink=*/true);
     AsyncSelfJoinOptions opt;
     // Mirrors "gpu" (UNICOMP off) so the head-to-head bench and the
     // parity suite compare like with like; unicomp=1 opts in.
     opt.unicomp = config.flag("unicomp", false);
     opt.layout = parse_layout(config);
     opt.collect_metrics = config.collect_metrics;
+    opt.mode = config.mode;
+    opt.sink = config.sink;
+    opt.soa = config.flag("soa", true);
     apply_gpu_batch_knobs(config, opt);
     // "streams" is this backend's spelling; "num_streams" (the sibling
     // gpu/gpu_unicomp knob, applied above) is accepted too so scripts
@@ -281,11 +297,15 @@ class GpuShardBackend final : public api::SelfJoinBackend {
                        const api::RunConfig& config) const override {
     config.check_keys(name(), kShardKeys);
     reject_threads(name(), config);
+    // The shard pipelines run concurrently, so gpu_shard cannot stream
+    // batches in the global deterministic order: no sink mode.
+    api::check_result_mode(name(), config, /*supports_sink=*/false);
     ShardedSelfJoinOptions opt = parse_shard_options(config);
     opt.collect_metrics = config.collect_metrics;
 
     auto r = ShardedGpuSelfJoin(opt).run(d, eps);
-    auto out = make_gpu_outcome({std::move(r.pairs), r.stats});
+    auto out = make_gpu_outcome(
+        {std::move(r.pairs), r.total_pairs, std::move(r.histogram), r.stats});
     append_shard_stats(out.stats.native, r.shard, opt);
     return out;
   }
@@ -295,11 +315,14 @@ class GpuShardBackend final : public api::SelfJoinBackend {
                         const api::RunConfig& config) const override {
     config.check_keys(name(), kShardKeys);
     reject_threads(name(), config);
+    api::check_result_mode(name(), config, /*supports_sink=*/false);
     const ShardedSelfJoinOptions opt = parse_shard_options(config);
 
     auto r = sharded_join(queries, data, eps, opt);
     api::JoinOutcome out;
     out.pairs = std::move(r.pairs);
+    out.total_pairs = r.total_pairs;
+    out.histogram = std::move(r.histogram);
     const GpuJoinStats& s = r.stats;
     out.stats.seconds = s.total_seconds;
     out.stats.total_seconds = s.total_seconds;
@@ -322,12 +345,14 @@ class GpuShardBackend final : public api::SelfJoinBackend {
  private:
   static constexpr std::string_view kShardKeys =
       "shards,schedule,streams,num_streams,assembly_threads,unicomp,"
-      "block_size,min_batches,sample_rate,safety,max_buffer_pairs,layout";
+      "block_size,min_batches,sample_rate,safety,max_buffer_pairs,layout,soa";
 
   static ShardedSelfJoinOptions parse_shard_options(
       const api::RunConfig& config) {
     ShardedSelfJoinOptions opt;
     opt.unicomp = config.flag("unicomp", false);
+    opt.mode = config.mode;
+    opt.soa = config.flag("soa", true);
     // parse_layout rejects unknown values; the engine itself rejects
     // layout=legacy with an error explaining why sharding needs cell.
     opt.layout = parse_layout(config);
@@ -388,13 +413,20 @@ class GpuBruteForceBackend final : public api::SelfJoinBackend {
                        const api::RunConfig& config) const override {
     config.check_keys(name(), "block_size,materialize");
     reject_threads(name(), config);
+    api::check_result_mode(name(), config, /*supports_sink=*/true);
     // materialize=0 keeps the paper's count-only lower-bound measurement
     // (no pair buffer in device memory); the count is still reported in
-    // native["num_pairs"].
-    auto r = gpu_brute_force(d, eps, config.flag("materialize", true),
+    // native["num_pairs"]. mode=count takes that same bufferless kernel;
+    // histogram and sink reduce from the materialised pairs.
+    const bool materialize =
+        config.mode == ResultMode::kPairs
+            ? config.flag("materialize", true)
+            : config.mode != ResultMode::kCountOnly;
+    auto r = gpu_brute_force(d, eps, materialize,
                              positive_int(config, "block_size", 256));
     api::JoinOutcome out;
-    out.pairs = std::move(r.pairs);
+    api::finalize_outcome(out, std::move(r.pairs), config, d.size());
+    out.total_pairs = r.num_pairs;
     // Paper convention: the brute-force measurement is the kernel only.
     out.stats.seconds = r.kernel_seconds;
     out.stats.total_seconds = r.kernel_seconds;

@@ -21,6 +21,10 @@ GpuJoinResult gpu_join(const Dataset& queries, const Dataset& data,
   parse::non_negative("argument 'eps' of gpu_join", eps);
   parse::matching_dims("argument 'queries' of gpu_join", queries.dim(),
                        "argument 'data'", data.dim());
+  if (opt.mode == ResultMode::kSink && !opt.sink) {
+    throw std::invalid_argument(
+        "gpu_join: result mode 'sink' needs a sink callback");
+  }
   GpuJoinResult result;
   GpuJoinStats& st = result.stats;
   Timer total;
@@ -29,6 +33,9 @@ GpuJoinResult gpu_join(const Dataset& queries, const Dataset& data,
   GridIndex index(data, eps);
   st.index_build_seconds = phase.seconds();
   if (queries.empty() || data.empty()) {
+    if (opt.mode == ResultMode::kHistogram) {
+      result.histogram.assign(queries.size(), 0);
+    }
     st.total_seconds = total.seconds();
     return result;
   }
@@ -43,13 +50,29 @@ GpuJoinResult gpu_join(const Dataset& queries, const Dataset& data,
   GridDeviceView grid = dev.view();
   grid.qpoints = qbuf.data();
   grid.qn = queries.size();
+  if (!opt.soa) {
+    for (int j = 0; j < grid.dim; ++j) grid.coord[j] = nullptr;
+  }
 
-  const EstimateResult est = estimate_result_size(
-      grid, /*unicomp=*/false, opt.sample_rate, opt.block_size);
-  st.estimated_total = est.estimated_total;
+  // Non-pairs modes (count/histogram) skip the estimator and every pair
+  // buffer; the batch count falls back to min_batches.
+  const bool pairs_path =
+      opt.mode == ResultMode::kPairs || opt.mode == ResultMode::kSink;
+  EstimateResult est;
+  if (pairs_path) {
+    est = estimate_result_size(grid, /*unicomp=*/false, opt.sample_rate,
+                               opt.block_size);
+    st.estimated_total = est.estimated_total;
+  }
+
+  ResultRequest req;
+  req.mode = opt.mode;
+  req.sink = opt.sink;
+  req.histogram_keys = queries.size();
 
   AtomicWork work;
   Batcher batcher(arena, opt.device, opt.num_streams, opt.block_size);
+  PipelineOutput out;
   if (opt.layout == GridLayout::kCellMajor) {
     // Group the queries by their data-grid home cell and resolve each
     // group's candidate ranges ONCE; built before buffer sizing so its
@@ -58,30 +81,38 @@ GpuJoinResult gpu_join(const Dataset& queries, const Dataset& data,
     const JoinAdjacency adjacency = build_join_adjacency(arena, grid);
     st.query_groups = adjacency.num_groups();
 
-    const std::uint64_t buffer_pairs = size_buffer_pairs(
-        arena, queries.size() * 3, est.estimated_total, opt.min_batches,
-        opt.num_streams, opt.max_buffer_pairs, opt.safety);
+    const std::uint64_t buffer_pairs =
+        pairs_path ? size_buffer_pairs(arena, queries.size() * 3,
+                                       est.estimated_total, opt.min_batches,
+                                       opt.num_streams, opt.max_buffer_pairs,
+                                       opt.safety)
+                   : 1;
     const CellBatchPlan plan =
         plan_cell_batches(adjacency.weights, est.estimated_total,
                           opt.min_batches, buffer_pairs, opt.safety);
-    result.pairs = batcher.run_join_groups(grid, plan, adjacency, &work,
-                                           &st.batch);
+    out = batcher.run_join_groups(req, grid, plan, adjacency, &work,
+                                  &st.batch);
     work.add_to(st.metrics);
     // The adjacency build carries the index-search work (resolved once
     // per query group rather than once per query).
     st.metrics.cells_examined += adjacency.cells_examined;
     st.metrics.cells_nonempty += adjacency.cells_nonempty;
   } else {
-    const std::uint64_t buffer_pairs = size_buffer_pairs(
-        arena, queries.size(), est.estimated_total, opt.min_batches,
-        opt.num_streams, opt.max_buffer_pairs, opt.safety);
+    const std::uint64_t buffer_pairs =
+        pairs_path ? size_buffer_pairs(arena, queries.size(),
+                                       est.estimated_total, opt.min_batches,
+                                       opt.num_streams, opt.max_buffer_pairs,
+                                       opt.safety)
+                   : 1;
     const BatchPlan plan = plan_batches(est.estimated_total, queries.size(),
                                         opt.min_batches, buffer_pairs,
                                         opt.safety);
-    result.pairs =
-        batcher.run(grid, /*unicomp=*/false, plan, &work, &st.batch);
+    out = batcher.run(req, grid, /*unicomp=*/false, plan, &work, &st.batch);
     work.add_to(st.metrics);
   }
+  result.pairs = std::move(out.pairs);
+  result.total_pairs = out.total_pairs;
+  result.histogram = std::move(out.histogram);
   st.metrics.kernel_seconds = st.batch.kernel_seconds;
   st.total_seconds = total.seconds();
   return result;

@@ -33,6 +33,13 @@ struct GpuJoinOptions {
   double sample_rate = 0.01;
   double safety = 1.25;
   std::uint64_t max_buffer_pairs = 1ULL << 24;
+  /// Result mode (common/result.hpp); non-pairs modes skip the estimator
+  /// and pair-buffer sizing, kSink streams batches through `sink`.
+  /// Histogram keys are QUERY indices.
+  ResultMode mode = ResultMode::kPairs;
+  PairSink sink;
+  /// SoA coordinate-plane scan (cell-major only); false = AoS ablation.
+  bool soa = true;
   gpu::DeviceSpec device = gpu::DeviceSpec::titan_x_pascal();
 };
 
@@ -50,6 +57,10 @@ struct GpuJoinStats {
 struct GpuJoinResult {
   /// Pairs are (query index into A, data index into B).
   ResultSet pairs;
+  /// Exact pair count in every result mode; per-query histogram only in
+  /// kHistogram.
+  std::uint64_t total_pairs = 0;
+  std::vector<std::uint32_t> histogram;
   GpuJoinStats stats;
 };
 

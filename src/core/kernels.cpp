@@ -7,19 +7,42 @@
 
 #include "common/distance.hpp"
 
+// The blocked distance loops below are written so the per-dimension lane
+// loop is a unit-stride load + FMA stream the compiler can vectorise.
+// SJ_DISABLE_SIMD (CMake option, CI leg) drops the vectorisation pragma
+// and keeps the identical scalar loop — the semantics-preserving fallback
+// for toolchains where `omp simd` misbehaves.
+#if defined(SJ_DISABLE_SIMD)
+#define SJ_SIMD_LOOP
+#else
+#define SJ_SIMD_LOOP _Pragma("omp simd")
+#endif
+
 namespace sj {
 
 namespace {
 
-/// Per-thread emission helper with local work accounting.
+/// Per-thread emission helper with local work accounting. Dispatches on
+/// the ResultBufferView mode (see its doc comment): pair buffer writes,
+/// count-only cursor bumps, histogram counters, or estimator accounting.
 struct Emitter {
   const ResultBufferView& r;
   LocalWork& w;
 
+  void bump(std::uint32_t id, std::uint32_t by) const {
+    std::atomic_ref<std::uint32_t>(r.counts[id])
+        .fetch_add(by, std::memory_order_relaxed);
+  }
+
   void emit(std::uint32_t key, std::uint32_t value) {
     ++w.results;
-    if (r.out == nullptr) return;  // count-only mode
+    if (r.counts != nullptr) {  // histogram mode
+      bump(key, 1);
+      return;
+    }
+    if (r.cursor == nullptr) return;  // estimator mode
     const std::uint64_t idx = r.cursor->fetch_add(1);
+    if (r.out == nullptr) return;  // count-only mode
     if (idx >= r.capacity) {
       r.overflow->store(true, std::memory_order_relaxed);
       return;
@@ -31,8 +54,14 @@ struct Emitter {
   /// reservation.
   void emit_both(std::uint32_t a, std::uint32_t b) {
     w.results += 2;
-    if (r.out == nullptr) return;
+    if (r.counts != nullptr) {
+      bump(a, 1);
+      bump(b, 1);
+      return;
+    }
+    if (r.cursor == nullptr) return;
     const std::uint64_t idx = r.cursor->fetch_add(2);
+    if (r.out == nullptr) return;
     if (idx + 2 > r.capacity) {
       r.overflow->store(true, std::memory_order_relaxed);
       return;
@@ -49,8 +78,16 @@ struct Emitter {
     const std::uint64_t slots =
         static_cast<std::uint64_t>(count) * (both ? 2 : 1);
     w.results += slots;
-    if (r.out == nullptr) return;
+    if (r.counts != nullptr) {
+      bump(key, static_cast<std::uint32_t>(count));
+      if (both) {
+        for (int v = 0; v < count; ++v) bump(values[v], 1);
+      }
+      return;
+    }
+    if (r.cursor == nullptr) return;
     const std::uint64_t idx = r.cursor->fetch_add(slots);
+    if (r.out == nullptr) return;
     if (idx + slots > r.capacity) {
       r.overflow->store(true, std::memory_order_relaxed);
       return;
@@ -265,15 +302,116 @@ void collect_cell_ranges(const GridDeviceView& g, std::uint32_t cell_idx,
   collect_ranges_at(g, c, unicomp, w, out);
 }
 
+/// SoA block width: wide enough that a full AVX2/AVX-512 register set
+/// covers the lane loop, small enough that a block of partial sums stays
+/// in registers.
+constexpr int kSoaScanBlock = 16;
+
+/// Scan one contiguous candidate range for one query point over the SoA
+/// coordinate planes: for each block of kSoaScanBlock candidates the
+/// per-dimension lane loop reads coord[j][k0..k0+bw) — a unit-stride
+/// stream with no index arithmetic or gather — and accumulates squared
+/// differences branch-free, so the compiler turns it into packed FMAs.
+/// The dimension loop still bails out at BLOCK granularity once every
+/// lane's partial sum exceeds eps^2.
+inline void scan_range_soa(const GridDeviceView& g, LocalWork& w, Emitter& em,
+                           std::uint32_t key, const double* pt,
+                           const CandidateRange& r, double eps2,
+                           gpu::CacheSim* cache) {
+  const int dim = g.dim;
+  double acc[kSoaScanBlock];
+  for (std::uint32_t k0 = r.begin; k0 < r.end; k0 += kSoaScanBlock) {
+    const int bw = static_cast<int>(
+        std::min<std::uint32_t>(kSoaScanBlock, r.end - k0));
+    w.distance_calcs += static_cast<std::uint64_t>(bw);
+    w.global_loads += static_cast<std::uint64_t>(bw) * dim;
+    w.global_load_bytes +=
+        static_cast<std::uint64_t>(bw) * dim * sizeof(double);
+    if (cache != nullptr) {
+      for (int j = 0; j < dim; ++j) {
+        cache->access(reinterpret_cast<std::uint64_t>(g.coord[j] + k0),
+                      static_cast<unsigned>(bw) * sizeof(double));
+      }
+    }
+    // Fused single-pass loops for the common low dimensionalities: one
+    // sweep writing acc[] directly (no zero-init pass, one loop overhead
+    // instead of `dim`), still branch-free and unit-stride per plane.
+    if (dim == 2) {
+      const double* c0 = g.coord[0] + k0;
+      const double* c1 = g.coord[1] + k0;
+      const double p0 = pt[0], p1 = pt[1];
+      SJ_SIMD_LOOP
+      for (int v = 0; v < bw; ++v) {
+        const double d0 = c0[v] - p0;
+        const double d1 = c1[v] - p1;
+        acc[v] = d0 * d0 + d1 * d1;
+      }
+    } else if (dim == 3) {
+      const double* c0 = g.coord[0] + k0;
+      const double* c1 = g.coord[1] + k0;
+      const double* c2 = g.coord[2] + k0;
+      const double p0 = pt[0], p1 = pt[1], p2 = pt[2];
+      SJ_SIMD_LOOP
+      for (int v = 0; v < bw; ++v) {
+        const double d0 = c0[v] - p0;
+        const double d1 = c1[v] - p1;
+        const double d2 = c2[v] - p2;
+        acc[v] = d0 * d0 + d1 * d1 + d2 * d2;
+      }
+    } else {
+      for (int v = 0; v < bw; ++v) acc[v] = 0.0;
+      bool block_pruned = false;
+      for (int j = 0; j < dim; ++j) {
+        const double* plane = g.coord[j] + k0;
+        const double pj = pt[j];
+        SJ_SIMD_LOOP
+        for (int v = 0; v < bw; ++v) {
+          const double diff = plane[v] - pj;
+          acc[v] += diff * diff;
+        }
+        // Only bother with the per-block prune in higher dimensions,
+        // where the remaining per-lane work it saves outweighs the
+        // min-reduction.
+        if (j + 1 < dim) {
+          double m = acc[0];
+          for (int v = 1; v < bw; ++v) m = std::min(m, acc[v]);
+          if (m > eps2) {
+            block_pruned = true;
+            break;
+          }
+        }
+      }
+      if (block_pruned) continue;
+    }
+    // Branchless compaction: dense blocks match ~half their lanes, so a
+    // data-dependent branch here mispredicts constantly; the unconditional
+    // orig[] load per lane is far cheaper.
+    std::uint32_t match[kSoaScanBlock];
+    int m = 0;
+    for (int v = 0; v < bw; ++v) {
+      match[m] = g.orig[k0 + v];
+      m += acc[v] <= eps2 ? 1 : 0;
+    }
+    if (m > 0) em.emit_block(key, match, m, r.both);
+  }
+}
+
 /// Scan one contiguous candidate range for one query point with blocked
 /// distance evaluation: each block of up to kScanBlock candidates is
 /// evaluated with a branch-free lane loop (vectorisable — no per-
 /// candidate early exit, no gather), and the dimension loop bails out at
 /// BLOCK granularity once every lane's partial sum exceeds eps^2.
+/// Dispatches to the SoA path when the view carries coordinate planes
+/// (cell-major uploads; engines null them out under the soa=0 ablation
+/// knob); the AoS body below is that ablation baseline.
 inline void scan_range(const GridDeviceView& g, LocalWork& w, Emitter& em,
                        std::uint32_t key, const double* pt,
                        const CandidateRange& r, double eps2,
                        gpu::CacheSim* cache) {
+  if (g.coord[0] != nullptr) {
+    scan_range_soa(g, w, em, key, pt, r, eps2, cache);
+    return;
+  }
   constexpr int kScanBlock = 8;
   const int dim = g.dim;
   double acc[kScanBlock];

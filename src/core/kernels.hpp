@@ -36,14 +36,24 @@
 
 namespace sj {
 
-/// Where result pairs go. With `out == nullptr` the kernel only counts
-/// (the estimator mode); otherwise pairs are appended through the atomic
-/// cursor and `overflow` is raised when the buffer capacity is exceeded.
+/// Where results go — one struct covers all four result modes:
+///
+///   pairs      — `out` + `cursor` + `overflow` set: pairs are appended
+///                through the atomic cursor, `overflow` raised when the
+///                buffer capacity is exceeded. (Also the sink mode: the
+///                host streams the filled buffers instead of keeping
+///                them.)
+///   count_only — `cursor` set, `out` null: finds bump the cursor only;
+///                no buffer writes, no overflow possible.
+///   histogram  — `counts` set (per-ORIGINAL-id neighbour counters,
+///                incremented with relaxed atomics): no buffer traffic.
+///   estimator  — everything null: finds land only in LocalWork.results.
 struct ResultBufferView {
   Pair* out = nullptr;
   std::uint64_t capacity = 0;
   gpu::DeviceCounter* cursor = nullptr;
   std::atomic<bool>* overflow = nullptr;
+  std::uint32_t* counts = nullptr;
 };
 
 struct SelfJoinKernelParams {

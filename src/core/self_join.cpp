@@ -30,6 +30,10 @@ GpuSelfJoin::GpuSelfJoin(GpuSelfJoinOptions opt) : opt_(opt) {
 
 SelfJoinResult GpuSelfJoin::run(const Dataset& d, double eps) const {
   if (eps < 0.0) throw std::invalid_argument("GpuSelfJoin: eps must be >= 0");
+  if (opt_.mode == ResultMode::kSink && !opt_.sink) {
+    throw std::invalid_argument(
+        "GpuSelfJoin: result mode 'sink' needs a sink callback");
+  }
   SelfJoinResult result;
   SelfJoinStats& st = result.stats;
   Timer total;
@@ -51,14 +55,27 @@ SelfJoinResult GpuSelfJoin::run(const Dataset& d, double eps) const {
   phase.reset();
   DeviceGrid dev(arena, d, index, opt_.layout);
   st.upload_seconds = phase.seconds();
-  const GridDeviceView& grid = dev.view();
+  GridDeviceView grid = dev.view();
+  if (!opt_.soa) {
+    // AoS ablation: drop the SoA planes from the kernels' view.
+    for (int j = 0; j < grid.dim; ++j) grid.coord[j] = nullptr;
+  }
+
+  // Count-only and histogram runs materialise no pairs, so neither the
+  // result-size estimator nor any pair buffer is needed — the batch count
+  // falls back to min_batches.
+  const bool pairs_path = opt_.mode == ResultMode::kPairs ||
+                          opt_.mode == ResultMode::kSink;
 
   // --- Estimate total result size from a sample (count-only kernel).
-  phase.reset();
-  const EstimateResult est = estimate_result_size(
-      grid, opt_.unicomp, opt_.sample_rate, opt_.block_size);
-  st.estimate_seconds = phase.seconds();
-  st.estimated_total = est.estimated_total;
+  EstimateResult est;
+  if (pairs_path) {
+    phase.reset();
+    est = estimate_result_size(grid, opt_.unicomp, opt_.sample_rate,
+                               opt_.block_size);
+    st.estimate_seconds = phase.seconds();
+    st.estimated_total = est.estimated_total;
+  }
 
   // --- Cell mode: resolve every cell's adjacency ONCE (shared by the
   // batch planner and all kernel launches, including overflow retries).
@@ -71,29 +88,41 @@ SelfJoinResult GpuSelfJoin::run(const Dataset& d, double eps) const {
   // --- Size the per-stream buffers within the device's free memory.
   // Cell-mode batches upload 12-byte work items instead of 4-byte query
   // ids; triple the reservation proxy so the uploads always fit.
-  const std::uint64_t upload_units =
-      grid.cell_major ? d.size() * 3 : d.size();
-  const std::uint64_t buffer_pairs = size_buffer_pairs(
-      arena, upload_units, est.estimated_total, opt_.min_batches,
-      opt_.num_streams, opt_.max_buffer_pairs, opt_.safety);
+  std::uint64_t buffer_pairs = 1;
+  if (pairs_path) {
+    const std::uint64_t upload_units =
+        grid.cell_major ? d.size() * 3 : d.size();
+    buffer_pairs = size_buffer_pairs(
+        arena, upload_units, est.estimated_total, opt_.min_batches,
+        opt_.num_streams, opt_.max_buffer_pairs, opt_.safety);
+  }
+
+  ResultRequest req;
+  req.mode = opt_.mode;
+  req.sink = opt_.sink;
+  req.histogram_keys = d.size();
 
   // --- Batched, stream-pipelined join.
   AtomicWork work;
   phase.reset();
   Batcher batcher(arena, opt_.device, opt_.num_streams, opt_.block_size);
+  PipelineOutput out;
   if (opt_.layout == GridLayout::kCellMajor) {
     // Per-cell work estimates -> weighted contiguous cell batches.
     const CellBatchPlan plan =
         plan_cell_batches(adjacency.weights, est.estimated_total,
                           opt_.min_batches, buffer_pairs, opt_.safety);
-    result.pairs = batcher.run_cells(grid, opt_.unicomp, plan, &adjacency,
-                                     &work, &st.batch);
+    out = batcher.run_cells(req, grid, opt_.unicomp, plan, &adjacency,
+                            &work, &st.batch);
   } else {
     const BatchPlan plan = plan_batches(est.estimated_total, d.size(),
                                         opt_.min_batches, buffer_pairs,
                                         opt_.safety);
-    result.pairs = batcher.run(grid, opt_.unicomp, plan, &work, &st.batch);
+    out = batcher.run(req, grid, opt_.unicomp, plan, &work, &st.batch);
   }
+  result.pairs = std::move(out.pairs);
+  result.total_pairs = out.total_pairs;
+  result.histogram = std::move(out.histogram);
   st.join_seconds = phase.seconds();
 
   work.add_to(st.metrics);

@@ -56,6 +56,17 @@ struct GpuSelfJoinOptions {
   /// Runs one extra serial metrics pass — results are unaffected.
   bool collect_metrics = false;
 
+  /// What to materialise (common/result.hpp). Non-pairs modes skip the
+  /// result-size estimator and all pair-buffer allocation; kSink streams
+  /// sorted batches through `sink`.
+  ResultMode mode = ResultMode::kPairs;
+  PairSink sink;
+
+  /// Scan the SoA coordinate planes (cell-major layout only; the
+  /// vectorised per-dimension loop). false reverts to the AoS blocked
+  /// scan for ablation. Ignored under kLegacy, which has no planes.
+  bool soa = true;
+
   /// Device resource model (defaults to the paper's TITAN X Pascal).
   gpu::DeviceSpec device = gpu::DeviceSpec::titan_x_pascal();
 };
@@ -85,6 +96,9 @@ struct SelfJoinStats {
 
 struct SelfJoinResult {
   ResultSet pairs;  // repo-wide pair convention, see api/backend.hpp
+  /// Exact pair count in every result mode; histogram only in kHistogram.
+  std::uint64_t total_pairs = 0;
+  std::vector<std::uint32_t> histogram;
   SelfJoinStats stats;
 };
 

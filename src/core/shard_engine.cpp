@@ -49,6 +49,12 @@ void validate_shard_options(const ShardedSelfJoinOptions& opt,
                "partition is a contiguous cell range; layout=legacy has no "
                "such structure)");
   }
+  if (opt.mode == ResultMode::kSink) {
+    throw std::invalid_argument(
+        name + ": result mode 'sink' is not supported across shards (the "
+               "shard pipelines run concurrently; use pairs, count, or "
+               "histogram)");
+  }
 }
 
 /// Host-resident cell-major image of the indexed dataset plus a kernel
@@ -57,17 +63,22 @@ void validate_shard_options(const ShardedSelfJoinOptions& opt,
 /// then uploads only its slice of this staging into its own device arena.
 struct HostStage {
   std::vector<double> points;
+  std::vector<double> coords;  ///< SoA planes, coords[j * n + slot]
   GridDeviceView view;
 
   HostStage(const Dataset& d, const GridIndex& index) {
     const int dim = d.dim();
+    const std::size_t slots = index.A().size();
     points.resize(d.raw().size());
-    for (std::size_t k = 0; k < index.A().size(); ++k) {
-      std::memcpy(points.data() + k * static_cast<std::size_t>(dim),
-                  d.pt(index.A()[k]),
+    coords.resize(d.raw().size());
+    for (std::size_t k = 0; k < slots; ++k) {
+      const double* src = d.pt(index.A()[k]);
+      std::memcpy(points.data() + k * static_cast<std::size_t>(dim), src,
                   static_cast<std::size_t>(dim) * sizeof(double));
+      for (int j = 0; j < dim; ++j) coords[j * slots + k] = src[j];
     }
     view.points = points.data();
+    for (int j = 0; j < dim; ++j) view.coord[j] = coords.data() + j * slots;
     view.n = d.size();
     view.dim = dim;
     view.B = index.B().data();
@@ -110,6 +121,18 @@ void upload_slice(const GridDeviceView& hv, const ShardSlice& slice,
   }
 }
 
+/// Transpose a shard's AoS point buffer into its per-dimension SoA planes
+/// (coords[j * n + k] = points[k * dim + j]).
+void fill_planes(const double* points, std::size_t n, int dim,
+                 double* coords) {
+  for (std::size_t k = 0; k < n; ++k) {
+    for (int j = 0; j < dim; ++j) {
+      coords[static_cast<std::size_t>(j) * n + k] =
+          points[k * static_cast<std::size_t>(dim) + j];
+    }
+  }
+}
+
 /// Drive the K shard jobs according to the schedule, collecting the first
 /// exception (a shard failure must not leak threads).
 void run_shards(std::size_t k, ShardSchedule schedule,
@@ -138,33 +161,40 @@ void run_shards(std::size_t k, ShardSchedule schedule,
 }
 
 struct ShardOutput {
-  ResultSet pairs;
+  PipelineOutput out;
   ShardStats stats;
 };
 
-/// Concatenate the per-shard results in shard order (deterministic: each
-/// shard's output is already batch-key ordered) and fold the per-shard
-/// stats into the aggregate + the ShardedRunStats record.
-ResultSet merge_shards(std::vector<ShardOutput>& outs,
-                       std::vector<AtomicWork>& works,
-                       gpu::KernelMetrics& metrics, BatchRunStats& batch,
-                       ShardedRunStats& shard) {
+/// Merge the per-shard results in shard order (deterministic: each
+/// shard's output is already batch-key ordered, and shards are disjoint)
+/// and fold the per-shard stats into the aggregate + the ShardedRunStats
+/// record. Pairs concatenate; counts sum; histograms sum element-wise.
+PipelineOutput merge_shards(std::vector<ShardOutput>& outs,
+                            std::vector<AtomicWork>& works,
+                            gpu::KernelMetrics& metrics, BatchRunStats& batch,
+                            ShardedRunStats& shard) {
+  PipelineOutput merged;
   std::size_t total_pairs = 0;
-  for (const ShardOutput& o : outs) total_pairs += o.pairs.size();
-  ResultSet merged;
+  for (const ShardOutput& o : outs) total_pairs += o.out.pairs.size();
   // One shard's output IS the result — steal it instead of copying. For
   // K > 1, release each shard's storage as it is appended so the peak is
   // total + one shard, not 2x total.
   if (outs.size() == 1) {
-    merged = std::move(outs[0].pairs);
+    merged.pairs = std::move(outs[0].out.pairs);
   } else {
-    merged.pairs().reserve(total_pairs);
+    merged.pairs.pairs().reserve(total_pairs);
   }
   double max_busy = 0.0;
   for (std::size_t s = 0; s < outs.size(); ++s) {
     if (outs.size() > 1) {
-      merged.append(outs[s].pairs);
-      outs[s].pairs = ResultSet{};
+      merged.pairs.append(outs[s].out.pairs);
+      outs[s].out.pairs = ResultSet{};
+    }
+    merged.total_pairs += outs[s].out.total_pairs;
+    const std::vector<std::uint32_t>& h = outs[s].out.histogram;
+    if (!h.empty()) {
+      if (merged.histogram.empty()) merged.histogram.assign(h.size(), 0);
+      for (std::size_t i = 0; i < h.size(); ++i) merged.histogram[i] += h[i];
     }
     works[s].add_to(metrics);
     const BatchRunStats& b = outs[s].stats.batch;
@@ -214,7 +244,11 @@ ShardedSelfJoinResult ShardedGpuSelfJoin::run(const Dataset& d,
   phase.reset();
   const HostStage stage(d, index);
   st.upload_seconds = phase.seconds();
-  const GridDeviceView& hv = stage.view;
+  GridDeviceView hv = stage.view;
+  if (!opt_.soa) {
+    for (int j = 0; j < hv.dim; ++j) hv.coord[j] = nullptr;
+  }
+  const bool pairs_path = opt_.mode == ResultMode::kPairs;
 
   // Shard boundaries from the cheap population-window proxy: the exact
   // adjacency weights would cost a global enumeration — the very pass
@@ -249,10 +283,15 @@ ShardedSelfJoinResult ShardedGpuSelfJoin::run(const Dataset& d,
     planning.cells_nonempty = adj.cells_nonempty;
     works[s].flush(planning);
 
-    const EstimateResult est = estimate_query_span(
-        hv, opt_.unicomp, opt_.sample_rate, opt_.block_size,
-        /*order=*/nullptr, slice.owned_begin, slice.owned_points());
-    ests[s] = est;
+    // Only the pair-materialising mode sizes buffers, so only it pays for
+    // the per-shard result-size estimate.
+    EstimateResult est;
+    if (pairs_path) {
+      est = estimate_query_span(
+          hv, opt_.unicomp, opt_.sample_rate, opt_.block_size,
+          /*order=*/nullptr, slice.owned_begin, slice.owned_points());
+      ests[s] = est;
+    }
 
     gpu::GlobalMemoryArena arena(opt_.device);
     const std::uint32_t nlocal = slice.local_points();
@@ -260,6 +299,12 @@ ShardedSelfJoinResult ShardedGpuSelfJoin::run(const Dataset& d,
         arena, static_cast<std::size_t>(nlocal) * hv.dim);
     gpu::DeviceBuffer<std::uint32_t> orig(arena, nlocal);
     upload_slice(hv, slice, points.data(), orig.data());
+    gpu::DeviceBuffer<double> coords;
+    if (opt_.soa) {
+      coords = gpu::DeviceBuffer<double>(
+          arena, static_cast<std::size_t>(nlocal) * hv.dim);
+      fill_planes(points.data(), nlocal, hv.dim, coords.data());
+    }
 
     gpu::DeviceBuffer<GridIndex::CellRange> cells(arena, c1 - c0);
     for (std::uint32_t j = 0; j < c1 - c0; ++j) {
@@ -287,31 +332,45 @@ ShardedSelfJoinResult ShardedGpuSelfJoin::run(const Dataset& d,
     grid.cell_major = true;
     grid.width = hv.width;
     grid.eps = hv.eps;
+    if (opt_.soa) {
+      for (int j = 0; j < hv.dim; ++j) {
+        grid.coord[j] = coords.data() + static_cast<std::size_t>(j) * nlocal;
+      }
+    }
 
     // The shard sized its own estimate, so no share apportioning: the
     // sampled slots are exactly the ones this device will run.
     const std::uint64_t est_k = est.estimated_total;
-    const std::uint64_t buffer_pairs = size_buffer_pairs(
-        arena, static_cast<std::uint64_t>(nlocal) * 3, est_k,
-        opt_.min_batches, opt_.num_streams, opt_.max_buffer_pairs,
-        opt_.safety);
+    const std::uint64_t buffer_pairs =
+        pairs_path ? size_buffer_pairs(
+                         arena, static_cast<std::uint64_t>(nlocal) * 3, est_k,
+                         opt_.min_batches, opt_.num_streams,
+                         opt_.max_buffer_pairs, opt_.safety)
+                   : 1;
     const CellBatchPlan plan = plan_cell_batches(
         local.weights, est_k, opt_.min_batches, buffer_pairs, opt_.safety);
+
+    ResultRequest req;
+    req.mode = opt_.mode;
+    // Histogram keys are ORIGINAL point ids (the kernels emit through
+    // orig[]), so every shard carries a full-length histogram and the
+    // disjoint shard results sum element-wise in merge_shards.
+    req.histogram_keys = d.size();
 
     PipelineConfig config;
     config.streams = opt_.num_streams;
     config.assembly_threads = opt_.assembly_threads;
     config.block_size = opt_.block_size;
     BatchPipeline pipeline(arena, opt_.device, config);
-    outs[s].pairs = pipeline.run_cells(grid, opt_.unicomp, plan, &local,
-                                       &works[s], &outs[s].stats.batch);
+    outs[s].out = pipeline.run_cells(req, grid, opt_.unicomp, plan, &local,
+                                     &works[s], &outs[s].stats.batch);
 
     ShardStats& ss = outs[s].stats;
     ss.units = c1 - c0;
     ss.weight = slice.weight;
     ss.owned_points = slice.owned_points();
     ss.halo_points = slice.halo_points();
-    ss.pairs = outs[s].pairs.size();
+    ss.pairs = outs[s].out.total_pairs;
     ss.seconds = shard_t.seconds();
   });
   st.join_seconds = phase.seconds();
@@ -320,8 +379,14 @@ ShardedSelfJoinResult ShardedGpuSelfJoin::run(const Dataset& d,
     st.estimated_total += e.estimated_total;
   }
 
-  result.pairs = merge_shards(outs, works, st.metrics, st.batch,
-                              result.shard);
+  PipelineOutput merged = merge_shards(outs, works, st.metrics, st.batch,
+                                       result.shard);
+  result.pairs = std::move(merged.pairs);
+  result.total_pairs = merged.total_pairs;
+  result.histogram = std::move(merged.histogram);
+  if (opt_.mode == ResultMode::kHistogram && result.histogram.empty()) {
+    result.histogram.assign(d.size(), 0);
+  }
   st.metrics.kernel_seconds = st.batch.kernel_seconds;
 
   collect_gpu_stats(hv, opt_, st);
@@ -344,6 +409,9 @@ ShardedJoinResult sharded_join(const Dataset& queries, const Dataset& data,
   GridIndex index(data, eps);
   st.index_build_seconds = phase.seconds();
   if (queries.empty() || data.empty()) {
+    if (opt.mode == ResultMode::kHistogram) {
+      result.histogram.assign(queries.size(), 0);
+    }
     st.total_seconds = total.seconds();
     return result;
   }
@@ -352,6 +420,10 @@ ShardedJoinResult sharded_join(const Dataset& queries, const Dataset& data,
   GridDeviceView hv = stage.view;
   hv.qpoints = queries.raw().data();
   hv.qn = queries.size();
+  if (!opt.soa) {
+    for (int j = 0; j < hv.dim; ++j) hv.coord[j] = nullptr;
+  }
+  const bool pairs_path = opt.mode == ResultMode::kPairs;
 
   const JoinAdjacencyHost adj = build_join_adjacency_host(hv);
   st.query_groups = adj.num_groups();
@@ -382,6 +454,12 @@ ShardedJoinResult sharded_join(const Dataset& queries, const Dataset& data,
         arena, static_cast<std::size_t>(nlocal) * hv.dim);
     gpu::DeviceBuffer<std::uint32_t> orig(arena, nlocal);
     upload_slice(hv, slice, points.data(), orig.data());
+    gpu::DeviceBuffer<double> coords;
+    if (opt.soa) {
+      coords = gpu::DeviceBuffer<double>(
+          arena, static_cast<std::size_t>(nlocal) * hv.dim);
+      fill_planes(points.data(), nlocal, hv.dim, coords.data());
+    }
 
     // The query set is broadcast whole: the kernel reads queries by their
     // GLOBAL index (which is also the emitted pair key), so the shard's
@@ -419,6 +497,11 @@ ShardedJoinResult sharded_join(const Dataset& queries, const Dataset& data,
     grid.qn = queries.size();
     grid.width = hv.width;
     grid.eps = hv.eps;
+    if (opt.soa) {
+      for (int j = 0; j < hv.dim; ++j) {
+        grid.coord[j] = coords.data() + static_cast<std::size_t>(j) * nlocal;
+      }
+    }
 
     ShardStats& ss = outs[s].stats;
     ss.units = g1 - g0;
@@ -427,34 +510,51 @@ ShardedJoinResult sharded_join(const Dataset& queries, const Dataset& data,
     ss.halo_points = nlocal;       // data slots replicated to this shard
     if (nlocal > 0) {
       // Per-device estimate over this shard's own queries (the sorted
-      // group order), exactly like the self-join's owned-slot sampling.
-      const EstimateResult est = estimate_query_span(
-          hv, /*unicomp=*/false, opt.sample_rate, opt.block_size,
-          adj.query_order.data(), q0, q1 - q0);
-      ests[s] = est;
+      // group order), exactly like the self-join's owned-slot sampling;
+      // skipped in the non-materialising modes, which size no buffers.
+      EstimateResult est;
+      if (pairs_path) {
+        est = estimate_query_span(
+            hv, /*unicomp=*/false, opt.sample_rate, opt.block_size,
+            adj.query_order.data(), q0, q1 - q0);
+        ests[s] = est;
+      }
       const std::uint64_t est_k = est.estimated_total;
-      const std::uint64_t buffer_pairs = size_buffer_pairs(
-          arena, static_cast<std::uint64_t>(q1 - q0) * 3, est_k,
-          opt.min_batches, opt.num_streams, opt.max_buffer_pairs,
-          opt.safety);
+      const std::uint64_t buffer_pairs =
+          pairs_path ? size_buffer_pairs(
+                           arena, static_cast<std::uint64_t>(q1 - q0) * 3,
+                           est_k, opt.min_batches, opt.num_streams,
+                           opt.max_buffer_pairs, opt.safety)
+                     : 1;
       const CellBatchPlan plan = plan_cell_batches(
           local.weights, est_k, opt.min_batches, buffer_pairs, opt.safety);
+
+      ResultRequest req;
+      req.mode = opt.mode;
+      req.histogram_keys = queries.size();
 
       PipelineConfig config;
       config.streams = opt.num_streams;
       config.assembly_threads = opt.assembly_threads;
       config.block_size = opt.block_size;
       BatchPipeline pipeline(arena, opt.device, config);
-      outs[s].pairs = pipeline.run_join_groups(grid, plan, local, &works[s],
-                                               &outs[s].stats.batch);
+      outs[s].out = pipeline.run_join_groups(req, grid, plan, local,
+                                             &works[s],
+                                             &outs[s].stats.batch);
     }
-    ss.pairs = outs[s].pairs.size();
+    ss.pairs = outs[s].out.total_pairs;
     ss.seconds = shard_t.seconds();
   });
   for (const EstimateResult& e : ests) st.estimated_total += e.estimated_total;
 
-  result.pairs = merge_shards(outs, works, st.metrics, st.batch,
-                              result.shard);
+  PipelineOutput merged = merge_shards(outs, works, st.metrics, st.batch,
+                                       result.shard);
+  result.pairs = std::move(merged.pairs);
+  result.total_pairs = merged.total_pairs;
+  result.histogram = std::move(merged.histogram);
+  if (opt.mode == ResultMode::kHistogram && result.histogram.empty()) {
+    result.histogram.assign(queries.size(), 0);
+  }
   st.metrics.cells_examined += adj.cells_examined;
   st.metrics.cells_nonempty += adj.cells_nonempty;
   st.metrics.kernel_seconds = st.batch.kernel_seconds;

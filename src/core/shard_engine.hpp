@@ -82,6 +82,13 @@ struct ShardedRunStats {
 
 struct ShardedSelfJoinResult {
   ResultSet pairs;
+  /// Exact pair count in every result mode; per-point histogram (original
+  /// ids — shards are disjoint, so the per-shard histograms sum) only in
+  /// kHistogram. Mode kSink is NOT supported by the sharded engines: the
+  /// shard pipelines run concurrently, so streaming batches in the global
+  /// deterministic order would serialise the devices.
+  std::uint64_t total_pairs = 0;
+  std::vector<std::uint32_t> histogram;
   SelfJoinStats stats;  ///< aggregate, same shape as the other engines
   ShardedRunStats shard;
 };
@@ -102,6 +109,9 @@ class ShardedGpuSelfJoin {
 struct ShardedJoinResult {
   /// Pairs are (query index, data index), as in gpu_join.
   ResultSet pairs;
+  /// As in ShardedSelfJoinResult; histogram keys are query indices.
+  std::uint64_t total_pairs = 0;
+  std::vector<std::uint32_t> histogram;
   GpuJoinStats stats;
   ShardedRunStats shard;
 };

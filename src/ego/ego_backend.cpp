@@ -25,6 +25,7 @@ class EgoBackend final : public api::SelfJoinBackend {
   api::JoinOutcome run(const Dataset& d, double eps,
                        const api::RunConfig& config) const override {
     config.check_keys(name(), "use_float,reorder_dims,simple_threshold");
+    api::check_result_mode(name(), config, /*supports_sink=*/true);
     ego::Options opt;
     opt.threads = config.threads < 0 ? 0 : config.threads;
     opt.use_float = config.flag("use_float", opt.use_float);
@@ -35,7 +36,9 @@ class EgoBackend final : public api::SelfJoinBackend {
     auto r = ego::self_join(d, eps, opt);
 
     api::JoinOutcome out;
-    out.pairs = std::move(r.pairs);
+    // Super-EGO materialises its pairs either way; non-pairs modes are a
+    // reduction over them (finalize_outcome), not a cheaper join.
+    api::finalize_outcome(out, std::move(r.pairs), config, d.size());
     const ego::EgoStats& s = r.stats;
     // Paper convention: "the total time to ego-sort and join".
     out.stats.seconds = s.total_seconds();

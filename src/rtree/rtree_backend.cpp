@@ -34,15 +34,19 @@ class RtreeBackend final : public api::Backend {
 
   api::JoinOutcome run(const Dataset& d, double eps,
                        const api::RunConfig& config) const override {
+    api::check_result_mode(name(), config, /*supports_sink=*/true);
     return adapt(rtree::self_join(d, eps, parse_mode(config),
-                                  parse_options(config)));
+                                  parse_options(config)),
+                 config, d.size());
   }
 
   api::JoinOutcome join(const Dataset& queries, const Dataset& data,
                         double eps,
                         const api::RunConfig& config) const override {
+    api::check_result_mode(name(), config, /*supports_sink=*/true);
     return adapt(rtree::join(queries, data, eps, parse_mode(config),
-                             parse_options(config)));
+                             parse_options(config)),
+                 config, queries.size());
   }
 
  private:
@@ -63,9 +67,13 @@ class RtreeBackend final : public api::Backend {
     return opt;
   }
 
-  static api::JoinOutcome adapt(rtree::RTreeSelfJoinResult r) {
+  static api::JoinOutcome adapt(rtree::RTreeSelfJoinResult r,
+                                const api::RunConfig& config,
+                                std::size_t n_keys) {
     api::JoinOutcome out;
-    out.pairs = std::move(r.pairs);
+    // The tree walk materialises every pair either way; the modes are a
+    // reduction over them (finalize_outcome).
+    api::finalize_outcome(out, std::move(r.pairs), config, n_keys);
     const rtree::RTreeSelfJoinStats& s = r.stats;
     // Paper convention: construction is excluded from the reported time.
     out.stats.seconds = s.query_seconds;

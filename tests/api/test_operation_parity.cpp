@@ -15,8 +15,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <numeric>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "api/registry.hpp"
 #include "bruteforce/brute_force.hpp"
@@ -360,6 +363,192 @@ TEST_P(ShardCountParity, JoinIsByteIdenticalToGpu) {
 
 INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardCountParity,
                          ::testing::Values(1, 2, 3, 7));
+
+// --------------------------------------------------- result-mode parity
+// Every backend honors pairs/count/histogram; sink is additionally gated
+// (gpu_shard's shard pipelines run concurrently and cannot stream batches
+// in the global deterministic order). This battery pins the cross-mode
+// invariants on EVERY registered backend: total_pairs is the exact pair
+// count in every mode, the histogram equals counts_per_key of the
+// pairs-mode result, and the sink-batch concatenation is byte-identical
+// to the pairs-mode output.
+
+class ResultModeParity : public ::testing::TestWithParam<std::string> {
+ protected:
+  const api::Backend& backend() const {
+    return api::BackendRegistry::instance().at(GetParam());
+  }
+
+  // The one backend that cannot stream; asserted (not assumed) by
+  // SinkGating below so the design decision stays pinned.
+  bool expect_sink_support() const { return GetParam() != "gpu_shard"; }
+
+  static Dataset test_data() {
+    return datagen::gaussian_mixture(900, 2, 5, 2.0, 0.0, 25.0, 701);
+  }
+  static constexpr double kEps = 1.1;
+
+  static api::RunConfig mode_config(ResultMode mode) {
+    api::RunConfig config;
+    config.mode = mode;
+    return config;
+  }
+};
+
+TEST_P(ResultModeParity, CountOnlyMatchesPairsTotal) {
+  const auto d = test_data();
+  const auto full = backend().run(d, kEps);
+  ASSERT_GT(full.pairs.size(), d.size()) << GetParam();
+  EXPECT_EQ(full.total_pairs, full.pairs.size()) << GetParam();
+
+  const auto counted =
+      backend().run(d, kEps, mode_config(ResultMode::kCountOnly));
+  EXPECT_EQ(counted.total_pairs, full.pairs.size()) << GetParam();
+  // Non-pairs modes leave the untouched buffers empty.
+  EXPECT_TRUE(counted.pairs.empty()) << GetParam();
+  EXPECT_TRUE(counted.histogram.empty()) << GetParam();
+}
+
+TEST_P(ResultModeParity, HistogramMatchesCountsPerKey) {
+  const auto d = test_data();
+  auto full = backend().run(d, kEps);
+  full.pairs.normalize();
+  const auto want = full.pairs.counts_per_key(d.size());
+
+  const auto got =
+      backend().run(d, kEps, mode_config(ResultMode::kHistogram));
+  ASSERT_EQ(got.histogram.size(), d.size()) << GetParam();
+  EXPECT_TRUE(got.pairs.empty()) << GetParam();
+  EXPECT_EQ(got.total_pairs, full.pairs.size()) << GetParam();
+  EXPECT_EQ(got.histogram, want) << GetParam();
+  // Degrees include the self pair, so every counter is >= 1 and the
+  // histogram sums back to the exact pair count.
+  const auto sum = std::accumulate(got.histogram.begin(), got.histogram.end(),
+                                   std::uint64_t{0});
+  EXPECT_EQ(sum, got.total_pairs) << GetParam();
+  for (std::uint32_t c : got.histogram) ASSERT_GE(c, 1u) << GetParam();
+}
+
+TEST_P(ResultModeParity, SinkConcatenationIsByteIdenticalToPairs) {
+  if (!expect_sink_support()) GTEST_SKIP() << "no sink on " << GetParam();
+  const auto d = test_data();
+  const auto full = backend().run(d, kEps);
+
+  std::vector<Pair> streamed;
+  api::RunConfig config = mode_config(ResultMode::kSink);
+  config.sink = [&](const Pair* pairs, std::size_t count) {
+    streamed.insert(streamed.end(), pairs, pairs + count);
+  };
+  const auto sunk = backend().run(d, kEps, config);
+  EXPECT_TRUE(sunk.pairs.empty()) << GetParam();
+  EXPECT_EQ(sunk.total_pairs, full.pairs.size()) << GetParam();
+  // Not just the same set: the same bytes in the same order.
+  EXPECT_TRUE(streamed == full.pairs.pairs()) << GetParam();
+}
+
+TEST_P(ResultModeParity, SinkGating) {
+  api::RunConfig config = mode_config(ResultMode::kSink);
+  config.sink = [](const Pair*, std::size_t) {};
+  const auto d = datagen::uniform(80, 2, 0.0, 10.0, 702);
+  if (expect_sink_support()) {
+    EXPECT_NO_THROW(backend().run(d, 1.0, config)) << GetParam();
+  } else {
+    try {
+      backend().run(d, 1.0, config);
+      FAIL() << GetParam() << ": expected sink rejection";
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find(GetParam()), std::string::npos) << msg;
+      EXPECT_NE(msg.find("sink"), std::string::npos) << msg;
+      EXPECT_EQ(msg.find('\n'), std::string::npos) << "not one line: " << msg;
+    }
+  }
+  // Sink mode without a callback is rejected everywhere.
+  config.sink = nullptr;
+  EXPECT_THROW(backend().run(d, 1.0, config), std::invalid_argument)
+      << GetParam();
+}
+
+TEST_P(ResultModeParity, EmptyDatasetAllModes) {
+  const Dataset empty(2);
+  for (ResultMode mode : {ResultMode::kPairs, ResultMode::kCountOnly,
+                          ResultMode::kHistogram}) {
+    const auto out = backend().run(empty, 1.0, mode_config(mode));
+    EXPECT_EQ(out.total_pairs, 0u)
+        << GetParam() << " mode=" << result_mode_name(mode);
+    EXPECT_TRUE(out.pairs.empty()) << GetParam();
+    EXPECT_TRUE(out.histogram.empty()) << GetParam();
+  }
+}
+
+TEST_P(ResultModeParity, JoinModesUseQueryKeys) {
+  if (!backend().capabilities().supports_join) {
+    GTEST_SKIP() << GetParam() << " has no join facet";
+  }
+  const auto q = datagen::uniform(250, 2, 0.0, 12.0, 703);
+  const auto d = datagen::uniform(400, 2, 0.0, 12.0, 704);
+  auto full = backend().join(q, d, 0.9);
+  ASSERT_GT(full.pairs.size(), 0u) << GetParam();
+
+  const auto counted =
+      backend().join(q, d, 0.9, mode_config(ResultMode::kCountOnly));
+  EXPECT_EQ(counted.total_pairs, full.pairs.size()) << GetParam();
+
+  // Histogram keys are QUERY indices: one counter per query point.
+  const auto hist =
+      backend().join(q, d, 0.9, mode_config(ResultMode::kHistogram));
+  ASSERT_EQ(hist.histogram.size(), q.size()) << GetParam();
+  full.pairs.normalize();
+  EXPECT_EQ(hist.histogram, full.pairs.counts_per_key(q.size()))
+      << GetParam();
+  EXPECT_EQ(hist.total_pairs, full.pairs.size()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, ResultModeParity,
+    ::testing::ValuesIn(api::BackendRegistry::instance().names()),
+    [](const auto& info) { return info.param; });
+
+// Overflow stress: a 4096-pair device buffer (far below the result size,
+// but still above any single cell's output, which cannot be split) forces
+// the pipeline through many overflow splits — exactly where the sink
+// watermark logic (deferred flushing until every earlier batch landed)
+// earns its keep. Two sink runs must produce identical byte streams, both
+// equal to the pairs-mode output under the same starved buffer.
+TEST(ResultModeOverflow, SinkStaysDeterministicUnderBufferStarvation) {
+  const auto d = datagen::gaussian_mixture(600, 2, 4, 1.5, 0.0, 20.0, 711);
+  for (const std::string name : {"gpu", "gpu_unicomp", "gpu_async"}) {
+    const auto& backend = api::BackendRegistry::instance().at(name);
+    api::RunConfig config;
+    config.extra["max_buffer_pairs"] = "4096";
+    const auto full = backend.run(d, 1.2, config);
+    ASSERT_GT(full.pairs.size(), 8000u) << name;
+
+    std::size_t batches = 0;
+    std::vector<Pair> first, second;
+    config.mode = ResultMode::kSink;
+    std::vector<Pair>* dest = &first;
+    config.sink = [&](const Pair* pairs, std::size_t count) {
+      ++batches;
+      dest->insert(dest->end(), pairs, pairs + count);
+    };
+    const auto s1 = backend.run(d, 1.2, config);
+    EXPECT_GT(batches, 1u) << name << ": starved buffer did not split";
+    dest = &second;
+    const auto s2 = backend.run(d, 1.2, config);
+
+    EXPECT_EQ(s1.total_pairs, full.pairs.size()) << name;
+    EXPECT_EQ(s2.total_pairs, full.pairs.size()) << name;
+    EXPECT_TRUE(first == full.pairs.pairs()) << name;
+    EXPECT_TRUE(first == second) << name << ": sink stream not reproducible";
+
+    // The starved buffer must not change the count-only path either.
+    config.mode = ResultMode::kCountOnly;
+    config.sink = nullptr;
+    EXPECT_EQ(backend.run(d, 1.2, config).total_pairs, full.pairs.size())
+        << name;
+  }
+}
 
 // ---------------------------------------------------- capability gating
 

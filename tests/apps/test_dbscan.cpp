@@ -183,6 +183,43 @@ TEST(Dbscan, StatsPopulated) {
   EXPECT_EQ(r.labels.size(), d.size());
 }
 
+TEST(Dbscan, StreamsWithBoundedPairResidency) {
+  // The point of the sink-mode clustering pass: peak host-side pair
+  // residency is one pipeline buffer, not the full O(|result|) table.
+  // Starve the device buffer to 4096 pairs and check the largest batch
+  // the reducer ever held respects that cap while the clustering still
+  // matches the reference.
+  const auto d = datagen::gaussian_mixture(1500, 2, 5, 1.2, 0.0, 60.0, 87);
+  DbscanOptions opt;
+  opt.eps = 1.4;
+  opt.min_pts = 6;
+  opt.join_config.extra["max_buffer_pairs"] = "4096";
+  const auto r = dbscan(d, opt);
+  ASSERT_GT(r.total_pairs, 4096u) << "dataset too sparse to exercise splits";
+  EXPECT_GT(r.peak_batch_pairs, 0u);
+  EXPECT_LE(r.peak_batch_pairs, 4096u)
+      << "sink pass held more than one starved pipeline buffer";
+  const auto want = reference_dbscan(d, opt.eps, opt.min_pts);
+  expect_equivalent_clustering(d, opt.eps, opt.min_pts, r.labels, want);
+}
+
+TEST(Dbscan, ShardBackendFallsBackToMaterialisedPass) {
+  // gpu_shard rejects sink mode (concurrent shard pipelines); DBSCAN must
+  // transparently fall back to one materialised pass — same clustering,
+  // with peak residency honestly reporting the full result size.
+  const auto d = datagen::gaussian_mixture(1000, 2, 4, 1.0, 0.0, 50.0, 89);
+  DbscanOptions opt;
+  opt.eps = 1.2;
+  opt.min_pts = 5;
+  opt.algo = "gpu_shard";
+  opt.join_config.extra["shards"] = "3";
+  const auto r = dbscan(d, opt);
+  EXPECT_EQ(r.peak_batch_pairs, r.total_pairs)
+      << "materialised fallback should see the whole result at once";
+  const auto want = reference_dbscan(d, opt.eps, opt.min_pts);
+  expect_equivalent_clustering(d, opt.eps, opt.min_pts, r.labels, want);
+}
+
 TEST(Dbscan, MinPtsOneMakesEveryPointCore) {
   const auto d = datagen::uniform(300, 2, 0.0, 100.0, 85);
   DbscanOptions opt;

@@ -19,6 +19,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <stdexcept>
 #include <string>
 
 #include "api/registry.hpp"
@@ -38,10 +39,11 @@ using sj::Dataset;
       "  sjtool gen      --dataset NAME [--scale S] --out FILE\n"
       "  sjtool info     --in FILE\n"
       "  sjtool selfjoin --in FILE --eps E [--algo A] [--threads N]\n"
-      "                  [--opt k=v[,k=v...]] [--stats 1] [--pairs-out F]\n"
-      "                  [--counts-out F]\n"
+      "                  [--opt k=v[,k=v...]] [--mode pairs|count|histogram]\n"
+      "                  [--stats 1] [--pairs-out F] [--counts-out F]\n"
       "  sjtool join     --in QUERIES --data DATA --eps E [--algo A]\n"
-      "                  [--threads N] [--opt ...] [--stats 1]\n"
+      "                  [--threads N] [--opt ...]\n"
+      "                  [--mode pairs|count|histogram] [--stats 1]\n"
       "                  [--pairs-out F]\n"
       "  sjtool knn      --in FILE --k K [--data DATA] [--algo A]\n"
       "                  [--threads N] [--opt ...] [--stats 1] [--out F]\n"
@@ -173,7 +175,10 @@ const sj::api::Backend* resolve_algo(
   return backend;
 }
 
-/// The --threads/--opt/--stats plumbing shared by selfjoin, join and knn.
+/// The --threads/--opt/--mode/--stats plumbing shared by selfjoin, join
+/// and knn. --mode is strict: an unknown value fails with the error from
+/// parse_result_mode listing the known modes, and 'sink' — valid in the
+/// API, where a callback can be supplied — is rejected here.
 sj::api::RunConfig make_config(const std::map<std::string, std::string>& flags,
                                const sj::api::Backend& backend,
                                bool& show_stats) {
@@ -182,9 +187,24 @@ sj::api::RunConfig make_config(const std::map<std::string, std::string>& flags,
     config.threads = sj::parse::integer("--threads", flags.at("threads"));
   }
   if (flags.count("opt")) parse_opts(flags.at("opt"), config);
+  if (flags.count("mode")) {
+    config.mode = sj::parse_result_mode(flags.at("mode"));
+    if (config.mode == sj::ResultMode::kSink) {
+      throw std::invalid_argument(
+          "--mode sink needs an in-process callback; sjtool modes: pairs, "
+          "count, histogram");
+    }
+  }
   show_stats = flags.count("stats") && flags.at("stats") != "0";
   config.collect_metrics = show_stats && backend.capabilities().gpu;
   return config;
+}
+
+/// Pair throughput line for --stats: exact count in every result mode.
+void print_pair_rate(std::uint64_t total_pairs, double seconds) {
+  if (seconds <= 0.0) return;
+  std::cout << "pairs/sec: " << static_cast<double>(total_pairs) / seconds
+            << "\n";
 }
 
 /// The per-device balance table for --algo gpu_shard: one row per shard
@@ -226,6 +246,18 @@ void print_shard_balance(const sj::api::BackendStats& stats) {
             << stats.native_value("busy_sum_seconds") << " s)\n";
 }
 
+// Validated before the join runs so a bad flag combination fails fast
+// instead of after the (possibly long) computation.
+void check_pairs_out_mode(const std::map<std::string, std::string>& flags,
+                          const sj::api::RunConfig& config) {
+  if (flags.count("pairs-out") && config.mode != sj::ResultMode::kPairs) {
+    throw std::invalid_argument(
+        "--pairs-out needs --mode pairs (no pair set is materialised in "
+        "mode '" +
+        std::string(sj::result_mode_name(config.mode)) + "')");
+  }
+}
+
 void print_native_stats(const sj::api::Backend& backend,
                         const sj::api::BackendStats& stats) {
   const bool shard_table = stats.native.count("shards") != 0;
@@ -248,6 +280,7 @@ int cmd_selfjoin(const std::map<std::string, std::string>& flags) {
 
   bool show_stats = false;
   sj::api::RunConfig config = make_config(flags, *backend, show_stats);
+  check_pairs_out_mode(flags, config);
 
   auto outcome = backend->run(d, eps, config);
   sj::ResultSet pairs = std::move(outcome.pairs);
@@ -260,16 +293,30 @@ int cmd_selfjoin(const std::map<std::string, std::string>& flags) {
   std::cout << "\n";
   if (show_stats) print_native_stats(*backend, outcome.stats);
 
-  std::cout << "pairs:   " << pairs.size() << " (incl. self pairs)\n"
-            << "avg nbr: " << pairs.avg_neighbors(d.size()) << "\n"
+  // total_pairs is exact in every mode; the pair set exists only under
+  // --mode pairs.
+  const double n = static_cast<double>(d.size());
+  std::cout << "pairs:   " << outcome.total_pairs << " (incl. self pairs)\n"
+            << "avg nbr: "
+            << (d.empty() ? 0.0
+                          : static_cast<double>(outcome.total_pairs) / n)
+            << "\n"
             << "time:    " << seconds << " s  [" << algo << "]\n";
+  if (show_stats) print_pair_rate(outcome.total_pairs, seconds);
   if (flags.count("pairs-out")) {
     pairs.normalize();
     write_pairs_csv(pairs, flags.at("pairs-out"));
     std::cout << "pairs written to " << flags.at("pairs-out") << "\n";
   }
   if (flags.count("counts-out")) {
-    const auto counts = pairs.counts_per_key(d.size());
+    if (config.mode == sj::ResultMode::kCountOnly) {
+      throw std::invalid_argument(
+          "--counts-out needs per-point counts; use --mode histogram (or "
+          "pairs)");
+    }
+    const auto counts = config.mode == sj::ResultMode::kHistogram
+                            ? outcome.histogram
+                            : pairs.counts_per_key(d.size());
     sj::csv::Table t({"point", "neighbors"});
     for (std::size_t i = 0; i < counts.size(); ++i) {
       t.add_row({std::to_string(i), std::to_string(counts[i])});
@@ -289,15 +336,19 @@ int cmd_join(const std::map<std::string, std::string>& flags) {
 
   bool show_stats = false;
   const sj::api::RunConfig config = make_config(flags, *backend, show_stats);
+  check_pairs_out_mode(flags, config);
   // Throws the one-line capability error when the backend lacks join.
   auto outcome = backend->join(a, b, eps, config);
 
-  std::cout << "pairs: " << outcome.pairs.size()
+  std::cout << "pairs: " << outcome.total_pairs
             << "  (query, data index pairs)\n"
             << "distance calcs: " << outcome.stats.distance_calcs << "\n"
             << "time:  " << outcome.stats.seconds << " s  ["
             << backend->name() << "]\n";
-  if (show_stats) print_native_stats(*backend, outcome.stats);
+  if (show_stats) {
+    print_native_stats(*backend, outcome.stats);
+    print_pair_rate(outcome.total_pairs, outcome.stats.seconds);
+  }
   if (flags.count("pairs-out")) {
     outcome.pairs.normalize();
     write_pairs_csv(outcome.pairs, flags.at("pairs-out"));
