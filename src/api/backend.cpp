@@ -4,10 +4,12 @@
 // sjtool surfaces when --algo picks an engine without the capability.
 #include "api/backend.hpp"
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 
 #include "api/registry.hpp"
+#include "common/contracts.hpp"
 
 namespace sj::api {
 
@@ -76,15 +78,34 @@ void check_result_mode(std::string_view backend, const RunConfig& config,
 void finalize_outcome(JoinOutcome& out, ResultSet pairs,
                       const RunConfig& config, std::size_t n_keys) {
   out.total_pairs = pairs.size();
+  if (contracts::active()) {
+    // Cross-check the materialised pairs against the per-mode totals:
+    // every key must index the histogram plane, so count/histogram
+    // outputs derived from this set cannot drift from the pair count.
+    contracts::ScopedTimer timer;
+    for (const Pair& p : pairs.pairs()) {
+      SJ_CHECK(p.key < n_keys,
+               "finalize_outcome: pair key must index the key space");
+    }
+  }
   switch (config.mode) {
     case ResultMode::kPairs:
       out.pairs = std::move(pairs);
       break;
     case ResultMode::kCountOnly:
       break;
-    case ResultMode::kHistogram:
+    case ResultMode::kHistogram: {
       out.histogram = pairs.counts_per_key(n_keys);
+      if (contracts::active()) {
+        contracts::ScopedTimer timer;
+        std::uint64_t total = 0;
+        for (const std::uint32_t c : out.histogram) total += c;
+        SJ_CHECK(total == pairs.size(),
+                 "finalize_outcome: histogram total must equal the pair "
+                 "count");
+      }
       break;
+    }
     case ResultMode::kSink:
       if (!pairs.empty()) {
         config.sink(pairs.pairs().data(), pairs.size());

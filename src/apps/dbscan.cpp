@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "api/registry.hpp"
+#include "common/contracts.hpp"
 #include "common/timer.hpp"
 
 namespace sj::apps {
@@ -61,6 +62,8 @@ DbscanResult dbscan(const Dataset& d, const DbscanOptions& opt) {
   api::RunConfig config = opt.join_config;
   config.mode = ResultMode::kHistogram;
   const auto hist = backend.run(d, opt.eps, config);
+  SJ_EXPECT(hist.histogram.size() == n,
+            "dbscan: pass-1 histogram must cover every point");
   result.join_seconds = join_timer.seconds();
   result.total_pairs = hist.total_pairs;
 
@@ -87,6 +90,7 @@ DbscanResult dbscan(const Dataset& d, const DbscanOptions& opt) {
     for (std::size_t i = 0; i < count; ++i) {
       const std::uint32_t a = pairs[i].key;
       const std::uint32_t b = pairs[i].value;
+      SJ_INVARIANT(a < n && b < n, "dbscan: pair ids must index the dataset");
       if (!core[a]) continue;  // the symmetric twin handles (border, core)
       if (core[b]) {
         uf.unite(a, b);
@@ -136,6 +140,18 @@ DbscanResult dbscan(const Dataset& d, const DbscanOptions& opt) {
     }
   }
   result.num_clusters = cluster;
+  if (contracts::active()) {
+    // Structural post-check: every core point landed in a cluster and no
+    // label escapes [kNoise, num_clusters).
+    contracts::ScopedTimer timer;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (core[i]) {
+        SJ_CHECK(label[i] >= 0, "dbscan: every core point must be clustered");
+      }
+      SJ_CHECK(label[i] >= DbscanResult::kNoise && label[i] < cluster,
+               "dbscan: labels must index the cluster set");
+    }
+  }
   result.traversal_seconds += traversal.seconds();
   return result;
 }

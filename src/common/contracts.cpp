@@ -1,0 +1,60 @@
+#include "common/contracts.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sj::contracts {
+
+namespace {
+
+std::atomic<bool> g_runtime_checks{false};
+std::atomic<std::uint64_t> g_validation_ns{0};
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void set_runtime_checks(bool on) noexcept {
+  g_runtime_checks.store(on, std::memory_order_relaxed);
+}
+
+bool runtime_checks() noexcept {
+  return g_runtime_checks.load(std::memory_order_relaxed);
+}
+
+bool active() noexcept { return kCompiledIn || runtime_checks(); }
+
+void fail(const char* kind, const char* expr, const char* file, int line,
+          const char* context) noexcept {
+  // One stderr line per field, flushed before abort, so death tests can
+  // match the report and a truncated log still identifies the site.
+  std::fprintf(stderr,
+               "%s violation: %s\n  at %s:%d\n  context: %s\n",
+               kind, expr, file, line, context);
+  std::fflush(stderr);
+  std::abort();
+}
+
+double validation_seconds() noexcept {
+  return static_cast<double>(g_validation_ns.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+void reset_validation_seconds() noexcept {
+  g_validation_ns.store(0, std::memory_order_relaxed);
+}
+
+ScopedTimer::ScopedTimer() noexcept : start_ns_(now_ns()) {}
+
+ScopedTimer::~ScopedTimer() {
+  g_validation_ns.fetch_add(now_ns() - start_ns_, std::memory_order_relaxed);
+}
+
+}  // namespace sj::contracts

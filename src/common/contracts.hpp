@@ -1,0 +1,114 @@
+#pragma once
+
+/// Runtime contract checking (SJ_EXPECT / SJ_ENSURE / SJ_INVARIANT) and
+/// the switchboard for the deep structural validators in
+/// core/validate.hpp.
+///
+/// Two tiers:
+///
+///  * The macros below are per-item hot-path contracts (preconditions,
+///    postconditions, loop invariants). They compile to NOTHING unless
+///    the build sets -DSJ_VALIDATE=ON (which defines SJ_VALIDATE=1) —
+///    the condition expression is never evaluated, so side effects and
+///    cost both vanish in release builds.
+///
+///  * The structural validators (one-shot O(n) walks over a built
+///    index / adjacency / shard plan) are ALWAYS compiled into the
+///    libraries so tests can invoke them directly in any build. Engine
+///    call sites gate them on contracts::active(), which is true when
+///    the build compiled contracts in OR when the cheap runtime subset
+///    was force-enabled (sjtool --validate).
+///
+/// A failed contract prints the violated expression, file:line, and the
+/// caller-supplied context string to stderr, then aborts — the format
+/// is stable and covered by death tests in tests/common.
+
+#include <cstdint>
+
+namespace sj::contracts {
+
+/// True when the build compiled the contract macros in (-DSJ_VALIDATE=ON).
+#if defined(SJ_VALIDATE) && SJ_VALIDATE
+inline constexpr bool kCompiledIn = true;
+#else
+inline constexpr bool kCompiledIn = false;
+#endif
+
+/// Force-enable the cheap runtime-check subset (the structural
+/// validators) in builds that compiled the macros out. Used by
+/// `sjtool --validate`.
+void set_runtime_checks(bool on) noexcept;
+bool runtime_checks() noexcept;
+
+/// Should engine call sites run the structural validators?
+bool active() noexcept;
+
+/// Report a violated contract and abort. `kind` is the macro name
+/// ("SJ_EXPECT", ...), `context` the caller-supplied explanation.
+[[noreturn]] void fail(const char* kind, const char* expr, const char* file,
+                       int line, const char* context) noexcept;
+
+/// Total wall-clock seconds spent inside structural validators in this
+/// process (accumulated by ScopedTimer; reported by sjtool --stats).
+double validation_seconds() noexcept;
+void reset_validation_seconds() noexcept;
+
+/// RAII accumulator for validation_seconds().
+class ScopedTimer {
+ public:
+  ScopedTimer() noexcept;
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::uint64_t start_ns_;
+};
+
+/// Always-on check used INSIDE validators: unlike the macros it is a
+/// real function call, so a validator fires in every build the moment
+/// an engine (or a test) invokes it.
+inline void check(bool ok, const char* expr, const char* file, int line,
+                  const char* context) {
+  if (!ok) fail("SJ_CHECK", expr, file, line, context);
+}
+
+}  // namespace sj::contracts
+
+/// Validator-internal contract: always evaluated, aborts with the
+/// standard report on failure. Use only inside validate.cpp-style
+/// one-shot walks, never on per-point hot paths.
+#define SJ_CHECK(cond, ctx) \
+  ::sj::contracts::check((cond), #cond, __FILE__, __LINE__, (ctx))
+
+#if defined(SJ_VALIDATE) && SJ_VALIDATE
+
+#define SJ_CONTRACTS_ENABLED 1
+
+#define SJ_CONTRACT_IMPL(kind, cond, ctx)                            \
+  ((cond) ? (void)0                                                  \
+          : ::sj::contracts::fail(kind, #cond, __FILE__, __LINE__, (ctx)))
+
+/// Precondition: argument/state requirements at function entry.
+#define SJ_EXPECT(cond, ctx) SJ_CONTRACT_IMPL("SJ_EXPECT", cond, ctx)
+/// Postcondition: guarantees on results/state at function exit.
+#define SJ_ENSURE(cond, ctx) SJ_CONTRACT_IMPL("SJ_ENSURE", cond, ctx)
+/// Invariant: relations that must hold mid-algorithm.
+#define SJ_INVARIANT(cond, ctx) SJ_CONTRACT_IMPL("SJ_INVARIANT", cond, ctx)
+
+#else
+
+#define SJ_CONTRACTS_ENABLED 0
+
+// Compiled out: the condition and context are NOT evaluated (the
+// operands sit behind a short-circuiting `true`), but they still parse,
+// so contract expressions cannot rot and variables used only in
+// contracts do not trip -Wunused.
+#define SJ_CONTRACT_NOOP(cond, ctx) \
+  (true ? (void)0 : ((void)(cond), (void)(ctx)))
+
+#define SJ_EXPECT(cond, ctx) SJ_CONTRACT_NOOP(cond, ctx)
+#define SJ_ENSURE(cond, ctx) SJ_CONTRACT_NOOP(cond, ctx)
+#define SJ_INVARIANT(cond, ctx) SJ_CONTRACT_NOOP(cond, ctx)
+
+#endif

@@ -111,7 +111,8 @@ Dataset sdss_like(std::size_t n, std::uint64_t seed, double field_frac) {
   d.reserve(n);
   Xoshiro256 rng(seed);
 
-  const std::size_t n_field = static_cast<std::size_t>(n * field_frac);
+  const std::size_t n_field =
+      static_cast<std::size_t>(static_cast<double>(n) * field_frac);
   double row[kMaxDims];
   for (std::size_t i = 0; i < n_field; ++i) {
     row[0] = rng.uniform(0.0, 100.0);

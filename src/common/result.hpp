@@ -104,7 +104,8 @@ class ResultSet {
 
   /// Total neighbours / n (paper's "avg. neighbors" metric, Fig. 1).
   double avg_neighbors(std::size_t n) const {
-    return n == 0 ? 0.0 : static_cast<double>(pairs_.size()) / n;
+    return n == 0 ? 0.0
+                  : static_cast<double>(pairs_.size()) / static_cast<double>(n);
   }
 
  private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <cstdint>
 #include <cstring>
 #include <exception>
 #include <map>
@@ -13,6 +14,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/contracts.hpp"
 #include "common/timer.hpp"
 #include "core/kernels.hpp"
 #include "gpusim/atomic.hpp"
@@ -294,6 +296,14 @@ void SegmentPool::release(Buffer b) {
   if (b.capacity == 0) return;
   b.count = 0;
   std::lock_guard<std::mutex> lock(mu_);
+  if (contracts::active()) {
+    // A buffer arriving twice means two owners were lent the same
+    // allocation — the staging reuse would then corrupt a batch.
+    for (const Buffer& f : free_) {
+      SJ_CHECK(f.data.get() != b.data.get(),
+               "SegmentPool: buffer released twice");
+    }
+  }
   free_.push_back(std::move(b));
 }
 
@@ -482,13 +492,24 @@ PipelineOutput BatchPipeline::run_impl(const Mode& mode,
     }
   }
   std::uint64_t sink_flushed = 0;
+  std::int64_t last_flushed_key = -1;
 
   // Flush every segment whose turn has come (callers hold `mu`). The
   // callback runs serially under the lock — sink consumers see ordered,
   // non-overlapping calls.
-  auto flush_ready = [this, &req, &segments, &pending, &sink_flushed] {
+  auto flush_ready = [this, &req, &segments, &pending, &sink_flushed,
+                      &last_flushed_key] {
     while (!segments.empty() && !pending.empty() &&
            segments.begin()->first == *pending.begin()) {
+      const std::uint32_t key = segments.begin()->first;
+      if (contracts::active()) {
+        // The watermark must release batches in strictly increasing
+        // first-key order — the order the kPairs concatenation defines.
+        SJ_CHECK(static_cast<std::int64_t>(key) > last_flushed_key,
+                 "BatchPipeline: sink flush keys must be strictly "
+                 "increasing");
+      }
+      last_flushed_key = static_cast<std::int64_t>(key);
       SegmentPool::Buffer buf = std::move(segments.begin()->second);
       segments.erase(segments.begin());
       pending.erase(pending.begin());
@@ -515,6 +536,12 @@ PipelineOutput BatchPipeline::run_impl(const Mode& mode,
       while (done.pop(c)) {
         Timer merge_timer;
         std::lock_guard<std::mutex> lock(mu);
+        if (contracts::active()) {
+          // Batches partition the query slots, so two segments can never
+          // share a first key; a duplicate would silently drop a batch.
+          SJ_CHECK(segments.find(c.first_key) == segments.end(),
+                   "BatchPipeline: duplicate batch merge key");
+        }
         segments[c.first_key] = std::move(c.pairs);
         if (sinking) flush_ready();
         acc.assembly_seconds += merge_timer.seconds();
@@ -701,6 +728,10 @@ PipelineOutput BatchPipeline::run_impl(const Mode& mode,
   if (sinking) {
     // Every batch completed, so the watermark has streamed everything.
     flush_ready();
+    if (contracts::active()) {
+      SJ_CHECK(segments.empty() && pending.empty(),
+               "BatchPipeline: sink watermark must drain every segment");
+    }
     output.total_pairs = sink_flushed;
     if (stats != nullptr) *stats = acc;
     return output;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "core/batch_pipeline.hpp"
 
 namespace sj {
@@ -28,6 +29,10 @@ BatchPlan plan_batches(std::uint64_t estimated_total, std::uint64_t n_queries,
 std::vector<std::uint32_t> weighted_partition(
     const std::vector<std::uint64_t>& weights, std::size_t parts) {
   const std::size_t num_units = weights.size();
+  // max_end below underflows if a part cannot take its one guaranteed
+  // unit; every caller clamps parts into [1, num_units] first.
+  SJ_EXPECT(parts >= 1 && parts <= num_units,
+            "weighted_partition: parts must be clamped into [1, num_units]");
   // Weights are per-cell candidate-pair counts and can sum past 64 bits
   // in adversarial cases; accumulate in 128 bits.
   unsigned __int128 total = 0;
@@ -51,6 +56,9 @@ std::vector<std::uint32_t> weighted_partition(
     boundaries.push_back(static_cast<std::uint32_t>(pos));
   }
   boundaries.push_back(static_cast<std::uint32_t>(num_units));
+  SJ_ENSURE(boundaries.size() == parts + 1 && boundaries.front() == 0 &&
+                boundaries.back() == num_units,
+            "weighted_partition: boundaries must cover every unit");
   return boundaries;
 }
 
@@ -72,6 +80,8 @@ CellBatchPlan plan_cell_batches(const std::vector<std::uint64_t>& cell_weights,
   nb = std::min(nb, num_cells);
 
   plan.boundaries = weighted_partition(cell_weights, nb);
+  SJ_ENSURE(plan.boundaries.size() == nb + 1,
+            "plan_cell_batches: one boundary pair per batch");
   return plan;
 }
 

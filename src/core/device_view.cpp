@@ -2,7 +2,21 @@
 
 #include <cstring>
 
+#include "common/contracts.hpp"
+#include "core/validate.hpp"
+
 namespace sj {
+
+namespace {
+
+/// memcpy tolerating the empty range: an empty vector's data() may be
+/// null, and passing null to memcpy is UB even for zero bytes (UBSan
+/// flags it on empty datasets).
+void copy_bytes(void* dst, const void* src, std::size_t bytes) {
+  if (bytes > 0) std::memcpy(dst, src, bytes);
+}
+
+}  // namespace
 
 DeviceGrid::DeviceGrid(gpu::GlobalMemoryArena& arena, const Dataset& d,
                        const GridIndex& index, GridLayout layout)
@@ -27,15 +41,15 @@ DeviceGrid::DeviceGrid(gpu::GlobalMemoryArena& arena, const Dataset& d,
     }
     for (int j = 0; j < dim; ++j) view_.coord[j] = coords_.data() + j * slots;
   } else {
-    std::memcpy(points_.data(), d.raw().data(),
-                d.raw().size() * sizeof(double));
+    copy_bytes(points_.data(), d.raw().data(),
+               d.raw().size() * sizeof(double));
   }
-  std::memcpy(b_.data(), index.B().data(),
-              index.B().size() * sizeof(std::uint64_t));
-  std::memcpy(g_.data(), index.G().data(),
-              index.G().size() * sizeof(GridIndex::CellRange));
-  std::memcpy(a_.data(), index.A().data(),
-              index.A().size() * sizeof(std::uint32_t));
+  copy_bytes(b_.data(), index.B().data(),
+             index.B().size() * sizeof(std::uint64_t));
+  copy_bytes(g_.data(), index.G().data(),
+             index.G().size() * sizeof(GridIndex::CellRange));
+  copy_bytes(a_.data(), index.A().data(),
+             index.A().size() * sizeof(std::uint32_t));
 
   view_.points = points_.data();
   view_.n = d.size();
@@ -53,14 +67,16 @@ DeviceGrid::DeviceGrid(gpu::GlobalMemoryArena& arena, const Dataset& d,
   view_.eps = index.eps();
   for (int j = 0; j < dim; ++j) {
     m_[j] = gpu::DeviceBuffer<std::uint32_t>(arena, index.mask(j).size());
-    std::memcpy(m_[j].data(), index.mask(j).data(),
-                index.mask(j).size() * sizeof(std::uint32_t));
+    copy_bytes(m_[j].data(), index.mask(j).data(),
+               index.mask(j).size() * sizeof(std::uint32_t));
     view_.M[j] = m_[j].data();
     view_.m_size[j] = m_[j].size();
     view_.gmin[j] = index.gmin(j);
     view_.cells_per_dim[j] = index.cells_in_dim(j);
     view_.stride[j] = index.stride(j);
   }
+
+  if (contracts::active()) validate::device_grid(view_, &d, "DeviceGrid(upload)");
 }
 
 }  // namespace sj

@@ -43,8 +43,9 @@ EstimateResult estimate_query_span(const GridDeviceView& grid, bool unicomp,
   const double stride = static_cast<double>(nq) / static_cast<double>(sample);
   for (std::uint64_t i = 0; i < sample; ++i) {
     const std::uint64_t pos =
-        first + std::min<std::uint64_t>(static_cast<std::uint64_t>(i * stride),
-                                        nq - 1);
+        first + std::min<std::uint64_t>(
+                    static_cast<std::uint64_t>(static_cast<double>(i) * stride),
+                    nq - 1);
     ids[i] = order != nullptr ? order[pos]
                               : static_cast<std::uint32_t>(pos);
   }

@@ -6,6 +6,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/contracts.hpp"
+#include "core/validate.hpp"
+
 namespace sj {
 
 GridIndex::GridIndex(const Dataset& d, double eps) {
@@ -108,6 +111,8 @@ GridIndex::GridIndex(const Dataset& d, double eps) {
     std::sort(m.begin(), m.end());
     m.erase(std::unique(m.begin(), m.end()), m.end());
   }
+
+  if (contracts::active()) validate::grid_index(*this, d, "GridIndex(build)");
 }
 
 std::uint64_t GridIndex::total_cells() const {

@@ -5,7 +5,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "common/distance.hpp"
+#include "core/validate.hpp"
 
 // The blocked distance loops below are written so the per-dimension lane
 // loop is a unit-stride load + FMA stream the compiler can vectorise.
@@ -226,6 +228,8 @@ inline void eval_cell(const SelfJoinKernelParams& p, LocalWork& w,
   ++w.cells_nonempty;
 
   const GridIndex::CellRange range = g.G[it - g.B];
+  SJ_INVARIANT(static_cast<std::uint64_t>(range.max) < g.n,
+               "G cell range must stay inside the point count");
   const double eps2 = g.eps * g.eps;
   for (std::uint32_t k = range.min; k <= range.max; ++k) {
     const double* qt = g.candidate_point(k);
@@ -318,6 +322,8 @@ inline void scan_range_soa(const GridDeviceView& g, LocalWork& w, Emitter& em,
                            std::uint32_t key, const double* pt,
                            const CandidateRange& r, double eps2,
                            gpu::CacheSim* cache) {
+  SJ_EXPECT(r.begin < r.end && r.end <= g.n,
+            "SoA candidate range must stay inside the slot space");
   const int dim = g.dim;
   double acc[kSoaScanBlock];
   for (std::uint32_t k0 = r.begin; k0 < r.end; k0 += kSoaScanBlock) {
@@ -412,6 +418,8 @@ inline void scan_range(const GridDeviceView& g, LocalWork& w, Emitter& em,
     scan_range_soa(g, w, em, key, pt, r, eps2, cache);
     return;
   }
+  SJ_EXPECT(r.begin < r.end && r.end <= g.n,
+            "candidate range must stay inside the slot space");
   constexpr int kScanBlock = 8;
   const int dim = g.dim;
   double acc[kScanBlock];
@@ -502,6 +510,10 @@ void self_join_cells_thread(const gpu::ThreadCtx& ctx,
   if (gid >= p.num_items) return;
   const CellWorkItem item = p.items[gid];
   const GridDeviceView& g = p.grid;
+  SJ_EXPECT(item.cell < g.b_size,
+            "cell work item must name a non-empty cell index into B");
+  SJ_EXPECT(item.begin <= item.end && item.end <= g.n,
+            "cell work item slot range must stay inside the layout");
 
   LocalWork w;
   Emitter em{p.result, w};
@@ -586,6 +598,10 @@ CellAdjacencyHost build_cell_adjacency_span(const GridDeviceView& grid,
   }
   adj.cells_examined = w.cells_examined;
   adj.cells_nonempty = w.cells_nonempty;
+  if (contracts::active()) {
+    validate::cell_adjacency(adj, num_cells, grid.n,
+                             "build_cell_adjacency_span");
+  }
   return adj;
 }
 
@@ -622,6 +638,8 @@ void join_cells_thread(const gpu::ThreadCtx& ctx,
   const double eps2 = g.eps * g.eps;
   for (std::uint32_t s = item.begin; s < item.end; ++s) {
     const std::uint32_t qid = p.query_order[s];
+    SJ_INVARIANT(qid < g.num_queries(),
+                 "query order entry must name a valid query id");
     const double* pt = g.query_point(qid);
     w.global_loads += static_cast<std::uint64_t>(g.dim) + 1;  // pt + id
     w.global_load_bytes +=
@@ -694,6 +712,9 @@ JoinAdjacencyHost build_join_adjacency_host(const GridDeviceView& grid) {
   }
   adj.cells_examined = w.cells_examined;
   adj.cells_nonempty = w.cells_nonempty;
+  if (contracts::active()) {
+    validate::join_adjacency(adj, nq, grid.n, "build_join_adjacency_host");
+  }
   return adj;
 }
 

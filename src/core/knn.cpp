@@ -133,7 +133,6 @@ void knn_thread(const gpu::ThreadCtx& ctx, const KnnKernelParams& p) {
   BestK best(p.out->dists_row(pid), p.out->ids_row(pid), p.k);
 
   // Home cell coordinates.
-  std::uint32_t c[kMaxDims];
   std::int64_t ci[kMaxDims];
   for (int j = 0; j < g.dim; ++j) {
     const double rel = (pt[j] - g.gmin[j]) / g.width;
@@ -141,7 +140,6 @@ void knn_thread(const gpu::ThreadCtx& ctx, const KnnKernelParams& p) {
     cj = std::min<std::int64_t>(
         std::max<std::int64_t>(cj, 0),
         static_cast<std::int64_t>(g.cells_per_dim[j]) - 1);
-    c[j] = static_cast<std::uint32_t>(cj);
     ci[j] = cj;
   }
 

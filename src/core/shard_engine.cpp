@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "common/parse.hpp"
 #include "common/timer.hpp"
 #include "core/batch_pipeline.hpp"
@@ -19,6 +20,7 @@
 #include "core/grid_index.hpp"
 #include "core/kernels.hpp"
 #include "core/shard_plan.hpp"
+#include "core/validate.hpp"
 #include "gpusim/arena.hpp"
 
 namespace sj {
@@ -94,6 +96,9 @@ struct HostStage {
       view.gmin[j] = index.gmin(j);
       view.cells_per_dim[j] = index.cells_in_dim(j);
       view.stride[j] = index.stride(j);
+    }
+    if (contracts::active()) {
+      validate::device_grid(view, &d, "HostStage(stage)");
     }
   }
 };
@@ -255,6 +260,10 @@ ShardedSelfJoinResult ShardedGpuSelfJoin::run(const Dataset& d,
   // each device resolves for ITS OWN cells below, in parallel.
   const std::vector<std::uint32_t> bounds = plan_shard_boundaries(
       proxy_cell_weights(hv), static_cast<std::size_t>(opt_.shards));
+  if (contracts::active()) {
+    validate::shard_boundaries(bounds, static_cast<std::size_t>(hv.b_size),
+                               "ShardedGpuSelfJoin(plan)");
+  }
   const std::size_t k = bounds.size() - 1;
 
   result.shard.shards = k;
@@ -276,6 +285,9 @@ ShardedSelfJoinResult ShardedGpuSelfJoin::run(const Dataset& d,
     const ShardSlice slice =
         make_shard_slice(adj.ranges, adj.offsets, adj.weights, 0, c1 - c0,
                          hv.G[c0].min, hv.G[c1 - 1].max + 1);
+    if (contracts::active()) {
+      validate::shard_slice(slice, hv.n, "ShardedGpuSelfJoin(slice)");
+    }
     // The adjacency build carries the shard's index-search work (resolved
     // once per owned cell).
     LocalWork planning;
@@ -430,6 +442,9 @@ ShardedJoinResult sharded_join(const Dataset& queries, const Dataset& data,
 
   const std::vector<std::uint32_t> bounds = plan_shard_boundaries(
       adj.weights, static_cast<std::size_t>(opt.shards));
+  if (contracts::active()) {
+    validate::shard_boundaries(bounds, adj.num_groups(), "sharded_join(plan)");
+  }
   const std::size_t k = bounds.size() - 1;
 
   result.shard.shards = k;
@@ -447,6 +462,9 @@ ShardedJoinResult sharded_join(const Dataset& queries, const Dataset& data,
     // the slots its groups' candidate ranges reference (all "halo").
     const ShardSlice slice = make_shard_slice(adj.ranges, adj.offsets,
                                               adj.weights, g0, g1, 0, 0);
+    if (contracts::active()) {
+      validate::shard_slice(slice, hv.n, "sharded_join(slice)");
+    }
 
     gpu::GlobalMemoryArena arena(opt.device);
     const std::uint32_t nlocal = slice.local_points();

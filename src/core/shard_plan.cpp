@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/contracts.hpp"
 #include "core/batcher.hpp"
 
 namespace sj {
@@ -49,7 +50,11 @@ std::vector<std::uint32_t> plan_shard_boundaries(
   const std::size_t k =
       std::clamp<std::size_t>(shards, 1, std::max<std::size_t>(weights.size(), 1));
   if (weights.empty()) return {0, 0};
-  return weighted_partition(weights, k);
+  std::vector<std::uint32_t> bounds = weighted_partition(weights, k);
+  SJ_ENSURE(bounds.size() == k + 1 && bounds.front() == 0 &&
+                bounds.back() == weights.size(),
+            "shard boundaries must cover all units with K parts");
+  return bounds;
 }
 
 ShardSlice make_shard_slice(const std::vector<CandidateRange>& ranges,
@@ -58,6 +63,11 @@ ShardSlice make_shard_slice(const std::vector<CandidateRange>& ranges,
                             std::uint32_t unit_begin, std::uint32_t unit_end,
                             std::uint32_t owned_begin,
                             std::uint32_t owned_end) {
+  SJ_EXPECT(unit_begin <= unit_end &&
+                static_cast<std::size_t>(unit_end) < offsets.size(),
+            "make_shard_slice unit range must fit the adjacency CSR");
+  SJ_EXPECT(owned_begin <= owned_end,
+            "make_shard_slice owned span must be a valid interval");
   ShardSlice s;
   s.unit_begin = unit_begin;
   s.unit_end = unit_end;
@@ -122,6 +132,10 @@ ShardSlice make_shard_slice(const std::vector<CandidateRange>& ranges,
     s.offsets.push_back(s.ranges.size());
     s.weight += weights[unit];
   }
+  SJ_ENSURE(s.offsets.size() ==
+                static_cast<std::size_t>(unit_end - unit_begin) + 1 &&
+            s.offsets.back() == s.ranges.size(),
+            "shard slice CSR must close over its remapped ranges");
   return s;
 }
 

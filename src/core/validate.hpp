@@ -1,0 +1,84 @@
+// Deep structural validators for the layered data structures the engines
+// build: grid index / device grid, cell and query-group adjacency CSRs,
+// and shard plans. Each validator is a one-shot O(n + ranges) walk that
+// aborts with a contracts::fail report on the first violated invariant.
+//
+// The validators are ALWAYS compiled (tests corrupt a structure and call
+// them directly in any build); engine call sites gate them on
+// contracts::active() — true in -DSJ_VALIDATE=ON builds and under
+// `sjtool --validate`. Time spent inside them accumulates into
+// contracts::validation_seconds().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.hpp"
+#include "core/device_view.hpp"
+#include "core/grid_index.hpp"
+#include "core/kernels.hpp"
+#include "core/shard_plan.hpp"
+
+namespace sj::validate {
+
+/// GridIndex invariants over the dataset it was built from:
+///   - B strictly increasing (sorted non-empty cell ids)
+///   - G ranges partition [0, n) in order (G[0].min == 0, contiguous,
+///     G.back().max == n - 1)
+///   - A is a permutation of [0, n)
+///   - every point's home cell linearises to the B entry owning its slot
+///   - per-dimension masks strictly increasing and within cells_in_dim
+void grid_index(const GridIndex& index, const Dataset& d, const char* context);
+
+/// GridDeviceView invariants (either layout):
+///   - G ranges partition [0, n), B strictly increasing
+///   - cell-major: `orig` is a permutation of [0, n); when SoA planes are
+///     present, coord[j][k] mirrors points[k*dim + j] exactly
+///   - when `d` is non-null, the (reordered) AoS coordinates match the
+///     source dataset point-for-point
+///   - masks strictly increasing and within cells_per_dim
+void device_grid(const GridDeviceView& view, const Dataset* d,
+                 const char* context);
+
+/// Cell-adjacency CSR invariants for cells [0, num_cells) over a slot
+/// space of size n_slots:
+///   - offsets has num_cells + 1 entries, offsets[0] == 0, monotone
+///     non-decreasing, ending at ranges.size()
+///   - weights has num_cells entries
+///   - every range non-empty, in [0, n_slots), both flag in {0, 1}
+///   - each cell's merged ranges pairwise non-overlapping
+void cell_adjacency(const CellAdjacencyHost& adj, std::size_t num_cells,
+                    std::uint64_t n_slots, const char* context);
+
+/// Query-group adjacency invariants over qn queries and n_slots data
+/// slots:
+///   - query_order is a permutation of [0, qn)
+///   - group_offsets strictly increasing from 0 to qn (no empty groups)
+///   - offsets a well-formed CSR over num_groups() ending at ranges.size()
+///   - weights has num_groups() entries
+///   - every range non-empty, in [0, n_slots), both flag in {0, 1}
+///   - each group's merged ranges pairwise non-overlapping
+void join_adjacency(const JoinAdjacencyHost& adj, std::uint64_t qn,
+                    std::uint64_t n_slots, const char* context);
+
+/// Shard boundary invariants: boundaries[0] == 0, strictly increasing,
+/// ending at num_units — the shards are disjoint, non-empty, and cover
+/// every unit. (The degenerate num_units == 0 plan is {0, 0}.)
+void shard_boundaries(const std::vector<std::uint32_t>& boundaries,
+                      std::size_t num_units, const char* context);
+
+/// ShardSlice invariants over a global slot space of size n_slots:
+///   - owned span within [0, n_slots]
+///   - halo intervals non-empty, sorted, pairwise disjoint, entirely
+///     outside the owned span, with contiguous local numbering starting
+///     at owned_points()
+///   - to_local() round-trips the endpoints of the owned span and every
+///     halo interval
+///   - offsets a well-formed CSR over the owned units ending at
+///     ranges.size()
+///   - every remapped range non-empty and within [0, local_points())
+void shard_slice(const ShardSlice& slice, std::uint64_t n_slots,
+                 const char* context);
+
+}  // namespace sj::validate

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/contracts.hpp"
 #include "common/timer.hpp"
 #include "gpusim/device.hpp"
 
@@ -25,10 +26,13 @@ struct LaunchConfig {
 
   /// Blocks needed to cover `n` logical threads.
   static LaunchConfig cover(std::uint64_t n, int block_dim = 256) {
+    SJ_EXPECT(block_dim >= 1, "LaunchConfig::cover: block_dim must be >= 1");
     LaunchConfig cfg;
     cfg.block_dim = block_dim;
     cfg.grid_dim = (n + static_cast<std::uint64_t>(block_dim) - 1) /
                    static_cast<std::uint64_t>(block_dim);
+    SJ_ENSURE(cfg.grid_dim * static_cast<std::uint64_t>(block_dim) >= n,
+              "LaunchConfig::cover: grid must cover every logical thread");
     return cfg;
   }
 };
@@ -61,6 +65,7 @@ enum class ExecMode {
 template <typename F>
 KernelStats launch(const LaunchConfig& cfg, F&& body,
                    ExecMode mode = ExecMode::kParallel) {
+  SJ_EXPECT(cfg.block_dim >= 1, "launch: block_dim must be >= 1");
   Timer t;
   const std::int64_t grid = static_cast<std::int64_t>(cfg.grid_dim);
   if (mode == ExecMode::kParallel) {

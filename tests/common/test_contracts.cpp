@@ -1,0 +1,331 @@
+// Contract-layer tests: macro on/off behaviour, the failure-handler
+// report format, the runtime-check switch, and — for every layer with a
+// deep validator — a deliberately corrupted structure that must make the
+// validator abort. The validators are always compiled, so these death
+// tests fire in release builds too (the corrupted-input tests enable the
+// runtime subset first); the SJ_VALIDATE CI leg additionally exercises
+// the compiled-in macro branch.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/backend.hpp"
+#include "common/contracts.hpp"
+#include "common/datagen.hpp"
+#include "common/dataset.hpp"
+#include "core/batch_pipeline.hpp"
+#include "core/grid_index.hpp"
+#include "core/kernels.hpp"
+#include "core/shard_plan.hpp"
+#include "core/validate.hpp"
+
+namespace sj {
+namespace {
+
+/// Force the runtime-check subset on for one scope (death-test children
+/// inherit the parent's flag state, so tests set it inside the statement
+/// under test as well).
+struct RuntimeChecksGuard {
+  RuntimeChecksGuard() { contracts::set_runtime_checks(true); }
+  ~RuntimeChecksGuard() { contracts::set_runtime_checks(false); }
+};
+
+// ------------------------------------------------------------- the macros
+
+TEST(Contracts, CompiledStateMatchesMacroFlag) {
+  EXPECT_EQ(contracts::kCompiledIn, SJ_CONTRACTS_ENABLED == 1);
+}
+
+TEST(Contracts, MacrosEvaluateOperandsOnlyWhenCompiledIn) {
+  int calls = 0;
+  auto observed = [&] {
+    ++calls;
+    return true;
+  };
+  SJ_EXPECT(observed(), "expect operand");
+  SJ_ENSURE(observed(), "ensure operand");
+  SJ_INVARIANT(observed(), "invariant operand");
+#if SJ_CONTRACTS_ENABLED
+  EXPECT_EQ(calls, 3);
+#else
+  // Compiled out: the condition must NOT be evaluated — contracts cost
+  // nothing in release builds.
+  EXPECT_EQ(calls, 0);
+#endif
+}
+
+#if SJ_CONTRACTS_ENABLED
+TEST(ContractsDeath, FailedExpectAborts) {
+  EXPECT_DEATH(SJ_EXPECT(1 == 2, "a failing precondition"),
+               "SJ_EXPECT violation: 1 == 2");
+}
+#else
+TEST(Contracts, FailedConditionIsIgnoredWhenCompiledOut) {
+  SJ_EXPECT(1 == 2, "never evaluated");
+  SJ_ENSURE(false, "never evaluated");
+  SJ_INVARIANT(false, "never evaluated");
+}
+#endif
+
+TEST(ContractsDeath, FailureReportNamesExpressionSiteAndContext) {
+  EXPECT_DEATH(
+      contracts::fail("SJ_EXPECT", "a == b", "some_file.cpp", 42,
+                      "context message"),
+      "SJ_EXPECT violation: a == b\n  at some_file.cpp:42\n"
+      "  context: context message");
+}
+
+TEST(Contracts, RuntimeSwitchTogglesActive) {
+  if (!contracts::kCompiledIn) {
+    EXPECT_FALSE(contracts::active());
+  }
+  {
+    RuntimeChecksGuard guard;
+    EXPECT_TRUE(contracts::active());
+    EXPECT_TRUE(contracts::runtime_checks());
+  }
+  EXPECT_FALSE(contracts::runtime_checks());
+}
+
+TEST(Contracts, ValidationTimeAccumulates) {
+  contracts::reset_validation_seconds();
+  EXPECT_EQ(contracts::validation_seconds(), 0.0);
+  const Dataset d = datagen::uniform(256, 2, 0.0, 100.0, /*seed=*/7);
+  const GridIndex index(d, 0.1);
+  validate::grid_index(index, d, "timer accumulation");
+  EXPECT_GT(contracts::validation_seconds(), 0.0);
+  contracts::reset_validation_seconds();
+  EXPECT_EQ(contracts::validation_seconds(), 0.0);
+}
+
+// ------------------------------------------------- grid layer validators
+
+TEST(Contracts, GridIndexValidatorAcceptsRealIndex) {
+  const Dataset d = datagen::sdss_like(500, /*seed=*/11);
+  const GridIndex index(d, 0.2);
+  validate::grid_index(index, d, "well-formed index");
+}
+
+/// A minimal hand-built cell-major view: one non-empty cell owning all
+/// four slots of a 1-d layout.
+GridDeviceView tiny_cell_major_view(const std::vector<double>& points,
+                                    const std::vector<std::uint64_t>& B,
+                                    const std::vector<GridIndex::CellRange>& G,
+                                    const std::vector<std::uint32_t>& orig) {
+  GridDeviceView v;
+  v.points = points.data();
+  v.n = points.size();
+  v.dim = 1;
+  v.B = B.data();
+  v.b_size = B.size();
+  v.G = G.data();
+  v.orig = orig.data();
+  v.cell_major = true;
+  return v;
+}
+
+TEST(ContractsDeath, DeviceGridValidatorRejectsBrokenOrigPermutation) {
+  const std::vector<double> points{0.1, 0.2, 0.3, 0.4};
+  const std::vector<std::uint64_t> B{5};
+  const std::vector<GridIndex::CellRange> G{{0, 3}};
+  std::vector<std::uint32_t> orig{0, 1, 2, 3};
+  GridDeviceView view = tiny_cell_major_view(points, B, G, orig);
+  validate::device_grid(view, nullptr, "intact view");  // sanity: passes
+  orig[3] = 2;  // slot 3 duplicates original id 2: no longer a bijection
+  EXPECT_DEATH(validate::device_grid(view, nullptr, "corrupted orig map"),
+               "SJ_CHECK violation.*corrupted orig map");
+}
+
+TEST(ContractsDeath, DeviceGridValidatorRejectsGapInCellRanges) {
+  const std::vector<double> points{0.1, 0.2, 0.3, 0.4};
+  const std::vector<std::uint64_t> B{5, 9};
+  // Cell ranges must tile [0, 4); {0,1} then {3,3} leaves slot 2 orphaned.
+  const std::vector<GridIndex::CellRange> G{{0, 1}, {3, 3}};
+  const std::vector<std::uint32_t> orig{0, 1, 2, 3};
+  const GridDeviceView view = tiny_cell_major_view(points, B, G, orig);
+  EXPECT_DEATH(validate::device_grid(view, nullptr, "cell range gap"),
+               "SJ_CHECK violation.*cell range gap");
+}
+
+TEST(ContractsDeath, DeviceGridValidatorRejectsSoaPlaneDrift) {
+  const std::vector<double> points{0.1, 0.2, 0.3, 0.4};
+  const std::vector<std::uint64_t> B{5};
+  const std::vector<GridIndex::CellRange> G{{0, 3}};
+  const std::vector<std::uint32_t> orig{0, 1, 2, 3};
+  GridDeviceView view = tiny_cell_major_view(points, B, G, orig);
+  std::vector<double> plane{0.1, 0.2, 0.35, 0.4};  // slot 2 disagrees
+  view.coord[0] = plane.data();
+  EXPECT_DEATH(validate::device_grid(view, nullptr, "soa plane drift"),
+               "SJ_CHECK violation.*soa plane drift");
+}
+
+// -------------------------------------------------- adjacency validators
+
+TEST(Contracts, CellAdjacencyValidatorAcceptsWellFormedCsr) {
+  CellAdjacencyHost adj;
+  adj.ranges = {{0, 2, 0}, {2, 4, 1}};
+  adj.offsets = {0, 2};
+  adj.weights = {8};
+  validate::cell_adjacency(adj, 1, 4, "well-formed cell adjacency");
+}
+
+TEST(ContractsDeath, CellAdjacencyValidatorRejectsOutOfBoundsRange) {
+  CellAdjacencyHost adj;
+  adj.ranges = {{0, 5, 0}};  // slot space has only 4 slots
+  adj.offsets = {0, 1};
+  adj.weights = {5};
+  EXPECT_DEATH(
+      validate::cell_adjacency(adj, 1, 4, "range past the slot space"),
+      "SJ_CHECK violation.*range past the slot space");
+}
+
+TEST(ContractsDeath, CellAdjacencyValidatorRejectsOverlappingRanges) {
+  CellAdjacencyHost adj;
+  adj.ranges = {{0, 3, 0}, {2, 4, 0}};  // [0,3) and [2,4) overlap
+  adj.offsets = {0, 2};
+  adj.weights = {7};
+  EXPECT_DEATH(
+      validate::cell_adjacency(adj, 1, 4, "overlapping candidate ranges"),
+      "SJ_CHECK violation.*overlapping candidate ranges");
+}
+
+TEST(ContractsDeath, CellAdjacencyValidatorRejectsNonMonotoneOffsets) {
+  CellAdjacencyHost adj;
+  adj.ranges = {{0, 2, 0}};
+  adj.offsets = {0, 1, 0};  // CSR must be non-decreasing and end at size
+  adj.weights = {2, 0};
+  EXPECT_DEATH(validate::cell_adjacency(adj, 2, 4, "broken csr offsets"),
+               "SJ_CHECK violation.*broken csr offsets");
+}
+
+TEST(ContractsDeath, JoinAdjacencyValidatorRejectsDuplicateQueryOrder) {
+  JoinAdjacencyHost adj;
+  adj.query_order = {0, 0};  // query 1 lost, query 0 doubled
+  adj.group_offsets = {0, 2};
+  adj.ranges = {{0, 2, 0}};
+  adj.offsets = {0, 1};
+  adj.weights = {4};
+  EXPECT_DEATH(
+      validate::join_adjacency(adj, 2, 4, "query order not a permutation"),
+      "SJ_CHECK violation.*query order not a permutation");
+}
+
+TEST(ContractsDeath, JoinAdjacencyValidatorRejectsEmptyGroup) {
+  JoinAdjacencyHost adj;
+  adj.query_order = {0, 1};
+  adj.group_offsets = {0, 2, 2};  // second group holds no queries
+  adj.ranges = {{0, 2, 0}, {2, 3, 0}};
+  adj.offsets = {0, 1, 2};
+  adj.weights = {4, 1};
+  EXPECT_DEATH(validate::join_adjacency(adj, 2, 4, "empty query group"),
+               "SJ_CHECK violation.*empty query group");
+}
+
+// ------------------------------------------------- shard plan validators
+
+TEST(Contracts, ShardBoundariesValidatorAcceptsRealPlan) {
+  const std::vector<std::uint64_t> weights{4, 1, 1, 9, 2, 2};
+  const std::vector<std::uint32_t> bounds = plan_shard_boundaries(weights, 3);
+  validate::shard_boundaries(bounds, weights.size(), "planned boundaries");
+}
+
+TEST(ContractsDeath, ShardBoundariesValidatorRejectsEmptyShard) {
+  const std::vector<std::uint32_t> bounds{0, 2, 2, 4};  // shard 1 owns nothing
+  EXPECT_DEATH(validate::shard_boundaries(bounds, 4, "empty shard"),
+               "SJ_CHECK violation.*empty shard");
+}
+
+TEST(ContractsDeath, ShardBoundariesValidatorRejectsUncoveredUnits) {
+  const std::vector<std::uint32_t> bounds{0, 2, 3};  // unit 3 unowned
+  EXPECT_DEATH(validate::shard_boundaries(bounds, 4, "uncovered units"),
+               "SJ_CHECK violation.*uncovered units");
+}
+
+/// A two-unit slice over slots [0, 2) with one halo interval [2, 4).
+ShardSlice tiny_slice() {
+  const std::vector<CandidateRange> ranges{{0, 2, 0}, {1, 4, 0}};
+  const std::vector<std::uint64_t> offsets{0, 1, 2};
+  const std::vector<std::uint64_t> weights{3, 5};
+  return make_shard_slice(ranges, offsets, weights, 0, 2, 0, 2);
+}
+
+TEST(Contracts, ShardSliceValidatorAcceptsRealSlice) {
+  const ShardSlice slice = tiny_slice();
+  validate::shard_slice(slice, 4, "well-formed slice");
+}
+
+TEST(ContractsDeath, ShardSliceValidatorRejectsBrokenHaloNumbering) {
+  ShardSlice slice = tiny_slice();
+  ASSERT_FALSE(slice.halo.empty());
+  slice.halo[0].local_begin += 1;  // halo no longer follows the owned span
+  EXPECT_DEATH(validate::shard_slice(slice, 4, "broken halo numbering"),
+               "SJ_CHECK violation.*broken halo numbering");
+}
+
+TEST(ContractsDeath, ShardSliceValidatorRejectsHaloInsideOwnedSpan) {
+  ShardSlice slice = tiny_slice();
+  ASSERT_FALSE(slice.halo.empty());
+  slice.halo[0].begin = 1;  // [1, 4) now overlaps the owned span [0, 2)
+  EXPECT_DEATH(validate::shard_slice(slice, 4, "halo inside owned span"),
+               "SJ_CHECK violation.*halo inside owned span");
+}
+
+TEST(ContractsDeath, ShardSliceValidatorRejectsRangePastLocalSlots) {
+  ShardSlice slice = tiny_slice();
+  ASSERT_FALSE(slice.ranges.empty());
+  slice.ranges.back().end = slice.local_points() + 1;
+  EXPECT_DEATH(validate::shard_slice(slice, 4, "range past local slots"),
+               "SJ_CHECK violation.*range past local slots");
+}
+
+// --------------------------------------------------- pipeline validators
+
+TEST(ContractsDeath, SegmentPoolRejectsDoubleRelease) {
+  EXPECT_DEATH(
+      {
+        contracts::set_runtime_checks(true);
+        SegmentPool pool;
+        SegmentPool::Buffer b = pool.acquire(8);
+        Pair* raw = b.data.get();
+        pool.release(std::move(b));
+        SegmentPool::Buffer dup;
+        dup.data.reset(raw);  // a second owner of the same allocation
+        dup.capacity = 8;
+        pool.release(std::move(dup));  // aborts before the double free
+      },
+      "SJ_CHECK violation.*buffer released twice");
+}
+
+// ---------------------------------------------------- api finalize layer
+
+TEST(ContractsDeath, FinalizeOutcomeRejectsKeyOutsideKeySpace) {
+  EXPECT_DEATH(
+      {
+        contracts::set_runtime_checks(true);
+        api::JoinOutcome out;
+        ResultSet pairs;
+        pairs.add(/*key=*/7, /*value=*/0);  // key space is [0, 4)
+        api::finalize_outcome(out, std::move(pairs), api::RunConfig{}, 4);
+      },
+      "SJ_CHECK violation.*pair key must index the key space");
+}
+
+TEST(Contracts, FinalizeOutcomeHistogramCrossCheckPasses) {
+  RuntimeChecksGuard guard;
+  api::JoinOutcome out;
+  ResultSet pairs;
+  pairs.add(0, 1);
+  pairs.add(1, 0);
+  pairs.add(1, 1);
+  api::RunConfig config;
+  config.mode = ResultMode::kHistogram;
+  api::finalize_outcome(out, std::move(pairs), config, 2);
+  ASSERT_EQ(out.histogram.size(), 2u);
+  EXPECT_EQ(out.histogram[0], 1u);
+  EXPECT_EQ(out.histogram[1], 2u);
+  EXPECT_EQ(out.total_pairs, 3u);
+}
+
+}  // namespace
+}  // namespace sj

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "api/registry.hpp"
+#include "common/contracts.hpp"
 #include "common/csv.hpp"
 #include "common/datasets.hpp"
 #include "common/io.hpp"
@@ -40,13 +41,18 @@ using sj::Dataset;
       "  sjtool info     --in FILE\n"
       "  sjtool selfjoin --in FILE --eps E [--algo A] [--threads N]\n"
       "                  [--opt k=v[,k=v...]] [--mode pairs|count|histogram]\n"
-      "                  [--stats 1] [--pairs-out F] [--counts-out F]\n"
+      "                  [--stats 1] [--validate 1]\n"
+      "                  [--pairs-out F] [--counts-out F]\n"
       "  sjtool join     --in QUERIES --data DATA --eps E [--algo A]\n"
       "                  [--threads N] [--opt ...]\n"
       "                  [--mode pairs|count|histogram] [--stats 1]\n"
-      "                  [--pairs-out F]\n"
+      "                  [--validate 1] [--pairs-out F]\n"
       "  sjtool knn      --in FILE --k K [--data DATA] [--algo A]\n"
-      "                  [--threads N] [--opt ...] [--stats 1] [--out F]\n"
+      "                  [--threads N] [--opt ...] [--stats 1]\n"
+      "                  [--validate 1] [--out F]\n"
+      "--validate 1 force-enables the structural validators (grid, "
+      "adjacency,\nshard plan, pipeline) even in release builds; --stats "
+      "then reports the\ntime spent validating.\n"
       "algorithms (selfjoin defaults to gpu_unicomp, join/knn to gpu): ";
   for (const auto& name : sj::api::BackendRegistry::instance().names()) {
     std::cerr << name << " ";
@@ -197,7 +203,21 @@ sj::api::RunConfig make_config(const std::map<std::string, std::string>& flags,
   }
   show_stats = flags.count("stats") && flags.at("stats") != "0";
   config.collect_metrics = show_stats && backend.capabilities().gpu;
+  // Force the structural validators on even when the build compiled the
+  // contract macros out (the cheap runtime subset of SJ_VALIDATE=ON).
+  if (flags.count("validate") && flags.at("validate") != "0") {
+    sj::contracts::set_runtime_checks(true);
+  }
   return config;
+}
+
+/// --stats line for --validate runs: wall time spent inside the
+/// structural validators, so the checking overhead is visible next to
+/// the join time it inflates.
+void print_validation_time() {
+  if (!sj::contracts::active()) return;
+  std::cout << "validation: " << sj::contracts::validation_seconds()
+            << " s\n";
 }
 
 /// Pair throughput line for --stats: exact count in every result mode.
@@ -302,7 +322,10 @@ int cmd_selfjoin(const std::map<std::string, std::string>& flags) {
                           : static_cast<double>(outcome.total_pairs) / n)
             << "\n"
             << "time:    " << seconds << " s  [" << algo << "]\n";
-  if (show_stats) print_pair_rate(outcome.total_pairs, seconds);
+  if (show_stats) {
+    print_pair_rate(outcome.total_pairs, seconds);
+    print_validation_time();
+  }
   if (flags.count("pairs-out")) {
     pairs.normalize();
     write_pairs_csv(pairs, flags.at("pairs-out"));
@@ -348,6 +371,7 @@ int cmd_join(const std::map<std::string, std::string>& flags) {
   if (show_stats) {
     print_native_stats(*backend, outcome.stats);
     print_pair_rate(outcome.total_pairs, outcome.stats.seconds);
+    print_validation_time();
   }
   if (flags.count("pairs-out")) {
     outcome.pairs.normalize();
@@ -382,7 +406,10 @@ int cmd_knn(const std::map<std::string, std::string>& flags) {
                    static_cast<double>(
                        std::max<std::size_t>(r.num_queries(), 1))
             << " candidates/query)  [" << backend->name() << "]\n";
-  if (show_stats) print_native_stats(*backend, outcome.stats);
+  if (show_stats) {
+    print_native_stats(*backend, outcome.stats);
+    print_validation_time();
+  }
   if (flags.count("out")) {
     sj::csv::Table t({"query", "rank", "neighbor", "distance"});
     for (std::size_t q = 0; q < r.num_queries(); ++q) {
