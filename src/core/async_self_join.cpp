@@ -101,6 +101,7 @@ SelfJoinResult AsyncGpuSelfJoin::run(const Dataset& d, double eps) const {
   config.streams = opt_.num_streams;
   config.assembly_threads = opt_.assembly_threads;
   config.block_size = opt_.block_size;
+  config.retry = opt_.retry;
   BatchPipeline pipeline(arena, opt_.device, config);
 
   // Cell-mode planning pass overlaps the sampling estimator: both only

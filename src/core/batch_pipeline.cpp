@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <exception>
@@ -11,10 +12,12 @@
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "common/fault.hpp"
 #include "common/timer.hpp"
 #include "core/kernels.hpp"
 #include "gpusim/atomic.hpp"
@@ -32,6 +35,7 @@ namespace {
 struct Task {
   std::size_t root = 0;
   bool is_root = true;
+  int attempts = 0;                  // transient-fault re-runs so far
   std::vector<std::uint32_t> ids;    // point mode
   std::vector<CellWorkItem> cells;   // cell mode
 };
@@ -262,6 +266,37 @@ class JoinGroupMode {
 
 }  // namespace
 
+std::exception_ptr annotate_exception(std::exception_ptr e,
+                                      const std::string& context) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const gpu::DeviceOutOfMemory& oom) {
+    return std::make_exception_ptr(gpu::DeviceOutOfMemory(
+        oom.requested, oom.free_bytes, context + ": " + oom.what()));
+  } catch (const fault::ResourceExhausted& ex) {
+    return std::make_exception_ptr(
+        fault::ResourceExhausted(context + ": " + ex.what()));
+  } catch (const fault::TransientDeviceError& ex) {
+    return std::make_exception_ptr(
+        fault::TransientDeviceError(context + ": " + ex.what()));
+  } catch (const fault::DeviceLost& ex) {
+    return std::make_exception_ptr(
+        fault::DeviceLost(ex.device, context + ": " + ex.what()));
+  } catch (const fault::FaultError& ex) {
+    return std::make_exception_ptr(
+        fault::FaultError(context + ": " + ex.what()));
+  } catch (const std::invalid_argument& ex) {
+    return std::make_exception_ptr(
+        std::invalid_argument(context + ": " + ex.what()));
+  } catch (const std::exception& ex) {
+    return std::make_exception_ptr(
+        std::runtime_error(context + ": " + ex.what()));
+  } catch (...) {
+    return std::make_exception_ptr(
+        std::runtime_error(context + ": unknown error"));
+  }
+}
+
 SegmentPool::Buffer SegmentPool::acquire(std::uint64_t count) {
   if (count == 0) return {};
   {
@@ -293,7 +328,10 @@ SegmentPool::Buffer SegmentPool::acquire(std::uint64_t count) {
 }
 
 void SegmentPool::release(Buffer b) {
-  if (b.capacity == 0) return;
+  // A moved-from buffer keeps its stale capacity but owns no storage;
+  // pooling it would hand a null allocation to a later acquire(). The
+  // error-drain paths release defensively, so tolerate both shapes.
+  if (b.data == nullptr || b.capacity == 0) return;
   b.count = 0;
   std::lock_guard<std::mutex> lock(mu_);
   if (contracts::active()) {
@@ -320,6 +358,14 @@ BatchPipeline::BatchPipeline(gpu::GlobalMemoryArena& arena,
   }
   if (config_.block_size <= 0) {
     throw std::invalid_argument("BatchPipeline: block_size must be positive");
+  }
+  if (config_.retry.retries < 0) {
+    throw std::invalid_argument(
+        "BatchPipeline: retry.retries must be non-negative");
+  }
+  if (config_.retry.backoff_ms < 0.0) {
+    throw std::invalid_argument(
+        "BatchPipeline: retry.backoff_ms must be non-negative");
   }
 }
 
@@ -470,9 +516,16 @@ PipelineOutput BatchPipeline::run_impl(const Mode& mode,
 
   // Tasks seeded or split but not yet terminally handled; the thread that
   // brings it to zero closes the task queue and ends the kernel stage.
+  // A retried task stays outstanding (same task, re-queued); a split task
+  // nets +1 (one became two). Every failure path calls complete_one, so
+  // the queue always closes and the stages always drain — an error never
+  // leaves run() deadlocked on a segment that will not arrive.
   std::atomic<std::size_t> outstanding{num_roots};
-  std::atomic<bool> fatal_overflow{false};
   std::atomic<bool> failed{false};
+  // Per-pipeline 1-based batch start ordinal, the trigger for targeted
+  // device-loss injection ([[maybe_unused]]: the compiled-out
+  // SJ_FAULT_BATCH does not evaluate its arguments).
+  [[maybe_unused]] std::atomic<std::uint64_t> batch_ordinal{0};
 
   std::mutex mu;  // protects acc, segments, the watermark and first_error
   BatchRunStats acc;
@@ -523,6 +576,122 @@ PipelineOutput BatchPipeline::run_impl(const Mode& mode,
     if (outstanding.fetch_sub(1) == 1) tasks.close();
   };
 
+  // "batch key=K (N queries [a..b]) on device D" — the context every
+  // error surfacing from run() carries.
+  auto describe_task = [this, &mode](const Task& t) {
+    std::string d = "batch";
+    if (!t.ids.empty()) {
+      d += " key=" + std::to_string(mode.first_key(t)) + " (" +
+           std::to_string(t.ids.size()) + " queries [" +
+           std::to_string(t.ids.front()) + ".." +
+           std::to_string(t.ids.back()) + "])";
+    } else if (!t.cells.empty()) {
+      d += " key=" + std::to_string(mode.first_key(t)) + " (" +
+           std::to_string(t.cells.size()) + " items [" +
+           std::to_string(t.cells.front().begin) + ".." +
+           std::to_string(t.cells.back().end) + "))";
+    } else {
+      d += " root=" + std::to_string(t.root);
+    }
+    if (config_.device_id >= 0) {
+      d += " on device " + std::to_string(config_.device_id);
+    }
+    return d;
+  };
+
+  // Unrecoverable: record the (annotated) error and retire the task so
+  // the drain makes progress.
+  auto record_failure = [&](const Task& task, std::exception_ptr e,
+                            const std::string& note) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_error == nullptr) {
+        first_error = annotate_exception(e, describe_task(task) + note);
+      }
+    }
+    failed.store(true);
+    complete_one();
+  };
+
+  // Feed a split's halves back into the queue. Exception-safe: if a push
+  // throws (allocation under the queue lock), the un-pushed halves are
+  // retired so `outstanding` still reaches zero and the stages drain.
+  auto push_split = [&](Task lo, Task hi) {
+    outstanding.fetch_add(1);  // net effect of the split: 1 -> 2
+    int pushed = 0;
+    try {
+      tasks.push_overflow(std::move(lo));
+      ++pushed;
+      tasks.push_overflow(std::move(hi));
+      ++pushed;
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error == nullptr) first_error = std::current_exception();
+      }
+      failed.store(true);
+      for (; pushed < 2; ++pushed) complete_one();
+    }
+  };
+
+  // Transient-fault retry: same task, same `outstanding` charge, bounded
+  // exponential backoff (doubling per attempt, capped at 32x).
+  auto retry_task = [&](Task& task) {
+    ++task.attempts;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++acc.retries;
+    }
+    const int exponent = std::min(task.attempts - 1, 5);
+    const double ms =
+        config_.retry.backoff_ms * static_cast<double>(1 << exponent);
+    if (ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(ms));
+    }
+    try {
+      tasks.push_overflow(std::move(task));
+    } catch (...) {
+      record_failure(task, std::current_exception(), " (requeue failed)");
+    }
+  };
+
+  // Failure classification, the taxonomy's contract (common/fault.hpp):
+  // transient -> bounded retry; resource exhaustion -> degrade by
+  // splitting (retry when unsplittable, attempts permitting); device loss
+  // and everything else -> fail the run with batch context attached.
+  auto handle_worker_error = [&](Task& task, std::exception_ptr e) {
+    try {
+      std::rethrow_exception(e);
+    } catch (const fault::TransientDeviceError&) {
+      if (task.attempts < config_.retry.retries) {
+        retry_task(task);
+      } else {
+        record_failure(task, e, " (transient-fault retries exhausted)");
+      }
+    } catch (const fault::DeviceLost&) {
+      record_failure(task, e, "");
+    } catch (const fault::ResourceExhausted&) {
+      Task lo, hi;
+      if (mode.split(task, lo, hi)) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          ++acc.batches_split_on_oom;
+          if (sinking) pending.insert(mode.first_key(hi));
+        }
+        push_split(std::move(lo), std::move(hi));
+      } else if (task.attempts < config_.retry.retries) {
+        // Unsplittable, but the exhaustion may be spurious (injected, or
+        // another stream's transient allocation spike): retry in place.
+        retry_task(task);
+      } else {
+        record_failure(task, e, " (unsplittable after resource exhaustion)");
+      }
+    } catch (...) {
+      record_failure(task, e, "");
+    }
+  };
+
   // --- Stage 3: host assembly. Completed segments are merged into the
   // deterministic batch-key order while further kernels run; in sink mode
   // each insert also advances the watermark.
@@ -530,21 +699,42 @@ PipelineOutput BatchPipeline::run_impl(const Mode& mode,
   const int n_assemblers = materialise ? config_.assembly_threads : 0;
   assemblers.reserve(static_cast<std::size_t>(n_assemblers));
   for (int a = 0; a < n_assemblers; ++a) {
-    assemblers.emplace_back([&done, &mu, &segments, &acc, &flush_ready,
-                             sinking] {
+    assemblers.emplace_back([&] {
       Completed c;
       while (done.pop(c)) {
-        Timer merge_timer;
-        std::lock_guard<std::mutex> lock(mu);
-        if (contracts::active()) {
-          // Batches partition the query slots, so two segments can never
-          // share a first key; a duplicate would silently drop a batch.
-          SJ_CHECK(segments.find(c.first_key) == segments.end(),
-                   "BatchPipeline: duplicate batch merge key");
+        // A throw from the merge (map allocation) or from the sink
+        // callback must not std::terminate the process or stall the
+        // stream callbacks feeding `done`: record it, keep draining, and
+        // let run() rethrow after the join.
+        try {
+          Timer merge_timer;
+          std::lock_guard<std::mutex> lock(mu);
+          if (failed.load(std::memory_order_relaxed)) {
+            pool_.release(std::move(c.pairs));  // drain and discard
+            continue;
+          }
+          if (contracts::active()) {
+            // Batches partition the query slots, so two segments can
+            // never share a first key; a duplicate would silently drop a
+            // batch.
+            SJ_CHECK(segments.find(c.first_key) == segments.end(),
+                     "BatchPipeline: duplicate batch merge key");
+          }
+          segments[c.first_key] = std::move(c.pairs);
+          if (sinking) flush_ready();
+          acc.assembly_seconds += merge_timer.seconds();
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            if (first_error == nullptr) {
+              first_error = annotate_exception(
+                  std::current_exception(),
+                  "assembly of batch key=" + std::to_string(c.first_key));
+            }
+          }
+          failed.store(true);
+          pool_.release(std::move(c.pairs));  // no-op if already merged
         }
-        segments[c.first_key] = std::move(c.pairs);
-        if (sinking) flush_ready();
-        acc.assembly_seconds += merge_timer.seconds();
       }
     });
   }
@@ -566,16 +756,24 @@ PipelineOutput BatchPipeline::run_impl(const Mode& mode,
       int flip = 0;
       Task task;
       while (tasks.pop(task)) {
-        if (fatal_overflow.load(std::memory_order_relaxed) ||
-            failed.load(std::memory_order_relaxed)) {
+        if (failed.load(std::memory_order_relaxed)) {
           complete_one();  // drain mode: shut down as fast as possible
           continue;
         }
         try {
+          // Arm fault injection for exactly this batch's span: every
+          // injected fault lands in this try block, classified and
+          // recovered by handle_worker_error. All hooks fire BEFORE the
+          // operation's side effects, so a retry re-runs a clean batch.
+          fault::DeviceScope fault_scope(config_.device_id);
+          SJ_FAULT_BATCH(
+              config_.device_id,
+              batch_ordinal.fetch_add(1, std::memory_order_relaxed) + 1);
           if (task.is_root) {
             // Root batches expand here, off the seeding thread's
             // critical path.
             mode.expand_root(task);
+            task.is_root = false;  // a retry must not re-expand the ids
           }
 
           if (!materialise) {
@@ -629,9 +827,14 @@ PipelineOutput BatchPipeline::run_impl(const Mode& mode,
             Task lo, hi;
             if (!mode.split(task, lo, hi)) {
               // A single point's neighbourhood exceeds the buffer —
-              // cannot split further. Reported after the drain.
-              fatal_overflow.store(true);
-              complete_one();
+              // cannot split further. Fail the run with the batch named.
+              record_failure(
+                  task,
+                  std::make_exception_ptr(gpu::DeviceOutOfMemory(
+                      buffer_pairs * sizeof(Pair) * 2,
+                      buffer_pairs * sizeof(Pair))),
+                  " (single query's neighbourhood overflows the result "
+                  "buffer)");
               continue;
             }
             if (sinking) {
@@ -640,9 +843,7 @@ PipelineOutput BatchPipeline::run_impl(const Mode& mode,
               std::lock_guard<std::mutex> lock(mu);
               pending.insert(mode.first_key(hi));
             }
-            outstanding.fetch_add(1);  // net effect of the split: 1 -> 2
-            tasks.push_overflow(std::move(lo));
-            tasks.push_overflow(std::move(hi));
+            push_split(std::move(lo), std::move(hi));
             continue;
           }
 
@@ -678,12 +879,7 @@ PipelineOutput BatchPipeline::run_impl(const Mode& mode,
           acc.sort_seconds += sort_s;
           ++acc.batches_run;
         } catch (...) {
-          {
-            std::lock_guard<std::mutex> lock(mu);
-            if (first_error == nullptr) first_error = std::current_exception();
-          }
-          failed.store(true);
-          complete_one();
+          handle_worker_error(task, std::current_exception());
         }
       }
       stream.synchronize();  // pending transfers still read the slots
@@ -707,10 +903,6 @@ PipelineOutput BatchPipeline::run_impl(const Mode& mode,
   for (auto& a : assemblers) a.join();
 
   if (first_error != nullptr) std::rethrow_exception(first_error);
-  if (fatal_overflow.load()) {
-    throw gpu::DeviceOutOfMemory(buffer_pairs * sizeof(Pair) * 2,
-                                 buffer_pairs * sizeof(Pair));
-  }
 
   if (req.mode == ResultMode::kCountOnly) {
     output.total_pairs = counted.load();

@@ -23,8 +23,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/result.hpp"
@@ -137,7 +139,18 @@ struct PipelineConfig {
   int assembly_threads = 1;  ///< host-side merge workers
   int block_size = 256;
   std::size_t task_queue_capacity = 0;  ///< 0 -> 2 * streams
+  RetryPolicy retry;  ///< transient-fault response (batcher.hpp)
+  int device_id = -1;  ///< simulated device id (gpu_shard); -1 = unsharded
 };
+
+/// Rebuild `e` with `context + ": "` prefixed to its message, preserving
+/// the sj::fault taxonomy type (and DeviceOutOfMemory's byte counts /
+/// DeviceLost's device id) so callers can still dispatch on it. Unknown
+/// exception types degrade to std::runtime_error. Shared by the pipeline
+/// (batch context) and the shard engine (shard context — annotations
+/// compose, shard prefix outermost).
+std::exception_ptr annotate_exception(std::exception_ptr e,
+                                      const std::string& context);
 
 /// The three-stage pipeline. Construct one per join run; run() spins up
 /// the worker and assembly threads, executes the plan, and joins them.

@@ -127,6 +127,7 @@ PipelineOutput Batcher::run(const ResultRequest& req,
   config.streams = std::max(1, num_streams_);
   config.assembly_threads = 1;
   config.block_size = block_size_;
+  config.retry = retry_;
   BatchPipeline pipeline(arena_, spec_, config);
   return pipeline.run(req, grid, unicomp, plan, work, stats);
 }
@@ -149,6 +150,7 @@ PipelineOutput Batcher::run_cells(const ResultRequest& req,
   config.streams = std::max(1, num_streams_);
   config.assembly_threads = 1;
   config.block_size = block_size_;
+  config.retry = retry_;
   BatchPipeline pipeline(arena_, spec_, config);
   return pipeline.run_cells(req, grid, unicomp, plan, adjacency, work, stats);
 }
@@ -171,15 +173,17 @@ PipelineOutput Batcher::run_join_groups(const ResultRequest& req,
   config.streams = std::max(1, num_streams_);
   config.assembly_threads = 1;
   config.block_size = block_size_;
+  config.retry = retry_;
   BatchPipeline pipeline(arena_, spec_, config);
   return pipeline.run_join_groups(req, grid, plan, adjacency, work, stats);
 }
 
 Batcher::Batcher(gpu::GlobalMemoryArena& arena, const gpu::DeviceSpec& spec,
-                 int num_streams, int block_size)
+                 int num_streams, int block_size, RetryPolicy retry)
     : arena_(arena),
       spec_(spec),
       num_streams_(num_streams),
-      block_size_(block_size) {}
+      block_size_(block_size),
+      retry_(retry) {}
 
 }  // namespace sj

@@ -119,6 +119,8 @@ struct PipelineOutput {
 struct BatchRunStats {
   std::size_t batches_run = 0;       // including overflow retries
   std::size_t overflow_retries = 0;  // batches that had to be split
+  std::size_t retries = 0;           // batches re-run after transient faults
+  std::size_t batches_split_on_oom = 0;  // halved after ResourceExhausted
   double kernel_seconds = 0.0;       // summed kernel wall-clock
   double sort_seconds = 0.0;         // per-batch key/value sorts
   double assembly_seconds = 0.0;     // host-side segment merging
@@ -126,10 +128,21 @@ struct BatchRunStats {
   double modeled_transfer_seconds = 0.0;  // bytes / PCIe bandwidth
 };
 
+/// How the pipeline responds to fault::TransientDeviceError: re-run the
+/// batch up to `retries` times with exponential backoff starting at
+/// `backoff_ms` (doubling per attempt, capped at 32x). Retries never
+/// change output — failed operations have no side effects (the injection
+/// hooks and the gpusim seams fail BEFORE mutating anything) and the
+/// assembly merge is keyed, not arrival-ordered.
+struct RetryPolicy {
+  int retries = 6;          ///< max re-runs per batch (0 = fail fast)
+  double backoff_ms = 0.5;  ///< initial backoff; doubles per attempt
+};
+
 class Batcher {
  public:
   Batcher(gpu::GlobalMemoryArena& arena, const gpu::DeviceSpec& spec,
-          int num_streams, int block_size);
+          int num_streams, int block_size, RetryPolicy retry = {});
 
   /// Execute the full self-join over all of `grid`'s points according to
   /// `plan`, returning the complete result set. Result order is
@@ -176,6 +189,7 @@ class Batcher {
   gpu::DeviceSpec spec_;
   int num_streams_;
   int block_size_;
+  RetryPolicy retry_;
 };
 
 }  // namespace sj

@@ -7,6 +7,7 @@
 
 #include "gpusim/arena.hpp"
 
+#include "common/fault.hpp"
 #include "common/timer.hpp"
 #include "core/kernels.hpp"
 #include "core/work_counters.hpp"
@@ -59,8 +60,23 @@ EstimateResult estimate_query_span(const GridDeviceView& grid, bool unicomp,
   p.work = &work;
   // result.out stays null: count-only mode.
 
-  gpu::launch(gpu::LaunchConfig::cover(sample, block_size),
-              [&p](const gpu::ThreadCtx& ctx) { self_join_thread(ctx, p); });
+  {
+    // The sampling launch sits outside the pipeline's retry loop, so it
+    // carries its own bounded in-place retry against injected transient
+    // faults. Safe to re-run: the launch-entry fault fires before any
+    // kernel-thread body, so `work` holds nothing from a failed attempt.
+    fault::DeviceScope fault_scope(-1);
+    for (int attempt = 0;; ++attempt) {
+      try {
+        gpu::launch(
+            gpu::LaunchConfig::cover(sample, block_size),
+            [&p](const gpu::ThreadCtx& ctx) { self_join_thread(ctx, p); });
+        break;
+      } catch (const fault::TransientDeviceError&) {
+        if (attempt >= 5) throw;
+      }
+    }
+  }
 
   gpu::KernelMetrics m;
   work.add_to(m);

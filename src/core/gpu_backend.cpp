@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "api/registry.hpp"
+#include "common/fault.hpp"
 #include "core/async_self_join.hpp"
 #include "core/brute_force_gpu.hpp"
 #include "core/join.hpp"
@@ -23,7 +24,7 @@ namespace {
 
 constexpr std::string_view kGpuKeys =
     "block_size,min_batches,num_streams,sample_rate,safety,max_buffer_pairs,"
-    "layout,soa";
+    "layout,soa,faults,retries,backoff_ms";
 
 /// The "layout" knob shared by the GPU-SJ engines: cell (default) runs
 /// the cell-major reorder + cell-centric kernel, legacy the paper's
@@ -43,6 +44,18 @@ int positive_int(const api::RunConfig& config, const std::string& key,
   if (v <= 0) {
     throw std::invalid_argument("option '" + key +
                                 "' must be a positive integer");
+  }
+  return v;
+}
+
+/// Retry counts may legitimately be zero (fail fast on the first
+/// transient fault), so positive_int is too strict for them.
+int non_negative_int(const api::RunConfig& config, const std::string& key,
+                     int def) {
+  const int v = config.integer(key, def);
+  if (v < 0) {
+    throw std::invalid_argument("option '" + key +
+                                "' must be a non-negative integer");
   }
   return v;
 }
@@ -73,6 +86,16 @@ void apply_gpu_batch_knobs(const api::RunConfig& config, Options& opt) {
     throw std::invalid_argument("option 'max_buffer_pairs' must be > 0");
   }
   opt.max_buffer_pairs = static_cast<std::uint64_t>(buffer_pairs);
+  // Fault-tolerance knobs. "faults" arms the process-wide injector (needs
+  // a -DSJ_FAULTS=ON build; configure_from_text explains otherwise);
+  // retries/backoff_ms shape the pipeline's transient-failure retry loop.
+  const std::string faults = config.text("faults", "");
+  if (!faults.empty()) fault::configure_from_text(faults);
+  opt.retry.retries = non_negative_int(config, "retries", opt.retry.retries);
+  opt.retry.backoff_ms = config.number("backoff_ms", opt.retry.backoff_ms);
+  if (opt.retry.backoff_ms < 0.0) {
+    throw std::invalid_argument("option 'backoff_ms' must be >= 0");
+  }
 }
 
 /// The normalised + native stats block shared by the GPU-SJ engines
@@ -95,6 +118,9 @@ api::JoinOutcome make_gpu_outcome(SelfJoinResult r) {
       {"estimated_total", static_cast<double>(s.estimated_total)},
       {"batches_run", static_cast<double>(s.batch.batches_run)},
       {"overflow_retries", static_cast<double>(s.batch.overflow_retries)},
+      {"retries", static_cast<double>(s.batch.retries)},
+      {"batches_split_on_oom",
+       static_cast<double>(s.batch.batches_split_on_oom)},
       {"kernel_seconds", s.batch.kernel_seconds},
       {"sort_seconds", s.batch.sort_seconds},
       {"assembly_seconds", s.batch.assembly_seconds},
@@ -174,6 +200,9 @@ class GpuBackend final : public api::SelfJoinBackend {
         {"query_groups", static_cast<double>(s.query_groups)},
         {"batches_run", static_cast<double>(s.batch.batches_run)},
         {"overflow_retries", static_cast<double>(s.batch.overflow_retries)},
+        {"retries", static_cast<double>(s.batch.retries)},
+        {"batches_split_on_oom",
+         static_cast<double>(s.batch.batches_split_on_oom)},
         {"kernel_seconds", s.batch.kernel_seconds},
         {"cells_examined", static_cast<double>(s.metrics.cells_examined)},
         {"cells_nonempty", static_cast<double>(s.metrics.cells_nonempty)},
@@ -250,7 +279,7 @@ class GpuAsyncBackend final : public api::SelfJoinBackend {
     config.check_keys(name(),
                       "block_size,min_batches,streams,num_streams,"
                       "assembly_threads,sample_rate,safety,max_buffer_pairs,"
-                      "unicomp,layout,soa");
+                      "unicomp,layout,soa,faults,retries,backoff_ms");
     reject_threads(name(), config);
     api::check_result_mode(name(), config, /*supports_sink=*/true);
     AsyncSelfJoinOptions opt;
@@ -334,6 +363,9 @@ class GpuShardBackend final : public api::SelfJoinBackend {
         {"query_groups", static_cast<double>(s.query_groups)},
         {"batches_run", static_cast<double>(s.batch.batches_run)},
         {"overflow_retries", static_cast<double>(s.batch.overflow_retries)},
+        {"retries", static_cast<double>(s.batch.retries)},
+        {"batches_split_on_oom",
+         static_cast<double>(s.batch.batches_split_on_oom)},
         {"kernel_seconds", s.batch.kernel_seconds},
         {"cells_examined", static_cast<double>(s.metrics.cells_examined)},
         {"cells_nonempty", static_cast<double>(s.metrics.cells_nonempty)},
@@ -345,7 +377,8 @@ class GpuShardBackend final : public api::SelfJoinBackend {
  private:
   static constexpr std::string_view kShardKeys =
       "shards,schedule,streams,num_streams,assembly_threads,unicomp,"
-      "block_size,min_batches,sample_rate,safety,max_buffer_pairs,layout,soa";
+      "block_size,min_batches,sample_rate,safety,max_buffer_pairs,layout,soa,"
+      "faults,retries,backoff_ms";
 
   static ShardedSelfJoinOptions parse_shard_options(
       const api::RunConfig& config) {
@@ -386,6 +419,9 @@ class GpuShardBackend final : public api::SelfJoinBackend {
     native["common_seconds"] = shard.common_seconds;
     native["makespan_seconds"] = shard.makespan_seconds;
     native["busy_sum_seconds"] = shard.busy_sum_seconds;
+    native["shards_failed_over"] =
+        static_cast<double>(shard.shards_failed_over);
+    native["recovery_seconds"] = shard.recovery_seconds;
     for (std::size_t s = 0; s < shard.per_shard.size(); ++s) {
       const ShardStats& ss = shard.per_shard[s];
       const std::string p = "shard" + std::to_string(s) + "_";
@@ -395,6 +431,8 @@ class GpuShardBackend final : public api::SelfJoinBackend {
       native[p + "halo_points"] = static_cast<double>(ss.halo_points);
       native[p + "pairs"] = static_cast<double>(ss.pairs);
       native[p + "seconds"] = ss.seconds;
+      native[p + "device"] = static_cast<double>(ss.device);
+      native[p + "failed_over"] = ss.failed_over ? 1.0 : 0.0;
     }
   }
 };

@@ -71,7 +71,8 @@ GpuJoinResult gpu_join(const Dataset& queries, const Dataset& data,
   req.histogram_keys = queries.size();
 
   AtomicWork work;
-  Batcher batcher(arena, opt.device, opt.num_streams, opt.block_size);
+  Batcher batcher(arena, opt.device, opt.num_streams, opt.block_size,
+                  opt.retry);
   PipelineOutput out;
   if (opt.layout == GridLayout::kCellMajor) {
     // Group the queries by their data-grid home cell and resolve each

@@ -41,6 +41,8 @@ struct GpuJoinOptions {
   /// SoA coordinate-plane scan (cell-major only); false = AoS ablation.
   bool soa = true;
   gpu::DeviceSpec device = gpu::DeviceSpec::titan_x_pascal();
+  /// Transient-fault retry policy (batcher.hpp).
+  RetryPolicy retry;
 };
 
 struct GpuJoinStats {

@@ -105,7 +105,8 @@ SelfJoinResult GpuSelfJoin::run(const Dataset& d, double eps) const {
   // --- Batched, stream-pipelined join.
   AtomicWork work;
   phase.reset();
-  Batcher batcher(arena, opt_.device, opt_.num_streams, opt_.block_size);
+  Batcher batcher(arena, opt_.device, opt_.num_streams, opt_.block_size,
+                  opt_.retry);
   PipelineOutput out;
   if (opt_.layout == GridLayout::kCellMajor) {
     // Per-cell work estimates -> weighted contiguous cell batches.

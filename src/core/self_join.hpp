@@ -69,6 +69,11 @@ struct GpuSelfJoinOptions {
 
   /// Device resource model (defaults to the paper's TITAN X Pascal).
   gpu::DeviceSpec device = gpu::DeviceSpec::titan_x_pascal();
+
+  /// Transient-fault response: batches hit by a TransientDeviceError are
+  /// re-run up to retry.retries times with exponential backoff (see
+  /// RetryPolicy, batcher.hpp). Retries never change the output.
+  RetryPolicy retry;
 };
 
 struct SelfJoinStats {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "common/fault.hpp"
 #include "common/parse.hpp"
 #include "common/timer.hpp"
 #include "core/batch_pipeline.hpp"
@@ -138,18 +139,73 @@ void fill_planes(const double* points, std::size_t n, int dim,
   }
 }
 
+/// Failover accounting surfaced into ShardedRunStats.
+struct FailoverStats {
+  std::size_t shards_failed_over = 0;
+  double recovery_seconds = 0.0;
+};
+
 /// Drive the K shard jobs according to the schedule, collecting the first
 /// exception (a shard failure must not leak threads).
+///
+/// Failover: a job that throws fault::DeviceLost has lost its simulated
+/// device mid-run. The dead device is retired (host-side bitmask), the
+/// shard's state is wound back via `reset`, and the whole shard re-runs
+/// on the lowest-numbered surviving device — fresh arena and pipeline
+/// inside `job`. The ownership rule makes the re-execution exact, so the
+/// merged output is byte-identical to a fault-free run. Only when no
+/// device survives does the loss fail the run. Any other exception fails
+/// immediately, annotated with the shard id.
 void run_shards(std::size_t k, ShardSchedule schedule,
-                const std::function<void(std::size_t)>& job) {
+                const std::function<void(std::size_t, int)>& job,
+                const std::function<void(std::size_t)>& reset,
+                FailoverStats& failover) {
   std::exception_ptr first_error;
-  std::mutex err_mu;
+  std::mutex err_mu;  // guards first_error, dead_devices and failover
+  std::uint64_t dead_devices = 0;
   auto guarded = [&](std::size_t s) {
-    try {
-      job(s);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(err_mu);
-      if (first_error == nullptr) first_error = std::current_exception();
+    int device = static_cast<int>(s);
+    bool recovering = false;
+    for (;;) {
+      Timer attempt;
+      try {
+        if (recovering) reset(s);
+        job(s, device);
+        if (recovering) {
+          std::lock_guard<std::mutex> lock(err_mu);
+          failover.recovery_seconds += attempt.seconds();
+        }
+        return;
+      } catch (const fault::DeviceLost& lost) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        const int dead = lost.device >= 0 ? lost.device : device;
+        if (dead >= 0 && dead < 64) dead_devices |= 1ULL << dead;
+        int replacement = -1;
+        for (std::size_t d = 0; d < std::min<std::size_t>(k, 64); ++d) {
+          if ((dead_devices & (1ULL << d)) == 0) {
+            replacement = static_cast<int>(d);
+            break;
+          }
+        }
+        if (replacement < 0) {
+          if (first_error == nullptr) {
+            first_error = annotate_exception(
+                std::current_exception(),
+                "shard " + std::to_string(s) + " (no surviving device)");
+          }
+          return;
+        }
+        ++failover.shards_failed_over;
+        device = replacement;
+        recovering = true;
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (first_error == nullptr) {
+          first_error = annotate_exception(std::current_exception(),
+                                           "shard " + std::to_string(s));
+        }
+        return;
+      }
     }
   };
   if (schedule == ShardSchedule::kSerial || k == 1) {
@@ -205,6 +261,8 @@ PipelineOutput merge_shards(std::vector<ShardOutput>& outs,
     const BatchRunStats& b = outs[s].stats.batch;
     batch.batches_run += b.batches_run;
     batch.overflow_retries += b.overflow_retries;
+    batch.retries += b.retries;
+    batch.batches_split_on_oom += b.batches_split_on_oom;
     batch.kernel_seconds += b.kernel_seconds;
     batch.sort_seconds += b.sort_seconds;
     batch.assembly_seconds += b.assembly_seconds;
@@ -276,7 +334,11 @@ ShardedSelfJoinResult ShardedGpuSelfJoin::run(const Dataset& d,
   std::vector<AtomicWork> works(k);
   std::vector<EstimateResult> ests(k);
   phase.reset();
-  run_shards(k, opt_.schedule, [&](std::size_t s) {
+  // Each run observes at most one injected loss per plan entry; devices
+  // killed by a previous run stay dead otherwise.
+  fault::reset_devices();
+  FailoverStats failover;
+  run_shards(k, opt_.schedule, [&](std::size_t s, int device) {
     Timer shard_t;
     const std::uint32_t c0 = bounds[s];
     const std::uint32_t c1 = bounds[s + 1];
@@ -373,6 +435,8 @@ ShardedSelfJoinResult ShardedGpuSelfJoin::run(const Dataset& d,
     config.streams = opt_.num_streams;
     config.assembly_threads = opt_.assembly_threads;
     config.block_size = opt_.block_size;
+    config.retry = opt_.retry;
+    config.device_id = device;
     BatchPipeline pipeline(arena, opt_.device, config);
     outs[s].out = pipeline.run_cells(req, grid, opt_.unicomp, plan, &local,
                                      &works[s], &outs[s].stats.batch);
@@ -383,8 +447,20 @@ ShardedSelfJoinResult ShardedGpuSelfJoin::run(const Dataset& d,
     ss.owned_points = slice.owned_points();
     ss.halo_points = slice.halo_points();
     ss.pairs = outs[s].out.total_pairs;
+    ss.device = device;
+    ss.failed_over = device != static_cast<int>(s);
     ss.seconds = shard_t.seconds();
-  });
+  },
+  // Failover reset: wind the shard's record back so the surviving
+  // device's re-run neither double-counts nor duplicates.
+  [&](std::size_t s) {
+    works[s].reset();
+    outs[s] = ShardOutput{};
+    ests[s] = EstimateResult{};
+  },
+  failover);
+  result.shard.shards_failed_over = failover.shards_failed_over;
+  result.shard.recovery_seconds = failover.recovery_seconds;
   st.join_seconds = phase.seconds();
   for (const EstimateResult& e : ests) {
     st.estimate_seconds += e.seconds;
@@ -454,7 +530,9 @@ ShardedJoinResult sharded_join(const Dataset& queries, const Dataset& data,
   std::vector<AtomicWork> works(k);
   std::vector<EstimateResult> ests(k);
   phase.reset();
-  run_shards(k, opt.schedule, [&](std::size_t s) {
+  fault::reset_devices();
+  FailoverStats failover;
+  run_shards(k, opt.schedule, [&](std::size_t s, int device) {
     Timer shard_t;
     const std::uint32_t g0 = bounds[s];
     const std::uint32_t g1 = bounds[s + 1];
@@ -526,6 +604,8 @@ ShardedJoinResult sharded_join(const Dataset& queries, const Dataset& data,
     ss.weight = slice.weight;
     ss.owned_points = q1 - q0;     // queries assigned to this shard
     ss.halo_points = nlocal;       // data slots replicated to this shard
+    ss.device = device;
+    ss.failed_over = device != static_cast<int>(s);
     if (nlocal > 0) {
       // Per-device estimate over this shard's own queries (the sorted
       // group order), exactly like the self-join's owned-slot sampling;
@@ -555,6 +635,8 @@ ShardedJoinResult sharded_join(const Dataset& queries, const Dataset& data,
       config.streams = opt.num_streams;
       config.assembly_threads = opt.assembly_threads;
       config.block_size = opt.block_size;
+      config.retry = opt.retry;
+      config.device_id = device;
       BatchPipeline pipeline(arena, opt.device, config);
       outs[s].out = pipeline.run_join_groups(req, grid, plan, local,
                                              &works[s],
@@ -562,7 +644,15 @@ ShardedJoinResult sharded_join(const Dataset& queries, const Dataset& data,
     }
     ss.pairs = outs[s].out.total_pairs;
     ss.seconds = shard_t.seconds();
-  });
+  },
+  [&](std::size_t s) {
+    works[s].reset();
+    outs[s] = ShardOutput{};
+    ests[s] = EstimateResult{};
+  },
+  failover);
+  result.shard.shards_failed_over = failover.shards_failed_over;
+  result.shard.recovery_seconds = failover.recovery_seconds;
   for (const EstimateResult& e : ests) st.estimated_total += e.estimated_total;
 
   PipelineOutput merged = merge_shards(outs, works, st.metrics, st.batch,

@@ -64,6 +64,9 @@ struct ShardStats {
   std::uint64_t pairs = 0;          ///< pairs this shard emitted
   double seconds = 0.0;             ///< device busy time (slice, upload,
                                     ///< plan, pipeline)
+  int device = -1;                  ///< device that ran the shard (== the
+                                    ///< shard index unless failed over)
+  bool failed_over = false;         ///< re-planned onto a surviving device
   BatchRunStats batch;
 };
 
@@ -77,6 +80,12 @@ struct ShardedRunStats {
   /// shard busy times do not contend for the host core.
   double makespan_seconds = 0.0;
   double busy_sum_seconds = 0.0;  ///< total device busy time
+  /// Shards whose device died (fault::DeviceLost) and that were re-planned
+  /// onto a surviving device — fresh arena, fresh pipeline, output
+  /// byte-identical to the fault-free run (ownership rule: re-execution is
+  /// exact and dedup-free).
+  std::size_t shards_failed_over = 0;
+  double recovery_seconds = 0.0;  ///< busy time spent on failover re-runs
   std::vector<ShardStats> per_shard;
 };
 

@@ -31,6 +31,18 @@ class AtomicWork {
                                  std::memory_order_relaxed);
   }
 
+  /// Zero every counter. Used by the shard engine's failover path: a
+  /// shard re-executed on a surviving device must not double-count the
+  /// work its first attempt flushed before the device died.
+  void reset() {
+    cells_examined_.store(0, std::memory_order_relaxed);
+    cells_nonempty_.store(0, std::memory_order_relaxed);
+    distance_calcs_.store(0, std::memory_order_relaxed);
+    results_.store(0, std::memory_order_relaxed);
+    global_loads_.store(0, std::memory_order_relaxed);
+    global_load_bytes_.store(0, std::memory_order_relaxed);
+  }
+
   void add_to(gpu::KernelMetrics& m) const {
     m.cells_examined += cells_examined_.load(std::memory_order_relaxed);
     m.cells_nonempty += cells_nonempty_.load(std::memory_order_relaxed);

@@ -5,6 +5,7 @@
 namespace sj::gpu {
 
 void GlobalMemoryArena::allocate(std::size_t bytes) {
+  SJ_FAULT_POINT(kAlloc);  // before accounting: a retry sees a clean arena
   std::lock_guard<std::mutex> lock(mu_);
   if (bytes > capacity_ - used_) {
     throw DeviceOutOfMemory(bytes, capacity_ - used_);

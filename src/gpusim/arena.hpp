@@ -11,18 +11,31 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
+#include "common/fault.hpp"
 #include "gpusim/device.hpp"
 
 namespace sj::gpu {
 
-class DeviceOutOfMemory : public std::runtime_error {
+/// Device memory exhausted. Part of the sj::fault taxonomy: IS-A
+/// fault::ResourceExhausted, so the pipeline's graceful-degradation path
+/// (halve the batch) catches real arena exhaustion and injected
+/// allocation faults the same way.
+class DeviceOutOfMemory : public fault::ResourceExhausted {
  public:
   DeviceOutOfMemory(std::size_t requested, std::size_t free_bytes)
-      : std::runtime_error("device out of memory: requested " +
-                           std::to_string(requested) + " bytes, " +
-                           std::to_string(free_bytes) + " free"),
+      : fault::ResourceExhausted("device out of memory: requested " +
+                                 std::to_string(requested) + " bytes, " +
+                                 std::to_string(free_bytes) + " free"),
+        requested(requested),
+        free_bytes(free_bytes) {}
+
+  /// Rebuild with an explicit message (error-context annotation).
+  DeviceOutOfMemory(std::size_t requested, std::size_t free_bytes,
+                    const std::string& message)
+      : fault::ResourceExhausted(message),
         requested(requested),
         free_bytes(free_bytes) {}
 

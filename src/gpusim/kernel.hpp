@@ -15,6 +15,7 @@
 #include <functional>
 
 #include "common/contracts.hpp"
+#include "common/fault.hpp"
 #include "common/timer.hpp"
 #include "gpusim/device.hpp"
 
@@ -66,6 +67,9 @@ template <typename F>
 KernelStats launch(const LaunchConfig& cfg, F&& body,
                    ExecMode mode = ExecMode::kParallel) {
   SJ_EXPECT(cfg.block_dim >= 1, "launch: block_dim must be >= 1");
+  // Launch-entry fault: thrown before any kernel-thread body runs, so no
+  // partial side effects (counters, result writes) reach device memory.
+  SJ_FAULT_POINT(kStream);
   Timer t;
   const std::int64_t grid = static_cast<std::int64_t>(cfg.grid_dim);
   if (mode == ExecMode::kParallel) {

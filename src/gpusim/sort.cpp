@@ -5,6 +5,8 @@
 #include <cstring>
 #include <vector>
 
+#include "common/fault.hpp"
+
 namespace sj::gpu {
 
 namespace {
@@ -16,6 +18,7 @@ inline std::uint64_t packed(const Pair& p) {
 }  // namespace
 
 void sort_pairs_by_key(Pair* data, std::size_t n, Pair* tmp) {
+  SJ_FAULT_POINT(kSort);  // before any pass: data is untouched on failure
   if (n < 2) return;
   constexpr int kBits = 16;
   constexpr std::size_t kBuckets = std::size_t{1} << kBits;

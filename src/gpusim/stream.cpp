@@ -1,5 +1,7 @@
 #include "gpusim/stream.hpp"
 
+#include "common/fault.hpp"
+
 namespace sj::gpu {
 
 Stream::Stream(const DeviceSpec& spec) : spec_(spec) {
@@ -24,6 +26,7 @@ void Stream::enqueue(std::function<void()> fn) {
 }
 
 void Stream::memcpy_async(void* dst, const void* src, std::size_t bytes) {
+  SJ_FAULT_POINT(kStream);  // before enqueue: a failed transfer copies nothing
   enqueue([this, dst, src, bytes] {
     std::memcpy(dst, src, bytes);
     // Accounting happens on the worker thread; synchronize() establishes
@@ -73,6 +76,7 @@ void Event::record(Stream& s) {
 }
 
 void Event::wait() const {
+  SJ_FAULT_POINT(kSync);  // wait() is idempotent, so a retry re-waits safely
   if (state_ == nullptr) return;
   std::unique_lock<std::mutex> lock(state_->mu);
   state_->cv.wait(lock, [this] { return state_->done; });

@@ -10,6 +10,7 @@
 #include "api/registry.hpp"
 #include "bruteforce/brute_force.hpp"
 #include "common/datagen.hpp"
+#include "common/fault.hpp"
 #include "core/batch_pipeline.hpp"
 #include "core/device_view.hpp"
 #include "core/grid_index.hpp"
@@ -90,9 +91,16 @@ TEST(AsyncPipeline, DeterministicAcrossRunsUnderOverflowStress) {
   auto opt = async_opts(4, 3);
   opt.max_buffer_pairs = 64;  // force overflow splits
   opt.safety = 0.01;          // sabotage the estimate too
-  const auto first = AsyncGpuSelfJoin(opt).run(d, 1.0);
-  const auto second = AsyncGpuSelfJoin(opt).run(d, 1.0);
+  auto first = AsyncGpuSelfJoin(opt).run(d, 1.0);
+  auto second = AsyncGpuSelfJoin(opt).run(d, 1.0);
   EXPECT_GT(first.stats.batch.overflow_retries, 0u);
+  if (fault::enabled()) {
+    // Under the SJ_FAULTS chaos sweep the two runs see different fault
+    // placements (draw counters advance across runs), so split patterns
+    // and raw segment order differ; compare the normalized content.
+    first.pairs.normalize();
+    second.pairs.normalize();
+  }
   EXPECT_EQ(first.pairs.pairs(), second.pairs.pairs());
 
   const auto want = brute::self_join(d, 1.0);

@@ -6,6 +6,7 @@
 
 #include "bruteforce/brute_force.hpp"
 #include "common/datagen.hpp"
+#include "common/fault.hpp"
 #include "core/device_view.hpp"
 #include "core/grid_index.hpp"
 #include "core/self_join.hpp"
@@ -123,9 +124,17 @@ TEST(Batching, AssemblyOrderIsDeterministicAcrossRuns) {
   opt.num_streams = 4;
   opt.max_buffer_pairs = 64;  // force overflow splits
   opt.safety = 0.01;
-  const auto first = GpuSelfJoin(opt).run(d, 1.0);
-  const auto second = GpuSelfJoin(opt).run(d, 1.0);
+  auto first = GpuSelfJoin(opt).run(d, 1.0);
+  auto second = GpuSelfJoin(opt).run(d, 1.0);
   EXPECT_GT(first.stats.batch.overflow_retries, 0u);
+  if (fault::enabled()) {
+    // Ambient injection (the SJ_FAULTS chaos sweep) gives the two runs
+    // different fault placements — the injector's draw counters advance
+    // across runs — so their split patterns, and hence the raw segment
+    // order, legitimately differ. Only the content contract applies.
+    first.pairs.normalize();
+    second.pairs.normalize();
+  }
   EXPECT_EQ(first.pairs.pairs(), second.pairs.pairs());
 }
 

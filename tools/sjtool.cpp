@@ -24,6 +24,7 @@
 
 #include "api/registry.hpp"
 #include "common/contracts.hpp"
+#include "common/fault.hpp"
 #include "common/csv.hpp"
 #include "common/datasets.hpp"
 #include "common/io.hpp"
@@ -50,6 +51,12 @@ using sj::Dataset;
       "  sjtool knn      --in FILE --k K [--data DATA] [--algo A]\n"
       "                  [--threads N] [--opt ...] [--stats 1]\n"
       "                  [--validate 1] [--out F]\n"
+      "selfjoin/join also accept fault-tolerance flags (GPU backends):\n"
+      "  --faults SPEC    arm the deterministic fault injector (needs a\n"
+      "                   -DSJ_FAULTS=ON build); "
+   << sj::fault::spec_grammar() << "\n"
+   << "  --retries N      transient-fault retries per batch (default 6)\n"
+      "  --backoff-ms B   base retry backoff in ms, doubling per attempt\n"
       "--validate 1 force-enables the structural validators (grid, "
       "adjacency,\nshard plan, pipeline) even in release builds; --stats "
       "then reports the\ntime spent validating.\n"
@@ -193,6 +200,17 @@ sj::api::RunConfig make_config(const std::map<std::string, std::string>& flags,
     config.threads = sj::parse::integer("--threads", flags.at("threads"));
   }
   if (flags.count("opt")) parse_opts(flags.at("opt"), config);
+  // Fault-tolerance flags are sugar for the GPU backends' --opt knobs:
+  // --faults arms the process-wide injector immediately (so a bad spec or
+  // a faults-compiled-out build fails before any data is loaded), while
+  // --retries/--backoff-ms ride through RunConfig::extra like any knob.
+  if (flags.count("faults")) {
+    sj::fault::configure_from_text(flags.at("faults"));
+  }
+  if (flags.count("retries")) config.extra["retries"] = flags.at("retries");
+  if (flags.count("backoff-ms")) {
+    config.extra["backoff_ms"] = flags.at("backoff-ms");
+  }
   if (flags.count("mode")) {
     config.mode = sj::parse_result_mode(flags.at("mode"));
     if (config.mode == sj::ResultMode::kSink) {
@@ -245,25 +263,35 @@ void print_shard_balance(const sj::api::BackendStats& stats) {
                     : "serial")
             << " schedule):\n"
             << "  shard      cells    weight%     points       halo"
-               "      pairs    seconds\n";
+               "      pairs    seconds  device\n";
   for (std::size_t s = 0; s < shards; ++s) {
     const std::string p = "shard" + std::to_string(s) + "_";
     const double weight = stats.native_value(p + "weight");
+    const bool failed_over = stats.native_value(p + "failed_over") != 0.0;
     char line[160];
     std::snprintf(line, sizeof(line),
-                  "  %5zu %10.0f %9.1f%% %10.0f %10.0f %10.0f %10.6f\n", s,
-                  stats.native_value(p + "cells"),
+                  "  %5zu %10.0f %9.1f%% %10.0f %10.0f %10.0f %10.6f %5.0f%s\n",
+                  s, stats.native_value(p + "cells"),
                   total_weight > 0.0 ? 100.0 * weight / total_weight : 0.0,
                   stats.native_value(p + "points"),
                   stats.native_value(p + "halo_points"),
                   stats.native_value(p + "pairs"),
-                  stats.native_value(p + "seconds"));
+                  stats.native_value(p + "seconds"),
+                  stats.native_value(p + "device"),
+                  failed_over ? "  (failed over)" : "");
     std::cout << line;
   }
   std::cout << "  makespan: " << stats.native_value("makespan_seconds")
             << " s (common " << stats.native_value("common_seconds")
             << " s + slowest device; device busy total "
             << stats.native_value("busy_sum_seconds") << " s)\n";
+  const double failed = stats.native_value("shards_failed_over");
+  if (failed > 0.0) {
+    std::cout << "  failover: " << failed
+              << " shard(s) re-planned onto surviving devices ("
+              << stats.native_value("recovery_seconds")
+              << " s spent on re-runs)\n";
+  }
 }
 
 // Validated before the join runs so a bad flag combination fails fast
@@ -288,6 +316,15 @@ void print_native_stats(const sj::api::Backend& backend,
     // The per-shard counters are already rendered as the balance table.
     if (shard_table && key.rfind("shard", 0) == 0) continue;
     std::cout << "  " << key << ": " << value << "\n";
+  }
+  if (sj::fault::enabled()) {
+    std::cout << "fault injection: " << sj::fault::injected_total()
+              << " fault(s) injected (alloc "
+              << sj::fault::injected(sj::fault::Site::kAlloc) << ", stream "
+              << sj::fault::injected(sj::fault::Site::kStream) << ", sync "
+              << sj::fault::injected(sj::fault::Site::kSync) << ", sort "
+              << sj::fault::injected(sj::fault::Site::kSort) << "), "
+              << sj::fault::devices_lost() << " device(s) lost\n";
   }
 }
 
