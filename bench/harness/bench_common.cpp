@@ -225,11 +225,11 @@ JsonRow& JsonRow::field(const std::string& key, int value) {
   return *this;
 }
 
-std::string write_bench_json(const std::string& bench_name,
-                             const std::string& default_path,
-                             double geomean_speedup,
-                             const std::vector<std::string>& row_json,
-                             const std::string& metric_key) {
+std::string write_bench_json(
+    const std::string& bench_name, const std::string& default_path,
+    double geomean_speedup, const std::vector<std::string>& row_json,
+    const std::string& metric_key,
+    const std::vector<std::pair<std::string, double>>& extra_metrics) {
   const char* env_path = std::getenv("SJ_BENCH_JSON");
   const std::string path =
       env_path != nullptr && *env_path != '\0' ? env_path : default_path;
@@ -237,7 +237,11 @@ std::string write_bench_json(const std::string& bench_name,
   js << "{\n  \"bench\": \"" << json_escape(bench_name) << "\",\n"
      << "  \"scale\": " << env_scale() << ",\n"
      << "  \"" << json_escape(metric_key) << "\": " << geomean_speedup
-     << ",\n  \"rows\": [\n";
+     << ",\n";
+  for (const auto& [key, value] : extra_metrics) {
+    js << "  \"" << json_escape(key) << "\": " << value << ",\n";
+  }
+  js << "  \"rows\": [\n";
   for (std::size_t i = 0; i < row_json.size(); ++i) {
     js << "    " << row_json[i] << (i + 1 < row_json.size() ? "," : "")
        << "\n";

@@ -14,6 +14,7 @@
 #include <functional>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/dataset.hpp"
@@ -117,11 +118,14 @@ class JsonRow {
 /// Returns the path written. Shared by the ablation benches so the schema
 /// CI consumes cannot drift. `metric_key` defaults to the layout/join
 /// ablations' cell-vs-legacy geomean; the shard ablation passes its
-/// strong-scaling key.
+/// strong-scaling key. `extra_metrics` adds further top-level
+/// {key: value} entries (e.g. the shard ablation's 8-device efficiency)
+/// next to the headline metric.
 std::string write_bench_json(
     const std::string& bench_name, const std::string& default_path,
     double geomean_speedup, const std::vector<std::string>& row_json,
-    const std::string& metric_key = "geomean_speedup_cell_vs_legacy");
+    const std::string& metric_key = "geomean_speedup_cell_vs_legacy",
+    const std::vector<std::pair<std::string, double>>& extra_metrics = {});
 
 /// The $SJ_SMOKE_CHECK regression gate: when enabled and
 /// `geomean_speedup` < `min_geomean`, prints the failure and returns

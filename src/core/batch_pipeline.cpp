@@ -522,10 +522,6 @@ PipelineOutput BatchPipeline::run_impl(const Mode& mode,
   // leaves run() deadlocked on a segment that will not arrive.
   std::atomic<std::size_t> outstanding{num_roots};
   std::atomic<bool> failed{false};
-  // Per-pipeline 1-based batch start ordinal, the trigger for targeted
-  // device-loss injection ([[maybe_unused]]: the compiled-out
-  // SJ_FAULT_BATCH does not evaluate its arguments).
-  [[maybe_unused]] std::atomic<std::uint64_t> batch_ordinal{0};
 
   std::mutex mu;  // protects acc, segments, the watermark and first_error
   BatchRunStats acc;
@@ -768,7 +764,7 @@ PipelineOutput BatchPipeline::run_impl(const Mode& mode,
           fault::DeviceScope fault_scope(config_.device_id);
           SJ_FAULT_BATCH(
               config_.device_id,
-              batch_ordinal.fetch_add(1, std::memory_order_relaxed) + 1);
+              batch_ordinal_.fetch_add(1, std::memory_order_relaxed) + 1);
           if (task.is_root) {
             // Root batches expand here, off the seeding thread's
             // critical path.

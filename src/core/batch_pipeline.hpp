@@ -20,6 +20,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -218,6 +219,12 @@ class BatchPipeline {
   gpu::DeviceSpec spec_;
   PipelineConfig config_;
   SegmentPool pool_;
+  /// 1-based batch start ordinal, cumulative over every run on this
+  /// pipeline — the trigger for targeted `device:shard<S>@batch<B>` loss
+  /// injection. A pipeline re-armed across many chunklets (gpu_shard's
+  /// stealing scheduler) counts the DEVICE's batches, not one chunklet's,
+  /// matching the spec grammar's per-device wording.
+  std::atomic<std::uint64_t> batch_ordinal_{0};
 };
 
 }  // namespace sj

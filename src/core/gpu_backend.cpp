@@ -312,9 +312,9 @@ class GpuShardBackend final : public api::SelfJoinBackend {
  public:
   std::string_view name() const override { return "gpu_shard"; }
   std::string_view description() const override {
-    return "GPU-SJ sharded across K simulated devices (contiguous "
-           "cell-range shards with a one-cell halo, per-device stream "
-           "pools, work-weighted shard balance)";
+    return "GPU-SJ sharded across K simulated devices (over-decomposed "
+           "cell-range chunklets with a one-cell halo, per-device stream "
+           "pools, work-stealing chunklet scheduler)";
   }
 
   api::Capabilities capabilities() const override {
@@ -376,9 +376,9 @@ class GpuShardBackend final : public api::SelfJoinBackend {
 
  private:
   static constexpr std::string_view kShardKeys =
-      "shards,schedule,streams,num_streams,assembly_threads,unicomp,"
-      "block_size,min_batches,sample_rate,safety,max_buffer_pairs,layout,soa,"
-      "faults,retries,backoff_ms";
+      "shards,schedule,chunklets,plan,plan_cache,streams,num_streams,"
+      "assembly_threads,unicomp,block_size,min_batches,sample_rate,safety,"
+      "max_buffer_pairs,layout,soa,faults,retries,backoff_ms";
 
   static ShardedSelfJoinOptions parse_shard_options(
       const api::RunConfig& config) {
@@ -399,11 +399,36 @@ class GpuShardBackend final : public api::SelfJoinBackend {
     const std::string schedule = config.text("schedule", "concurrent");
     if (schedule == "concurrent") {
       opt.schedule = ShardSchedule::kConcurrent;
-    } else if (schedule == "serial") {
+    } else if (schedule == "steal" || schedule == "serial") {
+      // "serial" is the legacy spelling of the virtual-time stealing
+      // drive, kept so existing scripts don't break.
       opt.schedule = ShardSchedule::kSerial;
+    } else if (schedule == "static") {
+      opt.schedule = ShardSchedule::kStatic;
     } else {
       throw std::invalid_argument(
-          "option 'schedule' must be 'concurrent' or 'serial'");
+          "option 'schedule' must be 'concurrent', 'steal', or 'static' "
+          "('serial' is accepted as the legacy spelling of 'steal')");
+    }
+    opt.chunklets = config.integer("chunklets", opt.chunklets);
+    if (opt.chunklets < 0) {
+      throw std::invalid_argument(
+          "option 'chunklets' must be >= 0 (0 = auto: 12 per device)");
+    }
+    const std::string plan = config.text("plan", "proxy");
+    if (plan == "proxy") {
+      opt.plan = ShardPlanMode::kProxy;
+    } else if (plan == "measured") {
+      opt.plan = ShardPlanMode::kMeasured;
+    } else {
+      throw std::invalid_argument(
+          "option 'plan' must be 'proxy' or 'measured'");
+    }
+    opt.plan_cache = config.text("plan_cache", "");
+    if (opt.plan == ShardPlanMode::kMeasured && opt.plan_cache.empty()) {
+      throw std::invalid_argument(
+          "option 'plan=measured' needs 'plan_cache=<path>' (the per-cell "
+          "pair counts a prior run persisted)");
     }
     return opt;
   }
@@ -416,6 +441,12 @@ class GpuShardBackend final : public api::SelfJoinBackend {
     native["shards"] = static_cast<double>(shard.shards);
     native["schedule_concurrent"] =
         opt.schedule == ShardSchedule::kConcurrent ? 1.0 : 0.0;
+    native["schedule_static"] =
+        opt.schedule == ShardSchedule::kStatic ? 1.0 : 0.0;
+    native["chunklets"] = static_cast<double>(shard.chunklets_total);
+    native["chunklets_stolen"] =
+        static_cast<double>(shard.chunklets_stolen);
+    native["plan_measured"] = shard.measured_plan ? 1.0 : 0.0;
     native["common_seconds"] = shard.common_seconds;
     native["makespan_seconds"] = shard.makespan_seconds;
     native["busy_sum_seconds"] = shard.busy_sum_seconds;
@@ -430,6 +461,9 @@ class GpuShardBackend final : public api::SelfJoinBackend {
       native[p + "points"] = static_cast<double>(ss.owned_points);
       native[p + "halo_points"] = static_cast<double>(ss.halo_points);
       native[p + "pairs"] = static_cast<double>(ss.pairs);
+      native[p + "chunklets"] = static_cast<double>(ss.chunklets);
+      native[p + "stolen"] = static_cast<double>(ss.stolen);
+      native[p + "steal_seconds"] = ss.steal_seconds;
       native[p + "seconds"] = ss.seconds;
       native[p + "device"] = static_cast<double>(ss.device);
       native[p + "failed_over"] = ss.failed_over ? 1.0 : 0.0;

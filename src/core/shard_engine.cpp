@@ -1,10 +1,13 @@
 #include "core/shard_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -34,6 +37,9 @@ void validate_shard_options(const ShardedSelfJoinOptions& opt,
   if (opt.shards <= 0) {
     throw std::invalid_argument(name + ": shards must be positive");
   }
+  if (opt.chunklets < 0) {
+    throw std::invalid_argument(name + ": chunklets must be >= 0 (0 = auto)");
+  }
   if (opt.block_size <= 0) {
     throw std::invalid_argument(name + ": block_size must be positive");
   }
@@ -62,8 +68,9 @@ void validate_shard_options(const ShardedSelfJoinOptions& opt,
 
 /// Host-resident cell-major image of the indexed dataset plus a kernel
 /// view over it. No device memory is charged: the adjacency build, the
-/// global estimate and the metrics replay run here ONCE, and each shard
-/// then uploads only its slice of this staging into its own device arena.
+/// global estimate and the metrics replay run here ONCE, and each device
+/// then uploads only its chunklets' slices of this staging into its own
+/// arena.
 struct HostStage {
   std::vector<double> points;
   std::vector<double> coords;  ///< SoA planes, coords[j * n + slot]
@@ -104,8 +111,8 @@ struct HostStage {
   }
 };
 
-/// Copy the shard's owned slot span and halo intervals from the host
-/// staging into the shard-local point/orig buffers (owned slots first,
+/// Copy a chunklet's owned slot span and halo intervals from the host
+/// staging into the chunklet-local point/orig buffers (owned slots first,
 /// halo intervals after, matching ShardSlice's local numbering).
 void upload_slice(const GridDeviceView& hv, const ShardSlice& slice,
                   double* points, std::uint32_t* orig) {
@@ -127,8 +134,8 @@ void upload_slice(const GridDeviceView& hv, const ShardSlice& slice,
   }
 }
 
-/// Transpose a shard's AoS point buffer into its per-dimension SoA planes
-/// (coords[j * n + k] = points[k * dim + j]).
+/// Transpose a chunklet's AoS point buffer into its per-dimension SoA
+/// planes (coords[j * n + k] = points[k * dim + j]).
 void fill_planes(const double* points, std::size_t n, int dim,
                  double* coords) {
   for (std::size_t k = 0; k < n; ++k) {
@@ -145,40 +152,133 @@ struct FailoverStats {
   double recovery_seconds = 0.0;
 };
 
-/// Drive the K shard jobs according to the schedule, collecting the first
-/// exception (a shard failure must not leak threads).
+/// The shared chunklet scheduler. Per-device deques are seeded with the
+/// static plan's contiguous chunklet groups; a device that drains its own
+/// deque steals a whole chunklet from the BACK of the most-loaded
+/// victim's deque (the piece the owner would reach last, so the steal
+/// perturbs the owner's locality least). The ownership rule makes any
+/// cell-to-device assignment exact, so no steal ever needs a dedup pass.
+class ChunkletScheduler {
+ public:
+  explicit ChunkletScheduler(const ChunkletPlan& plan)
+      : weights_(plan.weights) {
+    const std::size_t k = plan.devices();
+    queues_.resize(k);
+    remaining_.assign(k, 0);
+    for (std::size_t d = 0; d < k; ++d) {
+      for (std::uint32_t c = plan.device_bounds[d];
+           c < plan.device_bounds[d + 1]; ++c) {
+        queues_[d].push_back(c);
+        remaining_[d] += cost(c);
+      }
+    }
+  }
+
+  /// Next chunklet for device slot `d`: its own deque's front while any
+  /// remains, else (when stealing is allowed) the most-loaded victim's
+  /// back. Returns false when the slot has no work to take.
+  bool pop(std::size_t d, bool allow_steal, std::uint32_t& chunklet,
+           bool& stolen) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!queues_[d].empty()) {
+      chunklet = queues_[d].front();
+      queues_[d].pop_front();
+      remaining_[d] -= cost(chunklet);
+      stolen = false;
+      return true;
+    }
+    if (!allow_steal) return false;
+    std::size_t victim = queues_.size();
+    for (std::size_t v = 0; v < queues_.size(); ++v) {
+      if (v == d || queues_[v].empty()) continue;
+      if (victim == queues_.size() || remaining_[v] > remaining_[victim]) {
+        victim = v;
+      }
+    }
+    if (victim == queues_.size()) return false;
+    chunklet = queues_[victim].back();
+    queues_[victim].pop_back();
+    remaining_[victim] -= cost(chunklet);
+    stolen = true;
+    return true;
+  }
+
+ private:
+  /// Queued-weight bookkeeping for victim selection; the floor keeps a
+  /// deque of zero-weight chunklets visible as remaining work.
+  std::uint64_t cost(std::uint32_t chunklet) const {
+    return std::max<std::uint64_t>(weights_[chunklet], 1);
+  }
+
+  mutable std::mutex mu_;
+  const std::vector<std::uint64_t>& weights_;
+  std::vector<std::deque<std::uint32_t>> queues_;
+  std::vector<std::uint64_t> remaining_;
+};
+
+/// Driver-side per-device-slot record: which physical device serves the
+/// slot, its accumulated busy clock, and the steal counters.
+struct SlotState {
+  int device = -1;
+  bool failed_over = false;
+  double busy_seconds = 0.0;
+  std::uint64_t chunklets = 0;
+  std::uint64_t stolen = 0;
+  double steal_seconds = 0.0;
+};
+
+/// Drive the chunklet scheduler over K device slots according to the
+/// schedule, collecting the first exception (a failure must not leak
+/// threads or strand queued chunklets).
 ///
-/// Failover: a job that throws fault::DeviceLost has lost its simulated
-/// device mid-run. The dead device is retired (host-side bitmask), the
-/// shard's state is wound back via `reset`, and the whole shard re-runs
-/// on the lowest-numbered surviving device — fresh arena and pipeline
-/// inside `job`. The ownership rule makes the re-execution exact, so the
-/// merged output is byte-identical to a fault-free run. Only when no
-/// device survives does the loss fail the run. Any other exception fails
-/// immediately, annotated with the shard id.
-void run_shards(std::size_t k, ShardSchedule schedule,
-                const std::function<void(std::size_t, int)>& job,
-                const std::function<void(std::size_t)>& reset,
-                FailoverStats& failover) {
+/// Failover: a job that throws fault::DeviceLost has lost its physical
+/// device mid-chunklet. The dead device is retired (host-side bitmask)
+/// and the SLOT re-homes onto the lowest-numbered surviving device —
+/// `job` rebuilds the slot's arena and pipeline on the id change, the
+/// in-flight chunklet is wound back via `reset` and re-run, and the
+/// slot's queued chunklets simply drain on the replacement (or get stolen
+/// by the other devices). The ownership rule makes the re-execution
+/// exact, so the merged output is byte-identical to a fault-free run.
+/// Only when no device survives does the loss fail the run. Any other
+/// exception fails immediately, annotated with the chunklet id.
+void run_chunklets(
+    std::size_t k, ShardSchedule schedule, ChunkletScheduler& sched,
+    const std::function<void(std::size_t, int, std::uint32_t)>& job,
+    const std::function<void(std::uint32_t)>& reset,
+    std::vector<SlotState>& slots, FailoverStats& failover) {
   std::exception_ptr first_error;
-  std::mutex err_mu;  // guards first_error, dead_devices and failover
+  std::mutex mu;  // guards first_error, dead_devices and failover
   std::uint64_t dead_devices = 0;
-  auto guarded = [&](std::size_t s) {
-    int device = static_cast<int>(s);
+  std::atomic<bool> abort{false};
+  for (std::size_t s = 0; s < k; ++s) slots[s].device = static_cast<int>(s);
+
+  // One chunklet on slot `s`, with failover. Returns the slot's busy
+  // seconds — failed attempts and re-runs included: they are real device
+  // time the makespan model must see.
+  auto run_one = [&](std::size_t s, std::uint32_t chunklet,
+                     bool stolen) -> double {
+    double busy = 0.0;
     bool recovering = false;
     for (;;) {
       Timer attempt;
       try {
-        if (recovering) reset(s);
-        job(s, device);
-        if (recovering) {
-          std::lock_guard<std::mutex> lock(err_mu);
-          failover.recovery_seconds += attempt.seconds();
+        job(s, slots[s].device, chunklet);
+        const double secs = attempt.seconds();
+        busy += secs;
+        slots[s].chunklets += 1;
+        if (stolen) {
+          slots[s].stolen += 1;
+          slots[s].steal_seconds += busy;
         }
-        return;
+        if (recovering) {
+          std::lock_guard<std::mutex> lock(mu);
+          failover.recovery_seconds += secs;
+        }
+        return busy;
       } catch (const fault::DeviceLost& lost) {
-        std::lock_guard<std::mutex> lock(err_mu);
-        const int dead = lost.device >= 0 ? lost.device : device;
+        busy += attempt.seconds();
+        std::lock_guard<std::mutex> lock(mu);
+        const int dead = lost.device >= 0 ? lost.device : slots[s].device;
         if (dead >= 0 && dead < 64) dead_devices |= 1ULL << dead;
         int replacement = -1;
         for (std::size_t d = 0; d < std::min<std::size_t>(k, 64); ++d) {
@@ -191,74 +291,224 @@ void run_shards(std::size_t k, ShardSchedule schedule,
           if (first_error == nullptr) {
             first_error = annotate_exception(
                 std::current_exception(),
-                "shard " + std::to_string(s) + " (no surviving device)");
+                "chunklet " + std::to_string(chunklet) + " on device " +
+                    std::to_string(slots[s].device) +
+                    " (no surviving device)");
           }
-          return;
+          abort.store(true, std::memory_order_relaxed);
+          return busy;
         }
         ++failover.shards_failed_over;
-        device = replacement;
+        slots[s].device = replacement;
+        slots[s].failed_over = true;
+        reset(chunklet);
         recovering = true;
       } catch (...) {
-        std::lock_guard<std::mutex> lock(err_mu);
+        busy += attempt.seconds();
+        std::lock_guard<std::mutex> lock(mu);
         if (first_error == nullptr) {
-          first_error = annotate_exception(std::current_exception(),
-                                           "shard " + std::to_string(s));
+          first_error = annotate_exception(
+              std::current_exception(),
+              "chunklet " + std::to_string(chunklet));
         }
-        return;
+        abort.store(true, std::memory_order_relaxed);
+        return busy;
       }
     }
   };
-  if (schedule == ShardSchedule::kSerial || k == 1) {
-    for (std::size_t s = 0; s < k; ++s) guarded(s);
-  } else {
+
+  if (schedule == ShardSchedule::kConcurrent && k > 1) {
+    // Real-idleness stealing: a device thread that drains its own deque
+    // is genuinely idle and steals immediately.
     std::vector<std::thread> threads;
     threads.reserve(k);
     for (std::size_t s = 0; s < k; ++s) {
-      threads.emplace_back([&guarded, s] { guarded(s); });
+      threads.emplace_back([&, s] {
+        std::uint32_t c = 0;
+        bool stolen = false;
+        while (!abort.load(std::memory_order_relaxed) &&
+               sched.pop(s, /*allow_steal=*/true, c, stolen)) {
+          slots[s].busy_seconds += run_one(s, c, stolen);
+        }
+      });
     }
     for (auto& t : threads) t.join();
+  } else {
+    // Virtual-time drive: the device with the earliest clock is the one
+    // that would go idle first in real time — it takes the next chunklet,
+    // stealing when its own deque is dry (schedule=steal) or retiring
+    // (schedule=static). Chunklets run alone on the host core, so their
+    // measured busy seconds are contention-free and the accumulated
+    // clocks model true K-device execution.
+    const bool allow_steal = schedule != ShardSchedule::kStatic;
+    std::vector<char> done(k, 0);
+    for (;;) {
+      if (abort.load(std::memory_order_relaxed)) break;
+      std::size_t s = k;
+      for (std::size_t d = 0; d < k; ++d) {
+        if (done[d]) continue;
+        if (s == k || slots[d].busy_seconds < slots[s].busy_seconds) s = d;
+      }
+      if (s == k) break;
+      std::uint32_t c = 0;
+      bool stolen = false;
+      if (!sched.pop(s, allow_steal, c, stolen)) {
+        done[s] = 1;
+        continue;
+      }
+      slots[s].busy_seconds += run_one(s, c, stolen);
+    }
   }
   if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
-struct ShardOutput {
-  PipelineOutput out;
-  ShardStats stats;
+/// Per-device state reused across every chunklet the device runs: ONE
+/// arena and ONE pipeline per slot, re-armed per chunklet (fresh
+/// DeviceBuffers from the same arena, the pipeline's segment pool and
+/// batch ordinal persisting) instead of rebuilt per slice. Rebuilt fresh
+/// only when failover re-homes the slot onto a different physical device.
+struct DeviceCtx {
+  int device_id = -1;
+  std::unique_ptr<gpu::GlobalMemoryArena> arena;
+  std::unique_ptr<BatchPipeline> pipeline;
+  gpu::DeviceBuffer<double> qbuf;  ///< join facet: the broadcast query set
 };
 
-/// Merge the per-shard results in shard order (deterministic: each
-/// shard's output is already batch-key ordered, and shards are disjoint)
-/// and fold the per-shard stats into the aggregate + the ShardedRunStats
-/// record. Pairs concatenate; counts sum; histograms sum element-wise.
-PipelineOutput merge_shards(std::vector<ShardOutput>& outs,
-                            std::vector<AtomicWork>& works,
-                            gpu::KernelMetrics& metrics, BatchRunStats& batch,
-                            ShardedRunStats& shard) {
+/// Tear down and rebuild a slot's device state for physical device
+/// `device`. Order matters: buffers referencing the old arena must
+/// release into it before the arena itself goes.
+void rearm_device(DeviceCtx& ctx, int device,
+                  const ShardedSelfJoinOptions& opt) {
+  ctx.qbuf = gpu::DeviceBuffer<double>();
+  ctx.pipeline.reset();
+  ctx.arena = std::make_unique<gpu::GlobalMemoryArena>(opt.device);
+  PipelineConfig config;
+  config.streams = opt.num_streams;
+  config.assembly_threads = opt.assembly_threads;
+  config.block_size = opt.block_size;
+  config.retry = opt.retry;
+  config.device_id = device;
+  ctx.pipeline = std::make_unique<BatchPipeline>(*ctx.arena, opt.device,
+                                                 config);
+  ctx.device_id = device;
+}
+
+/// One chunklet's execution record. Outputs are indexed by CHUNKLET, not
+/// by device: whichever device ran the chunklet (seeded, stolen, or
+/// failed over), the merge walks chunklets in ascending index — ascending
+/// first-slot key — so the result is byte-identical to `gpu` under any
+/// assignment.
+struct ChunkOutput {
+  PipelineOutput out;
+  BatchRunStats batch;
+  std::uint32_t units = 0;
+  std::uint64_t weight = 0;
+  std::uint64_t owned_points = 0;
+  std::uint64_t halo_points = 0;
+  int slot = -1;  ///< device slot that ran it (stats attribution)
+};
+
+/// Slice the shared once-per-join estimate to one chunklet by its share
+/// of the planner weight (exact per-chunklet sampling would pay the
+/// estimator's min-sample floor M times over).
+std::uint64_t slice_estimate(std::uint64_t estimated_total,
+                             std::uint64_t chunk_weight,
+                             std::uint64_t total_weight,
+                             std::size_t chunklets) {
+  if (total_weight == 0) {
+    return estimated_total / std::max<std::size_t>(chunklets, 1);
+  }
+  const unsigned __int128 share =
+      static_cast<unsigned __int128>(estimated_total) * chunk_weight /
+      total_weight;
+  return static_cast<std::uint64_t>(share);
+}
+
+/// Distribute the result-size sampling pass across the K device slots:
+/// each slot estimates its own seeded chunklet group's span, and the span
+/// totals sum into the ONE shared estimate that slice_estimate() prorates
+/// per chunklet (the no-per-chunklet-estimator rule holds — M never pays
+/// the min-sample floor). The sampling launch is device work, so it is
+/// charged to the per-device busy clocks — and under schedule=concurrent
+/// genuinely runs on K threads. Leaving it in the serialized common phase
+/// would put an O(n) sampling prefix ahead of every device and cap
+/// 8-device strong scaling well below the 0.9 target.
+///
+/// The per-span results are deterministic functions of the plan alone
+/// (not of thread timing), so every schedule computes identical slices
+/// and the byte-identical-across-schedules contract is unaffected.
+EstimateResult estimate_on_devices(
+    ShardSchedule schedule, std::vector<SlotState>& slots,
+    const std::function<EstimateResult(std::size_t)>& sample_span) {
+  const std::size_t k = slots.size();
+  std::vector<EstimateResult> parts(k);
+  std::exception_ptr first_error;
+  std::mutex mu;
+  auto one = [&](std::size_t s) {
+    Timer t;
+    try {
+      parts[s] = sample_span(s);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+    slots[s].busy_seconds += t.seconds();
+  };
+  if (schedule == ShardSchedule::kConcurrent && k > 1) {
+    std::vector<std::thread> threads;
+    threads.reserve(k);
+    for (std::size_t s = 0; s < k; ++s) threads.emplace_back(one, s);
+    for (auto& t : threads) t.join();
+  } else {
+    // Virtual-time schedules: each span samples alone on the host core,
+    // so the measured seconds are contention-free per-device clock seeds
+    // that the chunklet drive then extends.
+    for (std::size_t s = 0; s < k; ++s) one(s);
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+  EstimateResult sum;
+  for (const EstimateResult& p : parts) {
+    sum.estimated_total += p.estimated_total;
+    sum.sample_size += p.sample_size;
+    sum.sample_count += p.sample_count;
+    sum.seconds += p.seconds;
+  }
+  return sum;
+}
+
+/// Merge the per-chunklet results in chunklet order (deterministic: each
+/// chunklet's output is already batch-key ordered, and chunklets are
+/// disjoint ascending cell ranges) and fold the per-chunklet batch stats
+/// into the aggregate. Pairs concatenate; counts sum; histograms sum
+/// element-wise.
+PipelineOutput merge_chunklets(std::vector<ChunkOutput>& outs,
+                               std::vector<AtomicWork>& works,
+                               gpu::KernelMetrics& metrics,
+                               BatchRunStats& batch) {
   PipelineOutput merged;
   std::size_t total_pairs = 0;
-  for (const ShardOutput& o : outs) total_pairs += o.out.pairs.size();
-  // One shard's output IS the result — steal it instead of copying. For
-  // K > 1, release each shard's storage as it is appended so the peak is
-  // total + one shard, not 2x total.
+  for (const ChunkOutput& o : outs) total_pairs += o.out.pairs.size();
+  // One chunklet's output IS the result — steal it instead of copying.
+  // For M > 1, release each chunklet's storage as it is appended so the
+  // peak is total + one chunklet, not 2x total.
   if (outs.size() == 1) {
     merged.pairs = std::move(outs[0].out.pairs);
   } else {
     merged.pairs.pairs().reserve(total_pairs);
   }
-  double max_busy = 0.0;
-  for (std::size_t s = 0; s < outs.size(); ++s) {
+  for (std::size_t c = 0; c < outs.size(); ++c) {
     if (outs.size() > 1) {
-      merged.pairs.append(outs[s].out.pairs);
-      outs[s].out.pairs = ResultSet{};
+      merged.pairs.append(outs[c].out.pairs);
+      outs[c].out.pairs = ResultSet{};
     }
-    merged.total_pairs += outs[s].out.total_pairs;
-    const std::vector<std::uint32_t>& h = outs[s].out.histogram;
+    merged.total_pairs += outs[c].out.total_pairs;
+    const std::vector<std::uint32_t>& h = outs[c].out.histogram;
     if (!h.empty()) {
       if (merged.histogram.empty()) merged.histogram.assign(h.size(), 0);
       for (std::size_t i = 0; i < h.size(); ++i) merged.histogram[i] += h[i];
     }
-    works[s].add_to(metrics);
-    const BatchRunStats& b = outs[s].stats.batch;
+    works[c].add_to(metrics);
+    const BatchRunStats& b = outs[c].batch;
     batch.batches_run += b.batches_run;
     batch.overflow_retries += b.overflow_retries;
     batch.retries += b.retries;
@@ -268,18 +518,103 @@ PipelineOutput merge_shards(std::vector<ShardOutput>& outs,
     batch.assembly_seconds += b.assembly_seconds;
     batch.bytes_to_host += b.bytes_to_host;
     batch.modeled_transfer_seconds += b.modeled_transfer_seconds;
-    max_busy = std::max(max_busy, outs[s].stats.seconds);
-    shard.busy_sum_seconds += outs[s].stats.seconds;
-    shard.per_shard.push_back(outs[s].stats);
+  }
+  return merged;
+}
+
+/// Fold the driver's slot records plus the chunklet outputs into the
+/// per-device balance rows and the run-level aggregates (makespan =
+/// common + busiest device clock).
+void fold_device_rows(const std::vector<SlotState>& slots,
+                      const std::vector<ChunkOutput>& outs,
+                      ShardedRunStats& shard) {
+  shard.per_shard.assign(slots.size(), ShardStats{});
+  double max_busy = 0.0;
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    ShardStats& row = shard.per_shard[s];
+    row.device = slots[s].device;
+    row.failed_over = slots[s].failed_over;
+    row.seconds = slots[s].busy_seconds;
+    row.chunklets = slots[s].chunklets;
+    row.stolen = slots[s].stolen;
+    row.steal_seconds = slots[s].steal_seconds;
+    shard.busy_sum_seconds += slots[s].busy_seconds;
+    shard.chunklets_stolen += slots[s].stolen;
+    max_busy = std::max(max_busy, slots[s].busy_seconds);
+  }
+  for (const ChunkOutput& o : outs) {
+    if (o.slot < 0) continue;  // never ran (failed run unwinding)
+    ShardStats& row = shard.per_shard[static_cast<std::size_t>(o.slot)];
+    row.units += o.units;
+    row.weight += o.weight;
+    row.owned_points += o.owned_points;
+    row.halo_points += o.halo_points;
+    row.pairs += o.out.total_pairs;
+    const BatchRunStats& b = o.batch;
+    row.batch.batches_run += b.batches_run;
+    row.batch.overflow_retries += b.overflow_retries;
+    row.batch.retries += b.retries;
+    row.batch.batches_split_on_oom += b.batches_split_on_oom;
+    row.batch.kernel_seconds += b.kernel_seconds;
+    row.batch.sort_seconds += b.sort_seconds;
+    row.batch.assembly_seconds += b.assembly_seconds;
+    row.batch.bytes_to_host += b.bytes_to_host;
+    row.batch.modeled_transfer_seconds += b.modeled_transfer_seconds;
   }
   shard.makespan_seconds = shard.common_seconds + max_busy;
-  return merged;
+}
+
+/// Measured per-cell weights for the next run's plan=measured: exact
+/// per-point neighbour counts when the mode materialised them (pairs /
+/// histogram), per-chunklet pair totals spread by the planning weights in
+/// count-only mode.
+std::vector<std::uint64_t> measured_cell_weights(
+    const GridDeviceView& hv, const ChunkletPlan& cplan,
+    const std::vector<std::uint64_t>& cell_weights,
+    const std::vector<ChunkOutput>& outs, const ResultSet& pairs,
+    const std::vector<std::uint32_t>& histogram, ResultMode mode) {
+  const std::size_t cells = static_cast<std::size_t>(hv.b_size);
+  std::vector<std::uint64_t> measured(cells, 0);
+  std::vector<std::uint32_t> counts;
+  if (mode == ResultMode::kHistogram) {
+    counts = histogram;
+  } else if (mode == ResultMode::kPairs) {
+    counts = pairs.counts_per_key(static_cast<std::size_t>(hv.n));
+  }
+  if (!counts.empty()) {
+    for (std::size_t cell = 0; cell < cells; ++cell) {
+      std::uint64_t w = 0;
+      for (std::uint32_t k = hv.G[cell].min; k <= hv.G[cell].max; ++k) {
+        w += counts[hv.orig[k]];
+      }
+      measured[cell] = w;
+    }
+    return measured;
+  }
+  // Count-only: the run measured per-CHUNKLET totals; spread each over
+  // its cells proportionally to the planning weights (even split when a
+  // chunklet's planned weight is zero).
+  for (std::size_t c = 0; c < cplan.chunklets(); ++c) {
+    const std::uint64_t total = outs[c].out.total_pairs;
+    const std::uint32_t u0 = cplan.bounds[c];
+    const std::uint32_t u1 = cplan.bounds[c + 1];
+    for (std::uint32_t u = u0; u < u1; ++u) {
+      if (cplan.weights[c] > 0) {
+        measured[u] = static_cast<std::uint64_t>(
+            static_cast<unsigned __int128>(total) * cell_weights[u] /
+            cplan.weights[c]);
+      } else {
+        measured[u] = total / (u1 - u0);
+      }
+    }
+  }
+  return measured;
 }
 
 }  // namespace
 
 ShardedGpuSelfJoin::ShardedGpuSelfJoin(ShardedSelfJoinOptions opt)
-    : opt_(opt) {
+    : opt_(std::move(opt)) {
   validate_shard_options(opt_, "ShardedGpuSelfJoin");
 }
 
@@ -293,7 +628,7 @@ ShardedSelfJoinResult ShardedGpuSelfJoin::run(const Dataset& d,
   Timer total;
 
   // --- Common host phases (done once, unsharded): grid index, cell-major
-  // staging, per-cell adjacency + weights, global estimate, partition.
+  // staging, chunklet plan, shared estimate.
   Timer phase;
   GridIndex index(d, eps);
   st.index_build_seconds = phase.seconds();
@@ -313,35 +648,85 @@ ShardedSelfJoinResult ShardedGpuSelfJoin::run(const Dataset& d,
   }
   const bool pairs_path = opt_.mode == ResultMode::kPairs;
 
-  // Shard boundaries from the cheap population-window proxy: the exact
-  // adjacency weights would cost a global enumeration — the very pass
-  // each device resolves for ITS OWN cells below, in parallel.
-  const std::vector<std::uint32_t> bounds = plan_shard_boundaries(
-      proxy_cell_weights(hv), static_cast<std::size_t>(opt_.shards));
-  if (contracts::active()) {
-    validate::shard_boundaries(bounds, static_cast<std::size_t>(hv.b_size),
-                               "ShardedGpuSelfJoin(plan)");
+  // Chunklet weights: the cheap population-window proxy by default (the
+  // exact adjacency weights would cost a global enumeration — the very
+  // pass each device resolves for ITS OWN cells below, in parallel);
+  // plan=measured re-plans from the per-cell pair counts a prior run
+  // persisted via plan_cache, falling back to the proxy on a miss.
+  const PlanCacheKey cache_key{static_cast<std::uint64_t>(d.size()), d.dim(),
+                               eps, static_cast<std::uint64_t>(hv.b_size)};
+  std::vector<std::uint64_t> cell_weights;
+  if (opt_.plan == ShardPlanMode::kMeasured && !opt_.plan_cache.empty()) {
+    cell_weights = load_plan_cache(opt_.plan_cache, cache_key);
+    result.shard.measured_plan = !cell_weights.empty();
   }
-  const std::size_t k = bounds.size() - 1;
+  if (cell_weights.empty()) cell_weights = proxy_cell_weights(hv);
+
+  const ChunkletPlan cplan =
+      plan_chunklets(cell_weights, static_cast<std::size_t>(opt_.shards),
+                     static_cast<std::size_t>(opt_.chunklets));
+  if (contracts::active()) {
+    validate::chunklet_plan(cplan, cell_weights,
+                            static_cast<std::size_t>(opt_.shards),
+                            "ShardedGpuSelfJoin(plan)");
+  }
+  const std::size_t k = cplan.devices();
+  const std::size_t m = cplan.chunklets();
+  std::uint64_t total_weight = 0;
+  for (const std::uint64_t w : cplan.weights) total_weight += w;
 
   result.shard.shards = k;
+  result.shard.chunklets_total = m;
   result.shard.common_seconds = total.seconds();
 
-  // --- Per-device execution: each shard resolves its own cells'
-  // adjacency, estimates its own slice of the result, uploads its owned
-  // span + halo into its OWN arena, and runs its own pipeline.
-  std::vector<ShardOutput> outs(k);
-  std::vector<AtomicWork> works(k);
-  std::vector<EstimateResult> ests(k);
+  std::vector<ChunkOutput> outs(m);
+  std::vector<AtomicWork> works(m);
+  std::vector<DeviceCtx> devices(k);
+  std::vector<SlotState> slots(k);
+
+  // Shared once-per-join result-size estimate, sliced per chunklet by
+  // planner weight below. Only the pair-materialising mode sizes buffers,
+  // so only it pays for the sampling pass — and it pays on the DEVICES:
+  // each slot samples its seeded chunklet group's contiguous cell span,
+  // charged to its busy clock, keeping the serialized common phase to
+  // host-side indexing and planning only.
+  EstimateResult est;
+  if (pairs_path) {
+    est = estimate_on_devices(opt_.schedule, slots, [&](std::size_t s) {
+      const std::uint32_t db0 = cplan.device_bounds[s];
+      const std::uint32_t db1 = cplan.device_bounds[s + 1];
+      if (db0 == db1) return EstimateResult{};
+      const std::uint32_t c0 = cplan.bounds[db0];
+      const std::uint32_t c1 = cplan.bounds[db1];
+      const std::uint64_t first = hv.G[c0].min;
+      const std::uint64_t end = hv.G[c1 - 1].max + 1;
+      return estimate_query_span(hv, opt_.unicomp, opt_.sample_rate,
+                                 opt_.block_size, /*order=*/nullptr, first,
+                                 end - first);
+    });
+    st.estimate_seconds = est.seconds;
+    st.estimated_total = est.estimated_total;
+  }
+
+  // --- Per-device execution over the shared chunklet scheduler: each
+  // device re-arms its one arena + pipeline per chunklet, resolves the
+  // chunklet's own adjacency, uploads its owned span + halo, and runs the
+  // pipeline over it.
   phase.reset();
   // Each run observes at most one injected loss per plan entry; devices
   // killed by a previous run stay dead otherwise.
   fault::reset_devices();
   FailoverStats failover;
-  run_shards(k, opt_.schedule, [&](std::size_t s, int device) {
-    Timer shard_t;
-    const std::uint32_t c0 = bounds[s];
-    const std::uint32_t c1 = bounds[s + 1];
+  ChunkletScheduler sched(cplan);
+  run_chunklets(k, opt_.schedule, sched,
+  [&](std::size_t s, int device, std::uint32_t c) {
+    DeviceCtx& ctx = devices[s];
+    if (ctx.pipeline == nullptr || ctx.device_id != device) {
+      rearm_device(ctx, device, opt_);
+    }
+    gpu::GlobalMemoryArena& arena = *ctx.arena;
+    const std::uint32_t c0 = cplan.bounds[c];
+    const std::uint32_t c1 = cplan.bounds[c + 1];
     CellAdjacencyHost adj =
         build_cell_adjacency_span(hv, opt_.unicomp, c0, c1);
     const ShardSlice slice =
@@ -350,24 +735,18 @@ ShardedSelfJoinResult ShardedGpuSelfJoin::run(const Dataset& d,
     if (contracts::active()) {
       validate::shard_slice(slice, hv.n, "ShardedGpuSelfJoin(slice)");
     }
-    // The adjacency build carries the shard's index-search work (resolved
-    // once per owned cell).
+    // The adjacency build carries the chunklet's index-search work
+    // (resolved once per owned cell).
     LocalWork planning;
     planning.cells_examined = adj.cells_examined;
     planning.cells_nonempty = adj.cells_nonempty;
-    works[s].flush(planning);
+    works[c].flush(planning);
 
-    // Only the pair-materialising mode sizes buffers, so only it pays for
-    // the per-shard result-size estimate.
-    EstimateResult est;
-    if (pairs_path) {
-      est = estimate_query_span(
-          hv, opt_.unicomp, opt_.sample_rate, opt_.block_size,
-          /*order=*/nullptr, slice.owned_begin, slice.owned_points());
-      ests[s] = est;
-    }
+    const std::uint64_t est_c =
+        pairs_path ? slice_estimate(est.estimated_total, cplan.weights[c],
+                                    total_weight, m)
+                   : 0;
 
-    gpu::GlobalMemoryArena arena(opt_.device);
     const std::uint32_t nlocal = slice.local_points();
     gpu::DeviceBuffer<double> points(
         arena, static_cast<std::size_t>(nlocal) * hv.dim);
@@ -412,63 +791,43 @@ ShardedSelfJoinResult ShardedGpuSelfJoin::run(const Dataset& d,
       }
     }
 
-    // The shard sized its own estimate, so no share apportioning: the
-    // sampled slots are exactly the ones this device will run.
-    const std::uint64_t est_k = est.estimated_total;
     const std::uint64_t buffer_pairs =
         pairs_path ? size_buffer_pairs(
-                         arena, static_cast<std::uint64_t>(nlocal) * 3, est_k,
+                         arena, static_cast<std::uint64_t>(nlocal) * 3, est_c,
                          opt_.min_batches, opt_.num_streams,
                          opt_.max_buffer_pairs, opt_.safety)
                    : 1;
     const CellBatchPlan plan = plan_cell_batches(
-        local.weights, est_k, opt_.min_batches, buffer_pairs, opt_.safety);
+        local.weights, est_c, opt_.min_batches, buffer_pairs, opt_.safety);
 
     ResultRequest req;
     req.mode = opt_.mode;
     // Histogram keys are ORIGINAL point ids (the kernels emit through
-    // orig[]), so every shard carries a full-length histogram and the
-    // disjoint shard results sum element-wise in merge_shards.
+    // orig[]), so every chunklet carries a full-length histogram and the
+    // disjoint chunklet results sum element-wise in the merge.
     req.histogram_keys = d.size();
 
-    PipelineConfig config;
-    config.streams = opt_.num_streams;
-    config.assembly_threads = opt_.assembly_threads;
-    config.block_size = opt_.block_size;
-    config.retry = opt_.retry;
-    config.device_id = device;
-    BatchPipeline pipeline(arena, opt_.device, config);
-    outs[s].out = pipeline.run_cells(req, grid, opt_.unicomp, plan, &local,
-                                     &works[s], &outs[s].stats.batch);
-
-    ShardStats& ss = outs[s].stats;
-    ss.units = c1 - c0;
-    ss.weight = slice.weight;
-    ss.owned_points = slice.owned_points();
-    ss.halo_points = slice.halo_points();
-    ss.pairs = outs[s].out.total_pairs;
-    ss.device = device;
-    ss.failed_over = device != static_cast<int>(s);
-    ss.seconds = shard_t.seconds();
+    outs[c].out = ctx.pipeline->run_cells(req, grid, opt_.unicomp, plan,
+                                          &local, &works[c], &outs[c].batch);
+    outs[c].units = c1 - c0;
+    outs[c].weight = slice.weight;
+    outs[c].owned_points = slice.owned_points();
+    outs[c].halo_points = slice.halo_points();
+    outs[c].slot = static_cast<int>(s);
   },
-  // Failover reset: wind the shard's record back so the surviving
+  // Failover reset: wind the chunklet's record back so the surviving
   // device's re-run neither double-counts nor duplicates.
-  [&](std::size_t s) {
-    works[s].reset();
-    outs[s] = ShardOutput{};
-    ests[s] = EstimateResult{};
+  [&](std::uint32_t c) {
+    works[c].reset();
+    outs[c] = ChunkOutput{};
   },
-  failover);
+  slots, failover);
   result.shard.shards_failed_over = failover.shards_failed_over;
   result.shard.recovery_seconds = failover.recovery_seconds;
   st.join_seconds = phase.seconds();
-  for (const EstimateResult& e : ests) {
-    st.estimate_seconds += e.seconds;
-    st.estimated_total += e.estimated_total;
-  }
 
-  PipelineOutput merged = merge_shards(outs, works, st.metrics, st.batch,
-                                       result.shard);
+  PipelineOutput merged = merge_chunklets(outs, works, st.metrics, st.batch);
+  fold_device_rows(slots, outs, result.shard);
   result.pairs = std::move(merged.pairs);
   result.total_pairs = merged.total_pairs;
   result.histogram = std::move(merged.histogram);
@@ -476,6 +835,16 @@ ShardedSelfJoinResult ShardedGpuSelfJoin::run(const Dataset& d,
     result.histogram.assign(d.size(), 0);
   }
   st.metrics.kernel_seconds = st.batch.kernel_seconds;
+
+  // Feed the measured per-cell pair counts forward for the next run's
+  // plan=measured (written in every plan mode — a proxy-planned run is
+  // exactly how the first measured plan gets seeded).
+  if (!opt_.plan_cache.empty()) {
+    save_plan_cache(opt_.plan_cache, cache_key,
+                    measured_cell_weights(hv, cplan, cell_weights, outs,
+                                          result.pairs, result.histogram,
+                                          opt_.mode));
+  }
 
   collect_gpu_stats(hv, opt_, st);
   st.total_seconds = total.seconds();
@@ -516,36 +885,88 @@ ShardedJoinResult sharded_join(const Dataset& queries, const Dataset& data,
   const JoinAdjacencyHost adj = build_join_adjacency_host(hv);
   st.query_groups = adj.num_groups();
 
-  const std::vector<std::uint32_t> bounds = plan_shard_boundaries(
-      adj.weights, static_cast<std::size_t>(opt.shards));
+  // The sharded units are the query GROUPS; their adjacency weights are
+  // already exact, so the join facet needs no measured plan.
+  const ChunkletPlan cplan =
+      plan_chunklets(adj.weights, static_cast<std::size_t>(opt.shards),
+                     static_cast<std::size_t>(opt.chunklets));
   if (contracts::active()) {
-    validate::shard_boundaries(bounds, adj.num_groups(), "sharded_join(plan)");
+    validate::chunklet_plan(cplan, adj.weights,
+                            static_cast<std::size_t>(opt.shards),
+                            "sharded_join(plan)");
   }
-  const std::size_t k = bounds.size() - 1;
+  const std::size_t k = cplan.devices();
+  const std::size_t m = cplan.chunklets();
+  std::uint64_t total_weight = 0;
+  for (const std::uint64_t w : cplan.weights) total_weight += w;
 
   result.shard.shards = k;
+  result.shard.chunklets_total = m;
   result.shard.common_seconds = total.seconds();
 
-  std::vector<ShardOutput> outs(k);
-  std::vector<AtomicWork> works(k);
-  std::vector<EstimateResult> ests(k);
+  std::vector<ChunkOutput> outs(m);
+  std::vector<AtomicWork> works(m);
+  std::vector<DeviceCtx> devices(k);
+  std::vector<SlotState> slots(k);
+
+  // Shared once-per-join estimate, sliced per chunklet by planner weight.
+  // Sampled on the devices: each slot covers its seeded chunklet group's
+  // query-group span (in the sorted group order), charged to its busy
+  // clock.
+  EstimateResult est;
+  if (pairs_path) {
+    est = estimate_on_devices(opt.schedule, slots, [&](std::size_t s) {
+      const std::uint32_t db0 = cplan.device_bounds[s];
+      const std::uint32_t db1 = cplan.device_bounds[s + 1];
+      if (db0 == db1) return EstimateResult{};
+      const std::uint32_t q0 = adj.group_offsets[cplan.bounds[db0]];
+      const std::uint32_t q1 = adj.group_offsets[cplan.bounds[db1]];
+      if (q0 >= q1) return EstimateResult{};
+      return estimate_query_span(hv, /*unicomp=*/false, opt.sample_rate,
+                                 opt.block_size, adj.query_order.data(), q0,
+                                 q1 - q0);
+    });
+    st.estimated_total = est.estimated_total;
+  }
   phase.reset();
   fault::reset_devices();
   FailoverStats failover;
-  run_shards(k, opt.schedule, [&](std::size_t s, int device) {
-    Timer shard_t;
-    const std::uint32_t g0 = bounds[s];
-    const std::uint32_t g1 = bounds[s + 1];
-    // Query groups own no data slots — the shard's data slice is exactly
-    // the slots its groups' candidate ranges reference (all "halo").
+  ChunkletScheduler sched(cplan);
+  run_chunklets(k, opt.schedule, sched,
+  [&](std::size_t s, int device, std::uint32_t c) {
+    DeviceCtx& ctx = devices[s];
+    if (ctx.pipeline == nullptr || ctx.device_id != device) {
+      rearm_device(ctx, device, opt);
+      // The query set is broadcast whole, ONCE per device: the kernel
+      // reads queries by their GLOBAL index (which is also the emitted
+      // pair key), so every chunklet's query_order slice indexes into the
+      // same buffer.
+      ctx.qbuf = gpu::DeviceBuffer<double>(*ctx.arena, queries.raw().size());
+      std::memcpy(ctx.qbuf.data(), queries.raw().data(),
+                  queries.raw().size() * sizeof(double));
+    }
+    gpu::GlobalMemoryArena& arena = *ctx.arena;
+    const std::uint32_t g0 = cplan.bounds[c];
+    const std::uint32_t g1 = cplan.bounds[c + 1];
+    // Query groups own no data slots — the chunklet's data slice is
+    // exactly the slots its groups' candidate ranges reference (all
+    // "halo").
     const ShardSlice slice = make_shard_slice(adj.ranges, adj.offsets,
                                               adj.weights, g0, g1, 0, 0);
     if (contracts::active()) {
       validate::shard_slice(slice, hv.n, "sharded_join(slice)");
     }
 
-    gpu::GlobalMemoryArena arena(opt.device);
     const std::uint32_t nlocal = slice.local_points();
+    const std::uint32_t q0 = adj.group_offsets[g0];
+    const std::uint32_t q1 = adj.group_offsets[g1];
+    outs[c].units = g1 - g0;
+    outs[c].weight = slice.weight;
+    outs[c].owned_points = q0 < q1 ? q1 - q0 : 0;  // queries in the chunklet
+    outs[c].halo_points = nlocal;  // data slots replicated for it
+    outs[c].slot = static_cast<int>(s);
+    if (nlocal == 0) return;  // no candidates anywhere in these groups
+
     gpu::DeviceBuffer<double> points(
         arena, static_cast<std::size_t>(nlocal) * hv.dim);
     gpu::DeviceBuffer<std::uint32_t> orig(arena, nlocal);
@@ -557,15 +978,6 @@ ShardedJoinResult sharded_join(const Dataset& queries, const Dataset& data,
       fill_planes(points.data(), nlocal, hv.dim, coords.data());
     }
 
-    // The query set is broadcast whole: the kernel reads queries by their
-    // GLOBAL index (which is also the emitted pair key), so the shard's
-    // query_order slice indexes into the full buffer.
-    gpu::DeviceBuffer<double> qbuf(arena, queries.raw().size());
-    std::memcpy(qbuf.data(), queries.raw().data(),
-                queries.raw().size() * sizeof(double));
-
-    const std::uint32_t q0 = adj.group_offsets[g0];
-    const std::uint32_t q1 = adj.group_offsets[g1];
     JoinAdjacency local;
     local.query_order = gpu::DeviceBuffer<std::uint32_t>(arena, q1 - q0);
     std::copy(adj.query_order.begin() + q0, adj.query_order.begin() + q1,
@@ -589,7 +1001,7 @@ ShardedJoinResult sharded_join(const Dataset& queries, const Dataset& data,
     grid.dim = hv.dim;
     grid.orig = orig.data();
     grid.cell_major = true;
-    grid.qpoints = qbuf.data();
+    grid.qpoints = ctx.qbuf.data();
     grid.qn = queries.size();
     grid.width = hv.width;
     grid.eps = hv.eps;
@@ -599,64 +1011,36 @@ ShardedJoinResult sharded_join(const Dataset& queries, const Dataset& data,
       }
     }
 
-    ShardStats& ss = outs[s].stats;
-    ss.units = g1 - g0;
-    ss.weight = slice.weight;
-    ss.owned_points = q1 - q0;     // queries assigned to this shard
-    ss.halo_points = nlocal;       // data slots replicated to this shard
-    ss.device = device;
-    ss.failed_over = device != static_cast<int>(s);
-    if (nlocal > 0) {
-      // Per-device estimate over this shard's own queries (the sorted
-      // group order), exactly like the self-join's owned-slot sampling;
-      // skipped in the non-materialising modes, which size no buffers.
-      EstimateResult est;
-      if (pairs_path) {
-        est = estimate_query_span(
-            hv, /*unicomp=*/false, opt.sample_rate, opt.block_size,
-            adj.query_order.data(), q0, q1 - q0);
-        ests[s] = est;
-      }
-      const std::uint64_t est_k = est.estimated_total;
-      const std::uint64_t buffer_pairs =
-          pairs_path ? size_buffer_pairs(
-                           arena, static_cast<std::uint64_t>(q1 - q0) * 3,
-                           est_k, opt.min_batches, opt.num_streams,
-                           opt.max_buffer_pairs, opt.safety)
-                     : 1;
-      const CellBatchPlan plan = plan_cell_batches(
-          local.weights, est_k, opt.min_batches, buffer_pairs, opt.safety);
+    const std::uint64_t est_c =
+        pairs_path ? slice_estimate(est.estimated_total, cplan.weights[c],
+                                    total_weight, m)
+                   : 0;
+    const std::uint64_t buffer_pairs =
+        pairs_path ? size_buffer_pairs(
+                         arena, static_cast<std::uint64_t>(q1 - q0) * 3,
+                         est_c, opt.min_batches, opt.num_streams,
+                         opt.max_buffer_pairs, opt.safety)
+                   : 1;
+    const CellBatchPlan plan = plan_cell_batches(
+        local.weights, est_c, opt.min_batches, buffer_pairs, opt.safety);
 
-      ResultRequest req;
-      req.mode = opt.mode;
-      req.histogram_keys = queries.size();
+    ResultRequest req;
+    req.mode = opt.mode;
+    req.histogram_keys = queries.size();
 
-      PipelineConfig config;
-      config.streams = opt.num_streams;
-      config.assembly_threads = opt.assembly_threads;
-      config.block_size = opt.block_size;
-      config.retry = opt.retry;
-      config.device_id = device;
-      BatchPipeline pipeline(arena, opt.device, config);
-      outs[s].out = pipeline.run_join_groups(req, grid, plan, local,
-                                             &works[s],
-                                             &outs[s].stats.batch);
-    }
-    ss.pairs = outs[s].out.total_pairs;
-    ss.seconds = shard_t.seconds();
+    outs[c].out = ctx.pipeline->run_join_groups(req, grid, plan, local,
+                                                &works[c], &outs[c].batch);
   },
-  [&](std::size_t s) {
-    works[s].reset();
-    outs[s] = ShardOutput{};
-    ests[s] = EstimateResult{};
+  [&](std::uint32_t c) {
+    works[c].reset();
+    outs[c] = ChunkOutput{};
   },
-  failover);
+  slots, failover);
   result.shard.shards_failed_over = failover.shards_failed_over;
   result.shard.recovery_seconds = failover.recovery_seconds;
-  for (const EstimateResult& e : ests) st.estimated_total += e.estimated_total;
 
-  PipelineOutput merged = merge_shards(outs, works, st.metrics, st.batch,
-                                       result.shard);
+  PipelineOutput merged = merge_chunklets(outs, works, st.metrics, st.batch);
+  fold_device_rows(slots, outs, result.shard);
   result.pairs = std::move(merged.pairs);
   result.total_pairs = merged.total_pairs;
   result.histogram = std::move(merged.histogram);

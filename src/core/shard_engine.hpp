@@ -22,14 +22,33 @@
 // group owned by one shard), and a shard's data slice is exactly the
 // slots its groups' candidate ranges reference.
 //
+// Work distribution is OVER-DECOMPOSED: instead of one slice per device,
+// plan_chunklets splits the cell range into M >> K contiguous chunklets
+// (default ~12 per device, knob chunklets=), each carrying its own owned
+// span, halo intervals and local remap exactly as a PR-5 shard did. A
+// shared chunklet scheduler seeds per-device deques with contiguous
+// chunklet groups by the static weighted plan, and a device that drains
+// its own deque STEALS whole chunklets from the most-loaded victim — the
+// ownership rule makes any cell-to-device assignment exact, so stealing
+// needs no dedup and the merge stays deterministic by sorting on the
+// chunklet index (ascending first-slot key), byte-identical to `gpu`
+// regardless of which device ran what. Devices re-arm one arena and one
+// BatchPipeline across their chunklets instead of rebuilding per slice.
+//
 // One host core serialises the simulated devices, so wall-clock alone
-// cannot show scale-out. Each shard therefore measures its own device
-// busy time, and the stats report the modelled multi-device MAKESPAN
-// (common host phases + the slowest shard) next to the true wall time —
-// the same modelling stance as the PCIe transfer model. schedule=serial
-// runs the shards back to back for clean per-device timings (what the
-// ablation uses); schedule=concurrent (the default) overlaps them on
-// host threads, which is also what the ThreadSanitizer job exercises.
+// cannot show scale-out. Each device therefore measures its own busy
+// time, and the stats report the modelled multi-device MAKESPAN (common
+// host phases + the busiest device) next to the true wall time — the
+// same modelling stance as the PCIe transfer model. schedule=steal (alias
+// serial) drives the devices in virtual time — each chunklet runs alone
+// on the host core and its busy seconds advance its device's clock; the
+// device with the earliest clock (i.e. the first to go idle) takes the
+// next chunklet, stealing when its own deque is dry — giving clean
+// deterministic makespans (what the ablation uses). schedule=static is
+// the same drive with stealing off (the PR-5 plan, the ablation's
+// baseline column). schedule=concurrent (the default) overlaps the
+// devices on real host threads with real-idleness stealing, which is
+// also what the ThreadSanitizer job exercises.
 #pragma once
 
 #include <cstdint>
@@ -40,10 +59,19 @@
 
 namespace sj {
 
-/// How the K shard pipelines are driven on the host.
+/// How the K device pipelines are driven on the host.
 enum class ShardSchedule {
-  kConcurrent,  ///< one host thread per shard (overlapped pipelines)
-  kSerial       ///< back to back (clean per-device busy timings)
+  kConcurrent,  ///< one host thread per device, real-idleness stealing
+  kSerial,      ///< virtual-time serial drive WITH stealing (schedule=steal;
+                ///< "serial" is the legacy spelling) — clean makespans
+  kStatic       ///< virtual-time serial drive, stealing OFF (the PR-5
+                ///< static plan, the ablation baseline)
+};
+
+/// Where the chunklet weights come from.
+enum class ShardPlanMode {
+  kProxy,    ///< population-window proxy (cheap boundary pass, default)
+  kMeasured  ///< per-cell pair counts from a prior run via plan_cache=
 };
 
 struct ShardedSelfJoinOptions : GpuSelfJoinOptions {
@@ -53,37 +81,61 @@ struct ShardedSelfJoinOptions : GpuSelfJoinOptions {
   /// Host assembly workers per shard pipeline.
   int assembly_threads = 1;
   ShardSchedule schedule = ShardSchedule::kConcurrent;
+  /// Over-decomposition degree M (contiguous cell-range chunklets fed to
+  /// the stealing scheduler); 0 = kChunkletsPerDevice * shards. Clamped
+  /// into [devices, non-empty cells].
+  int chunklets = 0;
+  /// Chunklet weight source; kMeasured falls back to the proxy when
+  /// plan_cache is unset, missing, or keyed to a different join.
+  ShardPlanMode plan = ShardPlanMode::kProxy;
+  /// Path persisting per-cell pair counts across runs (plan=measured
+  /// reads it; every sharded self-join run writes it when set).
+  std::string plan_cache;
 };
 
 /// Per-device execution record — the balance data sjtool --stats prints.
+/// One row per device SLOT (the logical device; `device` names the
+/// physical device that ended up serving it after any failover),
+/// aggregated over every chunklet the device ran, stolen ones included.
 struct ShardStats {
-  std::uint32_t units = 0;          ///< owned cells (or query groups)
-  std::uint64_t weight = 0;         ///< summed planner work weight
-  std::uint64_t owned_points = 0;   ///< slots owned by this shard
-  std::uint64_t halo_points = 0;    ///< neighbour slots replicated here
-  std::uint64_t pairs = 0;          ///< pairs this shard emitted
+  std::uint32_t units = 0;          ///< cells (query groups) this device ran
+  std::uint64_t weight = 0;         ///< summed planner weight it ran
+  std::uint64_t owned_points = 0;   ///< slots owned by its chunklets
+  std::uint64_t halo_points = 0;    ///< neighbour slots replicated to it
+  std::uint64_t pairs = 0;          ///< pairs this device emitted
+  std::uint64_t chunklets = 0;      ///< chunklets it executed in total
+  std::uint64_t stolen = 0;         ///< of those, stolen from other deques
+  double steal_seconds = 0.0;       ///< busy time spent on stolen chunklets
   double seconds = 0.0;             ///< device busy time (slice, upload,
                                     ///< plan, pipeline)
-  int device = -1;                  ///< device that ran the shard (== the
-                                    ///< shard index unless failed over)
-  bool failed_over = false;         ///< re-planned onto a surviving device
+  int device = -1;                  ///< physical device that served the slot
+                                    ///< (== the slot index unless failed
+                                    ///< over)
+  bool failed_over = false;         ///< re-homed onto a surviving device
   BatchRunStats batch;
 };
 
 struct ShardedRunStats {
   std::size_t shards = 0;  ///< effective device count after clamping
-  /// Unsharded host work: index build, cell-major staging, adjacency
-  /// resolution, global estimate, shard boundary planning.
+  std::size_t chunklets_total = 0;   ///< over-decomposition degree M
+  std::size_t chunklets_stolen = 0;  ///< chunklets run off a foreign deque
+  /// True when plan=measured actually used cached per-cell counts (false
+  /// on a cache miss, which falls back to the proxy weights).
+  bool measured_plan = false;
+  /// Unsharded host work: index build, cell-major staging, chunklet
+  /// planning, and the shared once-per-join result-size estimate.
   double common_seconds = 0.0;
-  /// Modelled K-device response time: common_seconds + the slowest
-  /// shard's busy time. Meaningful under ShardSchedule::kSerial, where
-  /// shard busy times do not contend for the host core.
+  /// Modelled K-device response time: common_seconds + the busiest
+  /// device's clock. Meaningful under the virtual-time serial drives
+  /// (schedule=steal/static), where chunklet busy times do not contend
+  /// for the host core.
   double makespan_seconds = 0.0;
   double busy_sum_seconds = 0.0;  ///< total device busy time
-  /// Shards whose device died (fault::DeviceLost) and that were re-planned
-  /// onto a surviving device — fresh arena, fresh pipeline, output
-  /// byte-identical to the fault-free run (ownership rule: re-execution is
-  /// exact and dedup-free).
+  /// Device slots whose physical device died (fault::DeviceLost) and that
+  /// were re-homed onto a surviving device — fresh arena, fresh pipeline;
+  /// the in-flight chunklet re-runs and the slot's queued chunklets drain
+  /// on the replacement, output byte-identical to the fault-free run
+  /// (ownership rule: re-execution is exact and dedup-free).
   std::size_t shards_failed_over = 0;
   double recovery_seconds = 0.0;  ///< busy time spent on failover re-runs
   std::vector<ShardStats> per_shard;

@@ -1,7 +1,9 @@
 #include "core/shard_plan.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -50,11 +52,116 @@ std::vector<std::uint32_t> plan_shard_boundaries(
   const std::size_t k =
       std::clamp<std::size_t>(shards, 1, std::max<std::size_t>(weights.size(), 1));
   if (weights.empty()) return {0, 0};
-  std::vector<std::uint32_t> bounds = weighted_partition(weights, k);
-  SJ_ENSURE(bounds.size() == k + 1 && bounds.front() == 0 &&
-                bounds.back() == weights.size(),
+  const std::vector<std::uint32_t> raw = weighted_partition(weights, k);
+  SJ_ENSURE(raw.size() == k + 1 && raw.front() == 0 &&
+                raw.back() == weights.size(),
             "shard boundaries must cover all units with K parts");
+  // Coalesce zero-weight parts: weighted_partition's one-unit-per-part
+  // floor can close weightless shards when a giant unit absorbs the total
+  // (e.g. weights {100, 0, 0, 0} into 4 parts). A zero-weight part merges
+  // into its predecessor; leading zeros ride forward into the first part
+  // that carries weight. An all-zero total keeps the single full-range
+  // part.
+  std::vector<std::uint32_t> bounds;
+  bounds.reserve(raw.size());
+  bounds.push_back(0);
+  unsigned __int128 part_weight = 0;
+  for (std::size_t p = 0; p + 1 < raw.size(); ++p) {
+    for (std::uint32_t u = raw[p]; u < raw[p + 1]; ++u) part_weight += weights[u];
+    if (part_weight > 0) {
+      bounds.push_back(raw[p + 1]);
+      part_weight = 0;
+    }
+  }
+  if (bounds.back() != weights.size()) {
+    // Trailing zero-weight units fold into the last weighted part (or
+    // form the single part of an all-zero plan).
+    if (bounds.size() > 1) {
+      bounds.back() = static_cast<std::uint32_t>(weights.size());
+    } else {
+      bounds.push_back(static_cast<std::uint32_t>(weights.size()));
+    }
+  }
+  SJ_ENSURE(bounds.size() >= 2 && bounds.front() == 0 &&
+                bounds.back() == weights.size(),
+            "coalesced shard boundaries must still cover every unit");
   return bounds;
+}
+
+ChunkletPlan plan_chunklets(const std::vector<std::uint64_t>& unit_weights,
+                            std::size_t devices, std::size_t chunklets) {
+  ChunkletPlan plan;
+  const std::size_t units = unit_weights.size();
+  if (units == 0) {
+    // Degenerate empty plan: no chunklets, no devices (mirrors
+    // plan_shard_boundaries' {0, 0} convention for the unit bounds).
+    plan.bounds = {0, 0};
+    return plan;
+  }
+  const std::size_t k = std::clamp<std::size_t>(devices, 1, units);
+  std::size_t m = chunklets == 0 ? kChunkletsPerDevice * k : chunklets;
+  m = std::clamp(m, k, units);
+  plan.bounds = plan_shard_boundaries(unit_weights, m);
+
+  const std::size_t m_eff = plan.bounds.size() - 1;
+  plan.weights.resize(m_eff);
+  for (std::size_t c = 0; c < m_eff; ++c) {
+    std::uint64_t w = 0;
+    for (std::uint32_t u = plan.bounds[c]; u < plan.bounds[c + 1]; ++u) {
+      w += unit_weights[u];
+    }
+    plan.weights[c] = w;
+  }
+  // Seed the devices with contiguous chunklet groups by the same balance
+  // rule — the static PR-5 plan, which stealing then corrects.
+  plan.device_bounds =
+      plan_shard_boundaries(plan.weights, std::min(k, m_eff));
+  return plan;
+}
+
+namespace {
+constexpr char kPlanCacheMagic[] = "sjplancache";
+constexpr int kPlanCacheVersion = 1;
+}  // namespace
+
+std::vector<std::uint64_t> load_plan_cache(const std::string& path,
+                                           const PlanCacheKey& key) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::string magic;
+  int version = 0;
+  std::uint64_t n = 0;
+  int dim = 0;
+  double eps = 0.0;
+  std::uint64_t num_cells = 0;
+  in >> magic >> version >> n >> dim >> eps >> num_cells;
+  if (!in || magic != kPlanCacheMagic || version != kPlanCacheVersion ||
+      n != key.n || dim != key.dim || eps != key.eps ||
+      num_cells != key.num_cells) {
+    return {};
+  }
+  std::vector<std::uint64_t> weights(num_cells, 0);
+  for (std::uint64_t c = 0; c < num_cells; ++c) in >> weights[c];
+  if (!in) return {};
+  return weights;
+}
+
+void save_plan_cache(const std::string& path, const PlanCacheKey& key,
+                     const std::vector<std::uint64_t>& weights) {
+  SJ_EXPECT(weights.size() == key.num_cells,
+            "plan cache must carry one weight per non-empty cell");
+  std::ostringstream body;
+  body.precision(17);
+  body << kPlanCacheMagic << ' ' << kPlanCacheVersion << ' ' << key.n << ' '
+       << key.dim << ' ' << key.eps << ' ' << key.num_cells << '\n';
+  for (std::size_t c = 0; c < weights.size(); ++c) {
+    body << weights[c] << (c + 1 == weights.size() ? '\n' : ' ');
+  }
+  std::ofstream out(path, std::ios::trunc);
+  out << body.str();
+  if (!out) {
+    throw std::runtime_error("plan_cache: cannot write '" + path + "'");
+  }
 }
 
 ShardSlice make_shard_slice(const std::vector<CandidateRange>& ranges,

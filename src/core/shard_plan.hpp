@@ -22,7 +22,9 @@
 // concatenate in shard order.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/kernels.hpp"
@@ -80,10 +82,64 @@ std::vector<std::uint64_t> proxy_cell_weights(const GridDeviceView& grid);
 /// Partition units 0..weights.size() into `shards` contiguous ranges of
 /// approximately equal total weight (the plan_cell_batches balance rule).
 /// The shard count is clamped into [1, weights.size()] — fewer units than
-/// requested devices means some devices stay idle. Returns K + 1
-/// boundaries for the effective K.
+/// requested devices means some devices stay idle. Zero-weight parts (one
+/// giant unit next to zero-weight tails forces weighted_partition's
+/// one-unit-per-part floor to close weightless shards) are coalesced into
+/// their predecessor, so every returned part carries weight unless the
+/// total itself is zero. Returns K + 1 boundaries for the effective K.
 std::vector<std::uint32_t> plan_shard_boundaries(
     const std::vector<std::uint64_t>& weights, std::size_t shards);
+
+/// Over-decomposition plan for the work-stealing shard scheduler: the
+/// unit range is split into M >> K contiguous chunklets (each becomes one
+/// ShardSlice, exactly as a PR-5 shard did), and the chunklets are dealt
+/// to the K devices as contiguous groups by the same weighted partition —
+/// the static plan is the SEED, stealing corrects its mispredictions.
+struct ChunkletPlan {
+  std::vector<std::uint32_t> bounds;         ///< M + 1 unit boundaries
+  std::vector<std::uint64_t> weights;        ///< per-chunklet summed weight
+  std::vector<std::uint32_t> device_bounds;  ///< K + 1 chunklet boundaries
+
+  std::size_t chunklets() const { return weights.size(); }
+  std::size_t devices() const {
+    return device_bounds.empty() ? 0 : device_bounds.size() - 1;
+  }
+};
+
+/// Default over-decomposition factor: M = kChunkletsPerDevice * K keeps
+/// the per-device chunklet overhead constant across device counts while
+/// giving the stealing scheduler ~12 rebalancing opportunities per device.
+inline constexpr std::size_t kChunkletsPerDevice = 12;
+
+/// Build the chunklet plan over per-unit weights. `devices` is clamped
+/// into [1, units]; `chunklets` of 0 means kChunkletsPerDevice * devices,
+/// and any request is clamped into [devices, units] (one cell is the
+/// finest ownable grain). Zero-weight chunklets coalesce away, so M may
+/// come back smaller than requested on degenerate weight profiles.
+ChunkletPlan plan_chunklets(const std::vector<std::uint64_t>& unit_weights,
+                            std::size_t devices, std::size_t chunklets = 0);
+
+/// Measured-plan persistence (plan=measured + plan_cache=): per-cell pair
+/// counts fed back from a prior run, keyed to the exact join geometry so
+/// a stale cache can never skew a different dataset's plan.
+struct PlanCacheKey {
+  std::uint64_t n = 0;          ///< dataset size
+  int dim = 0;                  ///< dimensionality
+  double eps = 0.0;             ///< join radius
+  std::uint64_t num_cells = 0;  ///< non-empty grid cells
+};
+
+/// Read the cached per-cell weights; returns an empty vector when the
+/// file is absent, malformed, or keyed to a different join (the caller
+/// falls back to the proxy weights).
+std::vector<std::uint64_t> load_plan_cache(const std::string& path,
+                                           const PlanCacheKey& key);
+
+/// Persist per-cell weights for the next run's plan=measured. Throws
+/// std::runtime_error when the path cannot be written (a silently dropped
+/// cache would make the follow-up run's plan source ambiguous).
+void save_plan_cache(const std::string& path, const PlanCacheKey& key,
+                     const std::vector<std::uint64_t>& weights);
 
 /// Slice the global adjacency CSR for owned units [unit_begin, unit_end):
 /// clip every candidate range against the owned global slot span

@@ -208,6 +208,41 @@ void shard_boundaries(const std::vector<std::uint32_t>& boundaries,
   }
 }
 
+void shard_boundaries(const std::vector<std::uint32_t>& boundaries,
+                      const std::vector<std::uint64_t>& unit_weights,
+                      const char* ctx) {
+  shard_boundaries(boundaries, unit_weights.size(), ctx);
+  contracts::ScopedTimer timer;
+  unsigned __int128 total = 0;
+  for (const std::uint64_t w : unit_weights) total += w;
+  if (total == 0) return;  // an all-zero profile keeps its single part
+  for (std::size_t p = 0; p + 1 < boundaries.size(); ++p) {
+    unsigned __int128 part = 0;
+    for (std::uint32_t u = boundaries[p]; u < boundaries[p + 1]; ++u) {
+      part += unit_weights[u];
+    }
+    // The planner coalesces weightless parts, so none may survive.
+    SJ_CHECK(part > 0, ctx);
+  }
+}
+
+void chunklet_plan(const ChunkletPlan& plan,
+                   const std::vector<std::uint64_t>& unit_weights,
+                   std::size_t devices, const char* ctx) {
+  shard_boundaries(plan.bounds, unit_weights, ctx);
+  contracts::ScopedTimer timer;
+  SJ_CHECK(plan.weights.size() == plan.bounds.size() - 1, ctx);
+  for (std::size_t c = 0; c < plan.weights.size(); ++c) {
+    std::uint64_t w = 0;
+    for (std::uint32_t u = plan.bounds[c]; u < plan.bounds[c + 1]; ++u) {
+      w += unit_weights[u];
+    }
+    SJ_CHECK(plan.weights[c] == w, ctx);
+  }
+  shard_boundaries(plan.device_bounds, plan.weights, ctx);
+  SJ_CHECK(plan.devices() <= std::max<std::size_t>(devices, 1), ctx);
+}
+
 void shard_slice(const ShardSlice& s, std::uint64_t n_slots, const char* ctx) {
   contracts::ScopedTimer timer;
   SJ_CHECK(s.unit_begin <= s.unit_end, ctx);

@@ -68,6 +68,24 @@ void join_adjacency(const JoinAdjacencyHost& adj, std::uint64_t qn,
 void shard_boundaries(const std::vector<std::uint32_t>& boundaries,
                       std::size_t num_units, const char* context);
 
+/// shard_boundaries plus the planner's coalescing guarantee: every part
+/// carries nonzero summed unit weight unless the total weight itself is
+/// zero (no degenerate empty shards next to a giant unit).
+void shard_boundaries(const std::vector<std::uint32_t>& boundaries,
+                      const std::vector<std::uint64_t>& unit_weights,
+                      const char* context);
+
+/// ChunkletPlan invariants over the unit weights it was planned from:
+///   - bounds strictly cover [0, units) (shard_boundaries + nonzero
+///     per-chunklet weight, i.e. disjoint owned spans with no weightless
+///     chunklet unless the total is zero)
+///   - weights mirror the per-chunklet unit-weight sums exactly
+///   - device_bounds strictly cover [0, chunklets) with at most `devices`
+///     groups (the contiguous stealing seed)
+void chunklet_plan(const ChunkletPlan& plan,
+                   const std::vector<std::uint64_t>& unit_weights,
+                   std::size_t devices, const char* context);
+
 /// ShardSlice invariants over a global slot space of size n_slots:
 ///   - owned span within [0, n_slots]
 ///   - halo intervals non-empty, sorted, pairwise disjoint, entirely

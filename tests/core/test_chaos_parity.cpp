@@ -148,6 +148,42 @@ TEST(ChaosParityFailover, JoinFacetFailsOverByteIdentical) {
   EXPECT_GE(outcome.stats.native_value("shards_failed_over"), 1.0);
 }
 
+TEST(ChaosParityFailover, DeviceLossDuringStealingFailsOverByteIdentical) {
+  SJ_REQUIRE_CHAOS_BUILD();
+  FaultGuard guard;
+  const auto& registry = api::BackendRegistry::instance();
+  const auto d = datagen::ippp(1500, 2, 10.0, 631);
+  fault::disable();
+  api::RunConfig plain;
+  plain.extra["shards"] = "4";
+  auto want = registry.at("gpu_shard").run(d, 0.5, plain).pairs;
+  want.normalize();
+
+  // Many tiny chunklets under the stealing drive, and device 1 dies at
+  // its 4th batch — mid-queue, so both its IN-FLIGHT chunklet and the
+  // chunklets still queued (or already stolen) behind it must land on
+  // surviving devices without changing the merged bytes.
+  auto config = chaos_config("stream:0.2,device:shard1@batch4,seed:37");
+  config.extra["shards"] = "4";
+  config.extra["schedule"] = "steal";
+  config.extra["chunklets"] = "32";
+  config.extra["min_batches"] = "4";
+  auto outcome = registry.at("gpu_shard").run(d, 0.5, config);
+  outcome.pairs.normalize();
+  ASSERT_EQ(outcome.pairs.size(), want.size());
+  EXPECT_TRUE(outcome.pairs.pairs() == want.pairs());
+  EXPECT_GE(outcome.stats.native_value("shards_failed_over"), 1.0);
+  EXPECT_EQ(outcome.stats.native_value("shard1_failed_over"), 1.0);
+  EXPECT_NE(outcome.stats.native_value("shard1_device"), 1.0);
+  // Every chunklet still ran exactly once, somewhere.
+  double chunklets_run = 0.0;
+  for (int s = 0; s < 4; ++s) {
+    chunklets_run += outcome.stats.native_value(
+        "shard" + std::to_string(s) + "_chunklets");
+  }
+  EXPECT_EQ(chunklets_run, outcome.stats.native_value("chunklets"));
+}
+
 TEST(ChaosParityFailover, NoSurvivingDeviceFailsTyped) {
   SJ_REQUIRE_CHAOS_BUILD();
   FaultGuard guard;

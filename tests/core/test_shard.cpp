@@ -25,6 +25,7 @@
 
 #include "api/registry.hpp"
 #include "common/datagen.hpp"
+#include "common/fault.hpp"
 #include "core/self_join.hpp"
 #include "core/shard_engine.hpp"
 #include "core/shard_plan.hpp"
@@ -272,7 +273,14 @@ TEST(ShardEngine, SerialAndConcurrentSchedulesAgreeByteExactly) {
   opt.schedule = ShardSchedule::kConcurrent;
   auto conc = ShardedGpuSelfJoin(opt).run(d, 0.5);
   // RAW outputs (no normalization): the shard-order merge must be
-  // schedule-independent.
+  // schedule-independent. Under the ambient SJ_FAULTS sweep the
+  // injector's draw counters advance across the two runs, so OOM splits
+  // land differently and the raw batch order legitimately differs —
+  // only the content contract applies then.
+  if (fault::enabled()) {
+    serial.pairs.normalize();
+    conc.pairs.normalize();
+  }
   EXPECT_TRUE(serial.pairs.pairs() == conc.pairs.pairs());
 }
 

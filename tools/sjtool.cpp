@@ -245,9 +245,11 @@ void print_pair_rate(std::uint64_t total_pairs, double seconds) {
             << "\n";
 }
 
-/// The per-device balance table for --algo gpu_shard: one row per shard
-/// (cells/groups, weighted work share, points incl. halo, pairs, device
-/// busy seconds), so load skew is diagnosable straight from the CLI.
+/// The per-device balance table for --algo gpu_shard: one row per device
+/// slot (cells/groups, weighted work share, points incl. halo, pairs,
+/// chunklets run / stolen and the busy time spent on stolen ones, device
+/// busy seconds), so load skew — and how much of it stealing absorbed —
+/// is diagnosable straight from the CLI.
 void print_shard_balance(const sj::api::BackendStats& stats) {
   const auto shards =
       static_cast<std::size_t>(stats.native_value("shards"));
@@ -257,25 +259,32 @@ void print_shard_balance(const sj::api::BackendStats& stats) {
     total_weight +=
         stats.native_value("shard" + std::to_string(s) + "_weight");
   }
+  const char* schedule =
+      stats.native_value("schedule_concurrent") != 0.0 ? "concurrent"
+      : stats.native_value("schedule_static") != 0.0   ? "static"
+                                                       : "steal";
   std::cout << "shard balance (" << shards << " devices, "
-            << (stats.native_value("schedule_concurrent") != 0.0
-                    ? "concurrent"
-                    : "serial")
+            << stats.native_value("chunklets") << " chunklets, " << schedule
             << " schedule):\n"
             << "  shard      cells    weight%     points       halo"
-               "      pairs    seconds  device\n";
+               "      pairs  chunklets  stolen    steal_s    seconds"
+               "  device\n";
   for (std::size_t s = 0; s < shards; ++s) {
     const std::string p = "shard" + std::to_string(s) + "_";
     const double weight = stats.native_value(p + "weight");
     const bool failed_over = stats.native_value(p + "failed_over") != 0.0;
-    char line[160];
+    char line[224];
     std::snprintf(line, sizeof(line),
-                  "  %5zu %10.0f %9.1f%% %10.0f %10.0f %10.0f %10.6f %5.0f%s\n",
+                  "  %5zu %10.0f %9.1f%% %10.0f %10.0f %10.0f %10.0f %7.0f "
+                  "%10.6f %10.6f %5.0f%s\n",
                   s, stats.native_value(p + "cells"),
                   total_weight > 0.0 ? 100.0 * weight / total_weight : 0.0,
                   stats.native_value(p + "points"),
                   stats.native_value(p + "halo_points"),
                   stats.native_value(p + "pairs"),
+                  stats.native_value(p + "chunklets"),
+                  stats.native_value(p + "stolen"),
+                  stats.native_value(p + "steal_seconds"),
                   stats.native_value(p + "seconds"),
                   stats.native_value(p + "device"),
                   failed_over ? "  (failed over)" : "");
@@ -285,6 +294,11 @@ void print_shard_balance(const sj::api::BackendStats& stats) {
             << " s (common " << stats.native_value("common_seconds")
             << " s + slowest device; device busy total "
             << stats.native_value("busy_sum_seconds") << " s)\n";
+  const double stolen = stats.native_value("chunklets_stolen");
+  if (stolen > 0.0) {
+    std::cout << "  stealing: " << stolen
+              << " chunklet(s) run off a foreign deque\n";
+  }
   const double failed = stats.native_value("shards_failed_over");
   if (failed > 0.0) {
     std::cout << "  failover: " << failed
