@@ -1,0 +1,226 @@
+// The always-on service ablation: what does keeping the grid index and
+// device image resident buy over the one-shot lifecycle?
+//
+// For each workload the same stream of single-point range queries is
+// answered two ways:
+//   * one-shot — every query pays the full gpu_join lifecycle (index
+//     build, cell-major upload, adjacency, pipeline, teardown), the way
+//     every sjtool invocation before the QuerySession did;
+//   * session  — a QuerySession stages the image once and concurrent
+//     client threads submit through the bounded admission queue, with
+//     compatible range queries coalesced into shared grouped launches.
+//
+// A burst phase then floods a deliberately tiny admission queue to show
+// overload shedding doing its job (typed exec::Overloaded, no crash,
+// survivors still answered); its shed/expired counters and the session
+// latency percentiles are recorded in the rows.
+//
+// Output: ablation_serve.csv under SJ_RESULTS_DIR plus BENCH_serve.json
+// (path overridable via SJ_BENCH_JSON). With SJ_SMOKE_CHECK=1 the
+// process exits non-zero when the geometric-mean throughput speedup of
+// session over one-shot falls below 1.0x — if keeping the index warm is
+// not faster than rebuilding it per query, the service layer regressed.
+#include <atomic>
+#include <cstdlib>
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/session.hpp"
+#include "common/csv.hpp"
+#include "common/datagen.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/join.hpp"
+#include "harness/bench_common.hpp"
+
+namespace {
+
+struct Row {
+  std::string workload;
+  std::size_t n = 0;
+  double eps = 0.0;
+  double oneshot_qps = 0.0;
+  double session_qps = 0.0;
+  double speedup = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t burst_shed = 0;
+};
+
+std::vector<std::vector<double>> pick_queries(const sj::Dataset& d,
+                                              std::size_t count) {
+  std::vector<std::vector<double>> out;
+  out.reserve(count);
+  for (std::size_t q = 0; q < count; ++q) {
+    const std::size_t idx = (q * 2654435761ULL + 17) % d.size();
+    out.emplace_back(d.pt(idx), d.pt(idx) + d.dim());
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sj;
+  using namespace sj::bench;
+  std::vector<Row> rows;
+  const int rc = bench_main(argc, argv, [&rows] {
+    const double scale = env_scale();
+
+    struct Workload {
+      std::string name;
+      Dataset data;
+      double eps;
+    };
+    std::vector<Workload> workloads;
+    {
+      const auto n = static_cast<std::size_t>(2'000'000 * scale);
+      workloads.push_back(
+          {"Uni2D", datagen::uniform(n, 2, 0.0, 1000.0, 6001), 1.0});
+      workloads.push_back({"Ippp2D", datagen::ippp(n, 2, 64.0, 6002), 0.15});
+    }
+
+    // Few one-shot repetitions (each rebuilds the whole index), many
+    // session queries (the build is amortised away) — both report qps.
+    constexpr std::size_t kOneShot = 8;
+    constexpr std::size_t kSession = 256;
+    constexpr int kClients = 4;
+
+    TextTable t({"workload", "n", "eps", "one-shot q/s", "session q/s",
+                 "speedup", "p50 ms", "p99 ms", "coalesced", "burst shed"});
+    csv::Table out({"workload", "n", "eps", "oneshot_qps", "session_qps",
+                    "speedup", "p50_ms", "p99_ms", "coalesced",
+                    "burst_shed"});
+    for (auto& w : workloads) {
+      Row row;
+      row.workload = w.name;
+      row.n = w.data.size();
+      row.eps = w.eps;
+
+      const auto queries = pick_queries(w.data, kSession);
+
+      {
+        Timer t0;
+        for (std::size_t q = 0; q < kOneShot; ++q) {
+          Dataset one(w.data.dim(),
+                      std::vector<double>(queries[q].begin(),
+                                          queries[q].end()));
+          (void)gpu_join(one, w.data, w.eps);
+        }
+        const double s = t0.seconds();
+        row.oneshot_qps = s > 0.0 ? static_cast<double>(kOneShot) / s : 0.0;
+      }
+
+      {
+        api::QuerySession session(w.data, w.eps, {});
+        Timer t0;
+        std::vector<std::thread> clients;
+        std::atomic<std::size_t> next{0};
+        for (int c = 0; c < kClients; ++c) {
+          clients.emplace_back([&] {
+            for (;;) {
+              const std::size_t q =
+                  next.fetch_add(1, std::memory_order_relaxed);
+              if (q >= kSession) return;
+              session.range(queries[q]).get();
+            }
+          });
+        }
+        for (auto& th : clients) th.join();
+        const double s = t0.seconds();
+        row.session_qps = s > 0.0 ? static_cast<double>(kSession) / s : 0.0;
+        const api::SessionStats st = session.stats();
+        row.p50_ms = st.p50_ms;
+        row.p99_ms = st.p99_ms;
+        row.coalesced = st.coalesced_queries;
+      }
+
+      {
+        // Overload burst: a 1-worker session with a 4-deep queue cannot
+        // absorb an 8-client flood; admission control must shed (typed),
+        // and everything it admitted must still be answered.
+        api::SessionOptions so;
+        so.workers = 1;
+        so.max_queue_depth = 4;
+        api::QuerySession session(w.data, w.eps, so);
+        std::vector<std::thread> clients;
+        std::atomic<std::uint64_t> ok{0}, shed{0}, other{0};
+        for (int c = 0; c < 8; ++c) {
+          clients.emplace_back([&, c] {
+            for (int q = 0; q < 16; ++q) {
+              try {
+                session.range(queries[static_cast<std::size_t>(c * 16 + q) %
+                                      queries.size()])
+                    .get();
+                ok.fetch_add(1, std::memory_order_relaxed);
+              } catch (const exec::Overloaded&) {
+                shed.fetch_add(1, std::memory_order_relaxed);
+              } catch (const std::exception&) {
+                other.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+          });
+        }
+        for (auto& th : clients) th.join();
+        row.burst_shed = shed.load();
+        if (other.load() != 0 || ok.load() + shed.load() != 8 * 16) {
+          std::cerr << "FATAL: burst lost queries on " << w.name << ": ok="
+                    << ok.load() << " shed=" << shed.load()
+                    << " other=" << other.load() << "\n";
+          std::exit(1);
+        }
+      }
+
+      row.speedup = row.oneshot_qps > 0.0
+                        ? row.session_qps / row.oneshot_qps
+                        : 0.0;
+      t.add_row({row.workload, std::to_string(row.n), csv::fmt(row.eps),
+                 csv::fmt(row.oneshot_qps), csv::fmt(row.session_qps),
+                 csv::fmt(row.speedup), csv::fmt(row.p50_ms),
+                 csv::fmt(row.p99_ms), std::to_string(row.coalesced),
+                 std::to_string(row.burst_shed)});
+      out.add_row({row.workload, std::to_string(row.n), csv::fmt(row.eps),
+                   csv::fmt(row.oneshot_qps), csv::fmt(row.session_qps),
+                   csv::fmt(row.speedup), csv::fmt(row.p50_ms),
+                   csv::fmt(row.p99_ms), std::to_string(row.coalesced),
+                   std::to_string(row.burst_shed)});
+      rows.push_back(row);
+    }
+    std::cout << "\n== ablation: always-on session vs one-shot lifecycle "
+                 "==\n";
+    t.print(std::cout);
+    std::cout << "(every burst query resolves typed — Overloaded or a "
+                 "result — asserted above)\n";
+    out.write(Collector::results_dir() + "/ablation_serve.csv");
+  });
+  if (rc != 0) return rc;
+
+  // --- BENCH_serve.json + the CI smoke gate (session slower than
+  // one-shot fails).
+  std::vector<double> speedups;
+  std::vector<std::string> row_json;
+  for (const Row& r : rows) {
+    speedups.push_back(r.speedup);
+    row_json.push_back(JsonRow()
+                           .field("workload", r.workload)
+                           .field("n", static_cast<std::uint64_t>(r.n))
+                           .field("eps", r.eps)
+                           .field("oneshot_qps", r.oneshot_qps)
+                           .field("session_qps", r.session_qps)
+                           .field("speedup", r.speedup)
+                           .field("p50_ms", r.p50_ms)
+                           .field("p99_ms", r.p99_ms)
+                           .field("coalesced", r.coalesced)
+                           .field("burst_shed", r.burst_shed)
+                           .str());
+  }
+  const double g = geomean(speedups);
+  write_bench_json("ablation_serve", "BENCH_serve.json", g, row_json,
+                   "geomean_speedup_session_vs_oneshot");
+  return smoke_check("ablation_serve", g, 1.0,
+                     "session-vs-oneshot geomean throughput speedup");
+}

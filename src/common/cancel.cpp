@@ -1,0 +1,14 @@
+#include "common/cancel.hpp"
+
+#include <cstdio>
+
+namespace sj::exec {
+
+std::string ExecControl::format_overrun() const {
+  const double over = -deadline.remaining_ms();
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.1fms", over < 0.0 ? 0.0 : over);
+  return std::string(buf);
+}
+
+}  // namespace sj::exec

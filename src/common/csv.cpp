@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/parse.hpp"
+
 namespace sj::csv {
 
 void Table::add_row(std::vector<std::string> row) {
@@ -27,7 +29,12 @@ const std::string& Table::cell(std::size_t row, const std::string& col) const {
 }
 
 double Table::num(std::size_t row, const std::string& col) const {
-  return std::stod(cell(row, col));
+  // Strict parse (whole token, finite): a truncated or corrupted table
+  // cell fails with the row/column named instead of std::stod silently
+  // accepting a numeric prefix.
+  return parse::number(
+      "csv::Table cell [row " + std::to_string(row) + ", col '" + col + "']",
+      cell(row, col));
 }
 
 void Table::write(const std::string& path) const {
@@ -60,9 +67,20 @@ bool Table::read(const std::string& path, Table& out) {
   };
   if (!std::getline(in, line)) return false;
   out = Table(split(line));
+  std::size_t lineno = 1;
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty()) continue;
-    out.add_row(split(line));
+    std::vector<std::string> row = split(line);
+    if (row.size() != out.cols()) {
+      // Truncated/ragged row: name the file and line so a torn results
+      // file is diagnosable, instead of the bare column-count error.
+      throw std::invalid_argument(
+          "csv::Table::read: " + path + ":" + std::to_string(lineno) +
+          ": row has " + std::to_string(row.size()) + " columns, expected " +
+          std::to_string(out.cols()));
+    }
+    out.add_row(std::move(row));
   }
   return true;
 }

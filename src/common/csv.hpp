@@ -18,6 +18,7 @@ class Table {
 
   const std::vector<std::string>& header() const { return header_; }
   std::size_t rows() const { return cells_.size(); }
+  std::size_t cols() const { return header_.size(); }
 
   void add_row(std::vector<std::string> row);
   const std::string& cell(std::size_t row, const std::string& col) const;
@@ -26,7 +27,9 @@ class Table {
   /// Serialise to a file; creates parent directories if needed.
   void write(const std::string& path) const;
 
-  /// Parse a file written by write(). Returns false on missing file.
+  /// Parse a file written by write(). Returns false on missing file;
+  /// throws std::invalid_argument naming the file and line on a
+  /// truncated or ragged row.
   static bool read(const std::string& path, Table& out);
 
  private:

@@ -1,11 +1,19 @@
 #include "common/io.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 namespace sj::io {
 
@@ -20,7 +28,56 @@ void ensure_parent(const std::string& path) {
   }
 }
 
+/// Every loaded coordinate must be finite: a NaN poisons every distance
+/// comparison it touches (NaN <= eps2 is false, so the point silently
+/// joins with nothing) and an Inf overflows the grid extent — both stage
+/// garbage that only surfaces as wrong answers much later.
+void require_finite(double v, const std::string& path, std::size_t row,
+                    const char* loader) {
+  if (std::isfinite(v)) return;
+  throw std::runtime_error(std::string(loader) + ": " + path + ": row " +
+                           std::to_string(row) +
+                           " has a non-finite coordinate (" +
+                           (std::isnan(v) ? "NaN" : "Inf") +
+                           "); refusing to stage it");
+}
+
 }  // namespace
+
+void atomic_write_file(const std::string& path, const void* bytes,
+                       std::size_t size) {
+  ensure_parent(path);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("io::atomic_write_file: cannot open " + tmp);
+  }
+  bool ok = size == 0 || std::fwrite(bytes, 1, size, f) == size;
+  ok = std::fflush(f) == 0 && ok;
+#ifndef _WIN32
+  // Flush file content to stable storage BEFORE the rename publishes it;
+  // otherwise a crash can leave the new name pointing at zero-length or
+  // partially-persisted data — exactly the torn file this helper exists
+  // to rule out.
+  ok = fsync(fileno(f)) == 0 && ok;
+#endif
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("io::atomic_write_file: write failed for " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("io::atomic_write_file: rename to " + path +
+                             " failed: " + ec.message());
+  }
+}
+
+void atomic_write_file(const std::string& path, const std::string& text) {
+  atomic_write_file(path, text.data(), text.size());
+}
 
 void save_binary(const Dataset& d, const std::string& path) {
   ensure_parent(path);
@@ -51,10 +108,26 @@ Dataset load_binary(const std::string& path) {
   if (!in || dim == 0 || dim > static_cast<std::uint32_t>(kMaxDims)) {
     throw std::runtime_error("io::load_binary: bad header in " + path);
   }
+  // Bound the claimed size by the actual file size before allocating:
+  // a corrupt header must fail with a clear error, not an OOM or a
+  // count*dim multiplication overflow.
+  const std::uint64_t payload_bytes =
+      static_cast<std::uint64_t>(std::filesystem::file_size(path)) -
+      (4 + sizeof(dim) + sizeof(count));
+  if (count > payload_bytes / sizeof(double) / dim) {
+    throw std::runtime_error(
+        "io::load_binary: " + path + ": header claims " +
+        std::to_string(count) + " points of dim " + std::to_string(dim) +
+        " but the file holds only " + std::to_string(payload_bytes) +
+        " payload bytes (truncated or corrupt)");
+  }
   std::vector<double> data(count * dim);
   in.read(reinterpret_cast<char*>(data.data()),
           static_cast<std::streamsize>(data.size() * sizeof(double)));
   if (!in) throw std::runtime_error("io::load_binary: truncated " + path);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    require_finite(data[i], path, i / dim, "io::load_binary");
+  }
   return Dataset(static_cast<int>(dim), std::move(data),
                  std::filesystem::path(path).stem().string());
 }
@@ -78,19 +151,34 @@ Dataset load_csv(const std::string& path) {
   int dim = 0;
   std::string line;
   bool first = true;
+  std::size_t lineno = 0;
+  auto where = [&path, &lineno] {
+    return path + ":" + std::to_string(lineno);
+  };
   while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF files
     if (line.empty()) continue;
     std::stringstream ss(line);
     std::vector<double> row;
     std::string cell;
     bool numeric = true;
+    std::string bad_cell;
     while (std::getline(ss, cell, ',')) {
+      // Lenient syntax probe first (is this a number at all?) so header
+      // detection still works; "nan"/"inf" ARE numbers syntactically and
+      // must reach the strict check below, not be mistaken for a header.
       try {
         std::size_t used = 0;
         row.push_back(std::stod(cell, &used));
-        if (used == 0) numeric = false;
+        if (used != cell.size() || cell.empty()) {
+          numeric = false;
+          bad_cell = cell;
+          break;
+        }
       } catch (const std::exception&) {
         numeric = false;
+        bad_cell = cell;
         break;
       }
     }
@@ -100,15 +188,31 @@ Dataset load_csv(const std::string& path) {
     }
     first = false;
     if (!numeric) {
-      throw std::runtime_error("io::load_csv: non-numeric row in " + path);
+      throw std::runtime_error("io::load_csv: " + where() +
+                               ": non-numeric value '" + bad_cell + "'");
+    }
+    // Strict pass: a NaN/Inf coordinate fails HERE with the file and
+    // line named instead of silently joining with nothing later.
+    for (const double v : row) {
+      if (!std::isfinite(v)) {
+        throw std::runtime_error(
+            "io::load_csv: " + where() + ": non-finite coordinate (" +
+            (std::isnan(v) ? "NaN" : "Inf") + "); refusing to stage it");
+      }
     }
     if (dim == 0) {
       dim = static_cast<int>(row.size());
       if (dim < 1 || dim > kMaxDims) {
-        throw std::runtime_error("io::load_csv: unsupported width");
+        throw std::runtime_error(
+            "io::load_csv: " + where() + ": unsupported row width " +
+            std::to_string(row.size()) + " (supported: 1.." +
+            std::to_string(kMaxDims) + ")");
       }
     } else if (static_cast<int>(row.size()) != dim) {
-      throw std::runtime_error("io::load_csv: ragged rows in " + path);
+      throw std::runtime_error(
+          "io::load_csv: " + where() + ": row has " +
+          std::to_string(row.size()) + " values, expected " +
+          std::to_string(dim) + " (truncated or ragged row)");
     }
     data.insert(data.end(), row.begin(), row.end());
   }

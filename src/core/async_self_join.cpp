@@ -129,6 +129,7 @@ SelfJoinResult AsyncGpuSelfJoin::run(const Dataset& d, double eps) const {
   req.mode = opt_.mode;
   req.sink = opt_.sink;
   req.histogram_keys = d.size();
+  req.control = opt_.control;
 
   // --- Stages 1-3: the overlapped batch pipeline.
   AtomicWork work;

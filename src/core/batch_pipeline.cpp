@@ -16,6 +16,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/cancel.hpp"
 #include "common/contracts.hpp"
 #include "common/fault.hpp"
 #include "common/timer.hpp"
@@ -282,6 +283,15 @@ std::exception_ptr annotate_exception(std::exception_ptr e,
   } catch (const fault::DeviceLost& ex) {
     return std::make_exception_ptr(
         fault::DeviceLost(ex.device, context + ": " + ex.what()));
+  } catch (const exec::DeadlineExceeded& ex) {
+    return std::make_exception_ptr(
+        exec::DeadlineExceeded(context + ": " + ex.what()));
+  } catch (const exec::Cancelled& ex) {
+    return std::make_exception_ptr(
+        exec::Cancelled(context + ": " + ex.what()));
+  } catch (const exec::Overloaded& ex) {
+    return std::make_exception_ptr(
+        exec::Overloaded(context + ": " + ex.what()));
   } catch (const fault::FaultError& ex) {
     return std::make_exception_ptr(
         fault::FaultError(context + ": " + ex.what()));
@@ -473,6 +483,12 @@ PipelineOutput BatchPipeline::run_impl(const Mode& mode,
                                        AtomicWork* work,
                                        BatchRunStats* stats) {
   PipelineOutput output;
+
+  // Deadline/cancel checkpoint before any device allocation: a query
+  // that spent its whole budget queued (admission, session backlog)
+  // aborts here without touching the arena.
+  const exec::ExecControl* ctl = req.control;
+  if (ctl != nullptr) ctl->check("pipeline entry");
 
   // Count-only and histogram runs touch no pair buffers at all: no slot
   // allocations, no device sort, no transfers, no assembly stage — the
@@ -765,6 +781,11 @@ PipelineOutput BatchPipeline::run_impl(const Mode& mode,
           SJ_FAULT_BATCH(
               config_.device_id,
               batch_ordinal_.fetch_add(1, std::memory_order_relaxed) + 1);
+          // Checkpoint seam 1 (queue pop): the task was dequeued but no
+          // work has started — the cheapest point to honour a deadline
+          // or cancellation. The typed error flows through
+          // handle_worker_error's terminal branch into the drain path.
+          if (ctl != nullptr) ctl->check("queue pop");
           if (task.is_root) {
             // Root batches expand here, off the seeding thread's
             // critical path.
@@ -782,6 +803,9 @@ PipelineOutput BatchPipeline::run_impl(const Mode& mode,
             } else {
               result.cursor = &cursor;
             }
+            // Checkpoint seam 2 (pre-launch): last exit before the
+            // kernel runs; root expansion above may have taken a while.
+            if (ctl != nullptr) ctl->check("pre-launch");
             const gpu::KernelStats ks =
                 mode.launch(arena_, task, result, work);
             counted.fetch_add(cursor.load(), std::memory_order_relaxed);
@@ -807,6 +831,8 @@ PipelineOutput BatchPipeline::run_impl(const Mode& mode,
           result.cursor = &cursor;
           result.overflow = &overflow;
 
+          // Checkpoint seam 2 (pre-launch), materialising path.
+          if (ctl != nullptr) ctl->check("pre-launch");
           const gpu::KernelStats ks =
               mode.launch(arena_, task, result, work);
 
@@ -857,6 +883,11 @@ PipelineOutput BatchPipeline::run_impl(const Mode& mode,
           // The destination is a pooled staging buffer (uninitialised,
           // recycled) — see SegmentPool. shared_ptr because the stream's
           // std::function queue needs a copyable closure.
+          // Checkpoint seam 3 (pre-transfer): the kernel and sort ran,
+          // but the result has not been shipped or merged — abandoning
+          // here discards only device-side work and the drain path
+          // releases the staging buffer.
+          if (ctl != nullptr) ctl->check("pre-transfer");
           auto host = std::make_shared<SegmentPool::Buffer>(
               pool_.acquire(nres));
           const std::uint32_t first_key = mode.first_key(task);

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/result.hpp"
 #include "core/device_view.hpp"
 #include "core/work_counters.hpp"
@@ -105,6 +106,12 @@ struct ResultRequest {
   ResultMode mode = ResultMode::kPairs;
   PairSink sink;                     ///< consumer for kSink
   std::uint64_t histogram_keys = 0;  ///< key-space size for kHistogram
+
+  /// Optional deadline/cancellation control (common/cancel.hpp),
+  /// non-owning. The pipeline polls it at its checkpoint seams (task
+  /// pop, pre-launch, pre-transfer); a tripped control aborts the run
+  /// with the typed exec:: error through the normal drain path.
+  const exec::ExecControl* control = nullptr;
 };
 
 /// What a pipeline/batcher run produced: `total_pairs` is exact in every

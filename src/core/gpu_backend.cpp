@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "api/registry.hpp"
+#include "common/cancel.hpp"
 #include "common/fault.hpp"
 #include "core/async_self_join.hpp"
 #include "core/brute_force_gpu.hpp"
@@ -24,7 +25,24 @@ namespace {
 
 constexpr std::string_view kGpuKeys =
     "block_size,min_batches,num_streams,sample_rate,safety,max_buffer_pairs,"
-    "layout,soa,faults,retries,backoff_ms";
+    "layout,soa,faults,retries,backoff_ms,deadline_ms";
+
+/// The "deadline_ms" knob (sjtool --deadline-ms): arms a function-local
+/// ExecControl with an end-to-end deadline starting NOW, so the clock
+/// covers the whole engine call (index build included). `ctl` must
+/// outlive the run — callers keep it on their stack frame.
+template <typename Options>
+void apply_deadline(const api::RunConfig& config, Options& opt,
+                    exec::ExecControl& ctl) {
+  const double ms = config.number("deadline_ms", 0.0);
+  if (ms < 0.0) {
+    throw std::invalid_argument("option 'deadline_ms' must be >= 0");
+  }
+  if (ms > 0.0) {
+    ctl.deadline = exec::Deadline::after_ms(ms);
+    opt.control = &ctl;
+  }
+}
 
 /// The "layout" knob shared by the GPU-SJ engines: cell (default) runs
 /// the cell-major reorder + cell-centric kernel, legacy the paper's
@@ -164,6 +182,8 @@ class GpuBackend final : public api::SelfJoinBackend {
     opt.sink = config.sink;
     opt.soa = config.flag("soa", true);
     apply_gpu_batch_knobs(config, opt);
+    exec::ExecControl ctl;
+    apply_deadline(config, opt, ctl);
 
     auto out = make_gpu_outcome(GpuSelfJoin(opt).run(d, eps));
     out.stats.native["layout_cell_major"] =
@@ -183,6 +203,8 @@ class GpuBackend final : public api::SelfJoinBackend {
     opt.sink = config.sink;
     opt.soa = config.flag("soa", true);
     apply_gpu_batch_knobs(config, opt);
+    exec::ExecControl ctl;
+    apply_deadline(config, opt, ctl);
 
     auto r = gpu_join(queries, data, eps, opt);
     api::JoinOutcome out;
@@ -225,7 +247,7 @@ class GpuBackend final : public api::SelfJoinBackend {
  private:
   api::KnnOutcome run_knn_facet(const Dataset* queries, const Dataset& data,
                                 int k, const api::RunConfig& config) const {
-    config.check_keys(name_, "block_size,cell_width,include_self");
+    config.check_keys(name_, "block_size,cell_width,include_self,deadline_ms");
     reject_threads(name_, config);
     KnnOptions opt;
     opt.k = k;
@@ -239,6 +261,8 @@ class GpuBackend final : public api::SelfJoinBackend {
     // include_self only affects the self mode (gpu_knn ignores it for a
     // distinct query set, see core/knn.hpp).
     opt.include_self = config.flag("include_self", opt.include_self);
+    exec::ExecControl ctl;
+    apply_deadline(config, opt, ctl);
 
     KnnResult r = queries != nullptr ? gpu_knn(*queries, data, opt)
                                      : gpu_knn(data, opt);
@@ -279,7 +303,8 @@ class GpuAsyncBackend final : public api::SelfJoinBackend {
     config.check_keys(name(),
                       "block_size,min_batches,streams,num_streams,"
                       "assembly_threads,sample_rate,safety,max_buffer_pairs,"
-                      "unicomp,layout,soa,faults,retries,backoff_ms");
+                      "unicomp,layout,soa,faults,retries,backoff_ms,"
+                      "deadline_ms");
     reject_threads(name(), config);
     api::check_result_mode(name(), config, /*supports_sink=*/true);
     AsyncSelfJoinOptions opt;
@@ -298,6 +323,8 @@ class GpuAsyncBackend final : public api::SelfJoinBackend {
     opt.num_streams = positive_int(config, "streams", opt.num_streams);
     opt.assembly_threads =
         positive_int(config, "assembly_threads", opt.assembly_threads);
+    exec::ExecControl ctl;
+    apply_deadline(config, opt, ctl);
 
     auto out = make_gpu_outcome(AsyncGpuSelfJoin(opt).run(d, eps));
     out.stats.native["streams"] = opt.num_streams;

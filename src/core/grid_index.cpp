@@ -133,6 +133,129 @@ GridIndex::GridIndex(const Dataset& d, double eps) {
   if (contracts::active()) validate::grid_index(*this, d, "GridIndex(build)");
 }
 
+GridIndex::Parts GridIndex::to_parts() const {
+  Parts p;
+  p.dim = dim_;
+  p.eps = eps_;
+  p.width = width_;
+  for (int j = 0; j < kMaxDims; ++j) {
+    p.gmin[j] = gmin_[j];
+    p.gmax[j] = gmax_[j];
+    p.cells_per_dim[j] = cells_per_dim_[j];
+    p.stride[j] = stride_[j];
+  }
+  p.B = B_;
+  p.G = G_;
+  p.A = A_;
+  for (int j = 0; j < kMaxDims; ++j) p.M[j] = M_[j];
+  return p;
+}
+
+GridIndex GridIndex::from_parts(Parts parts, const Dataset& d) {
+  // Disk-sourced structure is untrusted regardless of the build's
+  // contracts setting, and the deep validators ABORT on violation
+  // (internal-invariant semantics) — so this path re-does their checks
+  // with THROW semantics, letting a caller fall back to a rebuild. The
+  // abort-style validator still runs at the end under contracts builds,
+  // keeping the two check sets from drifting apart.
+  auto reject = [](const std::string& why) {
+    throw std::runtime_error("GridIndex::from_parts: " + why);
+  };
+  const std::size_t n = d.size();
+  if (parts.dim <= 0 || parts.dim > kMaxDims || parts.dim != d.dim()) {
+    reject("dim " + std::to_string(parts.dim) +
+           " is invalid or does not match the dataset's " +
+           std::to_string(d.dim()));
+  }
+  if (parts.A.size() != n) {
+    reject("index covers " + std::to_string(parts.A.size()) +
+           " points but the dataset has " + std::to_string(n));
+  }
+  if (!(parts.eps >= 0.0) || !(parts.width > 0.0) ||
+      !std::isfinite(parts.width) || parts.width < parts.eps) {
+    reject("eps/cell-width fields are non-finite or inconsistent");
+  }
+  if (parts.G.size() != parts.B.size()) {
+    reject("G and B disagree on the non-empty cell count");
+  }
+  if (n > 0 && parts.stride[0] != 1) reject("stride[0] must be 1");
+  for (int j = 0; j < parts.dim; ++j) {
+    if (n > 0 && parts.cells_per_dim[j] == 0) {
+      reject("cells_per_dim has a zero entry for a non-empty dataset");
+    }
+  }
+  for (int j = 1; j < parts.dim; ++j) {
+    if (parts.stride[j] !=
+        parts.stride[j - 1] * parts.cells_per_dim[j - 1]) {
+      reject("stride table is not the row-major product of cells_per_dim");
+    }
+  }
+  // B strictly increasing; G's ranges partition [0, n) in order.
+  std::uint32_t next_slot = 0;
+  for (std::size_t c = 0; c < parts.B.size(); ++c) {
+    if (c > 0 && parts.B[c] <= parts.B[c - 1]) {
+      reject("B is not strictly increasing");
+    }
+    if (parts.G[c].min != next_slot || parts.G[c].max < parts.G[c].min) {
+      reject("G ranges do not partition the slot space");
+    }
+    next_slot = parts.G[c].max + 1;
+  }
+  if (parts.B.empty() ? n != 0 : next_slot != n) {
+    reject("G ranges do not cover every point");
+  }
+  // A is a permutation of [0, n).
+  std::vector<bool> seen(n, false);
+  for (const std::uint32_t pid : parts.A) {
+    if (pid >= n || seen[pid]) reject("A is not a permutation of the ids");
+    seen[pid] = true;
+  }
+
+  GridIndex g;
+  g.dim_ = parts.dim;
+  g.eps_ = parts.eps;
+  g.width_ = parts.width;
+  for (int j = 0; j < kMaxDims; ++j) {
+    g.gmin_[j] = parts.gmin[j];
+    g.gmax_[j] = parts.gmax[j];
+    g.cells_per_dim_[j] = parts.cells_per_dim[j];
+    g.stride_[j] = parts.stride[j];
+  }
+  g.B_ = std::move(parts.B);
+  g.G_ = std::move(parts.G);
+  g.A_ = std::move(parts.A);
+  for (int j = 0; j < kMaxDims; ++j) g.M_[j] = std::move(parts.M[j]);
+
+  // Binding between the spatial hash and the slot ranges: every slot's
+  // point re-hashes to the cell that owns the slot. Also recompute the
+  // masks from B — cheaper to verify by reconstruction than by rule.
+  std::uint32_t coords[kMaxDims];
+  for (std::size_t c = 0; c < g.B_.size(); ++c) {
+    for (std::uint32_t k = g.G_[c].min; k <= g.G_[c].max; ++k) {
+      g.cell_coords(d.pt(g.A_[k]), coords);
+      if (g.linearize(coords) != g.B_[c]) {
+        reject("a point does not re-hash to the cell that owns its slot");
+      }
+    }
+  }
+  for (int j = 0; j < g.dim_; ++j) {
+    std::vector<std::uint32_t> m;
+    m.reserve(g.B_.size());
+    for (const std::uint64_t cell : g.B_) {
+      m.push_back(static_cast<std::uint32_t>((cell / g.stride_[j]) %
+                                             g.cells_per_dim_[j]));
+    }
+    std::sort(m.begin(), m.end());
+    m.erase(std::unique(m.begin(), m.end()), m.end());
+    if (m != g.M_[j]) reject("mask arrays do not match B");
+  }
+
+  if (contracts::active()) {
+    validate::grid_index(g, d, "GridIndex::from_parts(snapshot restore)");
+  }
+  return g;
+}
+
 std::uint64_t GridIndex::total_cells() const {
   unsigned __int128 total = 1;
   for (int j = 0; j < dim_; ++j) {

@@ -50,6 +50,33 @@ class GridIndex {
   /// search is correct for any cell width >= eps.
   GridIndex(const Dataset& d, double eps);
 
+  /// The serialisable fields of an index — what a snapshot persists and
+  /// what from_parts() reconstructs without re-binning or re-sorting.
+  struct Parts {
+    int dim = 0;
+    double eps = 0.0;
+    double width = 0.0;
+    double gmin[kMaxDims] = {};
+    double gmax[kMaxDims] = {};
+    std::uint32_t cells_per_dim[kMaxDims] = {};
+    std::uint64_t stride[kMaxDims] = {};
+    std::vector<std::uint64_t> B;
+    std::vector<CellRange> G;
+    std::vector<std::uint32_t> A;
+    std::vector<std::uint32_t> M[kMaxDims];
+  };
+
+  /// Copy of this index's fields (snapshot save path).
+  Parts to_parts() const;
+
+  /// Rebuild an index from serialised parts in O(copy) — the snapshot
+  /// restore path that skips the radix-sort binning. ALWAYS runs the
+  /// deep structural validator against `d` (core/validate.hpp), not just
+  /// under contracts: the parts come from disk, and a checksum only
+  /// protects against torn bytes, not against a stale or hand-edited
+  /// snapshot disagreeing with the dataset. Throws on any mismatch.
+  static GridIndex from_parts(Parts parts, const Dataset& d);
+
   int dim() const { return dim_; }
   double eps() const { return eps_; }
   double cell_width() const { return width_; }

@@ -25,6 +25,9 @@ GpuJoinResult gpu_join(const Dataset& queries, const Dataset& data,
     throw std::invalid_argument(
         "gpu_join: result mode 'sink' needs a sink callback");
   }
+  // Entry checkpoint: an already-expired or cancelled query must not pay
+  // for the index build.
+  if (opt.control != nullptr) opt.control->check("join entry");
   GpuJoinResult result;
   GpuJoinStats& st = result.stats;
   Timer total;
@@ -69,6 +72,7 @@ GpuJoinResult gpu_join(const Dataset& queries, const Dataset& data,
   req.mode = opt.mode;
   req.sink = opt.sink;
   req.histogram_keys = queries.size();
+  req.control = opt.control;
 
   AtomicWork work;
   Batcher batcher(arena, opt.device, opt.num_streams, opt.block_size,

@@ -43,6 +43,9 @@ struct GpuJoinOptions {
   gpu::DeviceSpec device = gpu::DeviceSpec::titan_x_pascal();
   /// Transient-fault retry policy (batcher.hpp).
   RetryPolicy retry;
+  /// Optional deadline/cancellation control (common/cancel.hpp),
+  /// non-owning; polled at the pipeline's checkpoint seams.
+  const exec::ExecControl* control = nullptr;
 };
 
 struct GpuJoinStats {

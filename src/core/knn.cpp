@@ -256,6 +256,7 @@ double auto_cell_width(const Dataset& d, int k) {
 KnnResult run_knn(const Dataset* queries, const Dataset& data,
                   KnnOptions opt) {
   parse::positive("argument 'k' of gpu_knn", opt.k);
+  if (opt.control != nullptr) opt.control->check("knn entry");
   const Dataset& qset = queries != nullptr ? *queries : data;
   parse::matching_dims("argument 'queries' of gpu_knn", qset.dim(),
                        "argument 'data'", data.dim());
@@ -300,9 +301,11 @@ KnnResult run_knn(const Dataset* queries, const Dataset& data,
   p.work = &work;
   p.rings = &rings;
 
+  if (opt.control != nullptr) opt.control->check("knn pre-launch");
   const auto ks = gpu::launch(
       gpu::LaunchConfig::cover(qset.size(), opt.block_size),
       [&p](const gpu::ThreadCtx& ctx) { knn_thread(ctx, p); });
+  if (opt.control != nullptr) opt.control->check("knn completion");
 
   work.add_to(result.stats.metrics);
   result.stats.metrics.kernel_seconds = ks.seconds;

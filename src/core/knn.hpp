@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/dataset.hpp"
 #include "common/neighbors.hpp"
 #include "gpusim/device.hpp"
@@ -35,6 +36,12 @@ struct KnnOptions {
 
   int block_size = 256;
   gpu::DeviceSpec device = gpu::DeviceSpec::titan_x_pascal();
+
+  /// Optional deadline/cancellation control (common/cancel.hpp),
+  /// non-owning. kNN is a single launch, so the checkpoints are entry,
+  /// pre-launch and completion — coarser than the batched joins but the
+  /// same typed DeadlineExceeded/Cancelled contract.
+  const exec::ExecControl* control = nullptr;
 };
 
 struct KnnStats {

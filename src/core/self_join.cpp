@@ -34,6 +34,9 @@ SelfJoinResult GpuSelfJoin::run(const Dataset& d, double eps) const {
     throw std::invalid_argument(
         "GpuSelfJoin: result mode 'sink' needs a sink callback");
   }
+  // Entry checkpoint: a query that arrives already expired or cancelled
+  // must not pay for the index build.
+  if (opt_.control != nullptr) opt_.control->check("self-join entry");
   SelfJoinResult result;
   SelfJoinStats& st = result.stats;
   Timer total;
@@ -101,6 +104,7 @@ SelfJoinResult GpuSelfJoin::run(const Dataset& d, double eps) const {
   req.mode = opt_.mode;
   req.sink = opt_.sink;
   req.histogram_keys = d.size();
+  req.control = opt_.control;
 
   // --- Batched, stream-pipelined join.
   AtomicWork work;

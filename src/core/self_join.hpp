@@ -74,6 +74,11 @@ struct GpuSelfJoinOptions {
   /// re-run up to retry.retries times with exponential backoff (see
   /// RetryPolicy, batcher.hpp). Retries never change the output.
   RetryPolicy retry;
+
+  /// Optional deadline/cancellation control (common/cancel.hpp),
+  /// non-owning; polled at the pipeline's checkpoint seams. A tripped
+  /// control aborts the run with a typed exec:: error.
+  const exec::ExecControl* control = nullptr;
 };
 
 struct SelfJoinStats {

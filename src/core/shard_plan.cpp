@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/contracts.hpp"
+#include "common/io.hpp"
 #include "core/batcher.hpp"
 
 namespace sj {
@@ -157,10 +158,14 @@ void save_plan_cache(const std::string& path, const PlanCacheKey& key,
   for (std::size_t c = 0; c < weights.size(); ++c) {
     body << weights[c] << (c + 1 == weights.size() ? '\n' : ' ');
   }
-  std::ofstream out(path, std::ios::trunc);
-  out << body.str();
-  if (!out) {
-    throw std::runtime_error("plan_cache: cannot write '" + path + "'");
+  // Atomic publish (temp + fsync + rename): load_plan_cache trusts an
+  // exact-match key, so an interrupted plain write could leave a torn
+  // file whose intact header vouches for garbage weights.
+  try {
+    io::atomic_write_file(path, body.str());
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error("plan_cache: cannot write '" + path +
+                             "': " + e.what());
   }
 }
 

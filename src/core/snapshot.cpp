@@ -1,0 +1,222 @@
+#include "core/snapshot.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "common/io.hpp"
+
+namespace sj::snapshot {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'J', 'S', 'N', 'A', 'P', '1', '\0'};
+constexpr std::uint32_t kVersion = 1;
+
+std::uint64_t fnv1a(const unsigned char* bytes, std::size_t size) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Append-only byte builder for the payload.
+struct Writer {
+  std::vector<unsigned char> bytes;
+
+  void append(const unsigned char* p, std::size_t n) {
+    const std::size_t off = bytes.size();
+    bytes.resize(off + n);
+    if (n != 0) std::memcpy(bytes.data() + off, p, n);
+  }
+  template <typename T>
+  void pod(const T& v) {
+    append(reinterpret_cast<const unsigned char*>(&v), sizeof(T));
+  }
+  template <typename T>
+  void array(const T* data, std::size_t count) {
+    append(reinterpret_cast<const unsigned char*>(data), count * sizeof(T));
+  }
+};
+
+/// Bounds-checked sequential reader over the payload; sets `bad` instead
+/// of running past the end, so a truncated payload that somehow passed
+/// the checksum still cannot over-read.
+struct Reader {
+  const unsigned char* p;
+  std::size_t left;
+  bool bad = false;
+
+  template <typename T>
+  T pod() {
+    T v{};
+    if (left < sizeof(T)) {
+      bad = true;
+      return v;
+    }
+    std::memcpy(&v, p, sizeof(T));
+    p += sizeof(T);
+    left -= sizeof(T);
+    return v;
+  }
+  template <typename T>
+  bool array(T* out, std::size_t count) {
+    if (left < count * sizeof(T)) {
+      bad = true;
+      return false;
+    }
+    std::memcpy(out, p, count * sizeof(T));
+    p += count * sizeof(T);
+    left -= count * sizeof(T);
+    return true;
+  }
+};
+
+std::optional<Restored> fail(std::string* why, const std::string& reason) {
+  if (why != nullptr) *why = reason;
+  return std::nullopt;
+}
+
+}  // namespace
+
+void save(const std::string& path, const Dataset& d, const GridIndex& index) {
+  const GridIndex::Parts parts = index.to_parts();
+  Writer w;
+  w.pod(static_cast<std::uint32_t>(parts.dim));
+  w.pod(static_cast<std::uint64_t>(d.size()));
+  w.pod(parts.eps);
+  w.pod(parts.width);
+  for (int j = 0; j < parts.dim; ++j) {
+    w.pod(parts.gmin[j]);
+    w.pod(parts.gmax[j]);
+    w.pod(parts.cells_per_dim[j]);
+    w.pod(parts.stride[j]);
+  }
+  w.pod(static_cast<std::uint64_t>(parts.B.size()));
+  w.array(parts.B.data(), parts.B.size());
+  w.array(parts.G.data(), parts.G.size());
+  w.array(parts.A.data(), parts.A.size());
+  for (int j = 0; j < parts.dim; ++j) {
+    w.pod(static_cast<std::uint64_t>(parts.M[j].size()));
+    w.array(parts.M[j].data(), parts.M[j].size());
+  }
+  w.array(d.raw().data(), d.raw().size());
+
+  std::vector<unsigned char> file;
+  file.reserve(sizeof(kMagic) + sizeof(std::uint32_t) +
+               2 * sizeof(std::uint64_t) + w.bytes.size());
+  Writer header;
+  header.array(kMagic, sizeof(kMagic));
+  header.pod(kVersion);
+  header.pod(static_cast<std::uint64_t>(w.bytes.size()));
+  header.pod(fnv1a(w.bytes.data(), w.bytes.size()));
+  file = std::move(header.bytes);
+  file.insert(file.end(), w.bytes.begin(), w.bytes.end());
+
+  io::atomic_write_file(path, file.data(), file.size());
+}
+
+std::optional<Restored> try_load(const std::string& path, std::string* why) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail(why, "snapshot file missing or unreadable: " + path);
+
+  char magic[8];
+  std::uint32_t version = 0;
+  std::uint64_t payload_size = 0;
+  std::uint64_t checksum = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&payload_size), sizeof(payload_size));
+  in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return fail(why, "bad snapshot magic in " + path);
+  }
+  if (version != kVersion) {
+    return fail(why, "snapshot version " + std::to_string(version) +
+                         " unsupported (expected " + std::to_string(kVersion) +
+                         ") in " + path);
+  }
+  // Bound the claimed payload by the real file size before allocating.
+  std::error_code ec;
+  const auto fsize = std::filesystem::file_size(path, ec);
+  const std::size_t header_bytes = sizeof(kMagic) + sizeof(version) +
+                                   sizeof(payload_size) + sizeof(checksum);
+  if (ec || fsize < header_bytes ||
+      payload_size > static_cast<std::uint64_t>(fsize) - header_bytes) {
+    return fail(why, "snapshot truncated (header claims " +
+                         std::to_string(payload_size) + " payload bytes): " +
+                         path);
+  }
+
+  std::vector<unsigned char> payload(static_cast<std::size_t>(payload_size));
+  in.read(reinterpret_cast<char*>(payload.data()),
+          static_cast<std::streamsize>(payload.size()));
+  if (!in) return fail(why, "snapshot truncated mid-payload: " + path);
+  if (fnv1a(payload.data(), payload.size()) != checksum) {
+    return fail(why, "snapshot checksum mismatch (torn or bit-flipped "
+                     "write): " + path);
+  }
+
+  Reader r{payload.data(), payload.size()};
+  GridIndex::Parts parts;
+  const auto dim = r.pod<std::uint32_t>();
+  const auto n = r.pod<std::uint64_t>();
+  if (r.bad || dim == 0 || dim > static_cast<std::uint32_t>(kMaxDims)) {
+    return fail(why, "snapshot header has an unsupported dimensionality: " +
+                         path);
+  }
+  parts.dim = static_cast<int>(dim);
+  parts.eps = r.pod<double>();
+  parts.width = r.pod<double>();
+  for (int j = 0; j < parts.dim; ++j) {
+    parts.gmin[j] = r.pod<double>();
+    parts.gmax[j] = r.pod<double>();
+    parts.cells_per_dim[j] = r.pod<std::uint32_t>();
+    parts.stride[j] = r.pod<std::uint64_t>();
+  }
+  const auto b_size = r.pod<std::uint64_t>();
+  // Every size field is bounded by the remaining payload before any
+  // resize — a corrupt count cannot drive an over-allocation.
+  if (r.bad || b_size > r.left / sizeof(std::uint64_t) || n > r.left) {
+    return fail(why, "snapshot cell/point counts exceed the payload: " + path);
+  }
+  parts.B.resize(static_cast<std::size_t>(b_size));
+  parts.G.resize(static_cast<std::size_t>(b_size));
+  parts.A.resize(static_cast<std::size_t>(n));
+  r.array(parts.B.data(), parts.B.size());
+  r.array(parts.G.data(), parts.G.size());
+  r.array(parts.A.data(), parts.A.size());
+  for (int j = 0; j < parts.dim && !r.bad; ++j) {
+    const auto m_size = r.pod<std::uint64_t>();
+    if (r.bad || m_size > r.left / sizeof(std::uint32_t)) {
+      return fail(why, "snapshot mask table exceeds the payload: " + path);
+    }
+    parts.M[j].resize(static_cast<std::size_t>(m_size));
+    r.array(parts.M[j].data(), parts.M[j].size());
+  }
+  std::vector<double> coords(static_cast<std::size_t>(n) * parts.dim);
+  r.array(coords.data(), coords.size());
+  if (r.bad || r.left != 0) {
+    return fail(why, "snapshot payload size disagrees with its contents: " +
+                         path);
+  }
+
+  Restored out;
+  out.data = Dataset(parts.dim, std::move(coords),
+                     std::filesystem::path(path).stem().string());
+  try {
+    // Throwing deep validation (structure + point/cell binding) — the
+    // checksum only vouches for the bytes, not for their consistency.
+    out.index = GridIndex::from_parts(std::move(parts), out.data);
+  } catch (const std::exception& e) {
+    return fail(why, std::string("snapshot failed restore validation: ") +
+                         e.what());
+  }
+  return out;
+}
+
+}  // namespace sj::snapshot

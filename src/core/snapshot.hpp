@@ -1,0 +1,53 @@
+// Crash-safe index snapshots: serialize a dataset + its GridIndex to
+// disk so an always-on session (api/session.hpp, `sjtool serve`)
+// restarts warm in O(read) — the radix-sort binning, the dominant cost
+// of a cold index build, is skipped entirely on restore.
+//
+// File layout (little-endian):
+//
+//   magic "SJSNAP1\0" (8 bytes)
+//   u32 version
+//   u64 payload_size
+//   u64 checksum            FNV-1a 64 over the payload bytes
+//   payload:
+//     u32 dim, u64 n, f64 eps, f64 width
+//     per dim j: f64 gmin_j, f64 gmax_j, u32 cells_j, u64 stride_j
+//     u64 |B|; B (u64 each); G (u32 min, u32 max each)
+//     A (u32 * n)
+//     per dim j: u64 |M_j|; M_j (u32 each)
+//     coordinates (f64 * n * dim, row-major)
+//
+// Robustness contract: save() publishes atomically (temp + fsync +
+// rename, io::atomic_write_file), so a reader never sees a torn file.
+// try_load() NEVER throws on a bad file and never exhibits UB — a
+// missing, truncated, bit-flipped or logically-inconsistent snapshot
+// (checksum intact but disagreeing with itself; the restore validators
+// catch that) returns nullopt with a one-line reason, and the caller
+// falls back to a cold rebuild with a warning.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/dataset.hpp"
+#include "core/grid_index.hpp"
+
+namespace sj::snapshot {
+
+struct Restored {
+  Dataset data;
+  GridIndex index;
+};
+
+/// Serialize `d` + `index` (which must have been built over `d`) and
+/// atomically publish to `path`. Throws std::runtime_error on I/O
+/// failure — the previous snapshot, if any, is left intact.
+void save(const std::string& path, const Dataset& d, const GridIndex& index);
+
+/// Restore a snapshot. Returns nullopt (with a human-readable reason in
+/// `*why` when non-null) on ANY defect: missing file, bad magic or
+/// version, truncation, checksum mismatch, or structural validation
+/// failure. Never throws for bad file content.
+std::optional<Restored> try_load(const std::string& path, std::string* why);
+
+}  // namespace sj::snapshot

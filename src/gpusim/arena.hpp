@@ -59,12 +59,21 @@ class GlobalMemoryArena {
   void release(std::size_t bytes) noexcept;
 
   std::size_t capacity() const { return capacity_; }
-  std::size_t used() const { return used_; }
-  std::size_t free_bytes() const { return capacity_ - used_; }
-  std::size_t peak_used() const { return peak_; }
+  std::size_t used() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return used_;
+  }
+  std::size_t free_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_ - used_;
+  }
+  std::size_t peak_used() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_;
+  }
 
  private:
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::size_t capacity_;
   std::size_t used_ = 0;
   std::size_t peak_ = 0;

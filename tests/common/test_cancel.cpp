@@ -1,0 +1,100 @@
+// Deadline / CancelToken / ExecControl semantics (common/cancel.hpp):
+// the primitives the service layer and the pipeline checkpoints build on.
+#include "common/cancel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace sj::exec {
+namespace {
+
+TEST(Deadline, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_FALSE(d.finite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining_ms(), std::numeric_limits<double>::infinity());
+}
+
+TEST(Deadline, ZeroBudgetExpiresImmediately) {
+  const Deadline d = Deadline::after_ms(0.0);
+  EXPECT_TRUE(d.finite());
+  EXPECT_TRUE(d.expired());
+  EXPECT_LE(d.remaining_ms(), 0.0);
+}
+
+TEST(Deadline, GenerousBudgetIsNotExpired) {
+  const Deadline d = Deadline::after_ms(60'000.0);
+  EXPECT_TRUE(d.finite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_ms(), 0.0);
+}
+
+TEST(CancelToken, IsMonotonic) {
+  CancelToken t;
+  EXPECT_FALSE(t.cancelled());
+  t.cancel();
+  EXPECT_TRUE(t.cancelled());
+  t.cancel();  // idempotent
+  EXPECT_TRUE(t.cancelled());
+}
+
+TEST(ExecControl, UnarmedCheckIsANoOp) {
+  ExecControl ctl;
+  EXPECT_FALSE(ctl.armed());
+  EXPECT_NO_THROW(ctl.check("anywhere"));
+}
+
+TEST(ExecControl, ExpiredDeadlineThrowsTypedWithCheckpointName) {
+  ExecControl ctl;
+  ctl.deadline = Deadline::after_ms(0.0);
+  EXPECT_TRUE(ctl.armed());
+  try {
+    ctl.check("pre-launch");
+    FAIL() << "expected DeadlineExceeded";
+  } catch (const DeadlineExceeded& e) {
+    EXPECT_NE(std::string(e.what()).find("pre-launch"), std::string::npos);
+  }
+}
+
+TEST(ExecControl, CancelledTokenThrowsTyped) {
+  CancelToken token;
+  token.cancel();
+  ExecControl ctl;
+  ctl.cancel = &token;
+  EXPECT_TRUE(ctl.armed());
+  EXPECT_THROW(ctl.check("queue pop"), Cancelled);
+}
+
+TEST(ExecControl, CancellationWinsOverExpiry) {
+  // Both tripped: the client's explicit cancel is reported, not the
+  // deadline — the client asked first.
+  CancelToken token;
+  token.cancel();
+  ExecControl ctl;
+  ctl.cancel = &token;
+  ctl.deadline = Deadline::after_ms(0.0);
+  EXPECT_THROW(ctl.check("entry"), Cancelled);
+}
+
+TEST(ExecErrors, AreFaultErrorsButNotRetryableOnes) {
+  // The service errors must flow through the pipeline's failure path
+  // (FaultError) WITHOUT triggering retry (Transient), failover
+  // (DeviceLost) or batch splitting (ResourceExhausted).
+  // Inspect through the erased base pointer, the way the pipeline's
+  // error handler actually sees these exceptions.
+  const DeadlineExceeded dl("x");
+  const Cancelled cc("x");
+  const Overloaded ov("x");
+  for (const fault::FaultError* e :
+       {static_cast<const fault::FaultError*>(&dl),
+        static_cast<const fault::FaultError*>(&cc),
+        static_cast<const fault::FaultError*>(&ov)}) {
+    EXPECT_EQ(dynamic_cast<const fault::TransientDeviceError*>(e), nullptr);
+    EXPECT_EQ(dynamic_cast<const fault::DeviceLost*>(e), nullptr);
+    EXPECT_EQ(dynamic_cast<const fault::ResourceExhausted*>(e), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace sj::exec

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <stdexcept>
 
 namespace sj {
@@ -58,6 +59,36 @@ TEST_F(CsvTest, CreatesParentDirectories) {
   EXPECT_TRUE(std::filesystem::exists(nested));
   std::filesystem::remove_all(std::filesystem::temp_directory_path() /
                               "sj_csv_nested");
+}
+
+TEST_F(CsvTest, ReadNamesFileAndLineOnRaggedRow) {
+  // A torn or truncated results file must be diagnosable: the error
+  // names the file and the 1-based line of the short row.
+  std::ofstream out(path_);
+  out << "a,b\n1,2\n3\n";
+  out.close();
+  csv::Table r;
+  try {
+    (void)csv::Table::read(path_.string(), r);
+    FAIL() << "expected rejection of ragged row";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(path_.string() + ":3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("expected 2"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(CsvTest, NumRejectsCorruptCellNamingRowAndColumn) {
+  csv::Table t({"v"});
+  t.add_row({"1.5abc"});  // numeric prefix — stod would accept silently
+  try {
+    (void)t.num(0, "v");
+    FAIL() << "expected rejection of corrupt cell";
+  } catch (const std::exception& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("row 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'v'"), std::string::npos) << msg;
+  }
 }
 
 TEST(CsvFmt, CompactFormatting) {

@@ -4,6 +4,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <limits>
 
 #include "common/datagen.hpp"
 
@@ -91,6 +92,128 @@ TEST_F(IoTest, CsvRejectsNonNumericBody) {
   out << "1.0,2.0\nfoo,bar\n";
   out.close();
   EXPECT_THROW(io::load_csv(path("n.csv")), std::runtime_error);
+}
+
+TEST_F(IoTest, CsvRejectsNaNNamingFileAndLine) {
+  // A NaN coordinate silently joins with nothing (NaN <= eps is false);
+  // the loader must refuse it and say exactly where it is.
+  std::ofstream out(path("nan.csv"));
+  out << "1.0,2.0\n3.0,nan\n";
+  out.close();
+  try {
+    (void)io::load_csv(path("nan.csv"));
+    FAIL() << "expected rejection of NaN coordinate";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("nan.csv:2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("NaN"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(IoTest, CsvRejectsInfNamingFileAndLine) {
+  std::ofstream out(path("inf.csv"));
+  out << "1.0,2.0\n-inf,4.0\n";
+  out.close();
+  try {
+    (void)io::load_csv(path("inf.csv"));
+    FAIL() << "expected rejection of Inf coordinate";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("inf.csv:2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("Inf"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(IoTest, CsvNamesLineOfRaggedRow) {
+  std::ofstream out(path("rag.csv"));
+  out << "1.0,2.0\n3.0,4.0\n5.0\n";
+  out.close();
+  try {
+    (void)io::load_csv(path("rag.csv"));
+    FAIL() << "expected rejection of ragged row";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("rag.csv:3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(IoTest, CsvRejectsPartiallyNumericCell) {
+  // "1.5abc" has a numeric prefix; std::stod would accept it silently.
+  std::ofstream out(path("p.csv"));
+  out << "1.0,2.0\n1.5abc,3.0\n";
+  out.close();
+  EXPECT_THROW((void)io::load_csv(path("p.csv")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRejectsNonFiniteCoordinates) {
+  std::vector<double> coords = {1.0, 2.0,
+                                std::numeric_limits<double>::quiet_NaN(), 4.0};
+  io::save_binary(Dataset(2, std::move(coords)), path("nan.sjd"));
+  try {
+    (void)io::load_binary(path("nan.sjd"));
+    FAIL() << "expected rejection of NaN coordinate";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("nan.sjd"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("row 1"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(IoTest, BinaryBoundsHugeClaimedCountByFileSize) {
+  // Corrupt the header to claim ~2^61 points: the loader must reject it
+  // from the file size BEFORE any allocation (no OOM, no overflow).
+  const auto d = datagen::uniform(50, 2, 0.0, 1.0, 5);
+  io::save_binary(d, path("huge.sjd"));
+  std::fstream f(path("huge.sjd"),
+                 std::ios::binary | std::ios::in | std::ios::out);
+  const std::uint64_t huge = 1ULL << 61;
+  f.seekp(8);  // count sits after 4-byte magic + 4-byte dim
+  f.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  f.close();
+  try {
+    (void)io::load_binary(path("huge.sjd"));
+    FAIL() << "expected truncation rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated or corrupt"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(IoTest, AtomicWriteFilePublishesContentWithoutTempResidue) {
+  const std::string p = path("out.txt");
+  io::atomic_write_file(p, std::string("hello world"));
+  std::ifstream in(p);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "hello world");
+  EXPECT_FALSE(std::filesystem::exists(p + ".tmp"));
+
+  // Overwrite: the reader never sees a torn file, and the temp is gone.
+  io::atomic_write_file(p, std::string("second"));
+  std::ifstream in2(p);
+  std::string content2((std::istreambuf_iterator<char>(in2)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(content2, "second");
+  EXPECT_FALSE(std::filesystem::exists(p + ".tmp"));
+}
+
+TEST_F(IoTest, AtomicWriteFileCreatesParentDirectories) {
+  const std::string p = (dir_ / "nested" / "deep" / "f.json").string();
+  io::atomic_write_file(p, std::string("{}"));
+  std::ifstream in(p);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "{}");
+}
+
+TEST_F(IoTest, AtomicWriteFileThrowsOnUnwritableTarget) {
+  // The target path IS a directory: the temp-file open must fail with a
+  // typed error, and no temp residue may remain.
+  const std::string p = path("adir");
+  std::filesystem::create_directories(p + ".tmp");
+  EXPECT_THROW(io::atomic_write_file(p, std::string("x")),
+               std::runtime_error);
 }
 
 TEST_F(IoTest, EmptyDatasetBinaryRoundTrip) {

@@ -1,0 +1,173 @@
+// Crash-safe index snapshot/restore (core/snapshot.hpp): round-trip
+// fidelity, and — the robustness contract — that NO corrupt input can
+// crash, hang, over-allocate or restore an inconsistent index: every
+// failure mode degrades to nullopt with a reason string.
+#include "core/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "common/datagen.hpp"
+#include "core/self_join.hpp"
+
+namespace sj {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sj_snap_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::vector<char> read_all(const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+  void write_all(const std::string& p, const std::vector<char>& bytes) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SnapshotTest, RoundTripRestoresDatasetAndIndexExactly) {
+  const auto d = datagen::gaussian_mixture(1500, 2, 5, 6.0, 0.0, 100.0, 11);
+  const GridIndex index(d, 2.5);
+  snapshot::save(path("a.snap"), d, index);
+
+  std::string why;
+  auto restored = snapshot::try_load(path("a.snap"), &why);
+  ASSERT_TRUE(restored.has_value()) << why;
+  EXPECT_EQ(restored->data.raw(), d.raw());  // bit-exact coordinates
+  EXPECT_EQ(restored->data.dim(), d.dim());
+  EXPECT_EQ(restored->index.eps(), index.eps());
+  EXPECT_EQ(restored->index.num_points(), index.num_points());
+  EXPECT_EQ(restored->index.num_nonempty_cells(),
+            index.num_nonempty_cells());
+}
+
+TEST_F(SnapshotTest, RestoredIndexAnswersByteIdenticalSelfJoin) {
+  const auto d = datagen::uniform(1200, 2, 0.0, 50.0, 23);
+  const GridIndex index(d, 1.5);
+  snapshot::save(path("b.snap"), d, index);
+  auto restored = snapshot::try_load(path("b.snap"), nullptr);
+  ASSERT_TRUE(restored.has_value());
+
+  GpuSelfJoin join;
+  auto cold = join.run(d, 1.5);
+  auto warm = join.run(restored->data, 1.5);
+  cold.pairs.normalize();
+  warm.pairs.normalize();
+  EXPECT_EQ(cold.pairs.pairs(), warm.pairs.pairs());
+  EXPECT_EQ(cold.total_pairs, warm.total_pairs);
+}
+
+TEST_F(SnapshotTest, MissingFileFailsSoftly) {
+  std::string why;
+  EXPECT_FALSE(snapshot::try_load(path("nope.snap"), &why).has_value());
+  EXPECT_NE(why.find("missing"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, BadMagicFailsSoftly) {
+  write_all(path("m.snap"), {'N', 'O', 'P', 'E', '1', '2', '3', '4',
+                             0, 0, 0, 0});
+  std::string why;
+  EXPECT_FALSE(snapshot::try_load(path("m.snap"), &why).has_value());
+  EXPECT_NE(why.find("magic"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, EveryTruncationPointFailsSoftly) {
+  const auto d = datagen::uniform(400, 3, 0.0, 30.0, 31);
+  snapshot::save(path("t.snap"), d, GridIndex(d, 2.0));
+  const auto bytes = read_all(path("t.snap"));
+  ASSERT_GT(bytes.size(), 64u);
+  // Chop the file at a spread of prefixes — header-only, mid-parts,
+  // mid-coordinates. None may crash; all must return nullopt.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{7}, std::size_t{20}, std::size_t{28},
+        bytes.size() / 4, bytes.size() / 2, bytes.size() - 1}) {
+    write_all(path("t_cut.snap"),
+              std::vector<char>(bytes.begin(),
+                                bytes.begin() + static_cast<std::ptrdiff_t>(
+                                                    keep)));
+    std::string why;
+    EXPECT_FALSE(snapshot::try_load(path("t_cut.snap"), &why).has_value())
+        << "kept " << keep << " bytes";
+    EXPECT_FALSE(why.empty());
+  }
+}
+
+TEST_F(SnapshotTest, BitFlipInPayloadIsCaughtByChecksum) {
+  const auto d = datagen::uniform(300, 2, 0.0, 20.0, 41);
+  snapshot::save(path("c.snap"), d, GridIndex(d, 1.0));
+  auto bytes = read_all(path("c.snap"));
+  bytes[bytes.size() - 9] ^= 0x40;  // flip one payload bit
+  write_all(path("c.snap"), bytes);
+  std::string why;
+  EXPECT_FALSE(snapshot::try_load(path("c.snap"), &why).has_value());
+  EXPECT_NE(why.find("checksum"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, HugeClaimedPayloadIsBoundedByFileSize) {
+  // A header that claims a multi-GB payload over a tiny file must be
+  // rejected BEFORE any allocation happens.
+  const auto d = datagen::uniform(100, 2, 0.0, 10.0, 51);
+  snapshot::save(path("h.snap"), d, GridIndex(d, 1.0));
+  auto bytes = read_all(path("h.snap"));
+  const std::uint64_t huge = 1ULL << 40;
+  // payload_size sits after the 8-byte magic + 4-byte version.
+  std::memcpy(bytes.data() + 12, &huge, sizeof(huge));
+  write_all(path("h.snap"), bytes);
+  std::string why;
+  EXPECT_FALSE(snapshot::try_load(path("h.snap"), &why).has_value());
+  EXPECT_NE(why.find("truncated"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, ChecksummedButInconsistentPartsFailValidation) {
+  // The checksum vouches for the BYTES, not their meaning: corrupt the
+  // A permutation and re-checksum, so only the deep from_parts
+  // validation can catch it.
+  const auto d = datagen::uniform(500, 2, 0.0, 25.0, 61);
+  const GridIndex index(d, 1.2);
+  auto parts = index.to_parts();
+  ASSERT_GE(parts.A.size(), 2u);
+  parts.A[0] = parts.A[1];  // no longer a permutation
+  EXPECT_THROW((void)GridIndex::from_parts(std::move(parts), d),
+               std::runtime_error);
+}
+
+TEST_F(SnapshotTest, FromPartsRejectsForeignDataset) {
+  const auto d = datagen::uniform(300, 2, 0.0, 25.0, 71);
+  const auto other = datagen::uniform(300, 2, 0.0, 25.0, 72);
+  auto parts = GridIndex(d, 1.0).to_parts();
+  // Same sizes, different coordinates: the per-slot point re-hash must
+  // notice the binding is wrong.
+  EXPECT_THROW((void)GridIndex::from_parts(std::move(parts), other),
+               std::runtime_error);
+}
+
+TEST_F(SnapshotTest, SaveReplacesExistingSnapshotAtomically) {
+  const auto d1 = datagen::uniform(200, 2, 0.0, 10.0, 81);
+  const auto d2 = datagen::uniform(300, 2, 0.0, 10.0, 82);
+  snapshot::save(path("r.snap"), d1, GridIndex(d1, 1.0));
+  snapshot::save(path("r.snap"), d2, GridIndex(d2, 1.0));  // overwrite
+  auto restored = snapshot::try_load(path("r.snap"), nullptr);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->data.raw(), d2.raw());
+  // No temp file left behind by the atomic publish.
+  EXPECT_FALSE(std::filesystem::exists(path("r.snap.tmp")));
+}
+
+}  // namespace
+}  // namespace sj

@@ -14,21 +14,28 @@
 // accepts any registered backend; picking one without the operation's
 // capability fails with a one-line error listing the capable backends.
 // Formats are chosen by extension: .sjd binary, anything else CSV.
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "api/registry.hpp"
+#include "api/session.hpp"
+#include "common/cancel.hpp"
 #include "common/contracts.hpp"
 #include "common/fault.hpp"
 #include "common/csv.hpp"
 #include "common/datasets.hpp"
 #include "common/io.hpp"
 #include "common/parse.hpp"
+#include "common/timer.hpp"
 
 namespace {
 
@@ -51,6 +58,18 @@ using sj::Dataset;
       "  sjtool knn      --in FILE --k K [--data DATA] [--algo A]\n"
       "                  [--threads N] [--opt ...] [--stats 1]\n"
       "                  [--validate 1] [--out F]\n"
+      "  sjtool serve    --in FILE --eps E [--snapshot F] [--workers N]\n"
+      "                  [--clients N] [--queries N] [--deadline-ms D]\n"
+      "                  [--cancel-frac F] [--mix 1] [--mode pairs|count]\n"
+      "                  [--queue-depth N] [--max-age-ms A] [--coalesce N]\n"
+      "                  [--faults SPEC] [--stats 1] [--json F]\n"
+      "serve stages the grid index once (warm from --snapshot when it\n"
+      "validates) and drives concurrent client traffic through the\n"
+      "QuerySession admission queue; --stats prints the deadline / shed /\n"
+      "cancel counter line and latency percentiles.\n"
+      "selfjoin/join/knn accept --deadline-ms D: the run fails with a typed\n"
+      "DeadlineExceeded (exit 3) at the next pipeline checkpoint once D ms\n"
+      "have elapsed end-to-end.\n"
       "selfjoin/join also accept fault-tolerance flags (GPU backends):\n"
       "  --faults SPEC    arm the deterministic fault injector (needs a\n"
       "                   -DSJ_FAULTS=ON build); "
@@ -210,6 +229,11 @@ sj::api::RunConfig make_config(const std::map<std::string, std::string>& flags,
   if (flags.count("retries")) config.extra["retries"] = flags.at("retries");
   if (flags.count("backoff-ms")) {
     config.extra["backoff_ms"] = flags.at("backoff-ms");
+  }
+  // --deadline-ms is sugar for the GPU adapters' deadline_ms knob: an
+  // end-to-end budget enforced at the pipeline's checkpoint seams.
+  if (flags.count("deadline-ms")) {
+    config.extra["deadline_ms"] = flags.at("deadline-ms");
   }
   if (flags.count("mode")) {
     config.mode = sj::parse_result_mode(flags.at("mode"));
@@ -476,6 +500,200 @@ int cmd_knn(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// The always-on service driver: stage the index once (warm from
+/// --snapshot when it validates), then hammer the QuerySession from
+/// --clients threads issuing --queries range queries each, optionally
+/// under per-query deadlines, client cancellations and SJ_FAULTS chaos.
+/// Typed outcomes (Overloaded / DeadlineExceeded / Cancelled) are
+/// expected service behaviour and keep exit status 0; only untyped
+/// failures (or a crash) fail the run.
+int cmd_serve(const std::map<std::string, std::string>& flags) {
+  Dataset d = load_any(require(flags, "in"));
+  const double eps =
+      sj::parse::positive_number("--eps", require(flags, "eps"));
+  if (flags.count("faults")) {
+    sj::fault::configure_from_text(flags.at("faults"));
+  }
+
+  sj::api::SessionOptions so;
+  if (flags.count("workers")) {
+    so.workers = sj::parse::positive_integer("--workers", flags.at("workers"));
+  }
+  if (flags.count("queue-depth")) {
+    so.max_queue_depth = static_cast<std::size_t>(
+        sj::parse::positive_integer("--queue-depth", flags.at("queue-depth")));
+  }
+  if (flags.count("max-age-ms")) {
+    so.max_queue_age_ms =
+        sj::parse::positive_number("--max-age-ms", flags.at("max-age-ms"));
+  }
+  if (flags.count("coalesce")) {
+    so.coalesce_limit = static_cast<std::size_t>(
+        sj::parse::positive_integer("--coalesce", flags.at("coalesce")));
+  }
+  if (flags.count("snapshot")) so.snapshot = flags.at("snapshot");
+
+  const int clients =
+      flags.count("clients")
+          ? sj::parse::positive_integer("--clients", flags.at("clients"))
+          : 4;
+  const int queries =
+      flags.count("queries")
+          ? sj::parse::positive_integer("--queries", flags.at("queries"))
+          : 64;
+  const double deadline_ms =
+      flags.count("deadline-ms")
+          ? sj::parse::positive_number("--deadline-ms", flags.at("deadline-ms"))
+          : 0.0;
+  const double cancel_frac =
+      flags.count("cancel-frac")
+          ? sj::parse::number("--cancel-frac", flags.at("cancel-frac"))
+          : 0.0;
+  if (cancel_frac < 0.0 || cancel_frac > 1.0) {
+    throw std::invalid_argument("--cancel-frac must be in [0, 1]");
+  }
+  const bool mix = flags.count("mix") && flags.at("mix") != "0";
+  bool count_only = false;
+  if (flags.count("mode")) {
+    const std::string& m = flags.at("mode");
+    if (m == "count") {
+      count_only = true;
+    } else if (m != "pairs") {
+      throw std::invalid_argument("serve --mode must be pairs or count");
+    }
+  }
+  const bool show_stats = flags.count("stats") && flags.at("stats") != "0";
+
+  sj::api::QuerySession session(std::move(d), eps, so);
+  std::cout << "session up: " << session.data().size() << " points ("
+            << session.data().dim() << "-D), eps " << eps << ", "
+            << (session.restored_from_snapshot() ? "restored warm from "
+                                                 : "built cold")
+            << (session.restored_from_snapshot() ? so.snapshot : "")
+            << " in " << session.stats().startup_seconds << " s\n";
+
+  std::atomic<std::uint64_t> ok{0}, shed{0}, expired{0}, cancelled{0},
+      failed{0};
+  sj::Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const Dataset& data = session.data();
+      const auto resolve = [&](auto& fut) {
+        try {
+          fut.get();
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } catch (const sj::exec::Overloaded&) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        } catch (const sj::exec::DeadlineExceeded&) {
+          expired.fetch_add(1, std::memory_order_relaxed);
+        } catch (const sj::exec::Cancelled&) {
+          cancelled.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::exception&) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      };
+      for (int q = 0; q < queries; ++q) {
+        // Deterministic query point: stride through the dataset with a
+        // per-client offset so clients do not all hit the same cells.
+        const std::size_t idx =
+            (static_cast<std::size_t>(c) * 2654435761ULL +
+             static_cast<std::size_t>(q) * 40503ULL) %
+            data.size();
+        std::vector<double> pt(data.pt(idx), data.pt(idx) + data.dim());
+        sj::api::QueryOptions qo;
+        qo.deadline_ms = deadline_ms;
+        qo.count_only = count_only;
+        sj::exec::CancelToken token;
+        const bool do_cancel =
+            cancel_frac > 0.0 &&
+            static_cast<double>((q * clients + c) % 100) <
+                cancel_frac * 100.0;
+        if (do_cancel) qo.cancel = &token;
+        if (mix && q % 8 == 7) {
+          // Every 8th query is a kNN on the same point — the mixed-kind
+          // traffic the admission queue interleaves with range batches.
+          try {
+            auto fut = session.knn(Dataset(data.dim(), pt), 4, qo);
+            if (do_cancel) token.cancel();
+            resolve(fut);
+          } catch (const sj::exec::Overloaded&) {
+            shed.fetch_add(1, std::memory_order_relaxed);
+          }
+          continue;
+        }
+        try {
+          auto fut = session.range(std::move(pt), qo);
+          if (do_cancel) token.cancel();
+          resolve(fut);
+        } catch (const sj::exec::Overloaded&) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (mix && c == 0) {
+        // One full self-join from the first client, concurrent with the
+        // range/kNN traffic of everyone else.
+        try {
+          auto fut = session.self_join({});
+          resolve(fut);
+        } catch (const sj::exec::Overloaded&) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds = wall.seconds();
+
+  const sj::api::SessionStats st = session.stats();
+  const std::uint64_t issued = ok + shed + expired + cancelled + failed;
+  std::cout << "served " << issued << " queries in " << seconds << " s ("
+            << (seconds > 0.0 ? static_cast<double>(ok) / seconds : 0.0)
+            << " completed/s) [" << clients << " clients, "
+            << std::max(1, so.workers) << " workers]\n";
+  // The deadline / shed / cancel counter line — the service's vital signs.
+  std::cout << "exec: admitted=" << st.admitted << " shed=" << st.shed
+            << " expired=" << st.expired << " cancelled=" << st.cancelled
+            << " completed=" << st.completed << " failed=" << st.failed
+            << "\n";
+  if (show_stats) {
+    std::cout << "latency: p50=" << st.p50_ms << " ms  p99=" << st.p99_ms
+              << " ms  (" << st.latency_samples << " samples)\n"
+              << "coalescing: " << st.coalesced_queries
+              << " range queries served by " << st.coalesced_batches
+              << " shared launches\n";
+    if (sj::fault::enabled()) {
+      std::cout << "fault injection: " << sj::fault::injected_total()
+                << " fault(s) injected, " << sj::fault::devices_lost()
+                << " device(s) lost\n";
+    }
+  }
+  if (flags.count("json")) {
+    std::ostringstream js;
+    js << "{\n"
+       << "  \"queries\": " << issued << ",\n"
+       << "  \"seconds\": " << seconds << ",\n"
+       << "  \"qps\": "
+       << (seconds > 0.0 ? static_cast<double>(ok) / seconds : 0.0) << ",\n"
+       << "  \"admitted\": " << st.admitted << ",\n"
+       << "  \"shed\": " << st.shed << ",\n"
+       << "  \"expired\": " << st.expired << ",\n"
+       << "  \"cancelled\": " << st.cancelled << ",\n"
+       << "  \"completed\": " << st.completed << ",\n"
+       << "  \"failed\": " << st.failed << ",\n"
+       << "  \"p50_ms\": " << st.p50_ms << ",\n"
+       << "  \"p99_ms\": " << st.p99_ms << ",\n"
+       << "  \"restored_from_snapshot\": "
+       << (st.restored_from_snapshot ? "true" : "false") << ",\n"
+       << "  \"startup_seconds\": " << st.startup_seconds << "\n"
+       << "}\n";
+    sj::io::atomic_write_file(flags.at("json"), js.str());
+    std::cout << "stats written to " << flags.at("json") << "\n";
+  }
+  return failed.load() > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -488,6 +706,18 @@ int main(int argc, char** argv) {
     if (cmd == "selfjoin") return cmd_selfjoin(flags);
     if (cmd == "join") return cmd_join(flags);
     if (cmd == "knn") return cmd_knn(flags);
+    if (cmd == "serve") return cmd_serve(flags);
+  } catch (const sj::exec::DeadlineExceeded& e) {
+    // Typed service-layer outcomes get their own exit code so scripts can
+    // tell "the budget ran out" apart from "the run was wrong".
+    std::cerr << "deadline exceeded: " << e.what() << "\n";
+    return 3;
+  } catch (const sj::exec::Cancelled& e) {
+    std::cerr << "cancelled: " << e.what() << "\n";
+    return 3;
+  } catch (const sj::exec::Overloaded& e) {
+    std::cerr << "overloaded: " << e.what() << "\n";
+    return 3;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
